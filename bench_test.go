@@ -1,0 +1,103 @@
+package vedliot
+
+import (
+	"testing"
+
+	"vedliot/internal/bench"
+)
+
+// benchExperiment wraps one harness experiment as a testing.B benchmark:
+// each iteration regenerates the full table/figure and fails the
+// benchmark if any embedded shape check regresses.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := bench.Find(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		rep, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if failed := rep.Failed(); len(failed) > 0 {
+			b.Fatalf("%s: failed checks %v", id, failed)
+		}
+	}
+}
+
+// BenchmarkFig2FormFactors regenerates Fig. 2 (COM form factors).
+func BenchmarkFig2FormFactors(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFig3AcceleratorSurvey regenerates Fig. 3 (accelerator survey).
+func BenchmarkFig3AcceleratorSurvey(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkTOPSWCluster regenerates the ~1 TOPS/W clustering analysis.
+func BenchmarkTOPSWCluster(b *testing.B) { benchExperiment(b, "topsw") }
+
+// BenchmarkFig4YoloV4 regenerates Fig. 4 (YoloV4 sweep).
+func BenchmarkFig4YoloV4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig4ResNet50MobileNetV3 regenerates the §II-C companion
+// sweeps (ResNet50, MobileNetV3).
+func BenchmarkFig4ResNet50MobileNetV3(b *testing.B) { benchExperiment(b, "fig4r") }
+
+// BenchmarkURECSPower regenerates the uRECS power-envelope study.
+func BenchmarkURECSPower(b *testing.B) { benchExperiment(b, "urecs") }
+
+// BenchmarkReconfiguration regenerates the run-time reconfiguration
+// study.
+func BenchmarkReconfiguration(b *testing.B) { benchExperiment(b, "recon") }
+
+// BenchmarkDeepCompression regenerates the §III compression pipeline.
+func BenchmarkDeepCompression(b *testing.B) { benchExperiment(b, "comp49") }
+
+// BenchmarkTheoryVsHardware regenerates the §III theory-vs-hardware
+// speed-up comparison.
+func BenchmarkTheoryVsHardware(b *testing.B) { benchExperiment(b, "theory") }
+
+// BenchmarkKenningPipeline regenerates the Kenning measurement reports.
+func BenchmarkKenningPipeline(b *testing.B) { benchExperiment(b, "kenning") }
+
+// BenchmarkTwine regenerates the native/WASM/WASM+SGX database study.
+func BenchmarkTwine(b *testing.B) { benchExperiment(b, "twine") }
+
+// BenchmarkPMP regenerates the RISC-V PMP evaluation.
+func BenchmarkPMP(b *testing.B) { benchExperiment(b, "pmp") }
+
+// BenchmarkCFU regenerates the CFU acceleration study.
+func BenchmarkCFU(b *testing.B) { benchExperiment(b, "cfu") }
+
+// BenchmarkAttestation regenerates the remote-attestation flow.
+func BenchmarkAttestation(b *testing.B) { benchExperiment(b, "attest") }
+
+// BenchmarkSafetyMonitors regenerates the §IV-B monitor evaluation.
+func BenchmarkSafetyMonitors(b *testing.B) { benchExperiment(b, "safety") }
+
+// BenchmarkPAEB regenerates the automotive offload study.
+func BenchmarkPAEB(b *testing.B) { benchExperiment(b, "paeb") }
+
+// BenchmarkMotorCondition regenerates the motor-monitoring study.
+func BenchmarkMotorCondition(b *testing.B) { benchExperiment(b, "motor") }
+
+// BenchmarkArcDetection regenerates the arc-detection study.
+func BenchmarkArcDetection(b *testing.B) { benchExperiment(b, "arc") }
+
+// BenchmarkSmartMirror regenerates the smart-mirror pipeline study.
+func BenchmarkSmartMirror(b *testing.B) { benchExperiment(b, "mirror") }
+
+// BenchmarkAblationRoofline contrasts the roofline and peak-only device
+// models.
+func BenchmarkAblationRoofline(b *testing.B) { benchExperiment(b, "ablation-roofline") }
+
+// BenchmarkAblationQuantGranularity contrasts per-tensor and
+// per-channel quantization.
+func BenchmarkAblationQuantGranularity(b *testing.B) { benchExperiment(b, "ablation-quant") }
+
+// BenchmarkAblationPruning contrasts structured and unstructured
+// pruning on hardware.
+func BenchmarkAblationPruning(b *testing.B) { benchExperiment(b, "ablation-prune") }
+
+// BenchmarkAblationEcallBatching contrasts enclave transition
+// granularities.
+func BenchmarkAblationEcallBatching(b *testing.B) { benchExperiment(b, "ablation-ecall") }

@@ -1,0 +1,138 @@
+// Command kenning is the model-toolchain CLI: it builds a zoo model,
+// runs the optimization pipeline, reports statistics, round-trips the
+// model through the VNNX interchange format, and evaluates it on a
+// simulated accelerator — the §III deployment flow end to end.
+//
+// Usage:
+//
+//	kenning -model lenet -quantize -prune 0.8 -target "Xavier NX"
+//	kenning -model yolov4 -stats
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"vedliot/internal/accel"
+	"vedliot/internal/kenning"
+	"vedliot/internal/nn"
+	"vedliot/internal/onnx"
+	"vedliot/internal/optimize"
+)
+
+func main() {
+	model := flag.String("model", "lenet", "model: lenet, mlp, motornet, arcnet, mobilenetv3, resnet50, yolov4, yolov4tiny")
+	quantize := flag.Bool("quantize", false, "post-training INT8 quantization")
+	prune := flag.Float64("prune", 0, "magnitude-pruning sparsity (0..1)")
+	target := flag.String("target", "", "accelerator to evaluate on (see internal/accel)")
+	stats := flag.Bool("stats", false, "print the per-layer statistics table")
+	flag.Parse()
+
+	g, weights, err := buildModel(*model)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("model %s: %d nodes\n", g.Name, len(g.Nodes))
+
+	// Toolchain pipeline.
+	cfg := kenning.PipelineConfig{Prune: *prune}
+	if *quantize {
+		if !weights {
+			fatal(fmt.Errorf("-quantize needs a weighted model (lenet, mlp, motornet, arcnet)"))
+		}
+		cfg.Quantize = true
+		cfg.Granularity = optimize.PerChannel
+	}
+	if *prune > 0 && !weights {
+		fatal(fmt.Errorf("-prune needs a weighted model"))
+	}
+	rep, err := kenning.RunPipeline(g, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("passes applied: %v\n", rep.AppliedPasses)
+	if rep.PruneReport != nil {
+		fmt.Printf("pruned to %.1f%% sparsity (theoretical speed-up %.2fx)\n",
+			rep.PruneReport.Sparsity()*100, rep.PruneReport.TheoreticalSpeedup())
+	}
+	if rep.QuantReport != nil {
+		fmt.Printf("quantized (%s): weights %d -> %d bytes\n",
+			rep.QuantReport.Granularity, rep.QuantReport.BytesBefore, rep.QuantReport.BytesAfter)
+	}
+
+	if err := g.InferShapes(1); err != nil {
+		fatal(err)
+	}
+	gs, err := g.Stats()
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Print(gs.Summary(40))
+	} else {
+		fmt.Printf("%.3f GMACs, %.2fM params, %.2f MiB weights\n",
+			gs.GMACs(), float64(gs.Params)/1e6, float64(g.WeightBytes())/(1<<20))
+	}
+
+	// Interchange round trip (the ONNX role).
+	if weights {
+		var buf bytes.Buffer
+		if err := onnx.Encode(&buf, g); err != nil {
+			fatal(err)
+		}
+		if _, err := onnx.Decode(bytes.NewReader(buf.Bytes())); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("vnnx round trip: %d bytes ok\n", buf.Len())
+	}
+
+	// Accelerator evaluation.
+	if *target != "" {
+		dev, err := accel.FindDevice(*target)
+		if err != nil {
+			fatal(err)
+		}
+		prec := dev.BestPrecision()
+		w, err := accel.WorkloadFromGraph(g, prec)
+		if err != nil {
+			fatal(err)
+		}
+		for _, batch := range []int{1, 8} {
+			m, err := dev.Evaluate(w, prec, batch)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s %s B%d: %.1f ms, %.0f GOPS, %.1f W (%s-bound), %.2f mJ/inference\n",
+				dev.Name, prec, batch, m.LatencyMS, m.GOPS, m.PowerW, m.Bound, m.EnergyPerInferenceMJ())
+		}
+	}
+}
+
+func buildModel(name string) (*nn.Graph, bool, error) {
+	switch name {
+	case "lenet":
+		return nn.LeNet(28, 10, nn.BuildOptions{Weights: true, Seed: 1}), true, nil
+	case "mlp":
+		return nn.MLP("lenet-300-100", []int{784, 300, 100, 10}, nn.BuildOptions{Weights: true, Seed: 1}), true, nil
+	case "motornet":
+		return nn.MotorNet(256, 5, nn.BuildOptions{Weights: true, Seed: 1}), true, nil
+	case "arcnet":
+		return nn.ArcNet(512, nn.BuildOptions{Weights: true, Seed: 1}), true, nil
+	case "mobilenetv3":
+		return nn.MobileNetV3(224, nn.BuildOptions{}), false, nil
+	case "resnet50":
+		return nn.ResNet50(224, nn.BuildOptions{}), false, nil
+	case "yolov4":
+		return nn.YoloV4(608, 80, nn.BuildOptions{}), false, nil
+	case "yolov4tiny":
+		return nn.YoloV4Tiny(416, 80, nn.BuildOptions{}), false, nil
+	}
+	return nil, false, fmt.Errorf("unknown model %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kenning:", err)
+	os.Exit(1)
+}

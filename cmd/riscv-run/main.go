@@ -1,0 +1,104 @@
+// Command riscv-run executes a flat RV32IM binary (little-endian words)
+// on the simulated SoC, with optional vector-MAC CFU — the Renode-style
+// "run the real firmware on the simulated machine" workflow of §II-B.
+//
+// Usage:
+//
+//	riscv-run -bin firmware.bin            # run a binary at 0x80000000
+//	riscv-run -demo                        # run the built-in UART demo
+//	riscv-run -demo -cfu                   # demo with the CFU attached
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vedliot/internal/cfu"
+	"vedliot/internal/riscv"
+	"vedliot/internal/soc"
+)
+
+func main() {
+	binPath := flag.String("bin", "", "flat binary to load at the reset vector")
+	demo := flag.Bool("demo", false, "run the built-in demo firmware")
+	withCFU := flag.Bool("cfu", false, "attach the vector-MAC CFU")
+	maxInstr := flag.Uint64("max", 1_000_000, "instruction budget")
+	flag.Parse()
+
+	cfg := soc.Config{Name: "riscv-run"}
+	if *withCFU {
+		cfg.CFU = &cfu.VectorMAC{}
+	}
+	m, err := soc.NewMachine(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *binPath != "":
+		data, err := os.ReadFile(*binPath)
+		if err != nil {
+			fatal(err)
+		}
+		words := make([]uint32, 0, (len(data)+3)/4)
+		for i := 0; i < len(data); i += 4 {
+			var w uint32
+			for b := 0; b < 4 && i+b < len(data); b++ {
+				w |= uint32(data[i+b]) << (8 * b)
+			}
+			words = append(words, w)
+		}
+		if err := m.LoadFirmware(words); err != nil {
+			fatal(err)
+		}
+	case *demo:
+		if err := m.LoadFirmware(demoFirmware(*withCFU)); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	retired, err := m.Run(*maxInstr)
+	if err != nil {
+		fatal(err)
+	}
+	if out := m.UART.Output(); out != "" {
+		fmt.Printf("uart: %q\n", out)
+	}
+	fmt.Printf("retired %d instructions, %d cycles, halted=%v\n", retired, m.Core.Cycles, m.Core.Halted)
+	if m.Finisher.Done {
+		fmt.Printf("finisher: pass=%v (code %#x)\n", m.Finisher.Pass, m.Finisher.Code)
+	}
+}
+
+// demoFirmware prints "VEDLIoT\n" over the UART; with the CFU it also
+// computes a 4-lane INT8 dot product and prints the result digit.
+func demoFirmware(withCFU bool) []uint32 {
+	p := &soc.Program{}
+	for _, ch := range []byte("VEDLIoT\n") {
+		p.EmitPutc(ch)
+	}
+	if withCFU {
+		// dot([1,2,3,4],[1,1,1,1]) = 10 -> print "10".
+		p.EmitLI(riscv.A0, 0x04030201)
+		p.EmitLI(riscv.A1, 0x01010101)
+		p.Emit(
+			riscv.CUSTOM0(0, 0, 0, cfu.OpMacClear, 0),
+			riscv.CUSTOM0(riscv.A2, riscv.A0, riscv.A1, cfu.OpMacStep, 0),
+		)
+		p.EmitPutc('1')
+		p.EmitPutc('0')
+		p.EmitPutc('\n')
+	}
+	p.EmitFinish(true)
+	p.Emit(riscv.WFI())
+	return p.Words()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "riscv-run:", err)
+	os.Exit(1)
+}

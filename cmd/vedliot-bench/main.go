@@ -1,0 +1,72 @@
+// Command vedliot-bench regenerates the paper's tables and figures from
+// the reproduction's models and simulators.
+//
+// Usage:
+//
+//	vedliot-bench -list           # enumerate experiments
+//	vedliot-bench -run fig4       # run one experiment
+//	vedliot-bench -all            # run everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vedliot/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments")
+	run := flag.String("run", "", "run one experiment by id")
+	all := flag.Bool("all", false, "run every experiment")
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Printf("%-20s %s\n", "id", "paper artifact")
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Paper)
+		}
+	case *run != "":
+		e, err := bench.Find(*run)
+		if err != nil {
+			fatal(err)
+		}
+		if err := execute(e); err != nil {
+			fatal(err)
+		}
+	case *all:
+		failures := 0
+		for _, e := range bench.Registry() {
+			if err := execute(e); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+				failures++
+			}
+			fmt.Println()
+		}
+		if failures > 0 {
+			fatal(fmt.Errorf("%d experiments failed", failures))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func execute(e bench.Experiment) error {
+	rep, err := e.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep)
+	if failed := rep.Failed(); len(failed) > 0 {
+		return fmt.Errorf("failed shape checks: %v", failed)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vedliot-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,12 @@
+// Package vedliot is a from-scratch Go reproduction of "VEDLIoT: Very
+// Efficient Deep Learning in IoT" (DATE 2022): the RECS cognitive IoT
+// hardware platform, the DL accelerator evaluation methodology, the
+// ONNX-centric optimizing toolchain, the trusted-execution and
+// attestation stack, the DL safety monitors, the AIoT requirements
+// framework and the three use-case domains — each backed by simulators
+// where the paper used physical hardware.
+//
+// See DESIGN.md for the system inventory and the per-experiment index,
+// EXPERIMENTS.md for paper-vs-measured results, and cmd/vedliot-bench
+// for regenerating every table and figure.
+package vedliot

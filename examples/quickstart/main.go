@@ -1,0 +1,44 @@
+// Quickstart: the VEDLIoT design flow end to end — build a model, run
+// the optimizing toolchain, pick an accelerator and platform under
+// latency/power constraints, and report the predicted operating point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vedliot/internal/core"
+	"vedliot/internal/nn"
+	"vedliot/internal/tensor"
+)
+
+func main() {
+	// A gesture classifier for an embedded device: 30 FPS, under 15 W,
+	// deployed at INT8 with per-channel PTQ.
+	uc := core.UseCase{
+		Name:  "quickstart-gestures",
+		Model: nn.GestureNet(64, 8, nn.BuildOptions{Weights: true, Seed: 1}),
+		Req: core.Requirements{
+			LatencyMS: 33,
+			PowerW:    15,
+			Precision: tensor.INT8,
+			Quantize:  true,
+			Tier:      "embedded/far edge",
+		},
+	}
+	dep, err := core.PlanDeployment(uc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("use case:   %s\n", dep.UseCase)
+	fmt.Printf("toolchain:  passes %v\n", dep.Pipeline.AppliedPasses)
+	if q := dep.Pipeline.QuantReport; q != nil {
+		fmt.Printf("quantized:  %s, weights %d -> %d bytes\n", q.Granularity, q.BytesBefore, q.BytesAfter)
+	}
+	fmt.Printf("device:     %s (co-designed: %v)\n", dep.Device.Name, dep.CoDesigned)
+	fmt.Printf("operating:  %.2f ms, %.0f GOPS, %.1f W, %.2f mJ/inference (%s-bound)\n",
+		dep.M.LatencyMS, dep.M.GOPS, dep.M.PowerW, dep.M.EnergyPerInferenceMJ(), dep.M.Bound)
+	if dep.Module != "" {
+		fmt.Printf("platform:   %s module in %s\n", dep.Module, dep.Chassis)
+	}
+}

@@ -1,0 +1,198 @@
+package accel
+
+import (
+	"fmt"
+
+	"vedliot/internal/tensor"
+)
+
+// The device databases below reproduce the accelerator survey of the
+// paper's Fig. 3 (analyzed in detail in project deliverable D3.1 [6])
+// and the measurement platforms of Fig. 4. Peak numbers are the
+// vendor-published values the paper plots ("data is based on the peak
+// performance values provided by the vendors"); power is the typical
+// board/module power at load. Where a datasheet gives a range, the
+// operating point closest to the figure is used. No technology-node
+// normalization is performed, matching the paper.
+
+// SurveyEntry is one point in the Fig. 3 scatter.
+type SurveyEntry struct {
+	Name   string
+	IPCore bool // true for synthesizable IP (second series in Fig. 3)
+	GOPS   float64
+	PowerW float64
+	Class  Class
+	Notes  string
+}
+
+// TOPSW returns the entry's efficiency in TOPS/W.
+func (e SurveyEntry) TOPSW() float64 {
+	if e.PowerW == 0 {
+		return 0
+	}
+	return e.GOPS / 1000 / e.PowerW
+}
+
+// Survey returns the Fig. 3 accelerator survey: devices spanning
+// milliwatt endpoint NPUs to 400 W datacenter parts, plus IP cores.
+func Survey() []SurveyEntry {
+	return []SurveyEntry{
+		// Endpoint / MCU-class devices.
+		{Name: "NDP120", GOPS: 1.6, PowerW: 0.001, Class: ClassMCU, Notes: "always-on audio NPU"},
+		{Name: "MAX78000", GOPS: 30, PowerW: 0.03, Class: ClassMCU, Notes: "CNN MCU"},
+		{Name: "GAP8", GOPS: 22.8, PowerW: 0.1, Class: ClassMCU, Notes: "RISC-V cluster"},
+		{Name: "GAP9", GOPS: 150, PowerW: 0.05, Class: ClassMCU, Notes: "RISC-V cluster"},
+		{Name: "GPX-10", GOPS: 100, PowerW: 0.08, Class: ClassASIC},
+		{Name: "Kendryte K210", GOPS: 230, PowerW: 0.3, Class: ClassASIC},
+		{Name: "Akida", GOPS: 100, PowerW: 0.25, Class: ClassASIC, Notes: "neuromorphic"},
+		{Name: "KL520", GOPS: 345, PowerW: 0.5, Class: ClassASIC},
+		{Name: "Xcore.ai", GOPS: 51.2, PowerW: 1, Class: ClassMCU},
+		{Name: "El Cano", GOPS: 4000, PowerW: 0.07, Class: ClassASIC, Notes: "Perceive Ergo, outlier efficiency"},
+		// Edge accelerators.
+		{Name: "KL720", GOPS: 1400, PowerW: 1.2, Class: ClassASIC},
+		{Name: "Myriad X", GOPS: 1000, PowerW: 2, Class: ClassASIC},
+		{Name: "Sophon BM1880", GOPS: 1000, PowerW: 2.5, Class: ClassASIC},
+		{Name: "HX40416", GOPS: 4000, PowerW: 3, Class: ClassASIC},
+		{Name: "InferX X1", GOPS: 8500, PowerW: 13.5, Class: ClassASIC},
+		{Name: "Hailo-8", GOPS: 26000, PowerW: 2.5, Class: ClassASIC},
+		{Name: "Ascend 310", GOPS: 22000, PowerW: 8, Class: ClassASIC},
+		// Datacenter parts.
+		{Name: "NVIDIA T4", GOPS: 130000, PowerW: 70, Class: ClassGPU},
+		{Name: "Mozart", GOPS: 100000, PowerW: 75, Class: ClassASIC},
+		{Name: "Grayskull", GOPS: 368000, PowerW: 75, Class: ClassASIC},
+		{Name: "Cloud AI 100", GOPS: 400000, PowerW: 75, Class: ClassASIC},
+		{Name: "RunAI200", GOPS: 200000, PowerW: 60, Class: ClassASIC},
+		{Name: "Groq TSP", GOPS: 820000, PowerW: 300, Class: ClassASIC},
+		{Name: "Graphcore C2", GOPS: 250000, PowerW: 300, Class: ClassASIC},
+		{Name: "SN10", GOPS: 300000, PowerW: 350, Class: ClassASIC},
+		{Name: "NVIDIA A100", GOPS: 624000, PowerW: 400, Class: ClassGPU},
+		{Name: "Google TPUv3", GOPS: 123000, PowerW: 220, Class: ClassASIC},
+		// Synthesizable IP cores (plotted as the second series).
+		{Name: "AD1028", IPCore: true, GOPS: 1000, PowerW: 1.2, Class: ClassIPCore},
+		{Name: "DNA 100", IPCore: true, GOPS: 12000, PowerW: 9, Class: ClassIPCore},
+		{Name: "NVDLA", IPCore: true, GOPS: 2000, PowerW: 1.8, Class: ClassIPCore},
+		{Name: "Efficiera", IPCore: true, GOPS: 6550, PowerW: 3, Class: ClassIPCore, Notes: "binary weights"},
+		{Name: "FINN", IPCore: true, GOPS: 500, PowerW: 8, Class: ClassIPCore, Notes: "FPGA dataflow"},
+		{Name: "AccDNN", IPCore: true, GOPS: 200, PowerW: 6, Class: ClassIPCore, Notes: "FPGA RTL generator"},
+	}
+}
+
+// EvaluationPlatforms returns the Fig. 4 measurement set: the devices on
+// which the paper runs ResNet50, MobileNetV3 and YoloV4. Batch-size
+// variants (B1/B4/B8) and power modes (LP/HP for Xavier AGX) are modeled
+// by Evaluate parameters and separate entries respectively.
+func EvaluationPlatforms() []*Device {
+	return []*Device{
+		{
+			Name: "Xavier AGX (HP)", Class: ClassEmbeddedGPU,
+			PeakGOPS: map[tensor.DType]float64{
+				tensor.INT8: 22000, tensor.FP16: 11000, tensor.FP32: 1400,
+			},
+			MemBWGBs: 137, IdleW: 10, MaxW: 30, SatBatch: 4, MaxUtil: 0.45, OverheadMS: 1.2,
+		},
+		{
+			Name: "Xavier AGX (LP)", Class: ClassEmbeddedGPU,
+			PeakGOPS: map[tensor.DType]float64{
+				tensor.INT8: 10000, tensor.FP16: 5000, tensor.FP32: 700,
+			},
+			MemBWGBs: 85, IdleW: 4, MaxW: 10, SatBatch: 4, MaxUtil: 0.45, OverheadMS: 1.5,
+		},
+		{
+			Name: "Xavier NX", Class: ClassEmbeddedGPU,
+			PeakGOPS: map[tensor.DType]float64{
+				tensor.INT8: 12000, tensor.FP16: 6000, tensor.FP32: 800,
+			},
+			MemBWGBs: 60, IdleW: 5, MaxW: 15, SatBatch: 4, MaxUtil: 0.40, OverheadMS: 1.4,
+		},
+		{
+			Name: "Jetson TX2", Class: ClassEmbeddedGPU,
+			PeakGOPS: map[tensor.DType]float64{
+				tensor.FP16: 2600, tensor.FP32: 1300,
+			},
+			MemBWGBs: 58, IdleW: 5, MaxW: 15, SatBatch: 3, MaxUtil: 0.45, OverheadMS: 1.3,
+		},
+		{
+			Name: "GTX1660", Class: ClassGPU,
+			PeakGOPS: map[tensor.DType]float64{
+				tensor.INT8: 20000, tensor.FP16: 10000, tensor.FP32: 5000,
+			},
+			MemBWGBs: 192, IdleW: 35, MaxW: 120, SatBatch: 4, MaxUtil: 0.55, OverheadMS: 0.8,
+		},
+		{
+			Name: "D1577", Class: ClassCPU, // Intel Xeon D-1577, 16C
+			PeakGOPS: map[tensor.DType]float64{
+				tensor.INT8: 1300, tensor.FP16: 650, tensor.FP32: 650,
+			},
+			MemBWGBs: 38, IdleW: 25, MaxW: 45, SatBatch: 0.5, MaxUtil: 0.7, OverheadMS: 0.3,
+		},
+		{
+			Name: "Epic3451", Class: ClassCPU, // AMD EPYC Embedded 3451, 16C
+			PeakGOPS: map[tensor.DType]float64{
+				tensor.INT8: 2200, tensor.FP16: 1100, tensor.FP32: 1100,
+			},
+			MemBWGBs: 58, IdleW: 35, MaxW: 100, SatBatch: 0.5, MaxUtil: 0.7, OverheadMS: 0.3,
+		},
+		{
+			Name: "Myriad", Class: ClassASIC,
+			PeakGOPS: map[tensor.DType]float64{
+				tensor.FP16: 1000,
+			},
+			MemBWGBs: 27, IdleW: 0.8, MaxW: 2.5, SatBatch: 2, MaxUtil: 0.5, OverheadMS: 2.0,
+		},
+		{
+			Name: "ZU15 2xB4096", Class: ClassFPGA, // Zynq UltraScale+ ZU15 with two DPUs
+			PeakGOPS: map[tensor.DType]float64{
+				tensor.INT8: 2400,
+			},
+			MemBWGBs: 19, IdleW: 8, MaxW: 22, SatBatch: 1, MaxUtil: 0.6, OverheadMS: 0.9,
+		},
+		{
+			Name: "ZU3 B2304", Class: ClassFPGA,
+			PeakGOPS: map[tensor.DType]float64{
+				tensor.INT8: 700,
+			},
+			MemBWGBs: 19, IdleW: 3, MaxW: 9, SatBatch: 1, MaxUtil: 0.6, OverheadMS: 0.9,
+		},
+	}
+}
+
+// EmbeddedTargets returns the sub-15 W devices eligible for uRECS
+// deployments (used by the use-case studies).
+func EmbeddedTargets() []*Device {
+	var out []*Device
+	for _, d := range EvaluationPlatforms() {
+		if d.MaxW <= 15 {
+			out = append(out, d)
+		}
+	}
+	// A Coral-style edge TPU and an MCU-class NPU extend the low end.
+	out = append(out,
+		&Device{
+			Name: "EdgeTPU SoM", Class: ClassASIC,
+			PeakGOPS: map[tensor.DType]float64{tensor.INT8: 4000},
+			MemBWGBs: 8, IdleW: 0.5, MaxW: 2, SatBatch: 1, MaxUtil: 0.5, OverheadMS: 1.0,
+		},
+		&Device{
+			Name: "MAX78000 NPU", Class: ClassMCU,
+			PeakGOPS: map[tensor.DType]float64{tensor.INT8: 30},
+			MemBWGBs: 0.2, IdleW: 0.001, MaxW: 0.03, SatBatch: 0.5, MaxUtil: 0.8, OverheadMS: 0.1,
+		},
+	)
+	return out
+}
+
+// FindDevice returns the named device from the evaluation platforms and
+// embedded targets.
+func FindDevice(name string) (*Device, error) {
+	for _, d := range EvaluationPlatforms() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	for _, d := range EmbeddedTargets() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("accel: unknown device %q", name)
+}

@@ -1,0 +1,138 @@
+package attest
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func bootChain(appVersion string) []BootStage {
+	return []BootStage{
+		{Name: "bootloader", Image: []byte("bl-1.0")},
+		{Name: "os", Image: []byte("optee-3.19")},
+		{Name: "app", Image: []byte(appVersion)},
+	}
+}
+
+func TestMeasureChainSensitivity(t *testing.T) {
+	a := MeasureChain(bootChain("monitor-1.0"))
+	b := MeasureChain(bootChain("monitor-1.0"))
+	c := MeasureChain(bootChain("monitor-1.1"))
+	if a != b {
+		t.Error("same chain, different measurement")
+	}
+	if a == c {
+		t.Error("modified app stage not reflected")
+	}
+	// Order matters.
+	rev := []BootStage{bootChain("monitor-1.0")[2], bootChain("monitor-1.0")[1], bootChain("monitor-1.0")[0]}
+	if MeasureChain(rev) == a {
+		t.Error("stage order not captured")
+	}
+}
+
+func TestLocalVerify(t *testing.T) {
+	root, err := NewRootOfTrust()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewDevice("edge-0", root, bootChain("monitor-1.0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier(root.Public(), dev.Measurement())
+	nonce := []byte("nonce-1")
+	ev := dev.Respond(nonce)
+	if err := v.Verify(ev, nonce); err != nil {
+		t.Fatal(err)
+	}
+	// Replayed nonce rejected.
+	if err := v.Verify(ev, []byte("nonce-2")); err == nil {
+		t.Error("replay accepted")
+	}
+}
+
+func TestTamperedDeviceRejected(t *testing.T) {
+	root, _ := NewRootOfTrust()
+	dev, err := NewDevice("edge-0", root, bootChain("monitor-1.0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier(root.Public(), MeasureChain(bootChain("monitor-1.0")))
+	dev.Tamper()
+	nonce := []byte("n")
+	if err := v.Verify(dev.Respond(nonce), nonce); err == nil {
+		t.Error("tampered device attested successfully")
+	}
+}
+
+func TestUnendorsedDeviceRejected(t *testing.T) {
+	root, _ := NewRootOfTrust()
+	rogueRoot, _ := NewRootOfTrust()
+	dev, err := NewDevice("rogue", rogueRoot, bootChain("monitor-1.0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier(root.Public(), dev.Measurement())
+	nonce := []byte("n")
+	if err := v.Verify(dev.Respond(nonce), nonce); err == nil {
+		t.Error("device endorsed by a different root accepted")
+	}
+}
+
+func TestEvidenceSignatureBindsMeasurement(t *testing.T) {
+	root, _ := NewRootOfTrust()
+	dev, _ := NewDevice("edge", root, bootChain("monitor-1.0"))
+	good := MeasureChain(bootChain("monitor-1.0"))
+	v := NewVerifier(root.Public(), good)
+	nonce := []byte("n")
+	ev := dev.Respond(nonce)
+	// An attacker rewriting the measurement field breaks the signature.
+	ev.Measurement[0] ^= 1
+	ev.Measurement[0] ^= 1 // restore: baseline must pass
+	if err := v.Verify(ev, nonce); err != nil {
+		t.Fatal(err)
+	}
+	forged := dev.Respond(nonce)
+	forged.Measurement = good
+	forged.Measurement[5] ^= 0xaa
+	if err := v.Verify(forged, nonce); err == nil {
+		t.Error("rewritten measurement accepted")
+	}
+}
+
+func TestEndToEndOverTCP(t *testing.T) {
+	root, err := NewRootOfTrust()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewDevice("edge-tcp", root, bootChain("monitor-2.0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback networking: %v", err)
+	}
+	defer l.Close()
+	go Serve(l, dev)
+
+	v := NewVerifier(root.Public(), dev.Measurement())
+	ev, rtt, err := v.Attest(l.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Device != "edge-tcp" {
+		t.Errorf("device = %q", ev.Device)
+	}
+	if rtt <= 0 {
+		t.Error("non-positive RTT")
+	}
+
+	// A verifier with a different policy must reject the same device.
+	var other [32]byte
+	strict := NewVerifier(root.Public(), other)
+	if _, _, err := strict.Attest(l.Addr().String(), 5*time.Second); err == nil {
+		t.Error("out-of-policy measurement attested")
+	}
+}

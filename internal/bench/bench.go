@@ -1,0 +1,121 @@
+// Package bench implements the experiment harness: one entry per table
+// and figure of the paper's evaluation (plus the quantitative claims
+// made in prose), each regenerating the corresponding rows/series from
+// this reproduction's models and simulators. cmd/vedliot-bench drives
+// the registry from the command line; the repository-root benchmarks
+// wrap the same entries in testing.B.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Experiment is one registered paper artifact.
+type Experiment struct {
+	// ID is the short name used by -run (e.g. "fig3").
+	ID string
+	// Paper names the artifact being reproduced.
+	Paper string
+	// Run executes the experiment and returns the report.
+	Run func() (*Report, error)
+}
+
+// Report is a rendered experiment result.
+type Report struct {
+	Title string
+	// Lines is the human-readable table, ready to print.
+	Lines []string
+	// Checks are machine-checkable shape assertions (name -> pass).
+	Checks map[string]bool
+}
+
+func newReport(title string) *Report {
+	return &Report{Title: title, Checks: make(map[string]bool)}
+}
+
+func (r *Report) linef(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// check records a shape assertion.
+func (r *Report) check(name string, ok bool) {
+	r.Checks[name] = ok
+}
+
+// Failed returns the names of failed checks, sorted.
+func (r *Report) Failed() []string {
+	var out []string
+	for name, ok := range r.Checks {
+		if !ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	if len(r.Checks) > 0 {
+		names := make([]string, 0, len(r.Checks))
+		for n := range r.Checks {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			status := "PASS"
+			if !r.Checks[n] {
+				status = "FAIL"
+			}
+			fmt.Fprintf(&b, "[%s] %s\n", status, n)
+		}
+	}
+	return b.String()
+}
+
+// Registry returns all experiments in presentation order.
+func Registry() []Experiment {
+	return []Experiment{
+		{ID: "fig2", Paper: "Fig. 2: COM form factors", Run: Fig2},
+		{ID: "fig3", Paper: "Fig. 3: peak performance of DL accelerators", Run: Fig3},
+		{ID: "topsw", Paper: "§II-C: ~1 TOPS/W efficiency cluster", Run: TOPSW},
+		{ID: "fig4", Paper: "Fig. 4: YoloV4 performance evaluation", Run: Fig4YoloV4},
+		{ID: "fig4r", Paper: "§II-C: ResNet50 / MobileNetV3 evaluation", Run: Fig4Companions},
+		{ID: "urecs", Paper: "§II-A: uRECS < 15 W envelope", Run: URECS},
+		{ID: "recon", Paper: "§II-A: run-time reconfiguration", Run: Reconfiguration},
+		{ID: "comp49", Paper: "§III: up to 49x compression [7]", Run: DeepCompression49},
+		{ID: "theory", Paper: "§III: theoretical vs hardware speed-ups [8]", Run: TheoryVsHardware},
+		{ID: "kenning", Paper: "§III: Kenning measurement reports [10]", Run: KenningPipeline},
+		{ID: "twine", Paper: "§IV-C: SQLite in SGX via WASM [17]", Run: Twine},
+		{ID: "pmp", Paper: "§IV-C: VexRiscv PMP unit", Run: PMPBench},
+		{ID: "cfu", Paper: "§II-B: Renode CFU simulation", Run: CFUBench},
+		{ID: "attest", Paper: "§IV-C: end-to-end remote attestation", Run: Attestation},
+		{ID: "safety", Paper: "§IV-B: input/output monitors", Run: SafetyMonitors},
+		{ID: "paeb", Paper: "§V-A: PAEB offload study", Run: PAEB},
+		{ID: "motor", Paper: "§V-B: motor condition classification", Run: MotorCondition},
+		{ID: "arc", Paper: "§V-B: arc detection", Run: ArcDetection},
+		{ID: "mirror", Paper: "§V-C / Fig. 5: smart mirror", Run: SmartMirror},
+		{ID: "ablation-roofline", Paper: "ablation: roofline vs peak-only model", Run: AblationRoofline},
+		{ID: "ablation-quant", Paper: "ablation: quantization granularity", Run: AblationQuantGranularity},
+		{ID: "ablation-prune", Paper: "ablation: structured vs unstructured pruning", Run: AblationPruning},
+		{ID: "ablation-ecall", Paper: "ablation: enclave call batching", Run: AblationEcallBatching},
+	}
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q", id)
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPassChecks runs every registered experiment and
+// requires every embedded shape assertion to hold — the "paper shape
+// reproduced" integration test.
+func TestAllExperimentsPassChecks(t *testing.T) {
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if failed := rep.Failed(); len(failed) > 0 {
+				t.Errorf("%s: failed checks: %v\n%s", e.ID, failed, rep)
+			}
+			if len(rep.Lines) == 0 {
+				t.Errorf("%s: empty report", e.ID)
+			}
+		})
+	}
+}
+
+func TestRegistryUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Registry() {
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Paper == "" || e.Run == nil {
+			t.Errorf("%s: incomplete registration", e.ID)
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	if _, err := Find("fig3"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Error("found nonexistent experiment")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := newReport("title")
+	r.linef("row %d", 1)
+	r.check("good", true)
+	r.check("bad", false)
+	s := r.String()
+	for _, want := range []string{"== title ==", "row 1", "[PASS] good", "[FAIL] bad"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+	if f := r.Failed(); len(f) != 1 || f[0] != "bad" {
+		t.Errorf("Failed() = %v", f)
+	}
+}

@@ -1,0 +1,122 @@
+package cfu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorMACDotProduct(t *testing.T) {
+	v := &VectorMAC{}
+	if _, err := v.Execute(OpMacClear, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// lanes a = [1, -2, 3, -4], b = [5, 6, -7, -8]
+	a := uint32(0x01) | uint32(0xfe)<<8 | uint32(0x03)<<16 | uint32(0xfc)<<24
+	b := uint32(0x05) | uint32(0x06)<<8 | uint32(0xf9)<<16 | uint32(0xf8)<<24
+	got, err := v.Execute(OpMacStep, 0, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int32(1*5 + (-2)*6 + 3*(-7) + (-4)*(-8)) // 5 - 12 - 21 + 32 = 4
+	if int32(got) != want {
+		t.Errorf("dot = %d, want %d", int32(got), want)
+	}
+	// Accumulation across steps.
+	if _, err := v.Execute(OpMacStep, 0, a, b); err != nil {
+		t.Fatal(err)
+	}
+	rd, _ := v.Execute(OpMacRead, 0, 0, 0)
+	if int32(rd) != 2*want {
+		t.Errorf("acc = %d, want %d", int32(rd), 2*want)
+	}
+	// Clear resets.
+	if _, err := v.Execute(OpMacClear, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if v.Acc() != 0 {
+		t.Errorf("acc after clear = %d", v.Acc())
+	}
+	if _, err := v.Execute(7, 0, 0, 0); err == nil {
+		t.Error("unknown funct3 accepted")
+	}
+}
+
+func TestVectorMACMatchesScalarProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		v := &VectorMAC{}
+		if _, err := v.Execute(OpMacClear, 0, 0, 0); err != nil {
+			return false
+		}
+		got, err := v.Execute(OpMacStep, 0, a, b)
+		if err != nil {
+			return false
+		}
+		var want int32
+		for lane := 0; lane < 4; lane++ {
+			want += int32(int8(a>>(8*lane))) * int32(int8(b>>(8*lane)))
+		}
+		return int32(got) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSatALU(t *testing.T) {
+	s := SatALU{}
+	cases := []struct {
+		f3   uint32
+		a, b int32
+		want int32
+	}{
+		{OpSatAdd, 1, 2, 3},
+		{OpSatAdd, 0x7fffffff, 1, 0x7fffffff},    // saturate high
+		{OpSatAdd, -0x80000000, -1, -0x80000000}, // saturate low
+		{OpSatSub, -0x80000000, 1, -0x80000000},  // saturate low
+		{OpSatSub, 0x7fffffff, -1, 0x7fffffff},   // saturate high
+		{OpClip, 100, 6, 6},
+		{OpClip, -100, 6, -6},
+		{OpClip, 3, 6, 3},
+		{OpClip, 3, -6, 3}, // negative limit treated as |limit|
+	}
+	for _, c := range cases {
+		got, err := s.Execute(c.f3, 0, uint32(c.a), uint32(c.b))
+		if err != nil {
+			t.Fatalf("f3=%d: %v", c.f3, err)
+		}
+		if int32(got) != c.want {
+			t.Errorf("f3=%d (%d, %d) = %d, want %d", c.f3, c.a, c.b, int32(got), c.want)
+		}
+	}
+	if _, err := s.Execute(9, 0, 0, 0); err == nil {
+		t.Error("unknown funct3 accepted")
+	}
+}
+
+func TestSatAddNeverWrapsProperty(t *testing.T) {
+	s := SatALU{}
+	f := func(a, b int32) bool {
+		got, err := s.Execute(OpSatAdd, 0, uint32(a), uint32(b))
+		if err != nil {
+			return false
+		}
+		exact := int64(a) + int64(b)
+		r := int64(int32(got))
+		if exact > 0x7fffffff {
+			return r == 0x7fffffff
+		}
+		if exact < -0x80000000 {
+			return r == -0x80000000
+		}
+		return r == exact
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	if (&VectorMAC{}).Latency() != 1 || (SatALU{}).Latency() != 1 {
+		t.Error("reference CFUs should be single-cycle")
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+
+	"vedliot/internal/accel"
+	"vedliot/internal/fabric"
+	"vedliot/internal/nn"
+	"vedliot/internal/tensor"
+)
+
+func TestPlanDeploymentSmartMirror(t *testing.T) {
+	// The smart-mirror object detector: ~30 FPS deadline, uRECS power
+	// envelope, INT8. An embedded accelerator must be selected.
+	uc := UseCase{
+		Name:  "smart-mirror-objects",
+		Model: nn.YoloV4Tiny(416, 80, nn.BuildOptions{}),
+		Req: Requirements{
+			LatencyMS: 33,
+			PowerW:    15,
+			Precision: tensor.INT8,
+			Tier:      "embedded/far edge",
+		},
+	}
+	dep, err := PlanDeployment(uc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Device == nil {
+		t.Fatal("no device selected")
+	}
+	if dep.M.LatencyMS > 33 {
+		t.Errorf("deadline violated: %.1f ms on %s", dep.M.LatencyMS, dep.Device.Name)
+	}
+	if dep.Device.MaxW > 15 {
+		t.Errorf("power envelope violated: %s at %.1f W", dep.Device.Name, dep.Device.MaxW)
+	}
+	if dep.CoDesigned {
+		t.Error("off-the-shelf part should suffice for yolov4-tiny")
+	}
+	if dep.Module == "" || dep.Chassis == "" {
+		t.Errorf("platform mapping incomplete: module=%q chassis=%q", dep.Module, dep.Chassis)
+	}
+	if dep.Chassis != "uRECS" {
+		t.Errorf("chassis = %s, want uRECS for the embedded tier", dep.Chassis)
+	}
+}
+
+func TestPlanDeploymentFallsBackToCoDesign(t *testing.T) {
+	// A tiny 1-D CNN under a milliwatt-class power envelope: nothing in
+	// the catalogue fits, so the class-4 co-design path must engage.
+	uc := UseCase{
+		Name:  "motor-box",
+		Model: nn.MotorNet(256, 5, nn.BuildOptions{Weights: true, Seed: 5}),
+		Req: Requirements{
+			LatencyMS: 50,
+			PowerW:    0.02, // below every catalogue device
+			Precision: tensor.INT8,
+		},
+	}
+	dep, err := PlanDeployment(uc)
+	if err != nil {
+		// Either a feasible co-design or a clear infeasibility report
+		// is acceptable for this extreme envelope; an error must at
+		// least identify the use case.
+		t.Skipf("co-design infeasible at 20 mW: %v", err)
+	}
+	if !dep.CoDesigned {
+		t.Errorf("expected co-design, got %s", dep.Device.Name)
+	}
+	if dep.M.PowerW > 0.02 {
+		t.Errorf("co-design exceeded envelope: %.3f W", dep.M.PowerW)
+	}
+}
+
+func TestPlanDeploymentValidation(t *testing.T) {
+	if _, err := PlanDeployment(UseCase{Name: "x"}); err == nil {
+		t.Error("missing model accepted")
+	}
+	uc := UseCase{Name: "x", Model: nn.MotorNet(64, 5, nn.BuildOptions{})}
+	if _, err := PlanDeployment(uc); err == nil {
+		t.Error("missing constraints accepted")
+	}
+}
+
+func TestPlanDeploymentInfeasible(t *testing.T) {
+	// YoloV4@608 in 0.1 ms under 1 W is impossible even for co-design.
+	uc := UseCase{
+		Name:  "impossible",
+		Model: nn.YoloV4(608, 80, nn.BuildOptions{}),
+		Req:   Requirements{LatencyMS: 0.1, PowerW: 1, Precision: tensor.INT8},
+	}
+	if _, err := PlanDeployment(uc); err == nil {
+		t.Error("impossible constraints accepted")
+	}
+}
+
+func TestPlanOffloadCrossover(t *testing.T) {
+	// The PAEB decision: over LTE the car should run locally; over a
+	// good 5G link offloading to a faster edge saves on-car energy.
+	g := nn.YoloV4(416, 80, nn.BuildOptions{})
+	if err := g.InferShapes(1); err != nil {
+		t.Fatal(err)
+	}
+	w, err := accel.WorkloadFromGraph(g, tensor.INT8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onCar, _ := accel.FindDevice("Xavier NX")
+	edge, _ := accel.FindDevice("GTX1660")
+	const (
+		frameBytes  = 500_000 // compressed camera frame
+		resultBytes = 2_000
+		deadlineMS  = 100
+		radioTxW    = 2.5
+	)
+	lte, err := PlanOffload(w, onCar, edge, tensor.INT8, fabric.LTE, frameBytes, resultBytes, deadlineMS, radioTxW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmw, err := PlanOffload(w, onCar, edge, tensor.INT8, fabric.NR5GmmWave, frameBytes, resultBytes, deadlineMS, radioTxW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lte.Offload {
+		t.Errorf("LTE plan offloads (edge %.1f ms vs local %.1f ms)", lte.EdgeMS, lte.LocalMS)
+	}
+	if !mmw.Offload {
+		t.Errorf("mmWave plan stays local (edge %.1f ms, car energy %.0f vs %.0f mJ)",
+			mmw.EdgeMS, mmw.CarEnergyOffloadMJ, mmw.CarEnergyLocalMJ)
+	}
+	if !mmw.MeetsDeadline {
+		t.Error("mmWave offload missed the deadline")
+	}
+	// Offload latency decomposition must add up.
+	sum := mmw.UplinkMS + mmw.EdgeComputeMS + mmw.DownlinkMS
+	if sum != mmw.EdgeMS {
+		t.Errorf("breakdown %.2f != total %.2f", sum, mmw.EdgeMS)
+	}
+}
+
+func TestRankDevices(t *testing.T) {
+	g := nn.MobileNetV3(224, nn.BuildOptions{})
+	if err := g.InferShapes(1); err != nil {
+		t.Fatal(err)
+	}
+	w, err := accel.WorkloadFromGraph(g, tensor.INT8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := RankDevices(w, tensor.INT8, 50, 0)
+	if len(ranked) < 3 {
+		t.Fatalf("only %d feasible devices", len(ranked))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].EnergyPerInferenceMJ() < ranked[i-1].EnergyPerInferenceMJ() {
+			t.Error("ranking not sorted by energy")
+		}
+	}
+	// A power cap removes desktop GPUs.
+	capped := RankDevices(w, tensor.INT8, 50, 16)
+	for _, m := range capped {
+		if m.Device == "GTX1660" {
+			t.Error("power cap ignored")
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrorKind enumerates the input-data error classes the safety monitors
+// (§IV-B) must detect: outliers, stuck-at sensors, drift and noise
+// bursts.
+type ErrorKind int
+
+// Injected error kinds, in severity order used by the reports.
+const (
+	ErrNone ErrorKind = iota
+	ErrOutlier
+	ErrStuckAt
+	ErrDrift
+	ErrNoiseBurst
+	NumErrorKinds
+)
+
+// String names the error kind.
+func (e ErrorKind) String() string {
+	switch e {
+	case ErrNone:
+		return "none"
+	case ErrOutlier:
+		return "outlier"
+	case ErrStuckAt:
+		return "stuck-at"
+	case ErrDrift:
+		return "drift"
+	case ErrNoiseBurst:
+		return "noise-burst"
+	}
+	return fmt.Sprintf("ErrorKind(%d)", int(e))
+}
+
+// TimeSeries is a sensor stream with per-sample error ground truth.
+type TimeSeries struct {
+	Values []float32
+	// Faulty[i] is the error kind injected at sample i (ErrNone = clean).
+	Faulty []ErrorKind
+}
+
+// SeriesConfig parameterizes clean-signal generation.
+type SeriesConfig struct {
+	N      int
+	Period int     // samples per seasonal cycle
+	Noise  float64 // baseline sensor noise sigma
+	Seed   int64
+}
+
+// CleanSeries generates a well-behaved periodic sensor signal.
+func CleanSeries(cfg SeriesConfig) TimeSeries {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vals := make([]float32, cfg.N)
+	for i := range vals {
+		v := math.Sin(2*math.Pi*float64(i)/float64(cfg.Period)) +
+			0.3*math.Sin(4*math.Pi*float64(i)/float64(cfg.Period))
+		vals[i] = float32(v + rng.NormFloat64()*cfg.Noise)
+	}
+	return TimeSeries{Values: vals, Faulty: make([]ErrorKind, cfg.N)}
+}
+
+// InjectConfig controls error injection.
+type InjectConfig struct {
+	// Rate is the approximate fraction of samples affected per kind.
+	Rate float64
+	Seed int64
+}
+
+// InjectErrors corrupts a copy of ts with all error kinds and returns
+// it. Outliers are isolated spikes, stuck-at freezes the signal for a
+// stretch, drift adds a growing offset, and noise bursts multiply the
+// local noise floor.
+func InjectErrors(ts TimeSeries, cfg InjectConfig) TimeSeries {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := TimeSeries{
+		Values: append([]float32(nil), ts.Values...),
+		Faulty: append([]ErrorKind(nil), ts.Faulty...),
+	}
+	n := len(out.Values)
+	if n == 0 {
+		return out
+	}
+	affected := int(cfg.Rate * float64(n))
+	if affected < 1 {
+		affected = 1
+	}
+
+	// Outliers: isolated spikes of 6-12 sigma.
+	for k := 0; k < affected; k++ {
+		i := rng.Intn(n)
+		mag := 6 + 6*rng.Float64()
+		if rng.Intn(2) == 0 {
+			mag = -mag
+		}
+		out.Values[i] += float32(mag)
+		out.Faulty[i] = ErrOutlier
+	}
+
+	// Stuck-at: one frozen stretch.
+	if stretch := affected; stretch > 1 && n > stretch*2 {
+		start := rng.Intn(n - stretch)
+		frozen := out.Values[start]
+		for i := start; i < start+stretch; i++ {
+			out.Values[i] = frozen
+			out.Faulty[i] = ErrStuckAt
+		}
+	}
+
+	// Drift: linearly growing offset over a stretch.
+	if stretch := affected * 2; n > stretch*2 {
+		start := rng.Intn(n - stretch)
+		for i := start; i < start+stretch; i++ {
+			out.Values[i] += float32(2.5 * float64(i-start) / float64(stretch))
+			out.Faulty[i] = ErrDrift
+		}
+	}
+
+	// Noise burst: 8x noise floor over a stretch.
+	if stretch := affected; n > stretch*2 {
+		start := rng.Intn(n - stretch)
+		for i := start; i < start+stretch; i++ {
+			out.Values[i] += float32(rng.NormFloat64() * 0.8)
+			out.Faulty[i] = ErrNoiseBurst
+		}
+	}
+	return out
+}
+
+// Image is a tiny grayscale frame with ground-truth noise level, standing
+// in for the camera streams of the smart-mirror use case.
+type Image struct {
+	W, H   int
+	Pix    []float32 // row-major, [0,1]
+	Sigma  float64   // injected noise sigma
+	Smooth bool      // true if generated without noise injection
+}
+
+// SceneImage renders a deterministic synthetic scene (gradient background
+// plus rectangles) with the given additive Gaussian noise sigma.
+func SceneImage(w, h int, sigma float64, seed int64) Image {
+	rng := rand.New(rand.NewSource(seed))
+	img := Image{W: w, H: h, Pix: make([]float32, w*h), Sigma: sigma, Smooth: sigma == 0}
+	// Background gradient.
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.Pix[y*w+x] = float32(x+y) / float32(w+h)
+		}
+	}
+	// A few bright rectangles ("objects").
+	for k := 0; k < 3; k++ {
+		rx, ry := rng.Intn(w*3/4), rng.Intn(h*3/4)
+		rw, rh := w/8+rng.Intn(w/8), h/8+rng.Intn(h/8)
+		val := 0.5 + 0.5*rng.Float64()
+		for y := ry; y < ry+rh && y < h; y++ {
+			for x := rx; x < rx+rw && x < w; x++ {
+				img.Pix[y*w+x] = float32(val)
+			}
+		}
+	}
+	if sigma > 0 {
+		for i := range img.Pix {
+			img.Pix[i] += float32(rng.NormFloat64() * sigma)
+		}
+	}
+	return img
+}

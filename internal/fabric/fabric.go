@@ -1,0 +1,220 @@
+// Package fabric simulates the communication infrastructure of the RECS
+// platforms and the mobile networks of the automotive use case: links
+// with bandwidth, base latency, jitter and loss; topologies with
+// shortest-path routing; and run-time reconfiguration of link
+// parameters ("the networking topology or protocol parameters can be
+// adapted to cope with changing real-time or bandwidth requirements",
+// §II-A).
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// LinkProfile describes one link technology.
+type LinkProfile struct {
+	Name string
+	// BandwidthMbps is the usable payload rate.
+	BandwidthMbps float64
+	// BaseLatencyMS is the one-way propagation plus protocol latency.
+	BaseLatencyMS float64
+	// JitterMS is the standard deviation of additional random latency.
+	JitterMS float64
+	// LossRate is the packet-loss probability per transfer, causing
+	// retransmission delay.
+	LossRate float64
+}
+
+// Standard profiles: the wired RECS fabric speeds and the mobile-network
+// conditions the PAEB study sweeps.
+var (
+	Ethernet1G  = LinkProfile{Name: "1G Ethernet", BandwidthMbps: 940, BaseLatencyMS: 0.2, JitterMS: 0.02}
+	Ethernet10G = LinkProfile{Name: "10G Ethernet", BandwidthMbps: 9400, BaseLatencyMS: 0.05, JitterMS: 0.01}
+	HighSpeedLL = LinkProfile{Name: "high-speed low-latency", BandwidthMbps: 40000, BaseLatencyMS: 0.005, JitterMS: 0.001}
+	WiFi5       = LinkProfile{Name: "WiFi 5", BandwidthMbps: 400, BaseLatencyMS: 3, JitterMS: 2, LossRate: 0.01}
+	LTE         = LinkProfile{Name: "LTE", BandwidthMbps: 50, BaseLatencyMS: 40, JitterMS: 15, LossRate: 0.02}
+	NR5G        = LinkProfile{Name: "5G NR", BandwidthMbps: 500, BaseLatencyMS: 10, JitterMS: 3, LossRate: 0.005}
+	NR5GmmWave  = LinkProfile{Name: "5G mmWave", BandwidthMbps: 2000, BaseLatencyMS: 5, JitterMS: 2, LossRate: 0.01}
+)
+
+// MobileProfiles returns the cellular conditions swept by the PAEB
+// offloading study, ordered from worst to best.
+func MobileProfiles() []LinkProfile {
+	return []LinkProfile{LTE, NR5G, NR5GmmWave}
+}
+
+// Validate checks profile sanity.
+func (p LinkProfile) Validate() error {
+	if p.BandwidthMbps <= 0 {
+		return fmt.Errorf("fabric: %s bandwidth %v", p.Name, p.BandwidthMbps)
+	}
+	if p.BaseLatencyMS < 0 || p.JitterMS < 0 {
+		return fmt.Errorf("fabric: %s negative latency", p.Name)
+	}
+	if p.LossRate < 0 || p.LossRate >= 1 {
+		return fmt.Errorf("fabric: %s loss rate %v", p.Name, p.LossRate)
+	}
+	return nil
+}
+
+// TransferMS returns the deterministic expected transfer time for a
+// payload: serialization + base latency + expected retransmission
+// overhead.
+func (p LinkProfile) TransferMS(bytes int64) float64 {
+	ser := float64(bytes) * 8 / (p.BandwidthMbps * 1e6) * 1e3
+	// Expected retransmissions: geometric series; each retransmission
+	// costs one RTT (2x base latency).
+	retrans := p.LossRate / (1 - p.LossRate) * 2 * p.BaseLatencyMS
+	return ser + p.BaseLatencyMS + retrans
+}
+
+// SampleTransferMS draws one stochastic transfer time using rng,
+// including jitter and sampled retransmissions.
+func (p LinkProfile) SampleTransferMS(bytes int64, rng *rand.Rand) float64 {
+	t := float64(bytes)*8/(p.BandwidthMbps*1e6)*1e3 + p.BaseLatencyMS
+	t += math.Abs(rng.NormFloat64()) * p.JitterMS
+	for rng.Float64() < p.LossRate {
+		t += 2 * p.BaseLatencyMS
+	}
+	return t
+}
+
+// Network is a set of nodes joined by configurable bidirectional links.
+type Network struct {
+	nodes map[string]bool
+	links map[[2]string]LinkProfile
+}
+
+// NewNetwork creates an empty topology.
+func NewNetwork() *Network {
+	return &Network{nodes: make(map[string]bool), links: make(map[[2]string]LinkProfile)}
+}
+
+// AddNode registers a node; adding twice is harmless.
+func (n *Network) AddNode(name string) {
+	n.nodes[name] = true
+}
+
+// Nodes returns all node names, sorted.
+func (n *Network) Nodes() []string {
+	out := make([]string, 0, len(n.nodes))
+	for name := range n.nodes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func linkKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Connect joins two existing nodes with a profile.
+func (n *Network) Connect(a, b string, p LinkProfile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if !n.nodes[a] || !n.nodes[b] {
+		return fmt.Errorf("fabric: connect %s-%s: unknown node", a, b)
+	}
+	if a == b {
+		return fmt.Errorf("fabric: self-link on %s", a)
+	}
+	n.links[linkKey(a, b)] = p
+	return nil
+}
+
+// Reconfigure swaps the profile of an existing link at run time.
+func (n *Network) Reconfigure(a, b string, p LinkProfile) error {
+	if _, ok := n.links[linkKey(a, b)]; !ok {
+		return fmt.Errorf("fabric: no link %s-%s", a, b)
+	}
+	return n.Connect(a, b, p)
+}
+
+// Link returns the profile of a direct link.
+func (n *Network) Link(a, b string) (LinkProfile, error) {
+	p, ok := n.links[linkKey(a, b)]
+	if !ok {
+		return LinkProfile{}, fmt.Errorf("fabric: no link %s-%s", a, b)
+	}
+	return p, nil
+}
+
+// Route computes the minimum-expected-latency path for the payload size
+// using Dijkstra over per-link TransferMS, returning the path and its
+// total expected time.
+func (n *Network) Route(from, to string, bytes int64) ([]string, float64, error) {
+	if !n.nodes[from] || !n.nodes[to] {
+		return nil, 0, fmt.Errorf("fabric: route %s-%s: unknown node", from, to)
+	}
+	const inf = math.MaxFloat64
+	dist := make(map[string]float64, len(n.nodes))
+	prev := make(map[string]string, len(n.nodes))
+	visited := make(map[string]bool, len(n.nodes))
+	for node := range n.nodes {
+		dist[node] = inf
+	}
+	dist[from] = 0
+	for {
+		// Extract the unvisited node with the smallest distance.
+		cur, best := "", inf
+		for node, d := range dist {
+			if !visited[node] && d < best {
+				cur, best = node, d
+			}
+		}
+		if cur == "" {
+			break
+		}
+		if cur == to {
+			break
+		}
+		visited[cur] = true
+		for key, p := range n.links {
+			var next string
+			switch cur {
+			case key[0]:
+				next = key[1]
+			case key[1]:
+				next = key[0]
+			default:
+				continue
+			}
+			if visited[next] {
+				continue
+			}
+			alt := dist[cur] + p.TransferMS(bytes)
+			if alt < dist[next] {
+				dist[next] = alt
+				prev[next] = cur
+			}
+		}
+	}
+	if dist[to] == inf {
+		return nil, 0, fmt.Errorf("fabric: no path %s-%s", from, to)
+	}
+	// Reconstruct.
+	path := []string{to}
+	for cur := to; cur != from; {
+		cur = prev[cur]
+		path = append(path, cur)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, dist[to], nil
+}
+
+// TransferMS returns the expected end-to-end transfer time along the
+// best route.
+func (n *Network) TransferMS(from, to string, bytes int64) (float64, error) {
+	_, t, err := n.Route(from, to, bytes)
+	return t, err
+}

@@ -1,0 +1,180 @@
+package fabric
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestProfileValidate(t *testing.T) {
+	for _, p := range []LinkProfile{Ethernet1G, Ethernet10G, HighSpeedLL, WiFi5, LTE, NR5G, NR5GmmWave} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	bad := LinkProfile{Name: "bad", BandwidthMbps: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted zero bandwidth")
+	}
+	bad2 := LinkProfile{Name: "bad2", BandwidthMbps: 10, LossRate: 1}
+	if err := bad2.Validate(); err == nil {
+		t.Error("accepted loss rate 1")
+	}
+}
+
+func TestTransferMSComponents(t *testing.T) {
+	// 1 MB over 1G Ethernet: ~8.5 ms serialization + 0.2 ms latency.
+	got := Ethernet1G.TransferMS(1 << 20)
+	if got < 8 || got > 10 {
+		t.Errorf("1MB over 1G = %.2f ms, want ~9", got)
+	}
+	// Zero-byte transfer costs base latency.
+	if got := LTE.TransferMS(0); got < LTE.BaseLatencyMS {
+		t.Errorf("0B over LTE = %v < base latency", got)
+	}
+}
+
+func TestFasterLinkIsFaster(t *testing.T) {
+	f := func(kb uint16) bool {
+		bytes := int64(kb)*1024 + 1
+		return Ethernet10G.TransferMS(bytes) < Ethernet1G.TransferMS(bytes) &&
+			NR5G.TransferMS(bytes) < LTE.TransferMS(bytes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransferMonotoneInSize(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return LTE.TransferMS(x) <= LTE.TransferMS(y)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleTransferAtLeastDeterministicFloor(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		s := NR5G.SampleTransferMS(100_000, rng)
+		floor := 100_000 * 8 / (NR5G.BandwidthMbps * 1e6) * 1e3
+		if s < floor+NR5G.BaseLatencyMS-1e-9 {
+			t.Fatalf("sample %v below physical floor", s)
+		}
+	}
+}
+
+func TestNetworkRouting(t *testing.T) {
+	n := NewNetwork()
+	for _, name := range []string{"car", "basestation", "edge", "cloud"} {
+		n.AddNode(name)
+	}
+	if err := n.Connect("car", "basestation", NR5G); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("basestation", "edge", Ethernet10G); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("edge", "cloud", Ethernet10G); err != nil {
+		t.Fatal(err)
+	}
+	path, ms, err := n.Route("car", "cloud", 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"car", "basestation", "edge", "cloud"}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if ms <= 0 {
+		t.Error("non-positive route time")
+	}
+
+	// Edge must be closer than cloud.
+	edgeMS, _ := n.TransferMS("car", "edge", 100_000)
+	if edgeMS >= ms {
+		t.Errorf("edge (%v ms) not closer than cloud (%v ms)", edgeMS, ms)
+	}
+}
+
+func TestRouteChoosesBetterPath(t *testing.T) {
+	n := NewNetwork()
+	for _, name := range []string{"a", "b", "c"} {
+		n.AddNode(name)
+	}
+	// Direct slow link vs two-hop fast path.
+	if err := n.Connect("a", "c", LTE); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("a", "b", Ethernet10G); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("b", "c", Ethernet10G); err != nil {
+		t.Fatal(err)
+	}
+	path, _, err := n.Route("a", "c", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 {
+		t.Errorf("router took slow direct path: %v", path)
+	}
+}
+
+func TestReconfigure(t *testing.T) {
+	n := NewNetwork()
+	n.AddNode("a")
+	n.AddNode("b")
+	if err := n.Connect("a", "b", LTE); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := n.TransferMS("a", "b", 1<<20)
+	if err := n.Reconfigure("a", "b", NR5GmmWave); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := n.TransferMS("a", "b", 1<<20)
+	if after >= before {
+		t.Errorf("reconfiguration to mmWave did not help: %v -> %v", before, after)
+	}
+	if err := n.Reconfigure("a", "zz", NR5G); err == nil {
+		t.Error("reconfigured nonexistent link")
+	}
+}
+
+func TestNetworkErrors(t *testing.T) {
+	n := NewNetwork()
+	n.AddNode("a")
+	n.AddNode("b")
+	n.AddNode("island")
+	if err := n.Connect("a", "zz", LTE); err == nil {
+		t.Error("connected unknown node")
+	}
+	if err := n.Connect("a", "a", LTE); err == nil {
+		t.Error("accepted self-link")
+	}
+	if err := n.Connect("a", "b", LTE); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n.Route("a", "island", 1); err == nil {
+		t.Error("routed to unreachable node")
+	}
+	if _, _, err := n.Route("a", "zz", 1); err == nil {
+		t.Error("routed to unknown node")
+	}
+	if _, err := n.Link("a", "island"); err == nil {
+		t.Error("found nonexistent link")
+	}
+	if nodes := n.Nodes(); len(nodes) != 3 || nodes[0] != "a" {
+		t.Errorf("Nodes() = %v", nodes)
+	}
+}

@@ -1,0 +1,391 @@
+package inference
+
+import (
+	"fmt"
+
+	"vedliot/internal/nn"
+	"vedliot/internal/tensor"
+)
+
+// conv2d implements grouped 2-D convolution with zero padding in NCHW
+// layout. Depthwise convolution is the groups == channels special case.
+func conv2d(n *nn.Node, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if len(x.Shape) != 4 {
+		return nil, fmt.Errorf("conv wants NCHW, got %v", x.Shape)
+	}
+	w := n.Weight(nn.WeightKey)
+	if w == nil {
+		return nil, fmt.Errorf("conv has no weights (built with Weights: false?)")
+	}
+	a := n.Attrs
+	batch, inC, inH, inW := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	groups := a.Groups
+	if groups <= 0 {
+		groups = 1
+	}
+	outC := a.OutC
+	if n.Op == nn.OpDepthwiseConv {
+		groups = inC
+		if outC == 0 {
+			outC = inC
+		}
+	}
+	if inC%groups != 0 || outC%groups != 0 {
+		return nil, fmt.Errorf("channels %d/outC %d not divisible by groups %d", inC, outC, groups)
+	}
+	wantW := tensor.Shape{outC, inC / groups, a.KernelH, a.KernelW}
+	if !w.Shape.Equal(wantW) {
+		return nil, fmt.Errorf("weight shape %v, want %v", w.Shape, wantW)
+	}
+	outH := (inH+2*a.PadH-a.KernelH)/a.StrideH + 1
+	outW := (inW+2*a.PadW-a.KernelW)/a.StrideW + 1
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("conv output collapses to %dx%d", outH, outW)
+	}
+
+	xv := x.Float32s()
+	wv := w.Float32s()
+	var bias []float32
+	if bt := n.Weight(nn.BiasKey); bt != nil {
+		bias = bt.Float32s()
+	}
+
+	out := tensor.New(tensor.FP32, batch, outC, outH, outW)
+	icPerG := inC / groups
+	ocPerG := outC / groups
+
+	for b := 0; b < batch; b++ {
+		for oc := 0; oc < outC; oc++ {
+			g := oc / ocPerG
+			icBase := g * icPerG
+			var b0 float32
+			if bias != nil {
+				b0 = bias[oc]
+			}
+			for oy := 0; oy < outH; oy++ {
+				iy0 := oy*a.StrideH - a.PadH
+				for ox := 0; ox < outW; ox++ {
+					ix0 := ox*a.StrideW - a.PadW
+					acc := b0
+					for ic := 0; ic < icPerG; ic++ {
+						xBase := ((b*inC + icBase + ic) * inH) * inW
+						wBase := ((oc*icPerG + ic) * a.KernelH) * a.KernelW
+						for ky := 0; ky < a.KernelH; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= inH {
+								continue
+							}
+							xRow := xBase + iy*inW
+							wRow := wBase + ky*a.KernelW
+							for kx := 0; kx < a.KernelW; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= inW {
+									continue
+								}
+								acc += xv[xRow+ix] * wv[wRow+kx]
+							}
+						}
+					}
+					out.F32[((b*outC+oc)*outH+oy)*outW+ox] = acc
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// dense implements a fully connected layer on [N, features] inputs.
+func dense(n *nn.Node, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if len(x.Shape) != 2 {
+		return nil, fmt.Errorf("dense wants [N,features], got %v", x.Shape)
+	}
+	w := n.Weight(nn.WeightKey)
+	if w == nil {
+		return nil, fmt.Errorf("dense has no weights")
+	}
+	batch, in := x.Shape[0], x.Shape[1]
+	outF := n.Attrs.OutC
+	want := tensor.Shape{outF, in}
+	if !w.Shape.Equal(want) {
+		return nil, fmt.Errorf("weight shape %v, want %v", w.Shape, want)
+	}
+	xv := x.Float32s()
+	wv := w.Float32s()
+	var bias []float32
+	if bt := n.Weight(nn.BiasKey); bt != nil {
+		bias = bt.Float32s()
+	}
+	out := tensor.New(tensor.FP32, batch, outF)
+	for b := 0; b < batch; b++ {
+		xRow := xv[b*in : (b+1)*in]
+		for o := 0; o < outF; o++ {
+			wRow := wv[o*in : (o+1)*in]
+			var acc float32
+			if bias != nil {
+				acc = bias[o]
+			}
+			for i, xi := range xRow {
+				acc += xi * wRow[i]
+			}
+			out.F32[b*outF+o] = acc
+		}
+	}
+	return out, nil
+}
+
+// batchNorm applies inference-mode normalization per channel:
+// y = gamma * (x - mean) / sqrt(var + eps) + beta.
+func batchNorm(n *nn.Node, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if len(x.Shape) != 4 {
+		return nil, fmt.Errorf("batchnorm wants NCHW, got %v", x.Shape)
+	}
+	gamma, beta := n.Weight(nn.GammaKey), n.Weight(nn.BetaKey)
+	mean, variance := n.Weight(nn.MeanKey), n.Weight(nn.VarKey)
+	if gamma == nil || beta == nil || mean == nil || variance == nil {
+		return nil, fmt.Errorf("batchnorm missing statistics")
+	}
+	c := x.Shape[1]
+	if gamma.NumElements() != c {
+		return nil, fmt.Errorf("batchnorm gamma has %d elements for %d channels", gamma.NumElements(), c)
+	}
+	eps := n.Attrs.Eps
+	if eps == 0 {
+		eps = 1e-5
+	}
+	gv, bv, mv, vv := gamma.Float32s(), beta.Float32s(), mean.Float32s(), variance.Float32s()
+
+	// Precompute per-channel scale and shift.
+	scale := make([]float32, c)
+	shift := make([]float32, c)
+	for i := 0; i < c; i++ {
+		inv := 1 / sqrt32(vv[i]+eps)
+		scale[i] = gv[i] * inv
+		shift[i] = bv[i] - mv[i]*scale[i]
+	}
+
+	xv := x.Float32s()
+	out := tensor.New(tensor.FP32, x.Shape...)
+	hw := x.Shape[2] * x.Shape[3]
+	for b := 0; b < x.Shape[0]; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * hw
+			s, sh := scale[ch], shift[ch]
+			for i := 0; i < hw; i++ {
+				out.F32[base+i] = xv[base+i]*s + sh
+			}
+		}
+	}
+	return out, nil
+}
+
+func sqrt32(v float32) float32 {
+	// Newton iterations seeded by a float64 sqrt would be overkill here.
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	for i := 0; i < 32; i++ {
+		nx := 0.5 * (x + v/x)
+		if nx == x {
+			break
+		}
+		x = nx
+	}
+	return x
+}
+
+// pool implements max or average pooling with zero padding excluded from
+// averages (count_include_pad = false).
+func pool(n *nn.Node, x *tensor.Tensor, isMax bool) (*tensor.Tensor, error) {
+	if len(x.Shape) != 4 {
+		return nil, fmt.Errorf("pool wants NCHW, got %v", x.Shape)
+	}
+	a := n.Attrs
+	batch, c, inH, inW := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	outH := (inH+2*a.PadH-a.KernelH)/a.StrideH + 1
+	outW := (inW+2*a.PadW-a.KernelW)/a.StrideW + 1
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("pool output collapses to %dx%d", outH, outW)
+	}
+	xv := x.Float32s()
+	out := tensor.New(tensor.FP32, batch, c, outH, outW)
+	for b := 0; b < batch; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * inH * inW
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					iy0 := oy*a.StrideH - a.PadH
+					ix0 := ox*a.StrideW - a.PadW
+					var acc float32
+					count := 0
+					first := true
+					for ky := 0; ky < a.KernelH; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= inH {
+							continue
+						}
+						for kx := 0; kx < a.KernelW; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= inW {
+								continue
+							}
+							v := xv[base+iy*inW+ix]
+							if isMax {
+								if first || v > acc {
+									acc = v
+									first = false
+								}
+							} else {
+								acc += v
+								count++
+							}
+						}
+					}
+					if !isMax && count > 0 {
+						acc /= float32(count)
+					}
+					out.F32[((b*c+ch)*outH+oy)*outW+ox] = acc
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// globalAvgPool reduces spatial dimensions to 1×1.
+func globalAvgPool(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if len(x.Shape) != 4 {
+		return nil, fmt.Errorf("global pool wants NCHW, got %v", x.Shape)
+	}
+	batch, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	xv := x.Float32s()
+	out := tensor.New(tensor.FP32, batch, c, 1, 1)
+	hw := h * w
+	for b := 0; b < batch; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * hw
+			var sum float64
+			for i := 0; i < hw; i++ {
+				sum += float64(xv[base+i])
+			}
+			out.F32[b*c+ch] = float32(sum / float64(hw))
+		}
+	}
+	return out, nil
+}
+
+// accumulate adds or multiplies y into out, supporting the [N,C,1,1]
+// channel broadcast used by squeeze-excite blocks.
+func accumulate(out, y *tensor.Tensor, mul bool) error {
+	yv := y.Float32s()
+	if y.Shape.Equal(out.Shape) {
+		for i := range out.F32 {
+			if mul {
+				out.F32[i] *= yv[i]
+			} else {
+				out.F32[i] += yv[i]
+			}
+		}
+		return nil
+	}
+	// Channel broadcast.
+	if len(out.Shape) == 4 && len(y.Shape) == 4 &&
+		y.Shape[0] == out.Shape[0] && y.Shape[1] == out.Shape[1] &&
+		y.Shape[2] == 1 && y.Shape[3] == 1 {
+		c := out.Shape[1]
+		hw := out.Shape[2] * out.Shape[3]
+		for b := 0; b < out.Shape[0]; b++ {
+			for ch := 0; ch < c; ch++ {
+				f := yv[b*c+ch]
+				base := (b*c + ch) * hw
+				for i := 0; i < hw; i++ {
+					if mul {
+						out.F32[base+i] *= f
+					} else {
+						out.F32[base+i] += f
+					}
+				}
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: %v vs %v", tensor.ErrShape, out.Shape, y.Shape)
+}
+
+// concatChannels concatenates NCHW tensors along the channel axis.
+func concatChannels(ts []*tensor.Tensor) (*tensor.Tensor, error) {
+	first := ts[0]
+	if len(first.Shape) != 4 {
+		return nil, fmt.Errorf("concat wants NCHW, got %v", first.Shape)
+	}
+	batch, h, w := first.Shape[0], first.Shape[2], first.Shape[3]
+	totalC := 0
+	for _, t := range ts {
+		if len(t.Shape) != 4 || t.Shape[0] != batch || t.Shape[2] != h || t.Shape[3] != w {
+			return nil, fmt.Errorf("%w: concat input %v vs %v", tensor.ErrShape, t.Shape, first.Shape)
+		}
+		totalC += t.Shape[1]
+	}
+	out := tensor.New(tensor.FP32, batch, totalC, h, w)
+	hw := h * w
+	for b := 0; b < batch; b++ {
+		cOff := 0
+		for _, t := range ts {
+			tv := t.Float32s()
+			c := t.Shape[1]
+			src := tv[b*c*hw : (b+1)*c*hw]
+			dst := out.F32[(b*totalC+cOff)*hw : (b*totalC+cOff+c)*hw]
+			copy(dst, src)
+			cOff += c
+		}
+	}
+	return out, nil
+}
+
+// upsample performs nearest-neighbour upsampling by an integer factor.
+func upsample(x *tensor.Tensor, scale int) (*tensor.Tensor, error) {
+	if len(x.Shape) != 4 {
+		return nil, fmt.Errorf("upsample wants NCHW, got %v", x.Shape)
+	}
+	if scale <= 0 {
+		return nil, fmt.Errorf("upsample scale %d", scale)
+	}
+	batch, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	xv := x.Float32s()
+	out := tensor.New(tensor.FP32, batch, c, h*scale, w*scale)
+	oh, ow := h*scale, w*scale
+	for b := 0; b < batch; b++ {
+		for ch := 0; ch < c; ch++ {
+			inBase := (b*c + ch) * h * w
+			outBase := (b*c + ch) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				iy := oy / scale
+				for ox := 0; ox < ow; ox++ {
+					out.F32[outBase+oy*ow+ox] = xv[inBase+iy*w+ox/scale]
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// softmaxRows applies softmax along the last axis of a [N, features]
+// tensor (rank-4 inputs are treated per channel vector at each pixel
+// only when flattened; detection heads use raw logits instead).
+func softmaxRows(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if len(x.Shape) != 2 {
+		return nil, fmt.Errorf("softmax wants [N,features], got %v", x.Shape)
+	}
+	batch, f := x.Shape[0], x.Shape[1]
+	xv := x.Float32s()
+	out := tensor.New(tensor.FP32, batch, f)
+	for b := 0; b < batch; b++ {
+		row, err := tensor.FromSlice(xv[b*f:(b+1)*f], f)
+		if err != nil {
+			return nil, err
+		}
+		sm := tensor.Softmax(row)
+		copy(out.F32[b*f:(b+1)*f], sm.F32)
+	}
+	return out, nil
+}

@@ -1,0 +1,232 @@
+// Package kenning is the deployment-and-benchmarking framework of the
+// toolchain — the reproduction of Antmicro's Kenning (§III, [10]): it
+// chains the deployment steps (load → optimize → compile → deploy →
+// measure) over interchangeable runtime targets, measures inference
+// duration and resource usage, and "can automatically benchmark the
+// processing quality of a given neural network and generate a confusion
+// matrix for classification models and recall/precision graphs for
+// detection algorithms".
+package kenning
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vedliot/internal/accel"
+	"vedliot/internal/dataset"
+	"vedliot/internal/inference"
+	"vedliot/internal/nn"
+	"vedliot/internal/optimize"
+	"vedliot/internal/tensor"
+)
+
+// Target is a runtime a model can be deployed to.
+type Target interface {
+	// Name identifies the target in reports.
+	Name() string
+	// Deploy installs a compiled model.
+	Deploy(g *nn.Graph) error
+	// Infer runs one input and returns the output plus the inference
+	// latency attributed to the target (wall time for real targets,
+	// modeled time for simulated accelerators).
+	Infer(in *tensor.Tensor) (*tensor.Tensor, time.Duration, error)
+}
+
+// CPUTarget executes on the host through the reference interpreter —
+// Kenning's "native runtime" role.
+type CPUTarget struct {
+	runner *inference.Runner
+}
+
+// Name implements Target.
+func (c *CPUTarget) Name() string { return "cpu-reference" }
+
+// Deploy implements Target.
+func (c *CPUTarget) Deploy(g *nn.Graph) error {
+	r, err := inference.NewRunner(g)
+	if err != nil {
+		return err
+	}
+	c.runner = r
+	return nil
+}
+
+// Infer implements Target.
+func (c *CPUTarget) Infer(in *tensor.Tensor) (*tensor.Tensor, time.Duration, error) {
+	if c.runner == nil {
+		return nil, 0, fmt.Errorf("kenning: target not deployed")
+	}
+	start := time.Now()
+	out, err := c.runner.RunSingle(in)
+	return out, time.Since(start), err
+}
+
+// SimTarget executes functionally on the reference interpreter but
+// reports the latency an accelerator model predicts — the "deploy to
+// target hardware and measure" role when the hardware is simulated.
+type SimTarget struct {
+	Device    *accel.Device
+	Precision tensor.DType
+
+	runner  *inference.Runner
+	latency time.Duration
+}
+
+// Name implements Target.
+func (s *SimTarget) Name() string { return "sim:" + s.Device.Name }
+
+// Deploy implements Target.
+func (s *SimTarget) Deploy(g *nn.Graph) error {
+	r, err := inference.NewRunner(g)
+	if err != nil {
+		return err
+	}
+	if err := g.InferShapes(1); err != nil {
+		return err
+	}
+	w, err := accel.WorkloadFromGraph(g, s.Precision)
+	if err != nil {
+		return err
+	}
+	m, err := s.Device.Evaluate(w, s.Precision, 1)
+	if err != nil {
+		return err
+	}
+	s.runner = r
+	s.latency = time.Duration(m.LatencyMS * float64(time.Millisecond))
+	return nil
+}
+
+// Infer implements Target.
+func (s *SimTarget) Infer(in *tensor.Tensor) (*tensor.Tensor, time.Duration, error) {
+	if s.runner == nil {
+		return nil, 0, fmt.Errorf("kenning: target not deployed")
+	}
+	out, err := s.runner.RunSingle(in)
+	return out, s.latency, err
+}
+
+// PipelineConfig selects optimization steps (§III deployment steps 4-6).
+type PipelineConfig struct {
+	// Passes are the graph-surgery passes; nil = StandardPasses.
+	Passes []optimize.Pass
+	// Quantize enables post-training INT8 weight quantization.
+	Quantize    bool
+	Granularity optimize.QuantGranularity
+	// Prune applies magnitude pruning to this sparsity when > 0.
+	Prune float64
+}
+
+// PipelineReport records what the pipeline did.
+type PipelineReport struct {
+	AppliedPasses []string
+	QuantReport   *optimize.QuantReport
+	PruneReport   *optimize.PruneReport
+	WeightBytes   int64
+}
+
+// RunPipeline optimizes g in place for deployment.
+func RunPipeline(g *nn.Graph, cfg PipelineConfig) (PipelineReport, error) {
+	var rep PipelineReport
+	passes := cfg.Passes
+	if passes == nil {
+		passes = optimize.StandardPasses()
+	}
+	applied, err := optimize.Pipeline(g, passes, 0)
+	if err != nil {
+		return rep, err
+	}
+	rep.AppliedPasses = applied
+	if err := g.InferShapes(1); err != nil {
+		return rep, err
+	}
+	if cfg.Prune > 0 {
+		pr, err := optimize.MagnitudePrune(g, cfg.Prune)
+		if err != nil {
+			return rep, err
+		}
+		rep.PruneReport = &pr
+	}
+	if cfg.Quantize {
+		qr, err := optimize.QuantizeWeights(g, optimize.QuantConfig{Granularity: cfg.Granularity})
+		if err != nil {
+			return rep, err
+		}
+		rep.QuantReport = &qr
+	}
+	rep.WeightBytes = g.WeightBytes()
+	return rep, nil
+}
+
+// LatencyStats summarizes per-inference latency.
+type LatencyStats struct {
+	Count          int
+	Mean, P50, P95 time.Duration
+	Min, Max       time.Duration
+}
+
+func latencyStats(ds []time.Duration) LatencyStats {
+	if len(ds) == 0 {
+		return LatencyStats{}
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	pick := func(q float64) time.Duration {
+		idx := int(q * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	return LatencyStats{
+		Count: len(sorted),
+		Mean:  sum / time.Duration(len(sorted)),
+		P50:   pick(0.5),
+		P95:   pick(0.95),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+	}
+}
+
+// Evaluation is the measurement report for one target and dataset.
+type Evaluation struct {
+	Target    string
+	Latency   LatencyStats
+	Confusion *ConfusionMatrix
+}
+
+// Evaluate deploys the model to the target and runs the labelled
+// samples, producing latency statistics and a confusion matrix.
+// Sample feature vectors are reshaped to the model input.
+func Evaluate(g *nn.Graph, target Target, samples []dataset.Sample, numClasses int) (Evaluation, error) {
+	ev := Evaluation{Target: target.Name()}
+	if err := target.Deploy(g); err != nil {
+		return ev, err
+	}
+	if err := g.InferShapes(1); err != nil {
+		return ev, err
+	}
+	inShape := g.Node(g.Inputs[0]).OutShape
+	cm := NewConfusionMatrix(numClasses)
+	var lats []time.Duration
+	for _, s := range samples {
+		in := tensor.New(tensor.FP32, inShape...)
+		if len(s.X) != in.NumElements() {
+			return ev, fmt.Errorf("kenning: sample dim %d != input %d", len(s.X), in.NumElements())
+		}
+		copy(in.F32, s.X)
+		out, lat, err := target.Infer(in)
+		if err != nil {
+			return ev, err
+		}
+		lats = append(lats, lat)
+		if err := cm.Add(s.Label, tensor.ArgMax(out)); err != nil {
+			return ev, err
+		}
+	}
+	ev.Latency = latencyStats(lats)
+	ev.Confusion = cm
+	return ev, nil
+}

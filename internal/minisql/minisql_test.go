@@ -1,0 +1,323 @@
+package minisql
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustExec(t *testing.T, db *DB, sql string) *Result {
+	t.Helper()
+	res, err := db.Exec(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	return res
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := NewDB(nil)
+	mustExec(t, db, "CREATE TABLE users (id INT PRIMARY KEY, name TEXT, age INT)")
+	mustExec(t, db, "INSERT INTO users VALUES (1, 'ada', 36), (2, 'alan', 41)")
+	res := mustExec(t, db, "SELECT * FROM users")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Columns[1] != "name" || res.Rows[0][1].S != "ada" {
+		t.Errorf("row0 = %v", res.Rows[0])
+	}
+}
+
+func TestWhereOperators(t *testing.T) {
+	db := NewDB(nil)
+	mustExec(t, db, "CREATE TABLE t (a INT, b TEXT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1,'x'), (2,'y'), (3,'z'), (4,'y')")
+	cases := []struct {
+		where string
+		want  int
+	}{
+		{"a = 2", 1},
+		{"a != 2", 3},
+		{"a < 3", 2},
+		{"a <= 3", 3},
+		{"a > 3", 1},
+		{"a >= 3", 2},
+		{"b = 'y'", 2},
+		{"a > 1 AND b = 'y'", 2},
+		{"a > 2 AND b = 'y'", 1},
+	}
+	for _, c := range cases {
+		res := mustExec(t, db, "SELECT COUNT(*) FROM t WHERE "+c.where)
+		if got := res.Rows[0][0].I; got != int64(c.want) {
+			t.Errorf("WHERE %s: count = %d, want %d", c.where, got, c.want)
+		}
+	}
+}
+
+func TestProjection(t *testing.T) {
+	db := NewDB(nil)
+	mustExec(t, db, "CREATE TABLE t (a INT, b TEXT, c INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 'q', 9)")
+	res := mustExec(t, db, "SELECT c, a FROM t")
+	if len(res.Columns) != 2 || res.Columns[0] != "c" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	if res.Rows[0][0].I != 9 || res.Rows[0][1].I != 1 {
+		t.Errorf("row = %v", res.Rows[0])
+	}
+}
+
+func TestUpdateAndDelete(t *testing.T) {
+	db := NewDB(nil)
+	mustExec(t, db, "CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)")
+	res := mustExec(t, db, "UPDATE t SET v = 99 WHERE id >= 2")
+	if res.Affected != 2 {
+		t.Errorf("update affected %d", res.Affected)
+	}
+	sel := mustExec(t, db, "SELECT v FROM t WHERE id = 3")
+	if sel.Rows[0][0].I != 99 {
+		t.Errorf("v = %d", sel.Rows[0][0].I)
+	}
+	del := mustExec(t, db, "DELETE FROM t WHERE v = 99")
+	if del.Affected != 2 {
+		t.Errorf("delete affected %d", del.Affected)
+	}
+	cnt := mustExec(t, db, "SELECT COUNT(*) FROM t")
+	if cnt.Rows[0][0].I != 1 {
+		t.Errorf("count = %d", cnt.Rows[0][0].I)
+	}
+}
+
+func TestPrimaryKeyEnforcedAndIndexed(t *testing.T) {
+	db := NewDB(nil)
+	mustExec(t, db, "CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (7, 70)")
+	if _, err := db.Exec("INSERT INTO t VALUES (7, 71)"); err == nil {
+		t.Error("duplicate PK accepted")
+	}
+	res := mustExec(t, db, "SELECT v FROM t WHERE id = 7")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 70 {
+		t.Errorf("indexed lookup = %v", res.Rows)
+	}
+	// Missing key.
+	res2 := mustExec(t, db, "SELECT v FROM t WHERE id = 8")
+	if len(res2.Rows) != 0 {
+		t.Errorf("phantom row %v", res2.Rows)
+	}
+}
+
+func TestTypeChecking(t *testing.T) {
+	db := NewDB(nil)
+	mustExec(t, db, "CREATE TABLE t (a INT, b TEXT)")
+	if _, err := db.Exec("INSERT INTO t VALUES ('x', 'y')"); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	if _, err := db.Exec("INSERT INTO t VALUES (1)"); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := db.Exec("SELECT * FROM t WHERE a = 'txt'"); err == nil {
+		t.Error("mistyped WHERE accepted")
+	}
+	if _, err := db.Exec("SELECT nope FROM t"); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := db.Exec("SELECT * FROM ghost"); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC * FROM t",
+		"CREATE TABLE t",
+		"CREATE TABLE t (a BLOB)",
+		"CREATE TABLE t (a TEXT PRIMARY KEY)",
+		"CREATE TABLE t (a INT PRIMARY KEY, b INT PRIMARY KEY)",
+		"INSERT INTO t VALUES",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE a ~ 1",
+		"INSERT INTO t VALUES (1) garbage",
+		"SELECT * FROM t WHERE a = 'unterminated",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("parsed invalid SQL: %q", sql)
+		}
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	db := NewDB(nil)
+	mustExec(t, db, "CREATE TABLE t (s TEXT)")
+	mustExec(t, db, "INSERT INTO t VALUES ('it''s')")
+	res := mustExec(t, db, "SELECT * FROM t")
+	if res.Rows[0][0].S != "it's" {
+		t.Errorf("escaped string = %q", res.Rows[0][0].S)
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	db := NewDB(nil)
+	mustExec(t, db, "CREATE TABLE t (a INT)")
+	mustExec(t, db, "DROP TABLE t")
+	if _, err := db.Exec("SELECT * FROM t"); err == nil {
+		t.Error("dropped table still queryable")
+	}
+	if _, err := db.Exec("DROP TABLE t"); err == nil {
+		t.Error("double drop succeeded")
+	}
+	// Name can be reused.
+	mustExec(t, db, "CREATE TABLE t (a INT)")
+}
+
+func TestWasmStoreMatchesNative(t *testing.T) {
+	// The same workload must produce identical results on both stores —
+	// the Twine functional-equivalence property.
+	nativeDB := NewDB(nil)
+	wasmDB := NewDB(WasmFactory)
+	ddl := "CREATE TABLE kv (k INT PRIMARY KEY, v INT)"
+	mustExec(t, nativeDB, ddl)
+	mustExec(t, wasmDB, ddl)
+
+	stmts := []string{
+		"INSERT INTO kv VALUES (1, 100), (2, 200), (3, 300)",
+		"INSERT INTO kv VALUES (10, 42)",
+		"UPDATE kv SET v = 201 WHERE k = 2",
+		"DELETE FROM kv WHERE k = 3",
+	}
+	for _, s := range stmts {
+		mustExec(t, nativeDB, s)
+		mustExec(t, wasmDB, s)
+	}
+	queries := []string{
+		"SELECT COUNT(*) FROM kv",
+		"SELECT * FROM kv",
+		"SELECT v FROM kv WHERE k = 2",
+		"SELECT v FROM kv WHERE k = 3",
+		"SELECT k FROM kv WHERE v > 100",
+	}
+	for _, q := range queries {
+		a := mustExec(t, nativeDB, q)
+		b := mustExec(t, wasmDB, q)
+		if fmt.Sprint(a.Rows) != fmt.Sprint(b.Rows) {
+			t.Errorf("%s: native %v != wasm %v", q, a.Rows, b.Rows)
+		}
+	}
+}
+
+func TestWasmStoreRejectsNonKVSchema(t *testing.T) {
+	db := NewDB(WasmFactory)
+	if _, err := db.Exec("CREATE TABLE t (a TEXT)"); err == nil {
+		t.Error("wasm store accepted TEXT table")
+	}
+	if _, err := db.Exec("CREATE TABLE t (a INT, b INT)"); err == nil {
+		t.Error("wasm store accepted table without PK")
+	}
+}
+
+func TestWasmStoreDuplicatePK(t *testing.T) {
+	db := NewDB(WasmFactory)
+	mustExec(t, db, "CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+	mustExec(t, db, "INSERT INTO kv VALUES (5, 1)")
+	if _, err := db.Exec("INSERT INTO kv VALUES (5, 2)"); err == nil {
+		t.Error("duplicate PK accepted by wasm store")
+	}
+}
+
+func TestWasmStoreVMExecutes(t *testing.T) {
+	// Confirm the data plane really runs in the VM: instruction count
+	// grows with operations.
+	store, err := NewWasmStore(Schema{
+		{Name: "k", Kind: IntKind, PrimaryKey: true},
+		{Name: "v", Kind: IntKind},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := store.VM().Executed
+	for i := int64(1); i <= 100; i++ {
+		if _, err := store.Insert([]Value{IntValue(i), IntValue(i * 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mid := store.VM().Executed
+	if mid <= before {
+		t.Fatal("inserts executed no VM instructions")
+	}
+	for i := int64(1); i <= 100; i++ {
+		row, _, ok, err := store.LookupPK(i)
+		if err != nil || !ok {
+			t.Fatalf("lookup %d: %v, %v", i, ok, err)
+		}
+		if row[1].I != i*10 {
+			t.Fatalf("lookup %d = %d", i, row[1].I)
+		}
+	}
+	if store.VM().Executed <= mid {
+		t.Fatal("lookups executed no VM instructions")
+	}
+}
+
+func TestWasmStorePropertyAgainstMap(t *testing.T) {
+	// Random put/get/del sequences agree with a Go map reference.
+	store, err := NewWasmStore(Schema{
+		{Name: "k", Kind: IntKind, PrimaryKey: true},
+		{Name: "v", Kind: IntKind},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := map[int64]int64{}
+	f := func(ops []uint16) bool {
+		for _, op := range ops {
+			k := int64(op%199) + 1
+			switch op % 3 {
+			case 0: // put
+				v := int64(op) * 7
+				if _, ok := ref[k]; ok {
+					if err := store.Update(k, []Value{IntValue(k), IntValue(v)}); err != nil {
+						return false
+					}
+				} else if _, err := store.Insert([]Value{IntValue(k), IntValue(v)}); err != nil {
+					return false
+				}
+				ref[k] = v
+			case 1: // get
+				row, _, ok, err := store.LookupPK(k)
+				if err != nil {
+					return false
+				}
+				want, exists := ref[k]
+				if ok != exists {
+					return false
+				}
+				if ok && row[1].I != want {
+					return false
+				}
+			case 2: // del
+				if _, exists := ref[k]; exists {
+					if err := store.Delete(k); err != nil {
+						return false
+					}
+					delete(ref, k)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if IntValue(5).String() != "5" || TextValue("a").String() != "'a'" {
+		t.Error("bad literal rendering")
+	}
+	if !strings.EqualFold(IntKind.String(), "int") || !strings.EqualFold(TextKind.String(), "text") {
+		t.Error("bad kind names")
+	}
+}

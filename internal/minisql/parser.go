@@ -1,0 +1,394 @@
+package minisql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Statement is a parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateStmt is CREATE TABLE.
+type CreateStmt struct {
+	Table  string
+	Schema Schema
+}
+
+// InsertStmt is INSERT INTO ... VALUES (...), (...).
+type InsertStmt struct {
+	Table string
+	Rows  [][]Value
+}
+
+// Cond is one WHERE conjunct: column <op> literal.
+type Cond struct {
+	Column string
+	Op     string // =, !=, <, <=, >, >=
+	Val    Value
+}
+
+// SelectStmt is SELECT cols|*|COUNT(*) FROM t [WHERE ...].
+type SelectStmt struct {
+	Table   string
+	Columns []string // nil = *
+	Count   bool
+	Where   []Cond
+}
+
+// UpdateStmt is UPDATE t SET c = v [, ...] [WHERE ...].
+type UpdateStmt struct {
+	Table string
+	Set   map[string]Value
+	Where []Cond
+}
+
+// DeleteStmt is DELETE FROM t [WHERE ...].
+type DeleteStmt struct {
+	Table string
+	Where []Cond
+}
+
+// DropStmt is DROP TABLE t.
+type DropStmt struct {
+	Table string
+}
+
+func (*CreateStmt) stmt() {}
+func (*InsertStmt) stmt() {}
+func (*SelectStmt) stmt() {}
+func (*UpdateStmt) stmt() {}
+func (*DeleteStmt) stmt() {}
+func (*DropStmt) stmt()   {}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses one SQL statement (a trailing semicolon is allowed).
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(";")
+	if p.cur().kind != tokEOF {
+		return nil, fmt.Errorf("minisql: trailing input at %d: %q", p.cur().pos, p.cur().text)
+	}
+	return st, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// accept consumes the token when it matches the keyword or symbol.
+func (p *parser) accept(text string) bool {
+	t := p.cur()
+	if (t.kind == tokIdent || t.kind == tokSymbol) && strings.EqualFold(t.text, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return fmt.Errorf("minisql: expected %q at %d, got %q", text, p.cur().pos, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("minisql: expected identifier at %d, got %q", t.pos, t.text)
+	}
+	p.pos++
+	return strings.ToLower(t.text), nil
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.accept("create"):
+		return p.create()
+	case p.accept("insert"):
+		return p.insert()
+	case p.accept("select"):
+		return p.sel()
+	case p.accept("update"):
+		return p.update()
+	case p.accept("delete"):
+		return p.del()
+	case p.accept("drop"):
+		return p.drop()
+	}
+	return nil, fmt.Errorf("minisql: unknown statement %q", p.cur().text)
+}
+
+func (p *parser) create() (Statement, error) {
+	if err := p.expect("table"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var schema Schema
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		kindTok, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		var kind Kind
+		switch kindTok {
+		case "int", "integer":
+			kind = IntKind
+		case "text", "varchar":
+			kind = TextKind
+		default:
+			return nil, fmt.Errorf("minisql: unknown type %q", kindTok)
+		}
+		c := Column{Name: col, Kind: kind}
+		if p.accept("primary") {
+			if err := p.expect("key"); err != nil {
+				return nil, err
+			}
+			c.PrimaryKey = true
+		}
+		schema = append(schema, c)
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	pkCount := 0
+	for _, c := range schema {
+		if c.PrimaryKey {
+			pkCount++
+			if c.Kind != IntKind {
+				return nil, fmt.Errorf("minisql: primary key %s must be INT", c.Name)
+			}
+		}
+	}
+	if pkCount > 1 {
+		return nil, fmt.Errorf("minisql: multiple primary keys")
+	}
+	return &CreateStmt{Table: name, Schema: schema}, nil
+}
+
+func (p *parser) literal() (Value, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("minisql: bad number %q", t.text)
+		}
+		return IntValue(v), nil
+	case tokString:
+		p.pos++
+		return TextValue(t.text), nil
+	}
+	return Value{}, fmt.Errorf("minisql: expected literal at %d, got %q", t.pos, t.text)
+}
+
+func (p *parser) insert() (Statement, error) {
+	if err := p.expect("into"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("values"); err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: name}
+	for {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var row []Value
+		for {
+			v, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if p.accept(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	return st, nil
+}
+
+func (p *parser) where() ([]Cond, error) {
+	if !p.accept("where") {
+		return nil, nil
+	}
+	var conds []Cond
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		opTok := p.cur()
+		if opTok.kind != tokSymbol {
+			return nil, fmt.Errorf("minisql: expected operator at %d", opTok.pos)
+		}
+		op := opTok.text
+		switch op {
+		case "=", "!=", "<", "<=", ">", ">=":
+			p.pos++
+		default:
+			return nil, fmt.Errorf("minisql: unknown operator %q", op)
+		}
+		val, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, Cond{Column: col, Op: op, Val: val})
+		if p.accept("and") {
+			continue
+		}
+		break
+	}
+	return conds, nil
+}
+
+func (p *parser) sel() (Statement, error) {
+	st := &SelectStmt{}
+	switch {
+	case p.accept("*"):
+	case p.accept("count"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		if err := p.expect("*"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		st.Count = true
+	default:
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, col)
+			if p.accept(",") {
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expect("from"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	st.Where, err = p.where()
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) update() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("set"); err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: name, Set: make(map[string]Value)}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		st.Set[col] = v
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	st.Where, err = p.where()
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) del() (Statement, error) {
+	if err := p.expect("from"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	where, err := p.where()
+	if err != nil {
+		return nil, err
+	}
+	return &DeleteStmt{Table: name, Where: where}, nil
+}
+
+func (p *parser) drop() (Statement, error) {
+	if err := p.expect("table"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &DropStmt{Table: name}, nil
+}

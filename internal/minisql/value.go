@@ -1,0 +1,118 @@
+// Package minisql is a small embedded SQL engine — the reproduction's
+// stand-in for SQLite in the Twine experiment (§IV-C, [17]): "SQLite
+// can be fully executed inside an SGX enclave via WebAssembly ... with
+// small performance overheads".
+//
+// The engine supports CREATE TABLE / INSERT / SELECT / UPDATE / DELETE
+// with WHERE conjunctions over INT and TEXT columns, and a pluggable
+// row store: the native in-process store, or a store whose data plane
+// runs inside the wasm VM (and, composed with internal/tee, inside a
+// simulated enclave). Query parsing and planning are identical across
+// backends, so measured differences isolate the runtime, exactly like
+// the paper's native / WASM / WASM+SGX comparison.
+package minisql
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind is a column/value type.
+type Kind int
+
+// Value kinds.
+const (
+	IntKind Kind = iota
+	TextKind
+)
+
+// String names the kind as in DDL.
+func (k Kind) String() string {
+	if k == TextKind {
+		return "TEXT"
+	}
+	return "INT"
+}
+
+// Value is one cell.
+type Value struct {
+	Kind Kind
+	I    int64
+	S    string
+}
+
+// IntValue builds an INT value.
+func IntValue(v int64) Value { return Value{Kind: IntKind, I: v} }
+
+// TextValue builds a TEXT value.
+func TextValue(s string) Value { return Value{Kind: TextKind, S: s} }
+
+// String renders the value as a literal.
+func (v Value) String() string {
+	if v.Kind == TextKind {
+		return "'" + v.S + "'"
+	}
+	return strconv.FormatInt(v.I, 10)
+}
+
+// Equal compares two values of the same kind.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	if v.Kind == TextKind {
+		return v.S == o.S
+	}
+	return v.I == o.I
+}
+
+// Less orders two values of the same kind.
+func (v Value) Less(o Value) bool {
+	if v.Kind == TextKind {
+		return v.S < o.S
+	}
+	return v.I < o.I
+}
+
+// Column describes one table column.
+type Column struct {
+	Name       string
+	Kind       Kind
+	PrimaryKey bool
+}
+
+// Schema is an ordered column list.
+type Schema []Column
+
+// Index returns the position of a named column or -1.
+func (s Schema) Index(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// PKIndex returns the primary-key column position or -1.
+func (s Schema) PKIndex() int {
+	for i, c := range s {
+		if c.PrimaryKey {
+			return i
+		}
+	}
+	return -1
+}
+
+// checkRow validates arity and kinds against the schema.
+func (s Schema) checkRow(row []Value) error {
+	if len(row) != len(s) {
+		return fmt.Errorf("minisql: %d values for %d columns", len(row), len(s))
+	}
+	for i, v := range row {
+		if v.Kind != s[i].Kind {
+			return fmt.Errorf("minisql: column %s wants %s, got %s", s[i].Name, s[i].Kind, v.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,305 @@
+package minisql
+
+import (
+	"fmt"
+	"sort"
+
+	"vedliot/internal/wasm"
+)
+
+// WasmStore keeps a table's data plane inside the wasm VM: the storage
+// engine is an open-addressing hash table hand-assembled for the VM
+// (functions init/put/find/get/del/count over linear memory). It
+// supports the key/value table shape of the Twine benchmark — two INT
+// columns with the first as PRIMARY KEY — mirroring the paper's
+// "database fully executed inside the runtime" setup.
+type WasmStore struct {
+	vm     *wasm.VM
+	schema Schema
+
+	// OnCall, when set, is invoked around every VM entry; the enclave
+	// composition (internal/tee) hooks transition costs here.
+	OnCall func()
+
+	fnInit, fnPut, fnFind, fnGet, fnDel, fnCount int
+}
+
+// KV hash-table layout inside VM linear memory.
+const (
+	kvHdrCap   = 0 // capacity (power of two)
+	kvHdrCount = 4
+	kvSlots    = 8  // first slot offset
+	kvSlotSize = 12 // key, used-flag, value
+)
+
+// hash constant (Knuth multiplicative, as i32).
+const kvHashMul = -1640531535
+
+// BuildKVModule assembles the hash-table module. Exported for the
+// Twine benchmark, which also measures the raw VM path.
+func BuildKVModule() (*wasm.Module, error) {
+	mod := &wasm.Module{MemPages: 4}
+
+	// init(cap): header = {cap, 0}.
+	initA := &wasm.Asm{}
+	initA.Const(kvHdrCap).Get(0).I(wasm.OpI32Store)
+	initA.Const(kvHdrCount).Const(0).I(wasm.OpI32Store)
+	initA.Const(0).I(wasm.OpReturn)
+
+	// put(k, v) -> 1 new, 2 replaced.
+	// locals: 0=k 1=v 2=cap 3=idx 4=addr 5=mode 6=used
+	putA := &wasm.Asm{}
+	putA.Const(kvHdrCap).I(wasm.OpI32Load).Set(2)
+	// idx = (k * hashMul) & (cap - 1)
+	putA.Get(0).Const(kvHashMul).I(wasm.OpI32Mul).Get(2).Const(1).I(wasm.OpI32Sub).I(wasm.OpI32And).Set(3)
+	putA.I(wasm.OpBlock) // A
+	putA.I(wasm.OpLoop)  // B
+	// addr = kvSlots + idx*kvSlotSize
+	putA.Get(3).Const(kvSlotSize).I(wasm.OpI32Mul).Const(kvSlots).I(wasm.OpI32Add).Set(4)
+	putA.Get(4).Imm(wasm.OpI32Load, 4).Set(6) // used flag
+	// if used == 0: mode = 1; break A.
+	putA.I(wasm.OpBlock) // C
+	putA.Get(6).Imm(wasm.OpBrIf, 0)
+	putA.Const(1).Set(5)
+	putA.Imm(wasm.OpBr, 2) // to end of A
+	putA.I(wasm.OpEnd)     // C
+	// if used == 1 && key == k: mode = 2; break A.
+	putA.I(wasm.OpBlock) // D
+	putA.Get(6).Const(1).I(wasm.OpI32Ne).Imm(wasm.OpBrIf, 0)
+	putA.Get(4).I(wasm.OpI32Load).Get(0).I(wasm.OpI32Ne).Imm(wasm.OpBrIf, 0)
+	putA.Const(2).Set(5)
+	putA.Imm(wasm.OpBr, 2)
+	putA.I(wasm.OpEnd) // D
+	// idx = (idx + 1) & (cap - 1); continue.
+	putA.Get(3).Const(1).I(wasm.OpI32Add).Get(2).Const(1).I(wasm.OpI32Sub).I(wasm.OpI32And).Set(3)
+	putA.Imm(wasm.OpBr, 0)
+	putA.I(wasm.OpEnd) // B
+	putA.I(wasm.OpEnd) // A
+	// Write the slot: key, used=1, value.
+	putA.Get(4).Get(0).I(wasm.OpI32Store)
+	putA.Get(4).Get(0).I(wasm.OpI32Store) // key at offset 0 (idempotent)
+	putA.Get(4).Const(1).Imm(wasm.OpI32Store, 4)
+	putA.Get(4).Get(1).Imm(wasm.OpI32Store, 8)
+	// if mode == 1: count++.
+	putA.I(wasm.OpBlock)
+	putA.Get(5).Const(1).I(wasm.OpI32Ne).Imm(wasm.OpBrIf, 0)
+	putA.Const(kvHdrCount).Const(kvHdrCount).I(wasm.OpI32Load).Const(1).I(wasm.OpI32Add).I(wasm.OpI32Store)
+	putA.I(wasm.OpEnd)
+	putA.Get(5).I(wasm.OpReturn)
+
+	// find(k) -> slot address or 0.
+	// locals: 0=k 1=cap 2=idx 3=addr 4=ret 5=steps 6=used
+	findA := &wasm.Asm{}
+	findA.Const(kvHdrCap).I(wasm.OpI32Load).Set(1)
+	findA.Get(0).Const(kvHashMul).I(wasm.OpI32Mul).Get(1).Const(1).I(wasm.OpI32Sub).I(wasm.OpI32And).Set(2)
+	findA.I(wasm.OpBlock) // A
+	findA.I(wasm.OpLoop)  // B
+	findA.Get(2).Const(kvSlotSize).I(wasm.OpI32Mul).Const(kvSlots).I(wasm.OpI32Add).Set(3)
+	findA.Get(3).Imm(wasm.OpI32Load, 4).Set(6)
+	// empty slot ends the probe (ret stays 0).
+	findA.Get(6).I(wasm.OpI32Eqz).Imm(wasm.OpBrIf, 1)
+	// live slot with matching key: ret = addr; break.
+	findA.I(wasm.OpBlock) // C
+	findA.Get(6).Const(1).I(wasm.OpI32Ne).Imm(wasm.OpBrIf, 0)
+	findA.Get(3).I(wasm.OpI32Load).Get(0).I(wasm.OpI32Ne).Imm(wasm.OpBrIf, 0)
+	findA.Get(3).Set(4)
+	findA.Imm(wasm.OpBr, 2)
+	findA.I(wasm.OpEnd) // C
+	// idx advance; stop after cap probes.
+	findA.Get(2).Const(1).I(wasm.OpI32Add).Get(1).Const(1).I(wasm.OpI32Sub).I(wasm.OpI32And).Set(2)
+	findA.Get(5).Const(1).I(wasm.OpI32Add).Tee(5).I(wasm.OpDrop)
+	findA.Get(5).Get(1).I(wasm.OpI32GeU).Imm(wasm.OpBrIf, 1)
+	findA.Imm(wasm.OpBr, 0)
+	findA.I(wasm.OpEnd) // B
+	findA.I(wasm.OpEnd) // A
+	findA.Get(4).I(wasm.OpReturn)
+
+	// get(k) -> value or 0. locals: 0=k 1=r
+	getA := &wasm.Asm{}
+	getA.I(wasm.OpBlock)
+	getA.Get(0).Imm(wasm.OpCall, 2 /* find */).Tee(1).I(wasm.OpI32Eqz).Imm(wasm.OpBrIf, 0)
+	getA.Get(1).Imm(wasm.OpI32Load, 8).I(wasm.OpReturn)
+	getA.I(wasm.OpEnd)
+	getA.Const(0).I(wasm.OpReturn)
+
+	// del(k) -> 1 deleted, 0 missing. locals: 0=k 1=r
+	delA := &wasm.Asm{}
+	delA.I(wasm.OpBlock)
+	delA.Get(0).Imm(wasm.OpCall, 2).Tee(1).I(wasm.OpI32Eqz).Imm(wasm.OpBrIf, 0)
+	delA.Get(1).Const(2).Imm(wasm.OpI32Store, 4) // tombstone
+	delA.Const(kvHdrCount).Const(kvHdrCount).I(wasm.OpI32Load).Const(1).I(wasm.OpI32Sub).I(wasm.OpI32Store)
+	delA.Const(1).I(wasm.OpReturn)
+	delA.I(wasm.OpEnd)
+	delA.Const(0).I(wasm.OpReturn)
+
+	// count() -> live entries.
+	countA := &wasm.Asm{}
+	countA.Const(kvHdrCount).I(wasm.OpI32Load).I(wasm.OpReturn)
+
+	mod.Funcs = []*wasm.Func{
+		{Name: "init", NumParams: 1, NumLocals: 0, Body: initA.Body()},
+		{Name: "put", NumParams: 2, NumLocals: 5, Body: putA.Body()},
+		{Name: "find", NumParams: 1, NumLocals: 6, Body: findA.Body()},
+		{Name: "get", NumParams: 1, NumLocals: 1, Body: getA.Body()},
+		{Name: "del", NumParams: 1, NumLocals: 1, Body: delA.Body()},
+		{Name: "count", NumParams: 0, NumLocals: 0, Body: countA.Body()},
+	}
+	if err := mod.Prepare(); err != nil {
+		return nil, err
+	}
+	return mod, nil
+}
+
+// kvCapacity is the fixed hash-table capacity (power of two). With
+// 12-byte slots this fits comfortably in the module's 4 pages.
+const kvCapacity = 16384
+
+// NewWasmStore instantiates the VM-backed store for a KV-shaped schema.
+func NewWasmStore(schema Schema) (*WasmStore, error) {
+	if len(schema) != 2 || schema[0].Kind != IntKind || schema[1].Kind != IntKind || !schema[0].PrimaryKey {
+		return nil, fmt.Errorf("minisql: wasm store supports (k INT PRIMARY KEY, v INT) tables only")
+	}
+	mod, err := BuildKVModule()
+	if err != nil {
+		return nil, err
+	}
+	vm, err := wasm.NewVM(mod)
+	if err != nil {
+		return nil, err
+	}
+	s := &WasmStore{vm: vm, schema: schema}
+	for _, fn := range []struct {
+		name string
+		dst  *int
+	}{
+		{"init", &s.fnInit}, {"put", &s.fnPut}, {"find", &s.fnFind},
+		{"get", &s.fnGet}, {"del", &s.fnDel}, {"count", &s.fnCount},
+	} {
+		idx, err := mod.FuncIndex(fn.name)
+		if err != nil {
+			return nil, err
+		}
+		*fn.dst = idx
+	}
+	if _, err := s.call(s.fnInit, kvCapacity); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// WasmFactory is a StoreFactory placing every table in its own VM.
+func WasmFactory(_ string, schema Schema) (RowStore, error) {
+	return NewWasmStore(schema)
+}
+
+// VM exposes the underlying VM (the Twine bench reads Executed).
+func (s *WasmStore) VM() *wasm.VM { return s.vm }
+
+func (s *WasmStore) call(fn int, args ...int32) (int32, error) {
+	if s.OnCall != nil {
+		s.OnCall()
+	}
+	return s.vm.Call(fn, args...)
+}
+
+// Insert implements RowStore; the primary key doubles as rowid.
+func (s *WasmStore) Insert(row []Value) (int64, error) {
+	k, v, err := s.kv(row)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := s.call(s.fnPut, k, v); err != nil {
+		return 0, err
+	}
+	return int64(k), nil
+}
+
+func (s *WasmStore) kv(row []Value) (int32, int32, error) {
+	if err := s.schema.checkRow(row); err != nil {
+		return 0, 0, err
+	}
+	k, v := row[0].I, row[1].I
+	if int64(int32(k)) != k || int64(int32(v)) != v {
+		return 0, 0, fmt.Errorf("minisql: wasm store holds 32-bit values, got (%d, %d)", k, v)
+	}
+	return int32(k), int32(v), nil
+}
+
+// Scan implements RowStore: the host walks the table memory directly
+// (the read-side ocall of the enclave composition), visiting keys in
+// sorted order for determinism.
+func (s *WasmStore) Scan(fn func(int64, []Value) (bool, error)) error {
+	if s.OnCall != nil {
+		s.OnCall()
+	}
+	mem := s.vm.Memory()
+	type kv struct{ k, v int32 }
+	var entries []kv
+	for i := 0; i < kvCapacity; i++ {
+		base := kvSlots + i*kvSlotSize
+		used := leU32(mem[base+4:])
+		if used != 1 {
+			continue
+		}
+		entries = append(entries, kv{int32(leU32(mem[base:])), int32(leU32(mem[base+8:]))})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].k < entries[j].k })
+	for _, e := range entries {
+		cont, err := fn(int64(e.k), []Value{IntValue(int64(e.k)), IntValue(int64(e.v))})
+		if err != nil || !cont {
+			return err
+		}
+	}
+	return nil
+}
+
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// Update implements RowStore.
+func (s *WasmStore) Update(rowid int64, row []Value) error {
+	k, v, err := s.kv(row)
+	if err != nil {
+		return err
+	}
+	if int64(k) != rowid {
+		// Primary key changed: delete the old entry first.
+		if _, err := s.call(s.fnDel, int32(rowid)); err != nil {
+			return err
+		}
+	}
+	_, err = s.call(s.fnPut, k, v)
+	return err
+}
+
+// Delete implements RowStore.
+func (s *WasmStore) Delete(rowid int64) error {
+	r, err := s.call(s.fnDel, int32(rowid))
+	if err != nil {
+		return err
+	}
+	if r == 0 {
+		return fmt.Errorf("minisql: no rowid %d", rowid)
+	}
+	return nil
+}
+
+// LookupPK implements RowStore.
+func (s *WasmStore) LookupPK(pk int64) ([]Value, int64, bool, error) {
+	if int64(int32(pk)) != pk {
+		return nil, 0, false, nil
+	}
+	addr, err := s.call(s.fnFind, int32(pk))
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if addr == 0 {
+		return nil, 0, false, nil
+	}
+	v, err := s.vm.ReadU32(uint32(addr) + 8)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return []Value{IntValue(pk), IntValue(int64(int32(v)))}, pk, true, nil
+}

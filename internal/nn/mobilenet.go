@@ -1,0 +1,90 @@
+package nn
+
+// mnV3Block describes one MobileNetV3 inverted-residual ("bneck") row of
+// the architecture table from Howard et al. 2019.
+type mnV3Block struct {
+	kernel int
+	expand int
+	out    int
+	se     bool
+	hswish bool // false = ReLU
+	stride int
+}
+
+var mobileNetV3Large = []mnV3Block{
+	{3, 16, 16, false, false, 1},
+	{3, 64, 24, false, false, 2},
+	{3, 72, 24, false, false, 1},
+	{5, 72, 40, true, false, 2},
+	{5, 120, 40, true, false, 1},
+	{5, 120, 40, true, false, 1},
+	{3, 240, 80, false, true, 2},
+	{3, 200, 80, false, true, 1},
+	{3, 184, 80, false, true, 1},
+	{3, 184, 80, false, true, 1},
+	{3, 480, 112, true, true, 1},
+	{3, 672, 112, true, true, 1},
+	{5, 672, 160, true, true, 2},
+	{5, 960, 160, true, true, 1},
+	{5, 960, 160, true, true, 1},
+}
+
+// MobileNetV3 builds MobileNetV3-Large for inputSize×inputSize RGB inputs,
+// one of the three models in the paper's performance evaluation (§II-C).
+func MobileNetV3(inputSize int, opts BuildOptions) *Graph {
+	b := NewBuilder("mobilenetv3-large", opts)
+	x := b.Input("input", 3, inputSize, inputSize)
+
+	x = b.ConvBNAct(x, 3, 16, 3, 2, 1, OpHSwish)
+	inC := 16
+	for _, blk := range mobileNetV3Large {
+		x, inC = invertedResidual(b, x, inC, blk)
+	}
+	x = b.ConvBNAct(x, inC, 960, 1, 1, 0, OpHSwish)
+	x = b.GlobalAvgPool(x)
+	// Head: 1×1 convs on the pooled [N,960,1,1] feature.
+	x = b.Conv(x, 960, 1280, 1, 1, 0)
+	x = b.Act(x, OpHSwish)
+	x = b.Flatten(x)
+	x = b.Dense(x, 1280, 1000)
+	x = b.Softmax(x)
+	return b.Graph(x)
+}
+
+// invertedResidual appends one bneck block: 1×1 expand, k×k depthwise,
+// optional squeeze-excite, 1×1 project, with a residual when shapes allow.
+func invertedResidual(b *Builder, x string, inC int, blk mnV3Block) (string, int) {
+	act := OpReLU
+	if blk.hswish {
+		act = OpHSwish
+	}
+	y := x
+	if blk.expand != inC {
+		y = b.ConvBNAct(y, inC, blk.expand, 1, 1, 0, act)
+	}
+	y = b.DWConvBNAct(y, blk.expand, blk.kernel, blk.stride, blk.kernel/2, act)
+	if blk.se {
+		y = squeezeExcite(b, y, blk.expand)
+	}
+	y = b.ConvNB(y, blk.expand, blk.out, 1, 1, 0)
+	y = b.BN(y, blk.out)
+	if blk.stride == 1 && inC == blk.out {
+		y = b.Add(y, x)
+	}
+	return y, blk.out
+}
+
+// squeezeExcite appends an SE block over c channels: global pool, 1×1
+// reduce (ratio 4) + ReLU, 1×1 expand + hard sigmoid, channel-wise scale.
+func squeezeExcite(b *Builder, x string, c int) string {
+	red := c / 4
+	if red < 8 {
+		red = 8
+	}
+	s := b.GlobalAvgPool(x)
+	s = b.Conv(s, c, red, 1, 1, 0)
+	s = b.Act(s, OpReLU)
+	s = b.Conv(s, red, c, 1, 1, 0)
+	s = b.Act(s, OpHSigmoid)
+	return b.Mul(x, s)
+}

@@ -1,0 +1,148 @@
+package nn
+
+// The small models below back the use-case experiments (Section V) and
+// the compression study (Section III). They are compact enough for the
+// pure-Go reference interpreter, which makes them the workhorses of the
+// toolchain's correctness tests.
+
+// LeNet builds a LeNet-5-style CNN for numClasses classes on
+// 1×inputSize×inputSize images. It is the compression benchmark subject
+// (Deep Compression [7] reports its headline ratios on LeNet-class nets).
+func LeNet(inputSize, numClasses int, opts BuildOptions) *Graph {
+	b := NewBuilder("lenet", opts)
+	x := b.Input("input", 1, inputSize, inputSize)
+	x = b.Conv(x, 1, 6, 5, 1, 2)
+	x = b.Act(x, OpReLU)
+	x = b.MaxPool(x, 2, 2, 0)
+	x = b.Conv(x, 6, 16, 5, 1, 0)
+	x = b.Act(x, OpReLU)
+	x = b.MaxPool(x, 2, 2, 0)
+	x = b.Flatten(x)
+	side := (inputSize/2 - 4) / 2
+	x = b.Dense(x, 16*side*side, 120)
+	x = b.Act(x, OpReLU)
+	x = b.Dense(x, 120, 84)
+	x = b.Act(x, OpReLU)
+	x = b.Dense(x, 84, numClasses)
+	x = b.Softmax(x)
+	return b.Graph(x)
+}
+
+// MLP builds a fully connected classifier with the given layer widths;
+// dims[0] is the input feature count, dims[len-1] the class count.
+func MLP(name string, dims []int, opts BuildOptions) *Graph {
+	b := NewBuilder(name, opts)
+	x := b.Input("input", dims[0])
+	for i := 1; i < len(dims); i++ {
+		x = b.Dense(x, dims[i-1], dims[i])
+		if i < len(dims)-1 {
+			x = b.Act(x, OpReLU)
+		}
+	}
+	x = b.Softmax(x)
+	return b.Graph(x)
+}
+
+// MotorNet builds the battery-powered motor-condition classifier
+// (§V-B): a 1-D CNN over a window of vibration samples, classifying
+// operational/thermal/mechanical condition states. The 1-D signal is
+// carried as a 1×1×window NCHW tensor.
+func MotorNet(window, numStates int, opts BuildOptions) *Graph {
+	b := NewBuilder("motornet", opts)
+	x := b.Input("input", 1, 1, window)
+	x = conv1d(b, x, 1, 8, 9, 2, OpReLU)
+	x = conv1d(b, x, 8, 16, 9, 2, OpReLU)
+	x = conv1d(b, x, 16, 32, 9, 2, OpReLU)
+	x = b.GlobalAvgPool(x)
+	x = b.Flatten(x)
+	x = b.Dense(x, 32, numStates)
+	x = b.Softmax(x)
+	return b.Graph(x)
+}
+
+// ArcNet builds the DC-arc detector (§V-B): a small, low-latency 1-D CNN
+// over a current waveform window emitting a binary arc/no-arc decision.
+// Depth is kept minimal because the use case demands very low latency
+// from first spark to inference.
+func ArcNet(window int, opts BuildOptions) *Graph {
+	b := NewBuilder("arcnet", opts)
+	x := b.Input("input", 1, 1, window)
+	x = conv1d(b, x, 1, 8, 7, 4, OpReLU)
+	x = conv1d(b, x, 8, 16, 7, 4, OpReLU)
+	x = b.GlobalAvgPool(x)
+	x = b.Flatten(x)
+	x = b.Dense(x, 16, 2)
+	x = b.Softmax(x)
+	return b.Graph(x)
+}
+
+// conv1d appends a 1×k convolution + BN-free bias + activation, treating
+// width as the time axis.
+func conv1d(b *Builder, x string, inC, outC, k, stride int, act OpType) string {
+	n := b.conv(x, OpConv, inC, outC, 1, k, 1, 0, 1, true)
+	// Stride and padding only along the time (width) axis.
+	node := b.g.Node(n)
+	node.Attrs.StrideW = stride
+	node.Attrs.PadW = k / 2
+	node.Attrs.StrideH = 1
+	node.Attrs.PadH = 0
+	return b.Act(n, act)
+}
+
+// FaceDetectNet builds the smart-mirror face-detection stage (stand-in
+// for the WiderFace detector in Fig. 5): a compact single-shot detector
+// over gray-scale frames producing per-cell face scores and boxes.
+func FaceDetectNet(inputSize int, opts BuildOptions) *Graph {
+	b := NewBuilder("facedetect", opts)
+	x := b.Input("input", 1, inputSize, inputSize)
+	x = b.ConvBNAct(x, 1, 16, 3, 2, 1, OpReLU)
+	x = b.ConvBNAct(x, 16, 32, 3, 2, 1, OpReLU)
+	x = b.ConvBNAct(x, 32, 64, 3, 2, 1, OpReLU)
+	x = b.ConvBNAct(x, 64, 64, 3, 2, 1, OpReLU)
+	// Per-cell outputs: 1 score + 4 box offsets.
+	x = b.Conv(x, 64, 5, 1, 1, 0)
+	return b.Graph(x)
+}
+
+// FaceEmbedNet builds the smart-mirror face-representation stage (FaceNet
+// stand-in): a small CNN producing an L2-normalizable embedding vector.
+func FaceEmbedNet(inputSize, embedDim int, opts BuildOptions) *Graph {
+	b := NewBuilder("faceembed", opts)
+	x := b.Input("input", 1, inputSize, inputSize)
+	x = b.ConvBNAct(x, 1, 32, 3, 2, 1, OpReLU)
+	x = b.ConvBNAct(x, 32, 64, 3, 2, 1, OpReLU)
+	x = b.ConvBNAct(x, 64, 128, 3, 2, 1, OpReLU)
+	x = b.GlobalAvgPool(x)
+	x = b.Flatten(x)
+	x = b.Dense(x, 128, embedDim)
+	return b.Graph(x)
+}
+
+// GestureNet builds the smart-mirror gesture classifier: a small CNN over
+// depth-image crops classifying numGestures hand gestures.
+func GestureNet(inputSize, numGestures int, opts BuildOptions) *Graph {
+	b := NewBuilder("gesture", opts)
+	x := b.Input("input", 1, inputSize, inputSize)
+	x = b.ConvBNAct(x, 1, 16, 3, 2, 1, OpReLU)
+	x = b.ConvBNAct(x, 16, 32, 3, 2, 1, OpReLU)
+	x = b.ConvBNAct(x, 32, 64, 3, 2, 1, OpReLU)
+	x = b.GlobalAvgPool(x)
+	x = b.Flatten(x)
+	x = b.Dense(x, 64, numGestures)
+	x = b.Softmax(x)
+	return b.Graph(x)
+}
+
+// SpeechNet builds the smart-mirror speech-recognition stage (DeepSpeech
+// stand-in): a 1-D convolutional acoustic model over numFrames feature
+// frames of mfccDim coefficients, emitting per-frame character logits.
+func SpeechNet(numFrames, mfccDim, alphabet int, opts BuildOptions) *Graph {
+	b := NewBuilder("speechnet", opts)
+	// Frames on the width axis, MFCC coefficients as channels.
+	x := b.Input("input", mfccDim, 1, numFrames)
+	x = conv1d(b, x, mfccDim, 128, 11, 2, OpReLU)
+	x = conv1d(b, x, 128, 128, 11, 1, OpReLU)
+	x = conv1d(b, x, 128, 2*alphabet, 11, 1, OpReLU)
+	x = b.Conv(x, 2*alphabet, alphabet, 1, 1, 0)
+	return b.Graph(x)
+}

@@ -1,0 +1,217 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeStats summarizes the compute and memory demand of one node.
+type NodeStats struct {
+	Name   string
+	Op     OpType
+	MACs   int64 // multiply-accumulate operations
+	Ops    int64 // total elementary operations (2*MACs for MAC-dominated ops)
+	Params int64 // weight elements
+	// ActivationBytes is the output activation footprint at FP32.
+	ActivationBytes int64
+	// WeightBytes is the weight footprint at the stored precision.
+	WeightBytes int64
+}
+
+// GraphStats aggregates NodeStats over a graph for a given batch size.
+type GraphStats struct {
+	Batch  int
+	Nodes  []NodeStats
+	MACs   int64
+	Ops    int64
+	Params int64
+	// PeakActivationBytes approximates the largest single activation
+	// (a lower bound on required on-chip buffering).
+	PeakActivationBytes  int64
+	TotalActivationBytes int64
+	WeightBytes          int64
+}
+
+// GMACs returns total multiply-accumulates in units of 1e9.
+func (s GraphStats) GMACs() float64 { return float64(s.MACs) / 1e9 }
+
+// GOPs returns total operations (2*MACs for linear layers) in units of 1e9.
+// This matches the "GOPS" accounting used in the paper's Figs. 3 and 4
+// (operations, counting multiply and add separately).
+func (s GraphStats) GOPs() float64 { return float64(s.Ops) / 1e9 }
+
+// Stats computes per-node and aggregate statistics. InferShapes must have
+// been called first (the same batch size is implied by the shapes).
+func (g *Graph) Stats() (GraphStats, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return GraphStats{}, err
+	}
+	var gs GraphStats
+	if len(order) > 0 && len(order[0].OutShape) > 0 {
+		gs.Batch = order[0].OutShape[0]
+	}
+	for _, n := range order {
+		if len(n.OutShape) == 0 {
+			return GraphStats{}, fmt.Errorf("nn: node %q has no inferred shape; call InferShapes first", n.Name)
+		}
+		ns, err := g.nodeStats(n)
+		if err != nil {
+			return GraphStats{}, err
+		}
+		gs.Nodes = append(gs.Nodes, ns)
+		gs.MACs += ns.MACs
+		gs.Ops += ns.Ops
+		gs.Params += ns.Params
+		gs.WeightBytes += ns.WeightBytes
+		gs.TotalActivationBytes += ns.ActivationBytes
+		if ns.ActivationBytes > gs.PeakActivationBytes {
+			gs.PeakActivationBytes = ns.ActivationBytes
+		}
+	}
+	return gs, nil
+}
+
+func (g *Graph) nodeStats(n *Node) (NodeStats, error) {
+	out := n.OutShape
+	outEl := int64(out.NumElements())
+	ns := NodeStats{
+		Name:            n.Name,
+		Op:              n.Op,
+		ActivationBytes: outEl * 4,
+	}
+	if len(n.Weights) > 0 {
+		for _, w := range n.Weights {
+			ns.Params += int64(w.NumElements())
+			ns.WeightBytes += int64(w.SizeBytes())
+		}
+	} else {
+		// Weights not materialized: derive the count from attributes
+		// (FP32 storage assumed).
+		ns.Params = g.phantomParams(n)
+		ns.WeightBytes = ns.Params * 4
+	}
+	a := n.Attrs
+	switch n.Op {
+	case OpConv, OpDepthwiseConv:
+		in, err := g.inShape(n, 0)
+		if err != nil {
+			return ns, err
+		}
+		groups := int64(a.Groups)
+		if groups <= 0 {
+			groups = 1
+		}
+		if n.Op == OpDepthwiseConv {
+			groups = int64(in[1])
+		}
+		macsPerOut := int64(in[1]) / groups * int64(a.KernelH) * int64(a.KernelW)
+		ns.MACs = outEl * macsPerOut
+		ns.Ops = 2 * ns.MACs
+		if n.Weight(BiasKey) != nil {
+			ns.Ops += outEl
+		}
+	case OpDense:
+		in, err := g.inShape(n, 0)
+		if err != nil {
+			return ns, err
+		}
+		ns.MACs = outEl * int64(in[1])
+		ns.Ops = 2 * ns.MACs
+		if n.Weight(BiasKey) != nil {
+			ns.Ops += outEl
+		}
+	case OpBatchNorm:
+		// Folded scale+shift: one MAC per element.
+		ns.MACs = outEl
+		ns.Ops = 2 * outEl
+	case OpMaxPool, OpAvgPool:
+		ns.Ops = outEl * int64(a.KernelH) * int64(a.KernelW)
+	case OpGlobalAvgPool:
+		in, err := g.inShape(n, 0)
+		if err != nil {
+			return ns, err
+		}
+		ns.Ops = int64(in.NumElements())
+	case OpAdd, OpMul:
+		ns.Ops = outEl * int64(len(n.Inputs)-1)
+	case OpReLU, OpReLU6, OpLeakyReLU, OpIdentity, OpFlatten, OpConcat, OpUpsample, OpInput:
+		// Data movement / comparison only; negligible arithmetic.
+		if n.Op != OpInput && n.Op != OpFlatten && n.Op != OpIdentity {
+			ns.Ops = outEl
+		}
+	case OpSigmoid, OpTanh, OpHSwish, OpHSigmoid, OpMish, OpSoftmax:
+		// Transcendental activations: budget a small constant per element.
+		const opsPerElement = 4
+		ns.Ops = opsPerElement * outEl
+	}
+	return ns, nil
+}
+
+// phantomParams derives the parameter count of a weight-less node from
+// its attributes, matching what materialization would allocate.
+func (g *Graph) phantomParams(n *Node) int64 {
+	a := n.Attrs
+	switch n.Op {
+	case OpConv, OpDepthwiseConv:
+		in, err := g.inShape(n, 0)
+		if err != nil {
+			return 0
+		}
+		groups := int64(a.Groups)
+		if groups <= 0 {
+			groups = 1
+		}
+		outC := int64(a.OutC)
+		if n.Op == OpDepthwiseConv {
+			groups = int64(in[1])
+			if outC == 0 {
+				outC = int64(in[1])
+			}
+		}
+		p := outC * int64(in[1]) / groups * int64(a.KernelH) * int64(a.KernelW)
+		if a.Bias {
+			p += outC
+		}
+		return p
+	case OpDense:
+		in, err := g.inShape(n, 0)
+		if err != nil {
+			return 0
+		}
+		p := int64(a.OutC) * int64(in[1])
+		if a.Bias {
+			p += int64(a.OutC)
+		}
+		return p
+	case OpBatchNorm:
+		in, err := g.inShape(n, 0)
+		if err != nil {
+			return 0
+		}
+		return 4 * int64(in[1]) // gamma, beta, mean, var
+	}
+	return 0
+}
+
+// Summary renders a human-readable per-layer table, truncated to at most
+// maxRows body rows (0 = unlimited).
+func (s GraphStats) Summary(maxRows int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %-14s %14s %12s %14s\n", "node", "op", "MACs", "params", "act bytes")
+	rows := s.Nodes
+	truncated := 0
+	if maxRows > 0 && len(rows) > maxRows {
+		truncated = len(rows) - maxRows
+		rows = rows[:maxRows]
+	}
+	for _, n := range rows {
+		fmt.Fprintf(&b, "%-28s %-14s %14d %12d %14d\n", n.Name, n.Op, n.MACs, n.Params, n.ActivationBytes)
+	}
+	if truncated > 0 {
+		fmt.Fprintf(&b, "... (%d more rows)\n", truncated)
+	}
+	fmt.Fprintf(&b, "TOTAL batch=%d: %.3f GMACs, %.3f GOPs, %.2fM params, %.2f MiB weights\n",
+		s.Batch, s.GMACs(), s.GOPs(), float64(s.Params)/1e6, float64(s.WeightBytes)/(1<<20))
+	return b.String()
+}

@@ -1,0 +1,158 @@
+package nn
+
+// YoloV4 builds the YOLOv4 object detector (Bochkovskiy et al. 2020) for
+// inputSize×inputSize RGB inputs — the headline workload of the paper's
+// Fig. 4 evaluation. Structure: CSPDarknet53 backbone (Mish activations),
+// SPP block, PANet neck (leaky ReLU) and three detection heads predicting
+// 3 anchors × (5 + numClasses) channels at strides 8, 16 and 32.
+func YoloV4(inputSize, numClasses int, opts BuildOptions) *Graph {
+	b := NewBuilder("yolov4", opts)
+	headC := 3 * (5 + numClasses)
+
+	x := b.Input("input", 3, inputSize, inputSize)
+	x = b.ConvBNAct(x, 3, 32, 3, 1, 1, OpMish)
+
+	// CSPDarknet53: five downsampling CSP stages.
+	x = cspStage(b, x, 32, 64, 1, true)
+	x = cspStage(b, x, 64, 128, 2, false)
+	route8 := cspStage(b, x, 128, 256, 8, false)       // stride-8 feature
+	route16 := cspStage(b, route8, 256, 512, 8, false) // stride-16 feature
+	x = cspStage(b, route16, 512, 1024, 4, false)      // stride-32 feature
+
+	// Neck entry: conv set then SPP.
+	x = b.ConvBNAct(x, 1024, 512, 1, 1, 0, OpLeakyReLU)
+	x = b.ConvBNAct(x, 512, 1024, 3, 1, 1, OpLeakyReLU)
+	x = b.ConvBNAct(x, 1024, 512, 1, 1, 0, OpLeakyReLU)
+	x = spp(b, x, 512)
+	x = b.ConvBNAct(x, 2048, 512, 1, 1, 0, OpLeakyReLU)
+	x = b.ConvBNAct(x, 512, 1024, 3, 1, 1, OpLeakyReLU)
+	p5 := b.ConvBNAct(x, 1024, 512, 1, 1, 0, OpLeakyReLU)
+
+	// PANet top-down: P5 -> P4.
+	up4 := b.ConvBNAct(p5, 512, 256, 1, 1, 0, OpLeakyReLU)
+	up4 = b.Upsample(up4, 2)
+	lat4 := b.ConvBNAct(route16, 512, 256, 1, 1, 0, OpLeakyReLU)
+	p4 := convSet5(b, b.Concat(lat4, up4), 512, 256)
+
+	// P4 -> P3.
+	up3 := b.ConvBNAct(p4, 256, 128, 1, 1, 0, OpLeakyReLU)
+	up3 = b.Upsample(up3, 2)
+	lat3 := b.ConvBNAct(route8, 256, 128, 1, 1, 0, OpLeakyReLU)
+	p3 := convSet5(b, b.Concat(lat3, up3), 256, 128)
+
+	// Head at stride 8.
+	h3 := b.ConvBNAct(p3, 128, 256, 3, 1, 1, OpLeakyReLU)
+	h3 = b.Conv(h3, 256, headC, 1, 1, 0)
+
+	// PANet bottom-up: P3 -> P4.
+	d4 := b.ConvBNAct(p3, 128, 256, 3, 2, 1, OpLeakyReLU)
+	n4 := convSet5(b, b.Concat(d4, p4), 512, 256)
+	h4 := b.ConvBNAct(n4, 256, 512, 3, 1, 1, OpLeakyReLU)
+	h4 = b.Conv(h4, 512, headC, 1, 1, 0)
+
+	// P4 -> P5.
+	d5 := b.ConvBNAct(n4, 256, 512, 3, 2, 1, OpLeakyReLU)
+	n5 := convSet5(b, b.Concat(d5, p5), 1024, 512)
+	h5 := b.ConvBNAct(n5, 512, 1024, 3, 1, 1, OpLeakyReLU)
+	h5 = b.Conv(h5, 1024, headC, 1, 1, 0)
+
+	return b.Graph(h3, h4, h5)
+}
+
+// cspStage appends one CSPDarknet stage: a strided downsampling conv
+// followed by a cross-stage-partial pair of branches, one holding
+// numBlocks residual units, re-joined by concatenation and a transition
+// conv. The first stage keeps full width on both branches.
+func cspStage(b *Builder, x string, inC, outC, numBlocks int, first bool) string {
+	x = b.ConvBNAct(x, inC, outC, 3, 2, 1, OpMish)
+
+	split := outC / 2
+	resWidth := split
+	if first {
+		split = outC
+		resWidth = outC / 2
+	}
+	// Bypass branch.
+	bypass := b.ConvBNAct(x, outC, split, 1, 1, 0, OpMish)
+	// Residual branch.
+	y := b.ConvBNAct(x, outC, split, 1, 1, 0, OpMish)
+	for i := 0; i < numBlocks; i++ {
+		y = darknetResidual(b, y, split, resWidth)
+	}
+	y = b.ConvBNAct(y, split, split, 1, 1, 0, OpMish)
+
+	merged := b.Concat(y, bypass)
+	return b.ConvBNAct(merged, 2*split, outC, 1, 1, 0, OpMish)
+}
+
+// darknetResidual appends a 1×1-reduce / 3×3 residual unit with Mish.
+func darknetResidual(b *Builder, x string, c, width int) string {
+	y := b.ConvBNAct(x, c, width, 1, 1, 0, OpMish)
+	y = b.ConvBNAct(y, width, c, 3, 1, 1, OpMish)
+	return b.Add(y, x)
+}
+
+// spp appends spatial pyramid pooling: parallel stride-1 max pools with
+// kernels 5, 9 and 13 concatenated with the identity (4c channels out).
+func spp(b *Builder, x string, c int) string {
+	p5 := b.MaxPool(x, 5, 1, 2)
+	p9 := b.MaxPool(x, 9, 1, 4)
+	p13 := b.MaxPool(x, 13, 1, 6)
+	return b.Concat(p13, p9, p5, x)
+}
+
+// convSet5 appends the PANet five-conv block alternating 1×1/3×3 kernels,
+// mapping inC channels to outC.
+func convSet5(b *Builder, x string, inC, outC int) string {
+	x = b.ConvBNAct(x, inC, outC, 1, 1, 0, OpLeakyReLU)
+	x = b.ConvBNAct(x, outC, outC*2, 3, 1, 1, OpLeakyReLU)
+	x = b.ConvBNAct(x, outC*2, outC, 1, 1, 0, OpLeakyReLU)
+	x = b.ConvBNAct(x, outC, outC*2, 3, 1, 1, OpLeakyReLU)
+	return b.ConvBNAct(x, outC*2, outC, 1, 1, 0, OpLeakyReLU)
+}
+
+// YoloV4Tiny builds the reduced YOLOv4-tiny variant used by the smart
+// mirror's object-detection stage, where the full model exceeds the uRECS
+// power envelope.
+func YoloV4Tiny(inputSize, numClasses int, opts BuildOptions) *Graph {
+	b := NewBuilder("yolov4-tiny", opts)
+	headC := 3 * (5 + numClasses)
+
+	x := b.Input("input", 3, inputSize, inputSize)
+	x = b.ConvBNAct(x, 3, 32, 3, 2, 1, OpLeakyReLU)
+	x = b.ConvBNAct(x, 32, 64, 3, 2, 1, OpLeakyReLU)
+
+	x, _ = tinyCSP(b, x, 64)
+	x, _ = tinyCSP(b, x, 128)
+	x, route := tinyCSP(b, x, 256) // route: pre-pool transition, 26×26×256 @416
+
+	x = b.ConvBNAct(x, 512, 512, 3, 1, 1, OpLeakyReLU)
+	p5 := b.ConvBNAct(x, 512, 256, 1, 1, 0, OpLeakyReLU)
+
+	h5 := b.ConvBNAct(p5, 256, 512, 3, 1, 1, OpLeakyReLU)
+	h5 = b.Conv(h5, 512, headC, 1, 1, 0)
+
+	up := b.ConvBNAct(p5, 256, 128, 1, 1, 0, OpLeakyReLU)
+	up = b.Upsample(up, 2)
+	merged := b.Concat(up, route)
+	h4 := b.ConvBNAct(merged, 128+256, 256, 3, 1, 1, OpLeakyReLU)
+	h4 = b.Conv(h4, 256, headC, 1, 1, 0)
+
+	return b.Graph(h4, h5)
+}
+
+// tinyCSP appends the YOLOv4-tiny CSP block: 3×3 conv, partial split,
+// two 3×3 convs, concat, 1×1 transition, then 2×2 max pool. It returns
+// the pooled output (2c channels at half resolution) and the pre-pool
+// transition tensor (c channels at input resolution) used as the FPN
+// lateral route.
+func tinyCSP(b *Builder, x string, c int) (out, transition string) {
+	x = b.ConvBNAct(x, c, c, 3, 1, 1, OpLeakyReLU)
+	y := b.ConvBNAct(x, c, c/2, 1, 1, 0, OpLeakyReLU)
+	y = b.ConvBNAct(y, c/2, c/2, 3, 1, 1, OpLeakyReLU)
+	y2 := b.ConvBNAct(y, c/2, c/2, 3, 1, 1, OpLeakyReLU)
+	merged := b.Concat(y2, y)
+	merged = b.ConvBNAct(merged, c, c, 1, 1, 0, OpLeakyReLU)
+	joined := b.Concat(x, merged)
+	return b.MaxPool(joined, 2, 2, 0), merged
+}

@@ -1,0 +1,12 @@
+package onnx
+
+import (
+	"vedliot/internal/inference"
+	"vedliot/internal/nn"
+)
+
+// newRunner avoids importing inference in the main test file's
+// signature clutter.
+func newRunner(g *nn.Graph) (*inference.Runner, error) {
+	return inference.NewRunner(g)
+}

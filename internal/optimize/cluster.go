@@ -1,0 +1,143 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vedliot/internal/nn"
+	"vedliot/internal/tensor"
+)
+
+// ClusterReport describes the outcome of weight clustering.
+type ClusterReport struct {
+	// Bits is the per-weight code width (log2 of centroid count).
+	Bits int
+	// Centroids maps node name to its codebook.
+	Centroids map[string][]float32
+	// MSE is the mean squared clustering error over all weights.
+	MSE float64
+}
+
+// ClusterWeights performs k-means weight sharing (Deep Compression stage
+// 2): each prunable layer's non-zero weights are replaced by one of
+// 2^bits shared centroids. Zeros are preserved so pruning survives
+// clustering. Weights are updated in place to their centroid values.
+func ClusterWeights(g *nn.Graph, bits int) (ClusterReport, error) {
+	if bits < 1 || bits > 16 {
+		return ClusterReport{}, fmt.Errorf("optimize: cluster bits %d outside [1,16]", bits)
+	}
+	k := 1 << bits
+	rep := ClusterReport{Bits: bits, Centroids: make(map[string][]float32)}
+	var sumSq float64
+	var count int64
+	for _, n := range g.Nodes {
+		if !prunable(n) {
+			continue
+		}
+		w := n.Weight(nn.WeightKey)
+		vals := w.Float32s()
+
+		var nz []float32
+		for _, v := range vals {
+			if v != 0 {
+				nz = append(nz, v)
+			}
+		}
+		if len(nz) == 0 {
+			rep.Centroids[n.Name] = nil
+			continue
+		}
+		centroids := kmeans1D(nz, k, 25)
+		rep.Centroids[n.Name] = centroids
+
+		out := tensor.New(tensor.FP32, w.Shape...)
+		for i, v := range vals {
+			if v == 0 {
+				continue
+			}
+			c := nearestCentroid(centroids, v)
+			out.F32[i] = c
+			d := float64(c - v)
+			sumSq += d * d
+		}
+		count += int64(len(vals))
+		n.SetWeight(nn.WeightKey, out)
+	}
+	if count > 0 {
+		rep.MSE = sumSq / float64(count)
+	}
+	return rep, nil
+}
+
+// kmeans1D clusters scalar values into at most k centroids using
+// linear-initialized Lloyd iterations (the initialization Deep
+// Compression found best).
+func kmeans1D(vals []float32, k, iters int) []float32 {
+	if len(vals) <= k {
+		uniq := append([]float32(nil), vals...)
+		sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+		return uniq
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	centroids := make([]float32, k)
+	for i := range centroids {
+		centroids[i] = lo + (hi-lo)*float32(i)/float32(k-1)
+	}
+	sums := make([]float64, k)
+	counts := make([]int, k)
+	for it := 0; it < iters; it++ {
+		for i := range sums {
+			sums[i], counts[i] = 0, 0
+		}
+		for _, v := range vals {
+			idx := nearestIndex(centroids, v)
+			sums[idx] += float64(v)
+			counts[idx]++
+		}
+		moved := false
+		for i := range centroids {
+			if counts[i] == 0 {
+				continue
+			}
+			nc := float32(sums[i] / float64(counts[i]))
+			if nc != centroids[i] {
+				centroids[i] = nc
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	sort.Slice(centroids, func(i, j int) bool { return centroids[i] < centroids[j] })
+	return centroids
+}
+
+// nearestIndex returns the index of the centroid closest to v; centroids
+// must be sorted ascending.
+func nearestIndex(centroids []float32, v float32) int {
+	idx := sort.Search(len(centroids), func(i int) bool { return centroids[i] >= v })
+	if idx == 0 {
+		return 0
+	}
+	if idx == len(centroids) {
+		return len(centroids) - 1
+	}
+	if math.Abs(float64(centroids[idx]-v)) < math.Abs(float64(v-centroids[idx-1])) {
+		return idx
+	}
+	return idx - 1
+}
+
+func nearestCentroid(centroids []float32, v float32) float32 {
+	return centroids[nearestIndex(centroids, v)]
+}

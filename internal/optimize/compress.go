@@ -1,0 +1,153 @@
+package optimize
+
+import (
+	"fmt"
+
+	"vedliot/internal/nn"
+)
+
+// DeepCompressConfig parameterizes the three-stage Deep Compression
+// pipeline [7]: magnitude pruning, k-means weight sharing, Huffman
+// coding.
+type DeepCompressConfig struct {
+	// Sparsity is the target fraction of zeroed weights (e.g. 0.9).
+	Sparsity float64
+	// ClusterBits is the shared-weight code width (e.g. 6 for conv, 5
+	// for dense in the original paper; a single global value here).
+	ClusterBits int
+}
+
+// StageSize records the model size after one pipeline stage.
+type StageSize struct {
+	Stage string
+	Bytes int64
+}
+
+// DeepCompressReport is the per-model outcome, the material for the
+// paper's "compressed down to 49x" citation (§III).
+type DeepCompressReport struct {
+	Model         string
+	OriginalBytes int64
+	Stages        []StageSize
+	// CompressedBytes is the final size: Huffman-coded sparse streams
+	// plus codebooks plus dense biases.
+	CompressedBytes int64
+	Prune           PruneReport
+	Cluster         ClusterReport
+}
+
+// Ratio returns the overall compression factor.
+func (r DeepCompressReport) Ratio() float64 {
+	if r.CompressedBytes == 0 {
+		return 0
+	}
+	return float64(r.OriginalBytes) / float64(r.CompressedBytes)
+}
+
+// DeepCompress runs the full pipeline on g in place. Afterwards the
+// graph still executes on the reference runtime (weights hold the
+// clustered values), so accuracy before/after can be compared directly.
+func DeepCompress(g *nn.Graph, cfg DeepCompressConfig) (DeepCompressReport, error) {
+	rep := DeepCompressReport{Model: g.Name}
+	rep.OriginalBytes = denseWeightBytes(g)
+	rep.Stages = append(rep.Stages, StageSize{"original fp32", rep.OriginalBytes})
+
+	pr, err := MagnitudePrune(g, cfg.Sparsity)
+	if err != nil {
+		return rep, err
+	}
+	rep.Prune = pr
+	rep.Stages = append(rep.Stages, StageSize{"pruned (sparse fp32)", SparseEncodedBytes(g, 32)})
+
+	cr, err := ClusterWeights(g, cfg.ClusterBits)
+	if err != nil {
+		return rep, err
+	}
+	rep.Cluster = cr
+	rep.Stages = append(rep.Stages, StageSize{
+		fmt.Sprintf("clustered (sparse %d-bit)", cfg.ClusterBits),
+		SparseEncodedBytes(g, cfg.ClusterBits),
+	})
+
+	compressed, err := huffmanBytes(g, cr)
+	if err != nil {
+		return rep, err
+	}
+	rep.CompressedBytes = compressed
+	rep.Stages = append(rep.Stages, StageSize{"huffman", compressed})
+	return rep, nil
+}
+
+// denseWeightBytes counts all weights (including biases and batch-norm
+// statistics) at FP32.
+func denseWeightBytes(g *nn.Graph) int64 {
+	var total int64
+	for _, n := range g.Nodes {
+		for _, w := range n.Weights {
+			total += int64(w.NumElements()) * 4
+		}
+	}
+	return total
+}
+
+// huffmanBytes measures the exact encoded size of the clustered sparse
+// model: per layer, a Huffman-coded centroid-index stream, a
+// Huffman-coded zero-run stream (4-bit run cap as in [7]), the FP32
+// codebook, and dense FP32 biases / batch-norm statistics.
+func huffmanBytes(g *nn.Graph, cr ClusterReport) (int64, error) {
+	var total int64
+	for _, n := range g.Nodes {
+		if !prunable(n) {
+			// Non-prunable weights (batch norm statistics) stay dense.
+			for _, w := range n.Weights {
+				total += int64(w.NumElements()) * 4
+			}
+			continue
+		}
+		centroids := cr.Centroids[n.Name]
+		w := n.Weight(nn.WeightKey)
+		vals := w.Float32s()
+
+		var symStream, runStream []uint16
+		run := 0
+		for _, v := range vals {
+			if v == 0 {
+				run++
+				if run == 15 {
+					runStream = append(runStream, 15)
+					run = 0
+				}
+				continue
+			}
+			idx := nearestIndex(centroids, v)
+			symStream = append(symStream, uint16(idx))
+			runStream = append(runStream, uint16(run))
+			run = 0
+		}
+
+		for _, stream := range [][]uint16{symStream, runStream} {
+			if len(stream) == 0 {
+				continue
+			}
+			freq := make(map[uint16]int64)
+			for _, s := range stream {
+				freq[s]++
+			}
+			code, err := BuildHuffman(freq)
+			if err != nil {
+				return 0, err
+			}
+			bits := code.EncodedBits(freq)
+			total += (bits + 7) / 8
+			// Code-length table: one byte per alphabet symbol.
+			total += int64(len(freq))
+		}
+		// Codebook: FP32 centroids.
+		total += int64(len(centroids)) * 4
+		// Bias stays dense FP32.
+		if bt := n.Weight(nn.BiasKey); bt != nil {
+			total += int64(bt.NumElements()) * 4
+		}
+	}
+	return total, nil
+}

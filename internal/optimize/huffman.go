@@ -1,0 +1,239 @@
+package optimize
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Huffman coding of quantized weight symbols — Deep Compression stage 3.
+// The implementation is a complete canonical-Huffman encoder/decoder over
+// 16-bit symbols with bit-level packing, so compressed sizes are real
+// (measured on the encoded stream), not estimated from entropy.
+
+// HuffmanCode is a prefix code for a symbol alphabet.
+type HuffmanCode struct {
+	// lengths[sym] is the code length in bits (0 = unused symbol).
+	lengths map[uint16]int
+	// codes[sym] is the canonical code value, MSB-first.
+	codes map[uint16]uint32
+}
+
+type huffNode struct {
+	sym    uint16
+	weight int64
+	left   *huffNode
+	right  *huffNode
+}
+
+type huffHeap []*huffNode
+
+func (h huffHeap) Len() int      { return len(h) }
+func (h huffHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h huffHeap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight < h[j].weight
+	}
+	return h[i].sym < h[j].sym // deterministic tie-break
+}
+func (h *huffHeap) Push(x any) { *h = append(*h, x.(*huffNode)) }
+func (h *huffHeap) Pop() any {
+	old := *h
+	n := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return n
+}
+
+// BuildHuffman derives a canonical Huffman code from symbol frequencies.
+func BuildHuffman(freq map[uint16]int64) (*HuffmanCode, error) {
+	if len(freq) == 0 {
+		return nil, fmt.Errorf("optimize: huffman: empty alphabet")
+	}
+	h := &huffHeap{}
+	heap.Init(h)
+	for sym, f := range freq {
+		if f <= 0 {
+			return nil, fmt.Errorf("optimize: huffman: nonpositive frequency for symbol %d", sym)
+		}
+		heap.Push(h, &huffNode{sym: sym, weight: f})
+	}
+	if h.Len() == 1 {
+		// Single-symbol alphabet: assign a 1-bit code.
+		only := (*h)[0].sym
+		return canonicalize(map[uint16]int{only: 1})
+	}
+	for h.Len() > 1 {
+		a := heap.Pop(h).(*huffNode)
+		b := heap.Pop(h).(*huffNode)
+		heap.Push(h, &huffNode{
+			sym:    minSym(a, b),
+			weight: a.weight + b.weight,
+			left:   a,
+			right:  b,
+		})
+	}
+	root := heap.Pop(h).(*huffNode)
+	lengths := make(map[uint16]int)
+	var walk func(n *huffNode, depth int)
+	walk = func(n *huffNode, depth int) {
+		if n.left == nil && n.right == nil {
+			lengths[n.sym] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	return canonicalize(lengths)
+}
+
+func minSym(a, b *huffNode) uint16 {
+	if a.sym < b.sym {
+		return a.sym
+	}
+	return b.sym
+}
+
+// canonicalize assigns canonical code values from code lengths.
+func canonicalize(lengths map[uint16]int) (*HuffmanCode, error) {
+	type symLen struct {
+		sym uint16
+		n   int
+	}
+	order := make([]symLen, 0, len(lengths))
+	maxLen := 0
+	for s, n := range lengths {
+		if n <= 0 || n > 32 {
+			return nil, fmt.Errorf("optimize: huffman: bad code length %d", n)
+		}
+		order = append(order, symLen{s, n})
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].n != order[j].n {
+			return order[i].n < order[j].n
+		}
+		return order[i].sym < order[j].sym
+	})
+	codes := make(map[uint16]uint32, len(order))
+	var code uint32
+	prevLen := order[0].n
+	for _, sl := range order {
+		code <<= uint(sl.n - prevLen)
+		codes[sl.sym] = code
+		code++
+		prevLen = sl.n
+	}
+	return &HuffmanCode{lengths: lengths, codes: codes}, nil
+}
+
+// BitWriter packs MSB-first bit strings into a byte slice.
+type BitWriter struct {
+	buf  []byte
+	nbit uint8 // bits used in the last byte
+}
+
+// WriteBits appends the low n bits of v, MSB first.
+func (w *BitWriter) WriteBits(v uint32, n int) {
+	for i := n - 1; i >= 0; i-- {
+		bit := (v >> uint(i)) & 1
+		if w.nbit == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		if bit == 1 {
+			w.buf[len(w.buf)-1] |= 1 << (7 - w.nbit)
+		}
+		w.nbit = (w.nbit + 1) % 8
+	}
+}
+
+// Bytes returns the packed stream.
+func (w *BitWriter) Bytes() []byte { return w.buf }
+
+// Len returns the number of whole bytes in the stream.
+func (w *BitWriter) Len() int { return len(w.buf) }
+
+// BitReader reads an MSB-first bit stream.
+type BitReader struct {
+	buf []byte
+	pos int // bit position
+}
+
+// NewBitReader wraps a packed stream.
+func NewBitReader(b []byte) *BitReader { return &BitReader{buf: b} }
+
+// ReadBit returns the next bit or an error at end of stream.
+func (r *BitReader) ReadBit() (uint8, error) {
+	byteIdx := r.pos / 8
+	if byteIdx >= len(r.buf) {
+		return 0, fmt.Errorf("optimize: huffman: bit stream exhausted")
+	}
+	bit := (r.buf[byteIdx] >> (7 - uint(r.pos%8))) & 1
+	r.pos++
+	return bit, nil
+}
+
+// Encode compresses a symbol stream, returning the packed bytes.
+func (c *HuffmanCode) Encode(symbols []uint16) ([]byte, error) {
+	w := &BitWriter{}
+	for _, s := range symbols {
+		n, ok := c.lengths[s]
+		if !ok {
+			return nil, fmt.Errorf("optimize: huffman: symbol %d not in code", s)
+		}
+		w.WriteBits(c.codes[s], n)
+	}
+	return w.Bytes(), nil
+}
+
+// Decode decompresses exactly count symbols from the packed stream.
+func (c *HuffmanCode) Decode(data []byte, count int) ([]uint16, error) {
+	// Build a decode table keyed by (length, code).
+	type key struct {
+		n    int
+		code uint32
+	}
+	table := make(map[key]uint16, len(c.codes))
+	maxLen := 0
+	for sym, code := range c.codes {
+		n := c.lengths[sym]
+		table[key{n, code}] = sym
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	r := NewBitReader(data)
+	out := make([]uint16, 0, count)
+	for len(out) < count {
+		var code uint32
+		n := 0
+		for {
+			bit, err := r.ReadBit()
+			if err != nil {
+				return nil, err
+			}
+			code = code<<1 | uint32(bit)
+			n++
+			if n > maxLen {
+				return nil, fmt.Errorf("optimize: huffman: invalid code in stream")
+			}
+			if sym, ok := table[key{n, code}]; ok {
+				out = append(out, sym)
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// EncodedBits returns the exact bit length the symbol stream compresses
+// to under this code, without materializing the stream.
+func (c *HuffmanCode) EncodedBits(freq map[uint16]int64) int64 {
+	var bits int64
+	for sym, f := range freq {
+		bits += f * int64(c.lengths[sym])
+	}
+	return bits
+}

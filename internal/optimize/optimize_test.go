@@ -1,0 +1,412 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+
+	"vedliot/internal/inference"
+	"vedliot/internal/nn"
+	"vedliot/internal/tensor"
+)
+
+// runLeNet executes the graph on a fixed probe input.
+func runLeNet(t *testing.T, g *nn.Graph) *tensor.Tensor {
+	t.Helper()
+	r, err := inference.NewRunner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(tensor.FP32, 1, 1, 28, 28)
+	for i := range in.F32 {
+		in.F32[i] = float32(i%17)/17 - 0.5
+	}
+	out, err := r.RunSingle(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestFoldBatchNormPreservesFunction(t *testing.T) {
+	// A conv+BN model must compute the same function after folding.
+	b := nn.NewBuilder("t", nn.BuildOptions{Weights: true, Seed: 11})
+	x := b.Input("input", 1, 8, 8)
+	x = b.ConvBNAct(x, 1, 4, 3, 1, 1, nn.OpReLU)
+	x = b.GlobalAvgPool(x)
+	x = b.Flatten(x)
+	g := b.Graph(x)
+
+	// Give BN non-trivial statistics.
+	for _, n := range g.Nodes {
+		if n.Op == nn.OpBatchNorm {
+			mean := n.Weight(nn.MeanKey)
+			variance := n.Weight(nn.VarKey)
+			gamma := n.Weight(nn.GammaKey)
+			for i := range mean.F32 {
+				mean.F32[i] = 0.1 * float32(i+1)
+				variance.F32[i] = 0.5 + 0.25*float32(i)
+				gamma.F32[i] = 1.5 - 0.2*float32(i)
+			}
+		}
+	}
+
+	run := func(g *nn.Graph) *tensor.Tensor {
+		r, err := inference.NewRunner(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := tensor.New(tensor.FP32, 1, 1, 8, 8)
+		for i := range in.F32 {
+			in.F32[i] = float32(i%5) - 2
+		}
+		out, err := r.RunSingle(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	before := run(g)
+	folded := g.Clone()
+	changed, err := (FoldBatchNorm{}).Apply(folded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("FoldBatchNorm reported no change on conv+BN graph")
+	}
+	for _, n := range folded.Nodes {
+		if n.Op == nn.OpBatchNorm {
+			t.Fatal("BatchNorm survived folding")
+		}
+	}
+	after := run(folded)
+	diff, err := tensor.MaxAbsDiff(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff > 1e-4 {
+		t.Errorf("folding changed function by %v", diff)
+	}
+}
+
+func TestFoldBatchNormSkipsSharedConv(t *testing.T) {
+	// If the conv feeds two consumers, folding must not happen.
+	b := nn.NewBuilder("t", nn.BuildOptions{Weights: true})
+	x := b.Input("input", 1, 4, 4)
+	c := b.ConvNB(x, 1, 2, 3, 1, 1)
+	bn := b.BN(c, 2)
+	relu := b.Act(c, nn.OpReLU) // second consumer of conv
+	sum := b.Add(bn, relu)
+	g := b.Graph(sum)
+	changed, err := (FoldBatchNorm{}).Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Error("FoldBatchNorm folded a shared conv")
+	}
+}
+
+func TestDeadNodeElimination(t *testing.T) {
+	b := nn.NewBuilder("t", nn.BuildOptions{Weights: true})
+	x := b.Input("input", 1, 4, 4)
+	live := b.ConvNB(x, 1, 2, 3, 1, 1)
+	b.ConvNB(x, 1, 8, 3, 1, 1) // dead branch
+	g := b.Graph(live)
+	n := len(g.Nodes)
+	changed, err := (DeadNodeElimination{}).Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || len(g.Nodes) != n-1 {
+		t.Errorf("dead node not removed: %d -> %d nodes", n, len(g.Nodes))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveIdentity(t *testing.T) {
+	g := nn.NewGraph("t")
+	g.MustAdd(&nn.Node{Name: "in", Op: nn.OpInput, Attrs: nn.Attrs{Shape: []int{4}}})
+	g.MustAdd(&nn.Node{Name: "id", Op: nn.OpIdentity, Inputs: []string{"in"}})
+	g.MustAdd(&nn.Node{Name: "sm", Op: nn.OpSoftmax, Inputs: []string{"id"}})
+	g.Outputs = []string{"sm"}
+	changed, err := (RemoveIdentity{}).Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || g.Node("id") != nil {
+		t.Error("identity not removed")
+	}
+	if g.Node("sm").Inputs[0] != "in" {
+		t.Error("consumer not rewired")
+	}
+}
+
+func TestPipelineConverges(t *testing.T) {
+	g := nn.LeNet(28, 10, nn.BuildOptions{Weights: true, Seed: 2})
+	log, err := Pipeline(g, StandardPasses(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = log
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A second run must be a no-op.
+	log2, err := Pipeline(g, StandardPasses(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log2) != 0 {
+		t.Errorf("pipeline not idempotent: %v", log2)
+	}
+}
+
+func TestMagnitudePruneReachesTarget(t *testing.T) {
+	g := nn.LeNet(28, 10, nn.BuildOptions{Weights: true, Seed: 4})
+	if err := g.InferShapes(1); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := MagnitudePrune(g, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := rep.Sparsity(); math.Abs(s-0.9) > 0.02 {
+		t.Errorf("sparsity = %v, want ~0.9", s)
+	}
+	if rep.TheoreticalSpeedup() <= 1 {
+		t.Errorf("speedup = %v, want > 1", rep.TheoreticalSpeedup())
+	}
+	// Graph must still execute.
+	runLeNet(t, g)
+}
+
+func TestMagnitudePruneValidation(t *testing.T) {
+	g := nn.LeNet(28, 10, nn.BuildOptions{Weights: true})
+	if err := g.InferShapes(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MagnitudePrune(g, 1.0); err == nil {
+		t.Error("accepted sparsity 1.0")
+	}
+	if _, err := MagnitudePrune(g, -0.1); err == nil {
+		t.Error("accepted negative sparsity")
+	}
+	// Zero sparsity must be a no-op on values.
+	rep, err := MagnitudePrune(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Zeroed != 0 {
+		t.Errorf("zero-sparsity pruned %d weights", rep.Zeroed)
+	}
+}
+
+func TestChannelPrune(t *testing.T) {
+	g := nn.LeNet(28, 10, nn.BuildOptions{Weights: true, Seed: 8})
+	if err := g.InferShapes(1); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ChannelPrune(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Zeroed == 0 {
+		t.Fatal("channel prune zeroed nothing")
+	}
+	// Whole channels must be zero.
+	for _, n := range g.Nodes {
+		if n.Op != nn.OpConv {
+			continue
+		}
+		w := n.Weight(nn.WeightKey)
+		outC := w.Shape[0]
+		perOut := w.NumElements() / outC
+		zeroCh := 0
+		for oc := 0; oc < outC; oc++ {
+			allZero := true
+			anyZero := false
+			for i := 0; i < perOut; i++ {
+				if w.F32[oc*perOut+i] == 0 {
+					anyZero = true
+				} else {
+					allZero = false
+				}
+			}
+			if anyZero && !allZero {
+				t.Errorf("node %s channel %d partially zeroed", n.Name, oc)
+			}
+			if allZero {
+				zeroCh++
+			}
+		}
+		if zeroCh != outC/2 {
+			t.Errorf("node %s: %d/%d channels zeroed, want %d", n.Name, zeroCh, outC, outC/2)
+		}
+	}
+	runLeNet(t, g)
+}
+
+func TestQuantizeWeightsPerTensor(t *testing.T) {
+	g := nn.LeNet(28, 10, nn.BuildOptions{Weights: true, Seed: 6})
+	before := runLeNet(t, g)
+	rep, err := QuantizeWeights(g, QuantConfig{Granularity: PerTensor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BytesAfter >= rep.BytesBefore {
+		t.Errorf("INT8 not smaller: %d -> %d", rep.BytesBefore, rep.BytesAfter)
+	}
+	if ratio := float64(rep.BytesBefore) / float64(rep.BytesAfter); ratio < 3.9 || ratio > 4.1 {
+		t.Errorf("compression ratio = %v, want ~4", ratio)
+	}
+	after := runLeNet(t, g)
+	// Quantized model output stays close to the FP32 one.
+	diff, err := tensor.MaxAbsDiff(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff > 0.2 {
+		t.Errorf("quantization moved softmax outputs by %v", diff)
+	}
+	if rep.WeightMSE == 0 {
+		t.Error("weight MSE reported as exactly zero")
+	}
+}
+
+func TestQuantizePerChannelBeatsPerTensorSNR(t *testing.T) {
+	// Per-channel granularity must achieve at least per-tensor SNR on a
+	// weight tensor with per-channel scale variation.
+	w := tensor.New(tensor.FP32, 4, 1, 3, 3)
+	for oc := 0; oc < 4; oc++ {
+		scale := float32(math.Pow(10, float64(oc)-2)) // 0.01 .. 10
+		for i := 0; i < 9; i++ {
+			w.F32[oc*9+i] = scale * (float32(i)/9 - 0.5)
+		}
+	}
+	snrT := QuantizationSNR(w, PerTensor)
+	snrC := QuantizationSNR(w, PerChannel)
+	if snrC <= snrT {
+		t.Errorf("per-channel SNR %.1f dB <= per-tensor %.1f dB", snrC, snrT)
+	}
+}
+
+func TestDequantizeWeights(t *testing.T) {
+	g := nn.LeNet(28, 10, nn.BuildOptions{Weights: true, Seed: 9})
+	if _, err := QuantizeWeights(g, QuantConfig{Granularity: PerTensor}); err != nil {
+		t.Fatal(err)
+	}
+	DequantizeWeights(g)
+	for _, n := range g.Nodes {
+		for _, w := range n.Weights {
+			if w.DType != tensor.FP32 {
+				t.Fatalf("node %s still has %s weights", n.Name, w.DType)
+			}
+		}
+	}
+	runLeNet(t, g)
+}
+
+func TestCalibrationRanges(t *testing.T) {
+	g := nn.LeNet(28, 10, nn.BuildOptions{Weights: true, Seed: 13})
+	sample := map[string]*tensor.Tensor{"input": tensor.New(tensor.FP32, 1, 1, 28, 28)}
+	for i := range sample["input"].F32 {
+		sample["input"].F32[i] = float32(i%11) / 11
+	}
+	rep, err := QuantizeWeights(g, QuantConfig{
+		Granularity:        PerTensor,
+		CalibrationSamples: []map[string]*tensor.Tensor{sample},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ActivationRanges) == 0 {
+		t.Fatal("no activation ranges recorded")
+	}
+	for name, r := range rep.ActivationRanges {
+		if r[0] > r[1] {
+			t.Errorf("%s: min %v > max %v", name, r[0], r[1])
+		}
+	}
+}
+
+func TestClusterWeights(t *testing.T) {
+	g := nn.LeNet(28, 10, nn.BuildOptions{Weights: true, Seed: 5})
+	rep, err := ClusterWeights(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every layer's non-zero weights must take at most 16 distinct values.
+	for _, n := range g.Nodes {
+		if !prunable(n) {
+			continue
+		}
+		w := n.Weight(nn.WeightKey)
+		uniq := make(map[float32]bool)
+		for _, v := range w.Float32s() {
+			if v != 0 {
+				uniq[v] = true
+			}
+		}
+		if len(uniq) > 16 {
+			t.Errorf("node %s has %d distinct values after 4-bit clustering", n.Name, len(uniq))
+		}
+	}
+	if rep.MSE == 0 {
+		t.Error("cluster MSE exactly zero is implausible")
+	}
+	if _, err := ClusterWeights(g, 0); err == nil {
+		t.Error("accepted 0 cluster bits")
+	}
+	runLeNet(t, g)
+}
+
+func TestClusterPreservesZeros(t *testing.T) {
+	g := nn.LeNet(28, 10, nn.BuildOptions{Weights: true, Seed: 7})
+	if err := g.InferShapes(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MagnitudePrune(g, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	countZeros := func() int {
+		z := 0
+		for _, n := range g.Nodes {
+			if !prunable(n) {
+				continue
+			}
+			for _, v := range n.Weight(nn.WeightKey).Float32s() {
+				if v == 0 {
+					z++
+				}
+			}
+		}
+		return z
+	}
+	before := countZeros()
+	if _, err := ClusterWeights(g, 5); err != nil {
+		t.Fatal(err)
+	}
+	if after := countZeros(); after < before {
+		t.Errorf("clustering destroyed zeros: %d -> %d", before, after)
+	}
+}
+
+func TestKMeans1D(t *testing.T) {
+	vals := []float32{1, 1.1, 0.9, 5, 5.1, 4.9}
+	cs := kmeans1D(vals, 2, 50)
+	if len(cs) != 2 {
+		t.Fatalf("got %d centroids", len(cs))
+	}
+	if math.Abs(float64(cs[0]-1)) > 0.2 || math.Abs(float64(cs[1]-5)) > 0.2 {
+		t.Errorf("centroids = %v, want ~[1 5]", cs)
+	}
+	// Fewer values than clusters: return the values themselves.
+	cs2 := kmeans1D([]float32{3, 1}, 8, 10)
+	if len(cs2) != 2 || cs2[0] != 1 || cs2[1] != 3 {
+		t.Errorf("small-input centroids = %v", cs2)
+	}
+}

@@ -1,0 +1,263 @@
+// Package require implements the VEDLIoT architectural framework for
+// AIoT requirements engineering (§IV-A): a two-dimensional grid of
+// architectural views organized by cluster of concern and level of
+// abstraction, with the paper's dependency rule — dependencies exist
+// only vertically within one cluster or horizontally within one level —
+// enforced and checked, plus traceability analysis and the middle-out
+// workflow.
+package require
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Concern is a cluster of concerns (the paper lists twelve).
+type Concern int
+
+// Clusters of concern, §IV-A.
+const (
+	LogicalBehavior Concern = iota
+	ProcessBehavior
+	ContextConstraints
+	LearningSetting
+	DeepLearningModel
+	Hardware
+	Information
+	Communication
+	Ethical
+	Safety
+	Security
+	Privacy
+	Energy
+	NumConcerns
+)
+
+var concernNames = [...]string{
+	"logical behavior", "process behavior", "context and constraints",
+	"learning setting", "deep learning model", "hardware", "information",
+	"communication", "ethical concerns", "safety", "security", "privacy",
+	"energy",
+}
+
+// String names the concern.
+func (c Concern) String() string {
+	if c >= 0 && int(c) < len(concernNames) {
+		return concernNames[c]
+	}
+	return fmt.Sprintf("Concern(%d)", int(c))
+}
+
+// Level is a level of abstraction.
+type Level int
+
+// Levels of abstraction, §IV-A.
+const (
+	KnowledgeLevel Level = iota
+	ConceptualLevel
+	DesignLevel
+	RunTimeLevel
+	NumLevels
+)
+
+var levelNames = [...]string{"knowledge", "conceptual", "design", "run-time"}
+
+// String names the level.
+func (l Level) String() string {
+	if l >= 0 && int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// View is one architectural view in the grid cell (Concern, Level).
+type View struct {
+	ID      string
+	Concern Concern
+	Level   Level
+	// Requirements anchored in this view.
+	Requirements []*Requirement
+}
+
+// Requirement is one engineering artifact with trace links.
+type Requirement struct {
+	ID   string
+	Text string
+	// Satisfies lists requirement IDs this one refines or implements.
+	Satisfies []string
+	// VerifiedBy names the test/bench artifact demonstrating it.
+	VerifiedBy string
+}
+
+// Framework is one system's architectural description.
+type Framework struct {
+	views map[string]*View
+	// deps maps view ID to the view IDs it depends on.
+	deps map[string][]string
+	reqs map[string]*Requirement
+}
+
+// New creates an empty framework.
+func New() *Framework {
+	return &Framework{
+		views: make(map[string]*View),
+		deps:  make(map[string][]string),
+		reqs:  make(map[string]*Requirement),
+	}
+}
+
+// AddView registers a view in a grid cell.
+func (f *Framework) AddView(id string, c Concern, l Level) (*View, error) {
+	if c < 0 || c >= NumConcerns {
+		return nil, fmt.Errorf("require: invalid concern %d", int(c))
+	}
+	if l < 0 || l >= NumLevels {
+		return nil, fmt.Errorf("require: invalid level %d", int(l))
+	}
+	if _, dup := f.views[id]; dup {
+		return nil, fmt.Errorf("require: duplicate view %q", id)
+	}
+	v := &View{ID: id, Concern: c, Level: l}
+	f.views[id] = v
+	return v, nil
+}
+
+// View returns a registered view or nil.
+func (f *Framework) View(id string) *View { return f.views[id] }
+
+// AddRequirement anchors a requirement in a view.
+func (f *Framework) AddRequirement(viewID string, r *Requirement) error {
+	v := f.views[viewID]
+	if v == nil {
+		return fmt.Errorf("require: no view %q", viewID)
+	}
+	if r.ID == "" {
+		return fmt.Errorf("require: requirement without ID")
+	}
+	if _, dup := f.reqs[r.ID]; dup {
+		return fmt.Errorf("require: duplicate requirement %q", r.ID)
+	}
+	v.Requirements = append(v.Requirements, r)
+	f.reqs[r.ID] = r
+	return nil
+}
+
+// Depend declares that view `from` depends on view `to`. The paper's
+// structural rule is enforced: dependencies exist only vertically
+// (same cluster of concern) or horizontally (same level of
+// abstraction) — anything else is rejected, which "reduces the
+// complexity of the system design challenge and allows for better
+// traceability".
+func (f *Framework) Depend(from, to string) error {
+	vf, vt := f.views[from], f.views[to]
+	if vf == nil || vt == nil {
+		return fmt.Errorf("require: unknown view in dependency %s -> %s", from, to)
+	}
+	if vf.Concern != vt.Concern && vf.Level != vt.Level {
+		return fmt.Errorf(
+			"require: diagonal dependency %s (%s/%s) -> %s (%s/%s) violates the framework rule",
+			from, vf.Concern, vf.Level, to, vt.Concern, vt.Level)
+	}
+	f.deps[from] = append(f.deps[from], to)
+	return nil
+}
+
+// Dependencies returns the declared dependencies of a view.
+func (f *Framework) Dependencies(id string) []string {
+	out := append([]string(nil), f.deps[id]...)
+	sort.Strings(out)
+	return out
+}
+
+// TraceReport summarizes requirement traceability.
+type TraceReport struct {
+	Total      int
+	Unverified []string // requirements without VerifiedBy
+	Dangling   []string // Satisfies references to unknown requirements
+	Orphans    []string // non-knowledge-level requirements satisfying nothing
+}
+
+// Complete reports whether the trace is fully closed.
+func (r TraceReport) Complete() bool {
+	return len(r.Unverified) == 0 && len(r.Dangling) == 0 && len(r.Orphans) == 0
+}
+
+// Trace audits the requirement graph: every requirement should be
+// verified, every Satisfies link should resolve, and every requirement
+// below the knowledge level should refine something above it.
+func (f *Framework) Trace() TraceReport {
+	rep := TraceReport{Total: len(f.reqs)}
+	// Locate each requirement's level via its view.
+	levelOf := make(map[string]Level, len(f.reqs))
+	for _, v := range f.views {
+		for _, r := range v.Requirements {
+			levelOf[r.ID] = v.Level
+		}
+	}
+	for id, r := range f.reqs {
+		if r.VerifiedBy == "" {
+			rep.Unverified = append(rep.Unverified, id)
+		}
+		for _, s := range r.Satisfies {
+			if _, ok := f.reqs[s]; !ok {
+				rep.Dangling = append(rep.Dangling, fmt.Sprintf("%s -> %s", id, s))
+			}
+		}
+		if levelOf[id] > KnowledgeLevel && len(r.Satisfies) == 0 {
+			rep.Orphans = append(rep.Orphans, id)
+		}
+	}
+	sort.Strings(rep.Unverified)
+	sort.Strings(rep.Dangling)
+	sort.Strings(rep.Orphans)
+	return rep
+}
+
+// MiddleOut runs the middle-out workflow the framework supports
+// (§IV-A): given a designated component view (e.g. an existing hardware
+// platform at the design level), it returns the views reachable upward
+// (requirements derivation) and downward (integration), seeded from the
+// middle.
+func (f *Framework) MiddleOut(seedView string) (upward, downward []string, err error) {
+	seed := f.views[seedView]
+	if seed == nil {
+		return nil, nil, fmt.Errorf("require: no view %q", seedView)
+	}
+	for id, v := range f.views {
+		if id == seedView {
+			continue
+		}
+		if v.Concern != seed.Concern && v.Level != seed.Level {
+			continue // unreachable under the dependency rule
+		}
+		if v.Level < seed.Level {
+			upward = append(upward, id)
+		} else if v.Level > seed.Level {
+			downward = append(downward, id)
+		} else {
+			// Same level: horizontal integration partners count as
+			// downstream work.
+			downward = append(downward, id)
+		}
+	}
+	sort.Strings(upward)
+	sort.Strings(downward)
+	return upward, downward, nil
+}
+
+// GridSummary renders the populated grid (concern × level view counts).
+func (f *Framework) GridSummary() string {
+	counts := make(map[[2]int]int)
+	for _, v := range f.views {
+		counts[[2]int{int(v.Concern), int(v.Level)}]++
+	}
+	out := ""
+	for c := Concern(0); c < NumConcerns; c++ {
+		row := fmt.Sprintf("%-26s", c)
+		for l := Level(0); l < NumLevels; l++ {
+			row += fmt.Sprintf(" %2d", counts[[2]int{int(c), int(l)}])
+		}
+		out += row + "\n"
+	}
+	return out
+}

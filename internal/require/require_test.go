@@ -1,0 +1,166 @@
+package require
+
+import (
+	"strings"
+	"testing"
+)
+
+func build(t *testing.T) *Framework {
+	t.Helper()
+	f := New()
+	mustView := func(id string, c Concern, l Level) {
+		if _, err := f.AddView(id, c, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustView("safety-knowledge", Safety, KnowledgeLevel)
+	mustView("safety-concept", Safety, ConceptualLevel)
+	mustView("safety-design", Safety, DesignLevel)
+	mustView("hw-design", Hardware, DesignLevel)
+	mustView("dl-design", DeepLearningModel, DesignLevel)
+	mustView("dl-runtime", DeepLearningModel, RunTimeLevel)
+	return f
+}
+
+func TestGridValidation(t *testing.T) {
+	f := New()
+	if _, err := f.AddView("x", Concern(99), DesignLevel); err == nil {
+		t.Error("invalid concern accepted")
+	}
+	if _, err := f.AddView("x", Safety, Level(9)); err == nil {
+		t.Error("invalid level accepted")
+	}
+	if _, err := f.AddView("x", Safety, DesignLevel); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AddView("x", Safety, DesignLevel); err == nil {
+		t.Error("duplicate view accepted")
+	}
+}
+
+func TestDependencyRule(t *testing.T) {
+	f := build(t)
+	// Vertical within one cluster: allowed.
+	if err := f.Depend("safety-design", "safety-concept"); err != nil {
+		t.Errorf("vertical dependency rejected: %v", err)
+	}
+	// Horizontal within one level: allowed.
+	if err := f.Depend("safety-design", "hw-design"); err != nil {
+		t.Errorf("horizontal dependency rejected: %v", err)
+	}
+	// Diagonal: rejected (the paper's core structural claim).
+	if err := f.Depend("safety-concept", "dl-runtime"); err == nil {
+		t.Error("diagonal dependency accepted")
+	}
+	if err := f.Depend("ghost", "hw-design"); err == nil {
+		t.Error("unknown view accepted")
+	}
+	deps := f.Dependencies("safety-design")
+	if len(deps) != 2 {
+		t.Errorf("deps = %v", deps)
+	}
+}
+
+func TestTraceability(t *testing.T) {
+	f := build(t)
+	add := func(view string, r *Requirement) {
+		t.Helper()
+		if err := f.AddRequirement(view, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("safety-knowledge", &Requirement{ID: "R1", Text: "no undetected arc", VerifiedBy: "BenchmarkArcDetection"})
+	add("safety-concept", &Requirement{ID: "R2", Text: "dual-channel monitor", Satisfies: []string{"R1"}, VerifiedBy: "TestMonitorDetectsInjectedErrors"})
+	add("safety-design", &Requirement{ID: "R3", Text: "robustness service deadline", Satisfies: []string{"R2"}})
+	add("dl-design", &Requirement{ID: "R4", Text: "quantized detector", Satisfies: []string{"R9"}, VerifiedBy: "TestQuantizeWeightsPerTensor"})
+
+	rep := f.Trace()
+	if rep.Total != 4 {
+		t.Errorf("total = %d", rep.Total)
+	}
+	if len(rep.Unverified) != 1 || rep.Unverified[0] != "R3" {
+		t.Errorf("unverified = %v", rep.Unverified)
+	}
+	if len(rep.Dangling) != 1 || !strings.Contains(rep.Dangling[0], "R9") {
+		t.Errorf("dangling = %v", rep.Dangling)
+	}
+	if rep.Complete() {
+		t.Error("incomplete trace reported complete")
+	}
+
+	// Orphan: below knowledge level without Satisfies.
+	f2 := build(t)
+	if err := f2.AddRequirement("safety-design", &Requirement{ID: "O1", Text: "orphan", VerifiedBy: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if rep2 := f2.Trace(); len(rep2.Orphans) != 1 {
+		t.Errorf("orphans = %v", rep2.Orphans)
+	}
+}
+
+func TestRequirementValidation(t *testing.T) {
+	f := build(t)
+	if err := f.AddRequirement("ghost", &Requirement{ID: "R"}); err == nil {
+		t.Error("unknown view accepted")
+	}
+	if err := f.AddRequirement("safety-design", &Requirement{}); err == nil {
+		t.Error("empty ID accepted")
+	}
+	if err := f.AddRequirement("safety-design", &Requirement{ID: "D"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddRequirement("hw-design", &Requirement{ID: "D"}); err == nil {
+		t.Error("duplicate requirement accepted")
+	}
+}
+
+func TestMiddleOut(t *testing.T) {
+	f := build(t)
+	up, down, err := f.MiddleOut("safety-design")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUp := map[string]bool{"safety-knowledge": true, "safety-concept": true}
+	for _, u := range up {
+		if !wantUp[u] {
+			t.Errorf("unexpected upward view %s", u)
+		}
+	}
+	if len(up) != 2 {
+		t.Errorf("up = %v", up)
+	}
+	// Downward: same-cluster below + same-level partners.
+	hasHW := false
+	for _, d := range down {
+		if d == "hw-design" {
+			hasHW = true
+		}
+		if d == "dl-runtime" {
+			t.Error("diagonal view reachable")
+		}
+	}
+	if !hasHW {
+		t.Errorf("down = %v missing horizontal partner", down)
+	}
+	if _, _, err := f.MiddleOut("ghost"); err == nil {
+		t.Error("unknown seed accepted")
+	}
+}
+
+func TestNamesAndSummary(t *testing.T) {
+	for c := Concern(0); c < NumConcerns; c++ {
+		if strings.HasPrefix(c.String(), "Concern(") {
+			t.Errorf("concern %d unnamed", int(c))
+		}
+	}
+	for l := Level(0); l < NumLevels; l++ {
+		if strings.HasPrefix(l.String(), "Level(") {
+			t.Errorf("level %d unnamed", int(l))
+		}
+	}
+	f := build(t)
+	sum := f.GridSummary()
+	if !strings.Contains(sum, "safety") || !strings.Contains(sum, "hardware") {
+		t.Error("summary missing rows")
+	}
+}

@@ -1,0 +1,122 @@
+package riscv
+
+// CSR addresses.
+const (
+	CsrMstatus  = 0x300
+	CsrMisa     = 0x301
+	CsrMie      = 0x304
+	CsrMtvec    = 0x305
+	CsrMscratch = 0x340
+	CsrMepc     = 0x341
+	CsrMcause   = 0x342
+	CsrMtval    = 0x343
+	CsrMip      = 0x344
+	CsrPmpcfg0  = 0x3a0 // ..0x3a3
+	CsrPmpaddr0 = 0x3b0 // ..0x3bf
+	CsrMcycle   = 0xb00
+	CsrMcycleh  = 0xb80
+	CsrMinstret = 0xb02
+	CsrCycle    = 0xc00 // unprivileged shadow
+	CsrMhartid  = 0xf14
+)
+
+// csrFile holds the machine-mode CSR state.
+type csrFile struct {
+	mstatus  uint32
+	mtvec    uint32
+	mscratch uint32
+	mepc     uint32
+	mcause   uint32
+	mtval    uint32
+	mie      uint32
+	mip      uint32
+}
+
+func (f *csrFile) init() {
+	// MPIE set so the first mret enables interrupts cleanly.
+	f.mstatus = 1 << 7
+}
+
+// csrPrivileged reports whether a CSR requires M-mode.
+func csrPrivileged(addr uint32) bool {
+	// Unprivileged counters (cycle/time/instret shadows) are readable
+	// from U-mode; everything else here is machine-level.
+	return !(addr >= 0xc00 && addr <= 0xc9f)
+}
+
+func (f *csrFile) read(addr uint32, c *Core) (uint32, bool) {
+	switch {
+	case addr == CsrMstatus:
+		return f.mstatus, true
+	case addr == CsrMisa:
+		// RV32IM + U: MXL=1, bits I, M, U.
+		return 1<<30 | 1<<8 | 1<<12 | 1<<20, true
+	case addr == CsrMie:
+		return f.mie, true
+	case addr == CsrMtvec:
+		return f.mtvec, true
+	case addr == CsrMscratch:
+		return f.mscratch, true
+	case addr == CsrMepc:
+		return f.mepc, true
+	case addr == CsrMcause:
+		return f.mcause, true
+	case addr == CsrMtval:
+		return f.mtval, true
+	case addr == CsrMip:
+		return f.mip, true
+	case addr >= CsrPmpcfg0 && addr < CsrPmpcfg0+4:
+		return c.pmp.readCfg(int(addr - CsrPmpcfg0)), true
+	case addr >= CsrPmpaddr0 && addr < CsrPmpaddr0+16:
+		return c.pmp.readAddr(int(addr - CsrPmpaddr0)), true
+	case addr == CsrMcycle || addr == CsrCycle:
+		return uint32(c.Cycles), true
+	case addr == CsrMcycleh:
+		return uint32(c.Cycles >> 32), true
+	case addr == CsrMinstret:
+		return uint32(c.Instret), true
+	case addr == CsrMhartid:
+		return 0, true
+	}
+	return 0, false
+}
+
+func (f *csrFile) write(addr, v uint32, c *Core) bool {
+	switch {
+	case addr == CsrMstatus:
+		// Only MIE, MPIE, MPP are writable here.
+		const mask = 1<<3 | 1<<7 | 3<<11
+		f.mstatus = f.mstatus&^uint32(mask) | v&mask
+		return true
+	case addr == CsrMisa:
+		return true // WARL, ignore
+	case addr == CsrMie:
+		f.mie = v
+		return true
+	case addr == CsrMtvec:
+		f.mtvec = v
+		return true
+	case addr == CsrMscratch:
+		f.mscratch = v
+		return true
+	case addr == CsrMepc:
+		f.mepc = v &^ 1
+		return true
+	case addr == CsrMcause:
+		f.mcause = v
+		return true
+	case addr == CsrMtval:
+		f.mtval = v
+		return true
+	case addr == CsrMip:
+		f.mip = v
+		return true
+	case addr >= CsrPmpcfg0 && addr < CsrPmpcfg0+4:
+		return c.pmp.writeCfg(int(addr-CsrPmpcfg0), v)
+	case addr >= CsrPmpaddr0 && addr < CsrPmpaddr0+16:
+		return c.pmp.writeAddr(int(addr-CsrPmpaddr0), v)
+	case addr == CsrMcycle || addr == CsrMcycleh || addr == CsrMinstret:
+		return true // writable counters not modeled; ignore
+	}
+	return false
+}

@@ -1,0 +1,345 @@
+package riscv
+
+// execute decodes and executes one instruction, returning the next PC or
+// an exception. Register X[0] is re-zeroed by the caller.
+func (c *Core) execute(raw uint32) (uint32, *exception) {
+	opcode := raw & 0x7f
+	rd := (raw >> 7) & 0x1f
+	funct3 := (raw >> 12) & 0x7
+	rs1 := (raw >> 15) & 0x1f
+	rs2 := (raw >> 20) & 0x1f
+	funct7 := raw >> 25
+
+	next := c.PC + 4
+
+	switch opcode {
+	case 0x37: // LUI
+		c.X[rd] = raw & 0xfffff000
+		c.Cycles += cycAlu
+	case 0x17: // AUIPC
+		c.X[rd] = c.PC + (raw & 0xfffff000)
+		c.Cycles += cycAlu
+	case 0x6f: // JAL
+		imm := immJ(raw)
+		c.X[rd] = c.PC + 4
+		next = c.PC + imm
+		c.Cycles += cycBranch
+	case 0x67: // JALR
+		if funct3 != 0 {
+			return 0, excf(ExcIllegalInstr, raw)
+		}
+		imm := immI(raw)
+		t := (c.X[rs1] + imm) &^ 1
+		c.X[rd] = c.PC + 4
+		next = t
+		c.Cycles += cycBranch
+	case 0x63: // BRANCH
+		imm := immB(raw)
+		taken := false
+		a, b := c.X[rs1], c.X[rs2]
+		switch funct3 {
+		case 0:
+			taken = a == b
+		case 1:
+			taken = a != b
+		case 4:
+			taken = int32(a) < int32(b)
+		case 5:
+			taken = int32(a) >= int32(b)
+		case 6:
+			taken = a < b
+		case 7:
+			taken = a >= b
+		default:
+			return 0, excf(ExcIllegalInstr, raw)
+		}
+		if taken {
+			next = c.PC + imm
+		}
+		c.Cycles += cycBranch
+	case 0x03: // LOAD
+		addr := c.X[rs1] + immI(raw)
+		switch funct3 {
+		case 0: // LB
+			v, exc := c.load(addr, 1)
+			if exc != nil {
+				return 0, exc
+			}
+			c.X[rd] = uint32(int32(int8(v)))
+		case 1: // LH
+			v, exc := c.load(addr, 2)
+			if exc != nil {
+				return 0, exc
+			}
+			c.X[rd] = uint32(int32(int16(v)))
+		case 2: // LW
+			v, exc := c.load(addr, 4)
+			if exc != nil {
+				return 0, exc
+			}
+			c.X[rd] = v
+		case 4: // LBU
+			v, exc := c.load(addr, 1)
+			if exc != nil {
+				return 0, exc
+			}
+			c.X[rd] = v
+		case 5: // LHU
+			v, exc := c.load(addr, 2)
+			if exc != nil {
+				return 0, exc
+			}
+			c.X[rd] = v
+		default:
+			return 0, excf(ExcIllegalInstr, raw)
+		}
+	case 0x23: // STORE
+		addr := c.X[rs1] + immS(raw)
+		switch funct3 {
+		case 0:
+			if exc := c.store(addr, 1, c.X[rs2]); exc != nil {
+				return 0, exc
+			}
+		case 1:
+			if exc := c.store(addr, 2, c.X[rs2]); exc != nil {
+				return 0, exc
+			}
+		case 2:
+			if exc := c.store(addr, 4, c.X[rs2]); exc != nil {
+				return 0, exc
+			}
+		default:
+			return 0, excf(ExcIllegalInstr, raw)
+		}
+	case 0x13: // OP-IMM
+		imm := immI(raw)
+		switch funct3 {
+		case 0: // ADDI
+			c.X[rd] = c.X[rs1] + imm
+		case 2: // SLTI
+			if int32(c.X[rs1]) < int32(imm) {
+				c.X[rd] = 1
+			} else {
+				c.X[rd] = 0
+			}
+		case 3: // SLTIU
+			if c.X[rs1] < imm {
+				c.X[rd] = 1
+			} else {
+				c.X[rd] = 0
+			}
+		case 4: // XORI
+			c.X[rd] = c.X[rs1] ^ imm
+		case 6: // ORI
+			c.X[rd] = c.X[rs1] | imm
+		case 7: // ANDI
+			c.X[rd] = c.X[rs1] & imm
+		case 1: // SLLI
+			if funct7 != 0 {
+				return 0, excf(ExcIllegalInstr, raw)
+			}
+			c.X[rd] = c.X[rs1] << (imm & 0x1f)
+		case 5: // SRLI / SRAI
+			switch funct7 {
+			case 0:
+				c.X[rd] = c.X[rs1] >> (imm & 0x1f)
+			case 0x20:
+				c.X[rd] = uint32(int32(c.X[rs1]) >> (imm & 0x1f))
+			default:
+				return 0, excf(ExcIllegalInstr, raw)
+			}
+		}
+		c.Cycles += cycAlu
+	case 0x33: // OP
+		a, b := c.X[rs1], c.X[rs2]
+		switch {
+		case funct7 == 0x01: // M extension
+			switch funct3 {
+			case 0: // MUL
+				c.X[rd] = a * b
+				c.Cycles += cycMul
+			case 1: // MULH
+				c.X[rd] = uint32(uint64(int64(int32(a))*int64(int32(b))) >> 32)
+				c.Cycles += cycMul
+			case 2: // MULHSU
+				c.X[rd] = uint32(uint64(int64(int32(a))*int64(uint64(b))) >> 32)
+				c.Cycles += cycMul
+			case 3: // MULHU
+				c.X[rd] = uint32(uint64(a) * uint64(b) >> 32)
+				c.Cycles += cycMul
+			case 4: // DIV
+				switch {
+				case b == 0:
+					c.X[rd] = 0xffffffff
+				case a == 0x80000000 && b == 0xffffffff:
+					c.X[rd] = 0x80000000
+				default:
+					c.X[rd] = uint32(int32(a) / int32(b))
+				}
+				c.Cycles += cycDiv
+			case 5: // DIVU
+				if b == 0 {
+					c.X[rd] = 0xffffffff
+				} else {
+					c.X[rd] = a / b
+				}
+				c.Cycles += cycDiv
+			case 6: // REM
+				switch {
+				case b == 0:
+					c.X[rd] = a
+				case a == 0x80000000 && b == 0xffffffff:
+					c.X[rd] = 0
+				default:
+					c.X[rd] = uint32(int32(a) % int32(b))
+				}
+				c.Cycles += cycDiv
+			case 7: // REMU
+				if b == 0 {
+					c.X[rd] = a
+				} else {
+					c.X[rd] = a % b
+				}
+				c.Cycles += cycDiv
+			}
+		case funct7 == 0x00 || funct7 == 0x20:
+			switch funct3 {
+			case 0:
+				if funct7 == 0x20 {
+					c.X[rd] = a - b
+				} else {
+					c.X[rd] = a + b
+				}
+			case 1:
+				c.X[rd] = a << (b & 0x1f)
+			case 2:
+				if int32(a) < int32(b) {
+					c.X[rd] = 1
+				} else {
+					c.X[rd] = 0
+				}
+			case 3:
+				if a < b {
+					c.X[rd] = 1
+				} else {
+					c.X[rd] = 0
+				}
+			case 4:
+				c.X[rd] = a ^ b
+			case 5:
+				if funct7 == 0x20 {
+					c.X[rd] = uint32(int32(a) >> (b & 0x1f))
+				} else {
+					c.X[rd] = a >> (b & 0x1f)
+				}
+			case 6:
+				c.X[rd] = a | b
+			case 7:
+				c.X[rd] = a & b
+			}
+			c.Cycles += cycAlu
+		default:
+			return 0, excf(ExcIllegalInstr, raw)
+		}
+	case 0x0f: // FENCE (and FENCE.I): no-op in this memory model
+		c.Cycles += cycAlu
+	case 0x0b: // custom-0: CFU port
+		if c.CFU == nil {
+			return 0, excf(ExcIllegalInstr, raw)
+		}
+		v, err := c.CFU.Execute(funct3, funct7, c.X[rs1], c.X[rs2])
+		if err != nil {
+			return 0, excf(ExcIllegalInstr, raw)
+		}
+		c.X[rd] = v
+		c.Cycles += uint64(c.CFU.Latency())
+	case 0x73: // SYSTEM
+		imm12 := raw >> 20
+		if funct3 == 0 {
+			switch imm12 {
+			case 0: // ECALL
+				if c.priv == PrivM {
+					return 0, excf(ExcECallM, 0)
+				}
+				return 0, excf(ExcECallU, 0)
+			case 1: // EBREAK
+				return 0, excf(ExcBreakpoint, c.PC)
+			case 0x302: // MRET
+				if c.priv != PrivM {
+					return 0, excf(ExcIllegalInstr, raw)
+				}
+				c.mret()
+				c.Cycles += cycBranch
+				return c.PC, nil
+			case 0x105: // WFI
+				c.Halted = true
+				c.Cycles += cycAlu
+				return c.PC + 4, nil
+			default:
+				return 0, excf(ExcIllegalInstr, raw)
+			}
+		}
+		// CSR instructions.
+		if c.priv != PrivM && csrPrivileged(imm12) {
+			return 0, excf(ExcIllegalInstr, raw)
+		}
+		old, ok := c.csr.read(imm12, c)
+		if !ok {
+			return 0, excf(ExcIllegalInstr, raw)
+		}
+		var src uint32
+		if funct3 >= 5 {
+			src = rs1 // CSRRWI/SI/CI use the zimm field
+		} else {
+			src = c.X[rs1]
+		}
+		var write bool
+		var newV uint32
+		switch funct3 & 3 {
+		case 1: // CSRRW
+			newV, write = src, true
+		case 2: // CSRRS
+			newV, write = old|src, rs1 != 0
+		case 3: // CSRRC
+			newV, write = old&^src, rs1 != 0
+		default:
+			return 0, excf(ExcIllegalInstr, raw)
+		}
+		if write {
+			if !c.csr.write(imm12, newV, c) {
+				return 0, excf(ExcIllegalInstr, raw)
+			}
+		}
+		c.X[rd] = old
+		c.Cycles += cycCsr
+	default:
+		return 0, excf(ExcIllegalInstr, raw)
+	}
+	return next, nil
+}
+
+// Immediate decoders.
+
+func immI(raw uint32) uint32 {
+	return uint32(int32(raw) >> 20)
+}
+
+func immS(raw uint32) uint32 {
+	return uint32(int32(raw&0xfe000000)>>20) | (raw >> 7 & 0x1f)
+}
+
+func immB(raw uint32) uint32 {
+	v := uint32(int32(raw&0x80000000)>>19) | // imm[12]
+		(raw&0x80)<<4 | // imm[11]
+		(raw >> 20 & 0x7e0) | // imm[10:5]
+		(raw >> 7 & 0x1e) // imm[4:1]
+	return v
+}
+
+func immJ(raw uint32) uint32 {
+	v := uint32(int32(raw&0x80000000)>>11) | // imm[20]
+		(raw & 0xff000) | // imm[19:12]
+		(raw >> 9 & 0x800) | // imm[11]
+		(raw >> 20 & 0x7fe) // imm[10:1]
+	return v
+}

@@ -1,0 +1,231 @@
+package riscv
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPMPUnconfiguredIsTransparent(t *testing.T) {
+	var p PMP
+	if !p.Check(0x1000, 4, AccessWrite, PrivU) {
+		t.Error("unconfigured PMP blocked U-mode access")
+	}
+}
+
+func TestPMPNAPOTRegion(t *testing.T) {
+	var p PMP
+	// Entry 0: NAPOT region [0x2000, 0x3000), R+W for U-mode.
+	p.writeAddr(0, NAPOTAddr(0x2000, 0x1000))
+	p.writeCfg(0, uint32(PmpR|PmpW|PmpNAPOT<<3))
+
+	if !p.Check(0x2000, 4, AccessRead, PrivU) {
+		t.Error("read at region base denied")
+	}
+	if !p.Check(0x2ffc, 4, AccessWrite, PrivU) {
+		t.Error("write at region end denied")
+	}
+	if p.Check(0x2000, 4, AccessExec, PrivU) {
+		t.Error("exec permitted without X")
+	}
+	if p.Check(0x3000, 4, AccessRead, PrivU) {
+		t.Error("read outside region permitted")
+	}
+	if p.Check(0x1ffc, 4, AccessRead, PrivU) {
+		t.Error("read below region permitted")
+	}
+	// Straddling the region end must fail.
+	if p.Check(0x2ffe, 4, AccessRead, PrivU) {
+		t.Error("straddling access permitted")
+	}
+	// M-mode unaffected by unlocked entries.
+	if !p.Check(0x3000, 4, AccessWrite, PrivM) {
+		t.Error("M-mode blocked by unlocked entry")
+	}
+}
+
+func TestPMPTORRegion(t *testing.T) {
+	var p PMP
+	// TOR entry 1 covers [pmpaddr0, pmpaddr1).
+	p.writeAddr(0, 0x1000>>2)
+	p.writeAddr(1, 0x2000>>2)
+	p.writeCfg(0, uint32(PmpR|PmpTOR<<3)<<8) // entry 1's byte
+
+	if !p.Check(0x1000, 4, AccessRead, PrivU) {
+		t.Error("TOR read at base denied")
+	}
+	if !p.Check(0x1ffc, 4, AccessRead, PrivU) {
+		t.Error("TOR read below top denied")
+	}
+	if p.Check(0x2000, 4, AccessRead, PrivU) {
+		t.Error("TOR read at top permitted")
+	}
+	if p.Check(0x1000, 4, AccessWrite, PrivU) {
+		t.Error("TOR write permitted without W")
+	}
+}
+
+func TestPMPNA4(t *testing.T) {
+	var p PMP
+	p.writeAddr(0, 0x400>>2)
+	p.writeCfg(0, uint32(PmpX|PmpNA4<<3))
+	if !p.Check(0x400, 4, AccessExec, PrivU) {
+		t.Error("NA4 exec denied")
+	}
+	if p.Check(0x404, 4, AccessExec, PrivU) {
+		t.Error("NA4 matched adjacent word")
+	}
+}
+
+func TestPMPPriorityFirstMatchWins(t *testing.T) {
+	var p PMP
+	// Entry 0: NA4 at 0x100, read-only. Entry 1: NAPOT covering
+	// [0x0,0x1000) with RWX. The NA4 entry must win for 0x100.
+	p.writeAddr(0, 0x100>>2)
+	p.writeAddr(1, NAPOTAddr(0, 0x1000))
+	p.writeCfg(0, uint32(PmpR|PmpNA4<<3)|uint32(PmpR|PmpW|PmpX|PmpNAPOT<<3)<<8)
+
+	if p.Check(0x100, 4, AccessWrite, PrivU) {
+		t.Error("lower-priority entry overrode first match")
+	}
+	if !p.Check(0x200, 4, AccessWrite, PrivU) {
+		t.Error("second entry not applied elsewhere")
+	}
+}
+
+func TestPMPLockedConstrainsMachineMode(t *testing.T) {
+	var p PMP
+	p.writeAddr(0, NAPOTAddr(0x8000, 0x1000))
+	p.writeCfg(0, uint32(PmpR|PmpL|PmpNAPOT<<3)) // locked, read-only
+
+	if p.Check(0x8000, 4, AccessWrite, PrivM) {
+		t.Error("M-mode wrote through a locked read-only entry")
+	}
+	if !p.Check(0x8000, 4, AccessRead, PrivM) {
+		t.Error("M-mode read denied")
+	}
+	// Locked cfg cannot be rewritten.
+	p.writeCfg(0, uint32(PmpR|PmpW|PmpX|PmpNAPOT<<3))
+	cfg, _ := p.Entry(0)
+	if cfg&PmpW != 0 {
+		t.Error("locked entry was modified")
+	}
+	// Locked addr cannot be rewritten.
+	_, before := p.Entry(0)
+	p.writeAddr(0, 0)
+	if _, after := p.Entry(0); after != before {
+		t.Error("locked address was modified")
+	}
+}
+
+func TestPMPNoMatchUModeDenied(t *testing.T) {
+	var p PMP
+	p.writeAddr(0, NAPOTAddr(0x2000, 0x1000))
+	p.writeCfg(0, uint32(PmpR|PmpW|PmpNAPOT<<3))
+	if p.Check(0x9000, 4, AccessRead, PrivU) {
+		t.Error("U-mode access with no matching entry permitted")
+	}
+	if !p.Check(0x9000, 4, AccessRead, PrivM) {
+		t.Error("M-mode access with no matching entry denied")
+	}
+}
+
+func TestPMPNAPOTProperty(t *testing.T) {
+	// For any power-of-two region, addresses inside match and the
+	// adjacent words outside do not.
+	f := func(baseK, sizeExp uint8) bool {
+		size := uint32(8) << (sizeExp % 10)       // 8B .. 4KiB
+		base := (uint32(baseK) * size) % 0x100000 // size-aligned
+		var p PMP
+		p.writeAddr(0, NAPOTAddr(base, size))
+		p.writeCfg(0, uint32(PmpR|PmpNAPOT<<3))
+		inside := p.Check(base, 4, AccessRead, PrivU) &&
+			p.Check(base+size-4, 4, AccessRead, PrivU)
+		outsideHigh := !p.Check(base+size, 4, AccessRead, PrivU)
+		outsideLow := base == 0 || !p.Check(base-4, 4, AccessRead, PrivU)
+		return inside && outsideHigh && outsideLow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPMPEndToEndUModeIsolation(t *testing.T) {
+	// Full-system test: M-mode configures PMP so U-mode may execute the
+	// code page and write only a data window; U-mode then violates the
+	// policy and must trap back to M-mode with a store access fault.
+	const (
+		handlerOff = 64 // trap handler at byte offset 64
+		uCodeOff   = 96 // U-mode code at byte offset 96
+	)
+	var prog []uint32
+	emit := func(ws ...uint32) { prog = append(prog, ws...) }
+
+	// M-mode setup: mtvec = handler.
+	emit(LI(1, handlerOff)...)
+	emit(CSRRW(0, 1, CsrMtvec))
+	// PMP entry 0: code+handler region [0, 0x1000) R+X.
+	emit(LI(1, NAPOTAddr(0, 0x1000))...)
+	emit(CSRRW(0, 1, CsrPmpaddr0))
+	// PMP entry 1: data window [0x2000, 0x2100) R+W.
+	emit(LI(1, NAPOTAddr(0x2000, 0x100))...)
+	emit(CSRRW(0, 1, CsrPmpaddr0+1))
+	// cfg0 byte0 = R|X|NAPOT, byte1 = R|W|NAPOT.
+	cfgVal := uint32(PmpR|PmpX|PmpNAPOT<<3) | uint32(PmpR|PmpW|PmpNAPOT<<3)<<8
+	emit(LI(1, cfgVal)...)
+	emit(CSRRW(0, 1, CsrPmpcfg0))
+	// Drop to U-mode at uCodeOff.
+	emit(LI(1, uCodeOff)...)
+	emit(CSRRW(0, 1, CsrMepc))
+	emit(MRET())
+
+	for len(prog) < handlerOff/4 {
+		emit(NOP())
+	}
+	// Handler: record mcause in x20, faulting address in x21, halt.
+	emit(CSRRS(20, 0, CsrMcause))
+	emit(CSRRS(21, 0, CsrMtval))
+	emit(WFI())
+
+	for len(prog) < uCodeOff/4 {
+		emit(NOP())
+	}
+	// U-mode: write inside the window (must succeed), then outside
+	// (must trap).
+	emit(LI(2, 0x2000)...)
+	emit(ADDI(3, 0, 77))
+	emit(SW(3, 2, 0))      // allowed
+	emit(LW(4, 2, 0))      // read back
+	emit(LI(5, 0x3000)...) // outside any U window
+	emit(SW(3, 5, 0))      // must fault
+	emit(ADDI(6, 0, 1))    // must never execute
+	emit(WFI())
+
+	bus := newFlatBus(64 * 1024)
+	for i, w := range prog {
+		if err := bus.Write32(uint32(i*4), w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewCore(bus, 0)
+	if err := c.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Halted {
+		t.Fatal("firmware did not halt")
+	}
+	if c.X[4] != 77 {
+		t.Errorf("permitted U-mode write/read failed: x4 = %d", c.X[4])
+	}
+	if c.X[20] != ExcStoreAccessFault {
+		t.Errorf("mcause = %d, want store access fault", c.X[20])
+	}
+	if c.X[21] != 0x3000 {
+		t.Errorf("mtval = %#x, want 0x3000", c.X[21])
+	}
+	if c.X[6] == 1 {
+		t.Error("instruction after the fault executed")
+	}
+	if c.Priv() != PrivM {
+		t.Error("core not in M-mode after trap")
+	}
+}

@@ -1,0 +1,423 @@
+package riscv
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// flatBus is a simple RAM-only bus for core tests.
+type flatBus struct {
+	mem []byte
+}
+
+func newFlatBus(size int) *flatBus { return &flatBus{mem: make([]byte, size)} }
+
+func (b *flatBus) Read8(addr uint32) (uint8, error) {
+	if int(addr) >= len(b.mem) {
+		return 0, errOOB
+	}
+	return b.mem[addr], nil
+}
+func (b *flatBus) Read16(addr uint32) (uint16, error) {
+	lo, err := b.Read8(addr)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := b.Read8(addr + 1)
+	if err != nil {
+		return 0, err
+	}
+	return uint16(lo) | uint16(hi)<<8, nil
+}
+func (b *flatBus) Read32(addr uint32) (uint32, error) {
+	if int(addr)+4 > len(b.mem) {
+		return 0, errOOB
+	}
+	return uint32(b.mem[addr]) | uint32(b.mem[addr+1])<<8 |
+		uint32(b.mem[addr+2])<<16 | uint32(b.mem[addr+3])<<24, nil
+}
+func (b *flatBus) Write8(addr uint32, v uint8) error {
+	if int(addr) >= len(b.mem) {
+		return errOOB
+	}
+	b.mem[addr] = v
+	return nil
+}
+func (b *flatBus) Write16(addr uint32, v uint16) error {
+	if err := b.Write8(addr, uint8(v)); err != nil {
+		return err
+	}
+	return b.Write8(addr+1, uint8(v>>8))
+}
+func (b *flatBus) Write32(addr uint32, v uint32) error {
+	if int(addr)+4 > len(b.mem) {
+		return errOOB
+	}
+	b.mem[addr] = byte(v)
+	b.mem[addr+1] = byte(v >> 8)
+	b.mem[addr+2] = byte(v >> 16)
+	b.mem[addr+3] = byte(v >> 24)
+	return nil
+}
+
+type oobError struct{}
+
+func (oobError) Error() string { return "out of bounds" }
+
+var errOOB = oobError{}
+
+// run executes a word program starting at 0 until WFI or maxInstr.
+func run(t *testing.T, prog []uint32, maxInstr uint64) *Core {
+	t.Helper()
+	bus := newFlatBus(64 * 1024)
+	for i, w := range prog {
+		if err := bus.Write32(uint32(i*4), w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewCore(bus, 0)
+	if err := c.Run(maxInstr); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestArithmeticBasics(t *testing.T) {
+	prog := []uint32{
+		ADDI(1, 0, 5),  // x1 = 5
+		ADDI(2, 0, 7),  // x2 = 7
+		ADD(3, 1, 2),   // x3 = 12
+		SUB(4, 1, 2),   // x4 = -2
+		MUL(5, 1, 2),   // x5 = 35
+		DIV(6, 2, 1),   // x6 = 1
+		REM(7, 2, 1),   // x7 = 2
+		XOR(8, 1, 2),   // x8 = 2
+		OR(9, 1, 2),    // x9 = 7
+		AND(10, 1, 2),  // x10 = 5
+		SLTU(11, 1, 2), // x11 = 1
+		WFI(),
+	}
+	c := run(t, prog, 100)
+	want := map[int]uint32{3: 12, 4: 0xfffffffe, 5: 35, 6: 1, 7: 2, 8: 2, 9: 7, 10: 5, 11: 1}
+	for reg, v := range want {
+		if c.X[reg] != v {
+			t.Errorf("x%d = %#x, want %#x", reg, c.X[reg], v)
+		}
+	}
+}
+
+func TestShiftsAndImmediates(t *testing.T) {
+	prog := []uint32{
+		ADDI(1, 0, 1),
+		SLL(2, 1, 0), // x2 = 1 << 0 = 1
+		ADDI(3, 0, 4),
+		SLL(4, 1, 3),      // x4 = 1 << 4 = 16
+		ADDI(5, 0, -16),   // x5 = -16
+		SRL(6, 5, 1),      // logical shift of 0xfffffff0 by 1
+		ADDI(7, 0, -1024), // sign-extended immediate
+		WFI(),
+	}
+	c := run(t, prog, 100)
+	if c.X[4] != 16 {
+		t.Errorf("x4 = %d", c.X[4])
+	}
+	if c.X[6] != 0x7ffffff8 {
+		t.Errorf("x6 = %#x", c.X[6])
+	}
+	if int32(c.X[7]) != -1024 {
+		t.Errorf("x7 = %d", int32(c.X[7]))
+	}
+}
+
+func TestLUIAndLI(t *testing.T) {
+	var prog []uint32
+	prog = append(prog, LI(1, 0xdeadbeef)...)
+	prog = append(prog, LI(2, 0x12345678)...)
+	prog = append(prog, LI(3, 0x800)...)
+	prog = append(prog, WFI())
+	c := run(t, prog, 100)
+	if c.X[1] != 0xdeadbeef {
+		t.Errorf("x1 = %#x", c.X[1])
+	}
+	if c.X[2] != 0x12345678 {
+		t.Errorf("x2 = %#x", c.X[2])
+	}
+	if c.X[3] != 0x800 {
+		t.Errorf("x3 = %#x", c.X[3])
+	}
+}
+
+func TestLIRoundTripProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		var prog []uint32
+		prog = append(prog, LI(5, v)...)
+		prog = append(prog, WFI())
+		bus := newFlatBus(4096)
+		for i, w := range prog {
+			if err := bus.Write32(uint32(i*4), w); err != nil {
+				return false
+			}
+		}
+		c := NewCore(bus, 0)
+		if err := c.Run(10); err != nil {
+			return false
+		}
+		return c.X[5] == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	prog := []uint32{
+		ADDI(1, 0, 0x100), // base
+		ADDI(2, 0, -2),    // value 0xfffffffe
+		SW(2, 1, 0),
+		LW(3, 1, 0),
+		LB(4, 1, 0),  // sign-extended byte 0xfe -> -2
+		LBU(5, 1, 0), // zero-extended 0xfe
+		SB(2, 1, 8),
+		LW(6, 1, 8), // only low byte written
+		WFI(),
+	}
+	c := run(t, prog, 100)
+	if c.X[3] != 0xfffffffe {
+		t.Errorf("LW = %#x", c.X[3])
+	}
+	if int32(c.X[4]) != -2 {
+		t.Errorf("LB = %d", int32(c.X[4]))
+	}
+	if c.X[5] != 0xfe {
+		t.Errorf("LBU = %#x", c.X[5])
+	}
+	if c.X[6] != 0xfe {
+		t.Errorf("SB/LW = %#x", c.X[6])
+	}
+}
+
+func TestBranchesAndLoops(t *testing.T) {
+	// Sum 1..10 with a loop.
+	prog := []uint32{
+		ADDI(1, 0, 0),  // sum
+		ADDI(2, 0, 1),  // i
+		ADDI(3, 0, 11), // limit
+		// loop:
+		ADD(1, 1, 2),  // sum += i
+		ADDI(2, 2, 1), // i++
+		BLT(2, 3, -8), // while i < 11
+		WFI(),
+	}
+	c := run(t, prog, 1000)
+	if c.X[1] != 55 {
+		t.Errorf("sum = %d, want 55", c.X[1])
+	}
+}
+
+func TestJALAndJALR(t *testing.T) {
+	prog := []uint32{
+		JAL(1, 12),     // jump over the next two instructions, x1 = 4
+		ADDI(2, 0, 1),  // skipped
+		ADDI(2, 0, 2),  // skipped
+		ADDI(3, 0, 9),  // target
+		JALR(4, 1, 16), // jump to x1+16 = 20
+		ADDI(5, 0, 1),  // skipped
+		WFI(),          // at 20? no: compute
+	}
+	// Address layout: JALR at pc=16 jumps to 4+16 = 20 which skips
+	// instruction at 20? Let's place WFI at 20 -> index 5 is at 20.
+	// Rebuild precisely:
+	prog = []uint32{
+		JAL(1, 8),     // 0: x1 = 4, jump to 8
+		ADDI(2, 0, 1), // 4: skipped
+		JALR(4, 1, 8), // 8: x4 = 12, jump to x1+8 = 12
+		ADDI(5, 0, 7), // 12: executed
+		WFI(),         // 16
+	}
+	c := run(t, prog, 100)
+	if c.X[1] != 4 {
+		t.Errorf("JAL link = %d", c.X[1])
+	}
+	if c.X[2] != 0 {
+		t.Error("JAL did not skip")
+	}
+	if c.X[4] != 12 {
+		t.Errorf("JALR link = %d", c.X[4])
+	}
+	if c.X[5] != 7 {
+		t.Error("JALR target not executed")
+	}
+}
+
+func TestDivisionEdgeCases(t *testing.T) {
+	var prog []uint32
+	prog = append(prog, LI(1, 0x80000000)...) // INT_MIN
+	prog = append(prog, ADDI(2, 0, -1))
+	prog = append(prog,
+		DIV(3, 1, 2),  // INT_MIN / -1 = INT_MIN (overflow)
+		REM(4, 1, 2),  // 0
+		DIV(5, 1, 0),  // div by zero = -1
+		REM(6, 1, 0),  // rem by zero = dividend
+		DIVU(7, 1, 0), // 0xffffffff
+		REMU(8, 1, 0), // dividend
+		WFI(),
+	)
+	c := run(t, prog, 100)
+	if c.X[3] != 0x80000000 {
+		t.Errorf("DIV overflow = %#x", c.X[3])
+	}
+	if c.X[4] != 0 {
+		t.Errorf("REM overflow = %#x", c.X[4])
+	}
+	if c.X[5] != 0xffffffff {
+		t.Errorf("DIV/0 = %#x", c.X[5])
+	}
+	if c.X[6] != 0x80000000 {
+		t.Errorf("REM/0 = %#x", c.X[6])
+	}
+	if c.X[7] != 0xffffffff {
+		t.Errorf("DIVU/0 = %#x", c.X[7])
+	}
+	if c.X[8] != 0x80000000 {
+		t.Errorf("REMU/0 = %#x", c.X[8])
+	}
+}
+
+func TestMULHVariants(t *testing.T) {
+	var prog []uint32
+	prog = append(prog, LI(1, 0xffffffff)...) // -1 signed
+	prog = append(prog, LI(2, 2)...)
+	prog = append(prog,
+		MULH(3, 1, 2), // (-1 * 2) >> 32 = -1 -> 0xffffffff
+		WFI(),
+	)
+	c := run(t, prog, 100)
+	if c.X[3] != 0xffffffff {
+		t.Errorf("MULH = %#x", c.X[3])
+	}
+}
+
+func TestX0Hardwired(t *testing.T) {
+	prog := []uint32{
+		ADDI(0, 0, 123), // write to x0 discarded
+		ADD(1, 0, 0),
+		WFI(),
+	}
+	c := run(t, prog, 10)
+	if c.X[0] != 0 || c.X[1] != 0 {
+		t.Errorf("x0 = %d, x1 = %d", c.X[0], c.X[1])
+	}
+}
+
+func TestIllegalInstructionTraps(t *testing.T) {
+	prog := []uint32{
+		0xffffffff, // illegal
+	}
+	c := run(t, prog, 1)
+	// Trap redirects to mtvec (0), mcause = illegal.
+	if c.CSR(CsrMcause) != ExcIllegalInstr {
+		t.Errorf("mcause = %d", c.CSR(CsrMcause))
+	}
+	if c.Priv() != PrivM {
+		t.Error("trap should land in M-mode")
+	}
+}
+
+func TestEcallFromMachineMode(t *testing.T) {
+	// mtvec -> handler that sets x5 and halts.
+	prog := []uint32{
+		// reset at 0: set mtvec to 16, ecall.
+		ADDI(1, 0, 16),
+		CSRRW(0, 1, CsrMtvec),
+		ECALL(),
+		NOP(),
+		// handler at 16:
+		ADDI(5, 0, 42),
+		WFI(),
+	}
+	c := run(t, prog, 100)
+	if c.X[5] != 42 {
+		t.Error("trap handler did not run")
+	}
+	if c.CSR(CsrMcause) != ExcECallM {
+		t.Errorf("mcause = %d", c.CSR(CsrMcause))
+	}
+	if c.CSR(CsrMepc) != 8 {
+		t.Errorf("mepc = %#x, want 8", c.CSR(CsrMepc))
+	}
+}
+
+func TestPrivilegeDropAndEcallFromU(t *testing.T) {
+	prog := []uint32{
+		// Set mtvec to handler (28).
+		ADDI(1, 0, 28),
+		CSRRW(0, 1, CsrMtvec),
+		// mepc = 24 (U-mode code), MPP stays 0 (U).
+		ADDI(1, 0, 24),
+		CSRRW(0, 1, CsrMepc),
+		MRET(), // drop to U-mode at 24
+		NOP(),
+		ECALL(), // 24: U-mode ecall
+		// handler at 28:
+		ADDI(6, 0, 7),
+		WFI(),
+	}
+	c := run(t, prog, 100)
+	if c.X[6] != 7 {
+		t.Fatal("handler did not run")
+	}
+	if c.CSR(CsrMcause) != ExcECallU {
+		t.Errorf("mcause = %d, want ECallU", c.CSR(CsrMcause))
+	}
+}
+
+func TestUModeCannotTouchCSRs(t *testing.T) {
+	prog := []uint32{
+		ADDI(1, 0, 28),
+		CSRRW(0, 1, CsrMtvec),
+		ADDI(1, 0, 24),
+		CSRRW(0, 1, CsrMepc),
+		MRET(),
+		NOP(),
+		CSRRW(2, 1, CsrMepc), // 24: U-mode CSR access -> illegal
+		// handler at 28:
+		ADDI(7, 0, 1),
+		WFI(),
+	}
+	c := run(t, prog, 100)
+	if c.X[7] != 1 {
+		t.Fatal("handler did not run")
+	}
+	if c.CSR(CsrMcause) != ExcIllegalInstr {
+		t.Errorf("mcause = %d, want illegal", c.CSR(CsrMcause))
+	}
+}
+
+func TestCycleCounterVisible(t *testing.T) {
+	prog := []uint32{
+		ADDI(1, 0, 1),
+		ADDI(1, 0, 2),
+		CSRRS(5, 0, CsrCycle),
+		WFI(),
+	}
+	c := run(t, prog, 100)
+	if c.X[5] == 0 {
+		t.Error("cycle counter read as zero after instructions")
+	}
+	if c.Instret == 0 || c.Cycles < c.Instret {
+		t.Errorf("cycles %d < instret %d", c.Cycles, c.Instret)
+	}
+}
+
+func TestBusFaultTraps(t *testing.T) {
+	var prog []uint32
+	prog = append(prog, LI(1, 0x00ffff00)...) // beyond 64 KiB RAM
+	prog = append(prog, LW(2, 1, 0))
+	c := run(t, prog, 10)
+	if c.CSR(CsrMcause) != ExcLoadAccessFault {
+		t.Errorf("mcause = %d", c.CSR(CsrMcause))
+	}
+	if c.CSR(CsrMtval) != 0x00ffff00 {
+		t.Errorf("mtval = %#x", c.CSR(CsrMtval))
+	}
+}

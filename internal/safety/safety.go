@@ -1,0 +1,287 @@
+// Package safety implements the paper's DL-safety architecture (§IV-B):
+// input-quality monitors that detect accidentally or maliciously
+// compromised sensor data (outliers, stuck-at sensors, drift, noise
+// bursts, image noise), an output robustness service holding a copy of
+// the DL model to verify results, fault injection for evaluating both,
+// and the two-part architectural-hybridization pattern [16].
+package safety
+
+import (
+	"math"
+
+	"vedliot/internal/dataset"
+)
+
+// Alarm is one monitor finding.
+type Alarm struct {
+	Index int
+	Kind  dataset.ErrorKind
+	Score float64
+}
+
+// SeriesMonitorConfig tunes the time-series input monitor.
+type SeriesMonitorConfig struct {
+	// Window is the sliding statistics window length.
+	Window int
+	// OutlierSigma flags samples further than this many robust sigmas
+	// from the local median.
+	OutlierSigma float64
+	// StuckLen flags runs of exactly constant samples of this length.
+	StuckLen int
+	// DriftThreshold flags a rolling-mean deviation beyond this many
+	// baseline sigmas (robust to periodic signals, unlike raw CUSUM).
+	DriftThreshold float64
+	// NoiseFactor flags local noise power above this multiple of the
+	// baseline.
+	NoiseFactor float64
+}
+
+// DefaultSeriesMonitorConfig is calibrated on the synthetic clean series.
+func DefaultSeriesMonitorConfig() SeriesMonitorConfig {
+	return SeriesMonitorConfig{
+		Window:         64,
+		OutlierSigma:   5,
+		StuckLen:       8,
+		DriftThreshold: 0.8,
+		NoiseFactor:    6,
+	}
+}
+
+// MonitorSeries runs all time-series error detectors over the signal
+// and returns per-sample alarms.
+func MonitorSeries(values []float32, cfg SeriesMonitorConfig) []Alarm {
+	var alarms []Alarm
+	n := len(values)
+	if n == 0 {
+		return nil
+	}
+	w := cfg.Window
+	if w < 8 {
+		w = 8
+	}
+	if w > n {
+		w = n
+	}
+
+	// Baseline statistics: the median of per-chunk statistics across
+	// the series. A corrupted stretch (stuck sensor, noise burst) then
+	// cannot poison the calibration the way a single "assume the first
+	// window is healthy" baseline could.
+	var chunkMeans, chunkStds, chunkNoises []float64
+	for lo := 0; lo+w <= n; lo += w {
+		m, s := meanStd(values[lo : lo+w])
+		chunkMeans = append(chunkMeans, m)
+		chunkStds = append(chunkStds, s)
+		chunkNoises = append(chunkNoises, localNoise(values[lo:lo+w]))
+	}
+	if len(chunkMeans) == 0 {
+		m, s := meanStd(values)
+		chunkMeans = []float64{m}
+		chunkStds = []float64{s}
+		chunkNoises = []float64{localNoise(values)}
+	}
+	baseMean := medianF64(chunkMeans)
+	baseStd := medianF64(chunkStds)
+	if baseStd < 1e-6 {
+		baseStd = 1e-6
+	}
+	baseNoise := medianF64(chunkNoises)
+	if baseNoise < 1e-9 {
+		baseNoise = 1e-9
+	}
+
+	// Outliers: deviation from a running median.
+	med := make([]float32, n)
+	for i := range values {
+		lo := i - w/2
+		if lo < 0 {
+			lo = 0
+		}
+		hi := lo + w
+		if hi > n {
+			hi = n
+			lo = hi - w
+		}
+		med[i] = median(values[lo:hi])
+	}
+	for i, v := range values {
+		dev := math.Abs(float64(v-med[i])) / baseStd
+		if dev > cfg.OutlierSigma {
+			alarms = append(alarms, Alarm{Index: i, Kind: dataset.ErrOutlier, Score: dev})
+		}
+	}
+
+	// Stuck-at: runs of identical values.
+	run := 1
+	for i := 1; i < n; i++ {
+		if values[i] == values[i-1] {
+			run++
+			if run == cfg.StuckLen {
+				for j := i - run + 1; j <= i; j++ {
+					alarms = append(alarms, Alarm{Index: j, Kind: dataset.ErrStuckAt, Score: float64(run)})
+				}
+			} else if run > cfg.StuckLen {
+				alarms = append(alarms, Alarm{Index: i, Kind: dataset.ErrStuckAt, Score: float64(run)})
+			}
+		} else {
+			run = 1
+		}
+	}
+
+	// Drift: deviation of a centered rolling mean from the baseline
+	// mean. Periodic content averages out over the window, so the
+	// detector responds to sustained offsets, not oscillation.
+	if n > w {
+		// Prefix sums for O(1) window means.
+		prefix := make([]float64, n+1)
+		for i, v := range values {
+			prefix[i+1] = prefix[i] + float64(v)
+		}
+		half := w / 2
+		for i := half; i < n-half; i++ {
+			m := (prefix[i+half] - prefix[i-half]) / float64(2*half)
+			dev := math.Abs(m-baseMean) / baseStd
+			if dev > cfg.DriftThreshold {
+				alarms = append(alarms, Alarm{Index: i, Kind: dataset.ErrDrift, Score: dev})
+			}
+		}
+	}
+
+	// Noise bursts: local first-difference power.
+	half := w / 2
+	for i := half; i < n-half; i++ {
+		p := localNoise(values[i-half : i+half])
+		if p > cfg.NoiseFactor*baseNoise {
+			alarms = append(alarms, Alarm{Index: i, Kind: dataset.ErrNoiseBurst, Score: p / baseNoise})
+		}
+	}
+	return alarms
+}
+
+func meanStd(xs []float32) (mean, std float64) {
+	for _, v := range xs {
+		mean += float64(v)
+	}
+	mean /= float64(len(xs))
+	var s float64
+	for _, v := range xs {
+		d := float64(v) - mean
+		s += d * d
+	}
+	return mean, math.Sqrt(s / float64(len(xs)))
+}
+
+// localNoise estimates the local noise power as the squared median
+// absolute first difference. The median makes the estimate robust to a
+// few outlier spikes inside the window, so the noise-burst detector
+// responds to sustained noise-floor elevation only.
+func localNoise(xs []float32) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	diffs := make([]float64, len(xs)-1)
+	for i := 1; i < len(xs); i++ {
+		diffs[i-1] = math.Abs(float64(xs[i] - xs[i-1]))
+	}
+	m := medianF64(diffs)
+	return m * m
+}
+
+func medianF64(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	return cp[len(cp)/2]
+}
+
+func median(xs []float32) float32 {
+	cp := append([]float32(nil), xs...)
+	// Insertion sort: windows are small.
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	return cp[len(cp)/2]
+}
+
+// DetectionReport scores a monitor against ground truth.
+type DetectionReport struct {
+	// Recall per injected error kind: detected / injected.
+	Recall map[dataset.ErrorKind]float64
+	// FalseAlarmRate is alarms on clean samples / clean samples.
+	FalseAlarmRate float64
+}
+
+// EvaluateSeriesMonitor measures monitor quality on a labelled series.
+// Detection tolerance: an alarm within ±tolerance samples of an injected
+// error counts for that error.
+func EvaluateSeriesMonitor(ts dataset.TimeSeries, cfg SeriesMonitorConfig, tolerance int) DetectionReport {
+	alarms := MonitorSeries(ts.Values, cfg)
+	alarmAt := make(map[int]bool, len(alarms))
+	for _, a := range alarms {
+		alarmAt[a.Index] = true
+	}
+	rep := DetectionReport{Recall: make(map[dataset.ErrorKind]float64)}
+	injected := make(map[dataset.ErrorKind]int)
+	detected := make(map[dataset.ErrorKind]int)
+	cleanSamples, falseAlarms := 0, 0
+	for i, kind := range ts.Faulty {
+		if kind == dataset.ErrNone {
+			cleanSamples++
+			if alarmAt[i] && !nearFault(ts.Faulty, i, tolerance) {
+				falseAlarms++
+			}
+			continue
+		}
+		injected[kind]++
+		hit := false
+		for j := i - tolerance; j <= i+tolerance; j++ {
+			if j >= 0 && j < len(ts.Faulty) && alarmAt[j] {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			detected[kind]++
+		}
+	}
+	for kind, n := range injected {
+		rep.Recall[kind] = float64(detected[kind]) / float64(n)
+	}
+	if cleanSamples > 0 {
+		rep.FalseAlarmRate = float64(falseAlarms) / float64(cleanSamples)
+	}
+	return rep
+}
+
+func nearFault(faults []dataset.ErrorKind, i, tol int) bool {
+	for j := i - tol; j <= i+tol; j++ {
+		if j >= 0 && j < len(faults) && faults[j] != dataset.ErrNone {
+			return true
+		}
+	}
+	return false
+}
+
+// ImageNoiseScore estimates the noise level of an image via the
+// mean-absolute Laplacian response — the image-quality monitor for the
+// camera inputs.
+func ImageNoiseScore(img dataset.Image) float64 {
+	if img.W < 3 || img.H < 3 {
+		return 0
+	}
+	var s float64
+	for y := 1; y < img.H-1; y++ {
+		for x := 1; x < img.W-1; x++ {
+			lap := 4*img.Pix[y*img.W+x] -
+				img.Pix[y*img.W+x-1] - img.Pix[y*img.W+x+1] -
+				img.Pix[(y-1)*img.W+x] - img.Pix[(y+1)*img.W+x]
+			s += math.Abs(float64(lap))
+		}
+	}
+	return s / float64((img.W-2)*(img.H-2))
+}

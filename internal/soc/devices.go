@@ -1,0 +1,171 @@
+package soc
+
+import (
+	"fmt"
+)
+
+// RAM is a zero-initialized byte-addressable memory.
+type RAM struct {
+	name string
+	data []byte
+}
+
+// NewRAM allocates size bytes (rounded up to a word).
+func NewRAM(name string, size uint32) *RAM {
+	size = (size + 3) &^ 3
+	return &RAM{name: name, data: make([]byte, size)}
+}
+
+// Name implements Device.
+func (r *RAM) Name() string { return r.name }
+
+// Size implements Device.
+func (r *RAM) Size() uint32 { return uint32(len(r.data)) }
+
+// Read32 implements Device.
+func (r *RAM) Read32(off uint32) (uint32, error) {
+	if off+4 > uint32(len(r.data)) {
+		return 0, fmt.Errorf("soc: %s read past end at %#x", r.name, off)
+	}
+	return uint32(r.data[off]) | uint32(r.data[off+1])<<8 |
+		uint32(r.data[off+2])<<16 | uint32(r.data[off+3])<<24, nil
+}
+
+// Write32 implements Device.
+func (r *RAM) Write32(off uint32, v uint32) error {
+	if off+4 > uint32(len(r.data)) {
+		return fmt.Errorf("soc: %s write past end at %#x", r.name, off)
+	}
+	r.data[off] = byte(v)
+	r.data[off+1] = byte(v >> 8)
+	r.data[off+2] = byte(v >> 16)
+	r.data[off+3] = byte(v >> 24)
+	return nil
+}
+
+// LoadWords copies a firmware image (little-endian words) at offset.
+func (r *RAM) LoadWords(off uint32, words []uint32) error {
+	for i, w := range words {
+		if err := r.Write32(off+uint32(i)*4, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UART register offsets.
+const (
+	UARTTx     = 0x0 // write: transmit byte
+	UARTStatus = 0x4 // read: bit0 = tx ready (always 1)
+)
+
+// UART is a transmit-only console capturing firmware output, the
+// introspection hook CI assertions read.
+type UART struct {
+	out []byte
+}
+
+// Name implements Device.
+func (u *UART) Name() string { return "uart" }
+
+// Size implements Device.
+func (u *UART) Size() uint32 { return 8 }
+
+// Read32 implements Device.
+func (u *UART) Read32(off uint32) (uint32, error) {
+	switch off {
+	case UARTTx:
+		return 0, nil
+	case UARTStatus:
+		return 1, nil
+	}
+	return 0, fmt.Errorf("soc: uart read at %#x", off)
+}
+
+// Write32 implements Device.
+func (u *UART) Write32(off uint32, v uint32) error {
+	if off == UARTTx {
+		u.out = append(u.out, byte(v))
+		return nil
+	}
+	if off == UARTStatus {
+		return nil
+	}
+	return fmt.Errorf("soc: uart write at %#x", off)
+}
+
+// Output returns everything transmitted so far.
+func (u *UART) Output() string { return string(u.out) }
+
+// Timer register offsets.
+const (
+	TimerMtimeLo = 0x0
+	TimerMtimeHi = 0x4
+)
+
+// Timer exposes a free-running counter fed by the core's cycle counter.
+type Timer struct {
+	// Now is read on access; the machine wires it to the core cycles.
+	Now func() uint64
+}
+
+// Name implements Device.
+func (t *Timer) Name() string { return "timer" }
+
+// Size implements Device.
+func (t *Timer) Size() uint32 { return 8 }
+
+// Read32 implements Device.
+func (t *Timer) Read32(off uint32) (uint32, error) {
+	now := uint64(0)
+	if t.Now != nil {
+		now = t.Now()
+	}
+	switch off {
+	case TimerMtimeLo:
+		return uint32(now), nil
+	case TimerMtimeHi:
+		return uint32(now >> 32), nil
+	}
+	return 0, fmt.Errorf("soc: timer read at %#x", off)
+}
+
+// Write32 implements Device.
+func (t *Timer) Write32(off uint32, v uint32) error {
+	return nil // counter is read-only
+}
+
+// Test-finisher codes (QEMU/Renode-style).
+const (
+	FinisherPass = 0x5555
+	FinisherFail = 0x3333
+)
+
+// Finisher lets firmware end the simulation and report a verdict.
+type Finisher struct {
+	Done bool
+	Pass bool
+	Code uint32
+	// OnDone is invoked when firmware writes the device.
+	OnDone func()
+}
+
+// Name implements Device.
+func (f *Finisher) Name() string { return "finisher" }
+
+// Size implements Device.
+func (f *Finisher) Size() uint32 { return 4 }
+
+// Read32 implements Device.
+func (f *Finisher) Read32(off uint32) (uint32, error) { return 0, nil }
+
+// Write32 implements Device.
+func (f *Finisher) Write32(off uint32, v uint32) error {
+	f.Done = true
+	f.Code = v
+	f.Pass = v == FinisherPass
+	if f.OnDone != nil {
+		f.OnDone()
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package soc
+
+import (
+	"fmt"
+
+	"vedliot/internal/riscv"
+)
+
+// Standard address map (QEMU virt-like).
+const (
+	RAMBase      = 0x8000_0000
+	UARTBase     = 0x1000_0000
+	TimerBase    = 0x1010_0000
+	FinisherBase = 0x0010_0000
+)
+
+// Config describes a machine to assemble.
+type Config struct {
+	Name    string
+	RAMSize uint32
+	// CFU optionally attaches a custom function unit to the core.
+	CFU riscv.CFU
+}
+
+// Machine is one simulated SoC: core, bus, memory and peripherals.
+type Machine struct {
+	Name     string
+	Core     *riscv.Core
+	Bus      *Bus
+	RAM      *RAM
+	UART     *UART
+	Timer    *Timer
+	Finisher *Finisher
+}
+
+// NewMachine assembles a machine from the config.
+func NewMachine(cfg Config) (*Machine, error) {
+	if cfg.RAMSize == 0 {
+		cfg.RAMSize = 1 << 20
+	}
+	m := &Machine{
+		Name:     cfg.Name,
+		Bus:      &Bus{},
+		RAM:      NewRAM("ram", cfg.RAMSize),
+		UART:     &UART{},
+		Timer:    &Timer{},
+		Finisher: &Finisher{},
+	}
+	for _, mapping := range []struct {
+		base uint32
+		dev  Device
+	}{
+		{RAMBase, m.RAM},
+		{UARTBase, m.UART},
+		{TimerBase, m.Timer},
+		{FinisherBase, m.Finisher},
+	} {
+		if err := m.Bus.Map(mapping.base, mapping.dev); err != nil {
+			return nil, err
+		}
+	}
+	m.Core = riscv.NewCore(m.Bus, RAMBase)
+	m.Core.CFU = cfg.CFU
+	m.Timer.Now = func() uint64 { return m.Core.Cycles }
+	m.Finisher.OnDone = func() { m.Core.Halted = true }
+	return m, nil
+}
+
+// LoadFirmware places a word image at the reset vector.
+func (m *Machine) LoadFirmware(words []uint32) error {
+	return m.RAM.LoadWords(0, words)
+}
+
+// Run executes up to maxInstr instructions, returning the retired count.
+// The machine stops early when firmware writes the finisher or executes
+// WFI.
+func (m *Machine) Run(maxInstr uint64) (uint64, error) {
+	before := m.Core.Instret
+	if err := m.Core.Run(maxInstr); err != nil {
+		return m.Core.Instret - before, err
+	}
+	return m.Core.Instret - before, nil
+}
+
+// RequireFinished returns an error unless firmware signalled a verdict.
+func (m *Machine) RequireFinished() error {
+	if !m.Finisher.Done {
+		return fmt.Errorf("soc: %s firmware did not reach the finisher", m.Name)
+	}
+	if !m.Finisher.Pass {
+		return fmt.Errorf("soc: %s firmware reported failure (code %#x)", m.Name, m.Finisher.Code)
+	}
+	return nil
+}
+
+// Program is a small firmware builder: it accumulates instructions and
+// resolves absolute word addresses relative to RAMBase.
+type Program struct {
+	words []uint32
+}
+
+// Emit appends raw instructions.
+func (p *Program) Emit(ws ...uint32) *Program {
+	p.words = append(p.words, ws...)
+	return p
+}
+
+// PC returns the address the next emitted instruction will occupy.
+func (p *Program) PC() uint32 { return RAMBase + uint32(len(p.words))*4 }
+
+// Words returns the image.
+func (p *Program) Words() []uint32 { return p.words }
+
+// EmitLI emits a 2-instruction load-immediate.
+func (p *Program) EmitLI(rd int, v uint32) *Program {
+	return p.Emit(riscv.LI(rd, v)...)
+}
+
+// EmitPutc emits code printing one character to the UART (clobbers T6).
+func (p *Program) EmitPutc(ch byte) *Program {
+	p.EmitLI(riscv.T6, UARTBase)
+	p.EmitLI(riscv.T5, uint32(ch))
+	return p.Emit(riscv.SW(riscv.T5, riscv.T6, UARTTx))
+}
+
+// EmitFinish emits code writing the pass/fail verdict (clobbers T6, T5).
+func (p *Program) EmitFinish(pass bool) *Program {
+	code := uint32(FinisherFail)
+	if pass {
+		code = FinisherPass
+	}
+	p.EmitLI(riscv.T6, FinisherBase)
+	p.EmitLI(riscv.T5, code)
+	return p.Emit(riscv.SW(riscv.T5, riscv.T6, 0))
+}

@@ -1,0 +1,230 @@
+package soc
+
+import (
+	"strings"
+	"testing"
+
+	"vedliot/internal/cfu"
+	"vedliot/internal/riscv"
+)
+
+func TestBusMappingAndOverlap(t *testing.T) {
+	b := &Bus{}
+	if err := b.Map(0x1000, NewRAM("a", 0x100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Map(0x1080, NewRAM("b", 0x100)); err == nil {
+		t.Error("overlapping map accepted")
+	}
+	if err := b.Map(0x2000, NewRAM("c", 0x100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Read32(0x3000); err == nil {
+		t.Error("unmapped read succeeded")
+	}
+	if err := b.Write32(0x3000, 1); err == nil {
+		t.Error("unmapped write succeeded")
+	}
+}
+
+func TestBusByteAndHalfAccess(t *testing.T) {
+	b := &Bus{}
+	if err := b.Map(0, NewRAM("ram", 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write32(0, 0x44332211); err != nil {
+		t.Fatal(err)
+	}
+	v8, err := b.Read8(1)
+	if err != nil || v8 != 0x22 {
+		t.Errorf("Read8 = %#x, %v", v8, err)
+	}
+	v16, err := b.Read16(2)
+	if err != nil || v16 != 0x4433 {
+		t.Errorf("Read16 = %#x, %v", v16, err)
+	}
+	if err := b.Write8(3, 0xaa); err != nil {
+		t.Fatal(err)
+	}
+	v32, _ := b.Read32(0)
+	if v32 != 0xaa332211 {
+		t.Errorf("after Write8: %#x", v32)
+	}
+	if err := b.Write16(0, 0xbeef); err != nil {
+		t.Fatal(err)
+	}
+	v32, _ = b.Read32(0)
+	if v32 != 0xaa33beef {
+		t.Errorf("after Write16: %#x", v32)
+	}
+}
+
+func TestRAMBounds(t *testing.T) {
+	r := NewRAM("r", 8)
+	if _, err := r.Read32(8); err == nil {
+		t.Error("read past end succeeded")
+	}
+	if err := r.Write32(6, 1); err == nil {
+		t.Error("unaligned-tail write past end succeeded")
+	}
+}
+
+func TestUARTCapturesOutput(t *testing.T) {
+	u := &UART{}
+	for _, ch := range []byte("hi") {
+		if err := u.Write32(UARTTx, uint32(ch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if u.Output() != "hi" {
+		t.Errorf("uart = %q", u.Output())
+	}
+	status, err := u.Read32(UARTStatus)
+	if err != nil || status != 1 {
+		t.Errorf("status = %d, %v", status, err)
+	}
+}
+
+func TestMachineHelloWorld(t *testing.T) {
+	m, err := NewMachine(Config{Name: "hello"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Program{}
+	for _, ch := range []byte("OK\n") {
+		p.EmitPutc(ch)
+	}
+	p.EmitFinish(true)
+	p.Emit(riscv.WFI())
+	if err := m.LoadFirmware(p.Words()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RequireFinished(); err != nil {
+		t.Fatal(err)
+	}
+	if m.UART.Output() != "OK\n" {
+		t.Errorf("uart = %q", m.UART.Output())
+	}
+}
+
+func TestMachineFailVerdict(t *testing.T) {
+	m, err := NewMachine(Config{Name: "fail"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Program{}
+	p.EmitFinish(false)
+	p.Emit(riscv.WFI())
+	if err := m.LoadFirmware(p.Words()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	err = m.RequireFinished()
+	if err == nil || !strings.Contains(err.Error(), "failure") {
+		t.Errorf("RequireFinished = %v", err)
+	}
+}
+
+func TestMachineNotFinished(t *testing.T) {
+	m, err := NewMachine(Config{Name: "spin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadFirmware([]uint32{riscv.JAL(0, 0)}); err != nil { // tight loop
+		t.Fatal(err)
+	}
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RequireFinished(); err == nil {
+		t.Error("unfinished firmware passed RequireFinished")
+	}
+}
+
+func TestTimerAdvances(t *testing.T) {
+	m, err := NewMachine(Config{Name: "timer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Program{}
+	p.EmitLI(riscv.T0, TimerBase)
+	p.Emit(riscv.LW(riscv.S0, riscv.T0, TimerMtimeLo)) // first reading
+	for i := 0; i < 10; i++ {
+		p.Emit(riscv.NOP())
+	}
+	p.Emit(riscv.LW(riscv.S1, riscv.T0, TimerMtimeLo)) // second reading
+	p.Emit(riscv.WFI())
+	if err := m.LoadFirmware(p.Words()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Core.X[riscv.S1] <= m.Core.X[riscv.S0] {
+		t.Errorf("timer did not advance: %d -> %d", m.Core.X[riscv.S0], m.Core.X[riscv.S1])
+	}
+}
+
+func TestMachineWithCFU(t *testing.T) {
+	// Firmware computes a 4-element INT8 dot product through the
+	// vector-MAC CFU, prints nothing, and reports pass/fail by
+	// comparing with the expected value.
+	mac := &cfu.VectorMAC{}
+	m, err := NewMachine(Config{Name: "cfu", CFU: mac})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Program{}
+	// rs1 lanes: 1, 2, 3, 4 ; rs2 lanes: 5, 6, 7, 8 -> dot = 70.
+	p.EmitLI(riscv.A0, 0x04030201)
+	p.EmitLI(riscv.A1, 0x08070605)
+	p.Emit(
+		riscv.CUSTOM0(0, 0, 0, cfu.OpMacClear, 0),
+		riscv.CUSTOM0(riscv.A2, riscv.A0, riscv.A1, cfu.OpMacStep, 0),
+		riscv.WFI(),
+	)
+	if err := m.LoadFirmware(p.Words()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if mac.Acc() != 70 {
+		t.Errorf("CFU acc = %d, want 70", mac.Acc())
+	}
+	if m.Core.X[riscv.A2] != 70 {
+		t.Errorf("A2 = %d, want 70", m.Core.X[riscv.A2])
+	}
+}
+
+func TestCFUAbsentTraps(t *testing.T) {
+	m, err := NewMachine(Config{Name: "nocfu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Program{}
+	// Point mtvec at a handler that halts.
+	handler := uint32(40)
+	p.EmitLI(riscv.T0, RAMBase+handler)
+	p.Emit(riscv.CSRRW(0, riscv.T0, riscv.CsrMtvec))
+	p.Emit(riscv.CUSTOM0(1, 0, 0, 0, 0)) // no CFU attached -> illegal
+	for p.PC() < RAMBase+handler {
+		p.Emit(riscv.NOP())
+	}
+	p.Emit(riscv.CSRRS(riscv.S2, 0, riscv.CsrMcause))
+	p.Emit(riscv.WFI())
+	if err := m.LoadFirmware(p.Words()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Core.X[riscv.S2] != riscv.ExcIllegalInstr {
+		t.Errorf("mcause = %d, want illegal instruction", m.Core.X[riscv.S2])
+	}
+}

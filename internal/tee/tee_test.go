@@ -1,0 +1,171 @@
+package tee
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeasurementDeterministic(t *testing.T) {
+	a := NewEnclave([]byte("image-1"), SGXCosts())
+	b := NewEnclave([]byte("image-1"), SGXCosts())
+	c := NewEnclave([]byte("image-2"), SGXCosts())
+	if a.Measurement() != b.Measurement() {
+		t.Error("same image, different measurement")
+	}
+	if a.Measurement() == c.Measurement() {
+		t.Error("different images share a measurement")
+	}
+}
+
+func TestEcallAccounting(t *testing.T) {
+	e := NewEnclave([]byte("x"), SGXCosts())
+	ran := false
+	if err := e.Ecall(1024, func() error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("ecall body did not run")
+	}
+	if e.Ecalls() != 1 {
+		t.Errorf("ecalls = %d", e.Ecalls())
+	}
+	want := SGXCosts().EcallNS + SGXCosts().CryptNSPerKB
+	if e.OverheadNS() != want {
+		t.Errorf("overhead = %d, want %d", e.OverheadNS(), want)
+	}
+	// Ocall adds its own cost.
+	_ = e.Ocall(0, func() error { return nil })
+	if e.Ocalls() != 1 || e.OverheadNS() <= want {
+		t.Error("ocall not accounted")
+	}
+}
+
+func TestEPCPagingKicksIn(t *testing.T) {
+	cost := SGXCosts()
+	small := NewEnclave([]byte("x"), cost)
+	big := NewEnclave([]byte("x"), cost)
+	small.SetWorkingSet(1 << 20)
+	big.SetWorkingSet(cost.EPCBytes * 4)
+	_ = small.Ecall(4096, func() error { return nil })
+	_ = big.Ecall(4096, func() error { return nil })
+	if big.OverheadNS() <= small.OverheadNS() {
+		t.Errorf("EPC paging not charged: big %d <= small %d", big.OverheadNS(), small.OverheadNS())
+	}
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	e := NewEnclave([]byte("enclave-code"), SGXCosts())
+	secret := []byte("model weights v1")
+	sealed, err := e.Seal(secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(sealed, secret) {
+		t.Error("sealed blob leaks plaintext")
+	}
+	back, err := e.Unseal(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, secret) {
+		t.Errorf("unsealed %q", back)
+	}
+	// A different enclave identity cannot unseal.
+	other := NewEnclave([]byte("other-code"), SGXCosts())
+	if _, err := other.Unseal(sealed); err == nil {
+		t.Error("foreign enclave unsealed the blob")
+	}
+	// Tampered blob rejected.
+	sealed[len(sealed)-1] ^= 1
+	if _, err := e.Unseal(sealed); err == nil {
+		t.Error("tampered blob unsealed")
+	}
+	if _, err := e.Unseal([]byte{1, 2}); err == nil {
+		t.Error("truncated blob unsealed")
+	}
+}
+
+func TestSealRoundTripProperty(t *testing.T) {
+	e := NewEnclave([]byte("p"), SGXCosts())
+	f := func(data []byte) bool {
+		sealed, err := e.Seal(data)
+		if err != nil {
+			return false
+		}
+		back, err := e.Unseal(sealed)
+		return err == nil && bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuoteVerify(t *testing.T) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEnclave([]byte("app"), SGXCosts())
+	nonce := []byte("fresh-nonce-123")
+	q := e.GenerateQuote(nonce, []byte("report"), priv)
+	if err := VerifyQuote(q, pub, e.Measurement(), nonce); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong nonce.
+	if err := VerifyQuote(q, pub, e.Measurement(), []byte("other")); err == nil {
+		t.Error("stale nonce accepted")
+	}
+	// Wrong measurement.
+	var wrong [32]byte
+	if err := VerifyQuote(q, pub, wrong, nonce); err == nil {
+		t.Error("wrong measurement accepted")
+	}
+	// Forged signature.
+	q2 := q
+	q2.Sig = append([]byte(nil), q.Sig...)
+	q2.Sig[0] ^= 1
+	if err := VerifyQuote(q2, pub, e.Measurement(), nonce); err == nil {
+		t.Error("forged signature accepted")
+	}
+}
+
+func TestTrustZoneWorldSwitch(t *testing.T) {
+	tz := NewTrustZone(TrustZoneCosts())
+	if tz.Current() != NormalWorld {
+		t.Fatal("should start in the normal world")
+	}
+	// Registration from the normal world fails.
+	if err := tz.RegisterTA("echo", func(b []byte) ([]byte, error) { return b, nil }); err == nil {
+		t.Error("TA registered from normal world")
+	}
+	// Secure boot installs the TA.
+	tz.SwitchTo(SecureWorld)
+	if err := tz.RegisterTA("echo", func(b []byte) ([]byte, error) { return append([]byte("ta:"), b...), nil }); err != nil {
+		t.Fatal(err)
+	}
+	tz.SwitchTo(NormalWorld)
+	before := tz.Switches()
+
+	out, err := tz.InvokeTA("echo", []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "ta:hi" {
+		t.Errorf("TA output %q", out)
+	}
+	if tz.Current() != NormalWorld {
+		t.Error("world not restored")
+	}
+	if tz.Switches() != before+2 {
+		t.Errorf("switches = %d, want %d", tz.Switches(), before+2)
+	}
+	if tz.OverheadNS() == 0 {
+		t.Error("no overhead accounted")
+	}
+	if _, err := tz.InvokeTA("ghost", nil); err == nil {
+		t.Error("unknown TA invoked")
+	}
+}

@@ -1,0 +1,189 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSubMul(t *testing.T) {
+	a := MustFromSlice([]float32{1, 2, 3}, 3)
+	b := MustFromSlice([]float32{4, 5, 6}, 3)
+	sum, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.F32[0] != 5 || sum.F32[2] != 9 {
+		t.Errorf("Add = %v", sum.F32)
+	}
+	diff, _ := Sub(b, a)
+	if diff.F32[1] != 3 {
+		t.Errorf("Sub = %v", diff.F32)
+	}
+	prod, _ := Mul(a, b)
+	if prod.F32[2] != 18 {
+		t.Errorf("Mul = %v", prod.F32)
+	}
+	if _, err := Add(a, MustFromSlice([]float32{1}, 1)); err == nil {
+		t.Error("Add accepted mismatched shapes")
+	}
+}
+
+func TestScale(t *testing.T) {
+	a := MustFromSlice([]float32{1, -2}, 2)
+	s := Scale(a, 3)
+	if s.F32[0] != 3 || s.F32[1] != -6 {
+		t.Errorf("Scale = %v", s.F32)
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := MustFromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := MustFromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{58, 64, 139, 154}
+	for i, w := range want {
+		if c.F32[i] != w {
+			t.Errorf("MatMul[%d] = %v, want %v", i, c.F32[i], w)
+		}
+	}
+	if _, err := MatMul(a, a); err == nil {
+		t.Error("MatMul accepted bad inner dims")
+	}
+	if _, err := MatMul(MustFromSlice([]float32{1}, 1), b); err == nil {
+		t.Error("MatMul accepted rank-1")
+	}
+}
+
+func TestMatMulIdentityProperty(t *testing.T) {
+	f := func(raw []float32) bool {
+		n := 4
+		if len(raw) < n*n {
+			return true
+		}
+		vals := make([]float32, n*n)
+		for i := range vals {
+			v := raw[i]
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				v = 1
+			}
+			vals[i] = v
+		}
+		a := MustFromSlice(vals, n, n)
+		id := New(FP32, n, n)
+		for i := 0; i < n; i++ {
+			id.F32[i*n+i] = 1
+		}
+		c, err := MatMul(a, id)
+		if err != nil {
+			return false
+		}
+		for i := range vals {
+			if c.F32[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := MustFromSlice([]float32{1, 2, 3}, 3)
+	b := MustFromSlice([]float32{4, 5, 6}, 3)
+	d, err := Dot(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 32 {
+		t.Errorf("Dot = %v, want 32", d)
+	}
+	if _, err := Dot(a, MustFromSlice([]float32{1}, 1)); err == nil {
+		t.Error("Dot accepted length mismatch")
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	a := MustFromSlice([]float32{0.1, 0.9, 0.3}, 3)
+	if ArgMax(a) != 1 {
+		t.Errorf("ArgMax = %d", ArgMax(a))
+	}
+	if ArgMax(New(FP32)) == -1 { // scalar has one element at index 0
+		t.Error("scalar ArgMax should be 0")
+	}
+	empty := &Tensor{Shape: Shape{0}, DType: FP32}
+	if ArgMax(empty) != -1 {
+		t.Error("empty ArgMax should be -1")
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	a := MustFromSlice([]float32{1, 2, 3}, 3)
+	s := Softmax(a)
+	var sum float64
+	for _, v := range s.F32 {
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("softmax sums to %v", sum)
+	}
+	if !(s.F32[2] > s.F32[1] && s.F32[1] > s.F32[0]) {
+		t.Errorf("softmax not order-preserving: %v", s.F32)
+	}
+	// Large inputs must not overflow.
+	big := MustFromSlice([]float32{1000, 1001}, 2)
+	sb := Softmax(big)
+	if math.IsNaN(float64(sb.F32[0])) || math.IsInf(float64(sb.F32[1]), 0) {
+		t.Errorf("softmax unstable: %v", sb.F32)
+	}
+}
+
+func TestSoftmaxSumProperty(t *testing.T) {
+	f := func(raw []float32) bool {
+		vals := make([]float32, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(float64(v)) && !math.IsInf(float64(v), 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		s := Softmax(MustFromSlice(vals, len(vals)))
+		var sum float64
+		for _, v := range s.F32 {
+			if v < 0 {
+				return false
+			}
+			sum += float64(v)
+		}
+		return math.Abs(sum-1) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxAbsDiffAndMSE(t *testing.T) {
+	a := MustFromSlice([]float32{1, 2, 3}, 3)
+	b := MustFromSlice([]float32{1, 4, 2}, 3)
+	d, err := MaxAbsDiff(a, b)
+	if err != nil || d != 2 {
+		t.Errorf("MaxAbsDiff = %v, %v", d, err)
+	}
+	mse, err := MeanSquaredError(a, b)
+	if err != nil || math.Abs(mse-5.0/3.0) > 1e-9 {
+		t.Errorf("MSE = %v, %v", mse, err)
+	}
+	if _, err := MaxAbsDiff(a, MustFromSlice([]float32{1}, 1)); err == nil {
+		t.Error("MaxAbsDiff accepted shape mismatch")
+	}
+	if _, err := MeanSquaredError(a, MustFromSlice([]float32{1}, 1)); err == nil {
+		t.Error("MSE accepted shape mismatch")
+	}
+}

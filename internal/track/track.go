@@ -1,0 +1,203 @@
+// Package track implements the Kalman-filter person/face trackers of
+// the smart-mirror pipeline (Fig. 5): constant-velocity filters over 2-D
+// detections, plus a greedy detection-to-track associator.
+package track
+
+import (
+	"math"
+	"sort"
+)
+
+// Point is a 2-D measurement (e.g. a detection centroid in pixels).
+type Point struct {
+	X, Y float64
+}
+
+// KalmanConfig tunes the constant-velocity filter.
+type KalmanConfig struct {
+	// ProcessNoise is the acceleration noise spectral density.
+	ProcessNoise float64
+	// MeasurementNoise is the detector's position noise variance.
+	MeasurementNoise float64
+	// InitialVariance seeds the state covariance diagonal.
+	InitialVariance float64
+}
+
+// DefaultKalmanConfig suits pixel-space tracking at camera frame rates.
+func DefaultKalmanConfig() KalmanConfig {
+	return KalmanConfig{ProcessNoise: 1, MeasurementNoise: 4, InitialVariance: 100}
+}
+
+// Kalman is a constant-velocity filter with state [x y vx vy]. The
+// x and y axes are independent, so the filter runs two 2-state
+// (position, velocity) filters sharing parameters — numerically
+// identical to the 4-state block-diagonal form and much simpler.
+type Kalman struct {
+	cfg KalmanConfig
+
+	// Per-axis state and covariance.
+	x, vx, y, vy float64
+	// Covariance entries per axis: [p_pp, p_pv, p_vv].
+	px, py [3]float64
+
+	initialized bool
+	// Age counts prediction steps; Hits counts updates.
+	Age, Hits int
+	// Misses counts consecutive predictions without update.
+	Misses int
+}
+
+// NewKalman creates an uninitialized filter.
+func NewKalman(cfg KalmanConfig) *Kalman {
+	return &Kalman{cfg: cfg}
+}
+
+// State returns the current position estimate.
+func (k *Kalman) State() Point { return Point{k.x, k.y} }
+
+// Velocity returns the current velocity estimate.
+func (k *Kalman) Velocity() Point { return Point{k.vx, k.vy} }
+
+// Predict advances the state one frame (dt = 1).
+func (k *Kalman) Predict() Point {
+	if !k.initialized {
+		return k.State()
+	}
+	k.x += k.vx
+	k.y += k.vy
+	predictAxis(&k.px, k.cfg.ProcessNoise)
+	predictAxis(&k.py, k.cfg.ProcessNoise)
+	k.Age++
+	k.Misses++
+	return k.State()
+}
+
+func predictAxis(p *[3]float64, q float64) {
+	// P = F P F' + Q with F = [1 1; 0 1], Q = q*[1/4 1/2; 1/2 1]
+	pp, pv, vv := p[0], p[1], p[2]
+	p[0] = pp + 2*pv + vv + q/4
+	p[1] = pv + vv + q/2
+	p[2] = vv + q
+}
+
+// Update fuses a measurement; the first update initializes the state.
+func (k *Kalman) Update(m Point) {
+	if !k.initialized {
+		k.x, k.y = m.X, m.Y
+		iv := k.cfg.InitialVariance
+		k.px = [3]float64{iv, 0, iv}
+		k.py = [3]float64{iv, 0, iv}
+		k.initialized = true
+		k.Hits++
+		k.Misses = 0
+		return
+	}
+	k.x, k.vx = updateAxis(&k.px, k.x, k.vx, m.X, k.cfg.MeasurementNoise)
+	k.y, k.vy = updateAxis(&k.py, k.y, k.vy, m.Y, k.cfg.MeasurementNoise)
+	k.Hits++
+	k.Misses = 0
+}
+
+func updateAxis(p *[3]float64, pos, vel, meas, r float64) (newPos, newVel float64) {
+	s := p[0] + r
+	kp := p[0] / s
+	kv := p[1] / s
+	innov := meas - pos
+	newPos = pos + kp*innov
+	newVel = vel + kv*innov
+	pp, pv, vv := p[0], p[1], p[2]
+	p[0] = (1 - kp) * pp
+	p[1] = (1 - kp) * pv
+	p[2] = vv - kv*pv
+	return newPos, newVel
+}
+
+// Track is one tracked object.
+type Track struct {
+	ID     int
+	Filter *Kalman
+	// Label carries the classifier identity (face name, object class).
+	Label string
+}
+
+// Tracker associates per-frame detections with persistent tracks.
+type Tracker struct {
+	cfg KalmanConfig
+	// GateDistance is the maximum association distance.
+	GateDistance float64
+	// MaxMisses drops a track after this many missed frames.
+	MaxMisses int
+
+	tracks []*Track
+	nextID int
+}
+
+// NewTracker builds a tracker with the given association gate.
+func NewTracker(cfg KalmanConfig, gate float64, maxMisses int) *Tracker {
+	return &Tracker{cfg: cfg, GateDistance: gate, MaxMisses: maxMisses, nextID: 1}
+}
+
+// Tracks returns the live tracks.
+func (t *Tracker) Tracks() []*Track { return t.tracks }
+
+// Detection is one frame observation.
+type Detection struct {
+	P     Point
+	Label string
+}
+
+// Step advances all tracks and associates the frame's detections:
+// greedy nearest-neighbour within the gate, new tracks for unmatched
+// detections, and retirement of stale tracks.
+func (t *Tracker) Step(dets []Detection) {
+	for _, tr := range t.tracks {
+		tr.Filter.Predict()
+	}
+	type pair struct {
+		ti, di int
+		d      float64
+	}
+	var pairs []pair
+	for ti, tr := range t.tracks {
+		s := tr.Filter.State()
+		for di, d := range dets {
+			dist := math.Hypot(s.X-d.P.X, s.Y-d.P.Y)
+			if dist <= t.GateDistance {
+				pairs = append(pairs, pair{ti, di, dist})
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].d < pairs[j].d })
+	usedT := make(map[int]bool)
+	usedD := make(map[int]bool)
+	for _, p := range pairs {
+		if usedT[p.ti] || usedD[p.di] {
+			continue
+		}
+		usedT[p.ti] = true
+		usedD[p.di] = true
+		tr := t.tracks[p.ti]
+		tr.Filter.Update(dets[p.di].P)
+		if dets[p.di].Label != "" {
+			tr.Label = dets[p.di].Label
+		}
+	}
+	// New tracks for unmatched detections.
+	for di, d := range dets {
+		if usedD[di] {
+			continue
+		}
+		f := NewKalman(t.cfg)
+		f.Update(d.P)
+		t.tracks = append(t.tracks, &Track{ID: t.nextID, Filter: f, Label: d.Label})
+		t.nextID++
+	}
+	// Retire stale tracks.
+	kept := t.tracks[:0]
+	for _, tr := range t.tracks {
+		if tr.Filter.Misses <= t.MaxMisses {
+			kept = append(kept, tr)
+		}
+	}
+	t.tracks = kept
+}

@@ -1,0 +1,115 @@
+package track
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKalmanConvergesToConstantVelocity(t *testing.T) {
+	k := NewKalman(DefaultKalmanConfig())
+	// Object moving at (2, -1) per frame.
+	for i := 0; i < 50; i++ {
+		k.Predict()
+		k.Update(Point{X: float64(i) * 2, Y: float64(i) * -1})
+	}
+	v := k.Velocity()
+	if math.Abs(v.X-2) > 0.2 || math.Abs(v.Y+1) > 0.2 {
+		t.Errorf("velocity = %+v, want ~(2,-1)", v)
+	}
+	s := k.State()
+	if math.Abs(s.X-98) > 2 || math.Abs(s.Y+49) > 2 {
+		t.Errorf("state = %+v, want ~(98,-49)", s)
+	}
+}
+
+func TestKalmanSmoothsNoise(t *testing.T) {
+	k := NewKalman(DefaultKalmanConfig())
+	// Static object with noisy measurements. The pseudo-noise phase
+	// step (78.233 rad ≈ 2.83 rad effective) decorrelates sample to
+	// sample, so a correct filter averages it away.
+	var rawErr, filtErr float64
+	n := 0
+	for i := 0; i < 200; i++ {
+		noise := 3 * math.Sin(float64(i)*78.233)
+		m := Point{X: 50 + noise, Y: 50 - noise}
+		k.Predict()
+		k.Update(m)
+		if i > 50 {
+			s := k.State()
+			rawErr += math.Abs(noise)
+			filtErr += math.Abs(s.X - 50)
+			n++
+		}
+	}
+	if filtErr >= rawErr {
+		t.Errorf("filter (%.1f) no better than raw (%.1f)", filtErr/float64(n), rawErr/float64(n))
+	}
+}
+
+func TestKalmanPredictWithoutUpdateCoasts(t *testing.T) {
+	k := NewKalman(DefaultKalmanConfig())
+	for i := 0; i < 20; i++ {
+		k.Predict()
+		k.Update(Point{X: float64(i) * 5, Y: 0})
+	}
+	// Miss 3 frames: position should keep advancing by ~velocity.
+	before := k.State()
+	for i := 0; i < 3; i++ {
+		k.Predict()
+	}
+	after := k.State()
+	if after.X <= before.X {
+		t.Error("coasting did not advance position")
+	}
+	if k.Misses != 3 {
+		t.Errorf("misses = %d", k.Misses)
+	}
+}
+
+func TestTrackerAssociatesAndRetires(t *testing.T) {
+	tr := NewTracker(DefaultKalmanConfig(), 30, 2)
+	// Two objects crossing the frame.
+	for i := 0; i < 10; i++ {
+		tr.Step([]Detection{
+			{P: Point{X: float64(i) * 10, Y: 100}, Label: "alice"},
+			{P: Point{X: 500 - float64(i)*10, Y: 300}, Label: "bob"},
+		})
+	}
+	if len(tr.Tracks()) != 2 {
+		t.Fatalf("tracks = %d, want 2", len(tr.Tracks()))
+	}
+	ids := map[int]string{}
+	for _, trk := range tr.Tracks() {
+		ids[trk.ID] = trk.Label
+	}
+	if len(ids) != 2 {
+		t.Errorf("expected 2 distinct IDs, got %v", ids)
+	}
+	// One object disappears; its track must retire after MaxMisses.
+	for i := 10; i < 15; i++ {
+		tr.Step([]Detection{{P: Point{X: float64(i) * 10, Y: 100}, Label: "alice"}})
+	}
+	if len(tr.Tracks()) != 1 {
+		t.Fatalf("tracks after disappearance = %d, want 1", len(tr.Tracks()))
+	}
+	if tr.Tracks()[0].Label != "alice" {
+		t.Errorf("surviving track = %q", tr.Tracks()[0].Label)
+	}
+}
+
+func TestTrackerIdentityMaintainedThroughMiss(t *testing.T) {
+	tr := NewTracker(DefaultKalmanConfig(), 50, 3)
+	tr.Step([]Detection{{P: Point{X: 100, Y: 100}, Label: "p"}})
+	id := tr.Tracks()[0].ID
+	// Miss one frame, then reappear nearby: same ID.
+	tr.Step(nil)
+	tr.Step([]Detection{{P: Point{X: 105, Y: 102}}})
+	if len(tr.Tracks()) != 1 || tr.Tracks()[0].ID != id {
+		t.Errorf("identity lost: %+v", tr.Tracks())
+	}
+	// Far detection outside the gate spawns a new track.
+	tr.Step([]Detection{{P: Point{X: 105, Y: 102}}, {P: Point{X: 900, Y: 900}}})
+	if len(tr.Tracks()) != 2 {
+		t.Errorf("gate failed: %d tracks", len(tr.Tracks()))
+	}
+}

@@ -1,0 +1,281 @@
+package wasm
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// mustVM builds a single-function module and returns a VM.
+func mustVM(t *testing.T, f *Func, hosts ...HostFunc) *VM {
+	t.Helper()
+	mod := &Module{Funcs: []*Func{f}, Hosts: hosts, MemPages: 1}
+	if err := mod.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	vm, err := NewVM(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+func TestArithmetic(t *testing.T) {
+	a := &Asm{}
+	a.Get(0).Get(1).I(OpI32Add)
+	a.Get(0).Get(1).I(OpI32Mul)
+	a.I(OpI32Sub) // (a+b) - a*b
+	a.I(OpReturn)
+	vm := mustVM(t, &Func{Name: "f", NumParams: 2, Body: a.Body()})
+	got, err := vm.CallNamed("f", 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7-12 {
+		t.Errorf("got %d, want -5", got)
+	}
+}
+
+func TestDivTraps(t *testing.T) {
+	a := &Asm{}
+	a.Get(0).Get(1).I(OpI32DivS).I(OpReturn)
+	vm := mustVM(t, &Func{Name: "div", NumParams: 2, Body: a.Body()})
+	if _, err := vm.CallNamed("div", 10, 0); !errors.Is(err, ErrTrap) {
+		t.Errorf("div by zero: %v", err)
+	}
+	if _, err := vm.CallNamed("div", -1<<31, -1); !errors.Is(err, ErrTrap) {
+		t.Errorf("signed overflow: %v", err)
+	}
+	if v, err := vm.CallNamed("div", 12, 4); err != nil || v != 3 {
+		t.Errorf("12/4 = %d, %v", v, err)
+	}
+}
+
+func TestLocalsAndSelect(t *testing.T) {
+	// max(a, b) via select.
+	a := &Asm{}
+	a.Get(0).Get(1).Get(0).Get(1).I(OpI32GtS).I(OpSelect).I(OpReturn)
+	vm := mustVM(t, &Func{Name: "max", NumParams: 2, Body: a.Body()})
+	cases := [][3]int32{{3, 5, 5}, {9, -2, 9}, {4, 4, 4}}
+	for _, c := range cases {
+		got, err := vm.CallNamed("max", c[0], c[1])
+		if err != nil || got != c[2] {
+			t.Errorf("max(%d,%d) = %d, %v", c[0], c[1], got, err)
+		}
+	}
+}
+
+func TestLoopSumsRange(t *testing.T) {
+	// sum 1..n: locals 0=n 1=i 2=acc
+	a := &Asm{}
+	a.Const(1).Set(1)
+	a.I(OpBlock)
+	a.I(OpLoop)
+	// if i > n break
+	a.Get(1).Get(0).I(OpI32GtS).Imm(OpBrIf, 1)
+	a.Get(2).Get(1).I(OpI32Add).Set(2)
+	a.Get(1).Const(1).I(OpI32Add).Set(1)
+	a.Imm(OpBr, 0)
+	a.I(OpEnd)
+	a.I(OpEnd)
+	a.Get(2).I(OpReturn)
+	vm := mustVM(t, &Func{Name: "sum", NumParams: 1, NumLocals: 2, Body: a.Body()})
+	got, err := vm.CallNamed("sum", 10)
+	if err != nil || got != 55 {
+		t.Fatalf("sum(10) = %d, %v", got, err)
+	}
+	got, err = vm.CallNamed("sum", 0)
+	if err != nil || got != 0 {
+		t.Fatalf("sum(0) = %d, %v", got, err)
+	}
+}
+
+func TestMemoryLoadStore(t *testing.T) {
+	a := &Asm{}
+	a.Const(64).Get(0).I(OpI32Store)     // mem[64] = arg
+	a.Const(64).I(OpI32Load).I(OpReturn) // return mem[64]
+	vm := mustVM(t, &Func{Name: "rt", NumParams: 1, Body: a.Body()})
+	got, err := vm.CallNamed("rt", -12345)
+	if err != nil || got != -12345 {
+		t.Fatalf("roundtrip = %d, %v", got, err)
+	}
+	// Out-of-bounds store traps.
+	b := &Asm{}
+	b.Const(PageSize).Const(1).I(OpI32Store).Const(0).I(OpReturn)
+	vm2 := mustVM(t, &Func{Name: "oob", Body: b.Body()})
+	if _, err := vm2.CallNamed("oob"); !errors.Is(err, ErrTrap) {
+		t.Errorf("oob store: %v", err)
+	}
+}
+
+func TestByteAccess(t *testing.T) {
+	a := &Asm{}
+	a.Const(10).Const(0x1ff).I(OpI32Store8) // truncated to 0xff
+	a.Const(10).I(OpI32Load8U).I(OpReturn)
+	vm := mustVM(t, &Func{Name: "b", Body: a.Body()})
+	got, err := vm.CallNamed("b")
+	if err != nil || got != 0xff {
+		t.Fatalf("byte = %#x, %v", got, err)
+	}
+}
+
+func TestHostCall(t *testing.T) {
+	calls := 0
+	host := HostFunc{Name: "add10", NumParams: 1, Fn: func(vm *VM, args []int32) (int32, error) {
+		calls++
+		return args[0] + 10, nil
+	}}
+	a := &Asm{}
+	a.Get(0).Imm(OpCall, 0).I(OpReturn) // host index 0
+	vm := mustVM(t, &Func{Name: "f", NumParams: 1, Body: a.Body()}, host)
+	got, err := vm.CallNamed("f", 5)
+	if err != nil || got != 15 {
+		t.Fatalf("host call = %d, %v", got, err)
+	}
+	if calls != 1 || vm.HostCalls != 1 {
+		t.Errorf("host calls = %d / %d", calls, vm.HostCalls)
+	}
+}
+
+func TestInterFunctionCall(t *testing.T) {
+	// f(x) = g(x) + 1, g(x) = x*2. Module funcs at indices 0 and 1.
+	g := &Asm{}
+	g.Get(0).Const(2).I(OpI32Mul).I(OpReturn)
+	f := &Asm{}
+	f.Get(0).Imm(OpCall, 0).Const(1).I(OpI32Add).I(OpReturn)
+	mod := &Module{Funcs: []*Func{
+		{Name: "g", NumParams: 1, Body: g.Body()},
+		{Name: "f", NumParams: 1, Body: f.Body()},
+	}, MemPages: 1}
+	if err := mod.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	vm, err := NewVM(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := vm.CallNamed("f", 21)
+	if err != nil || got != 43 {
+		t.Fatalf("f(21) = %d, %v", got, err)
+	}
+}
+
+func TestFuelExhaustion(t *testing.T) {
+	// Infinite loop must stop at the fuel limit.
+	a := &Asm{}
+	a.I(OpLoop)
+	a.Imm(OpBr, 0)
+	a.I(OpEnd)
+	vm := mustVM(t, &Func{Name: "spin", Body: a.Body()})
+	vm.Fuel = 10000
+	if _, err := vm.CallNamed("spin"); !errors.Is(err, ErrFuel) {
+		t.Errorf("spin = %v, want fuel error", err)
+	}
+	if vm.Executed < 10000 {
+		t.Errorf("executed %d", vm.Executed)
+	}
+}
+
+func TestUnreachableTraps(t *testing.T) {
+	a := &Asm{}
+	a.I(OpUnreachable)
+	vm := mustVM(t, &Func{Name: "u", Body: a.Body()})
+	if _, err := vm.CallNamed("u"); !errors.Is(err, ErrTrap) {
+		t.Errorf("unreachable = %v", err)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	// Unmatched End.
+	bad := &Module{Funcs: []*Func{{Name: "x", Body: []Instr{{Op: OpEnd}}}}}
+	if err := bad.Prepare(); err == nil {
+		t.Error("unmatched end accepted")
+	}
+	// Unclosed block.
+	bad2 := &Module{Funcs: []*Func{{Name: "x", Body: []Instr{{Op: OpBlock}}}}}
+	if err := bad2.Prepare(); err == nil {
+		t.Error("unclosed block accepted")
+	}
+	// Branch depth out of range.
+	bad3 := &Module{Funcs: []*Func{{Name: "x", Body: []Instr{
+		{Op: OpBlock}, {Op: OpBr, Imm: 5}, {Op: OpEnd},
+	}}}}
+	if err := bad3.Prepare(); err == nil {
+		t.Error("deep branch accepted")
+	}
+	// Unknown call target.
+	bad4 := &Module{Funcs: []*Func{{Name: "x", Body: []Instr{{Op: OpCall, Imm: 9}}}}}
+	if err := bad4.Prepare(); err == nil {
+		t.Error("unknown callee accepted")
+	}
+	// Bad local index.
+	bad5 := &Module{Funcs: []*Func{{Name: "x", Body: []Instr{{Op: OpLocalGet, Imm: 3}}}}}
+	if err := bad5.Prepare(); err == nil {
+		t.Error("bad local accepted")
+	}
+	// Duplicate name.
+	bad6 := &Module{Funcs: []*Func{{Name: "x"}, {Name: "x"}}}
+	if err := bad6.Prepare(); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestStackUnderflowDetected(t *testing.T) {
+	a := &Asm{}
+	a.I(OpI32Add) // empty stack
+	vm := mustVM(t, &Func{Name: "x", Body: a.Body()})
+	if _, err := vm.CallNamed("x"); err == nil {
+		t.Error("stack underflow not detected")
+	}
+}
+
+func TestMemoryGrow(t *testing.T) {
+	a := &Asm{}
+	a.Const(1).I(OpMemoryGrow).I(OpDrop)
+	a.I(OpMemorySize).I(OpReturn)
+	vm := mustVM(t, &Func{Name: "g", Body: a.Body()})
+	got, err := vm.CallNamed("g")
+	if err != nil || got != 2 {
+		t.Fatalf("pages = %d, %v", got, err)
+	}
+}
+
+func TestCallDepthBounded(t *testing.T) {
+	// f calls itself forever.
+	a := &Asm{}
+	a.Imm(OpCall, 0).I(OpReturn)
+	vm := mustVM(t, &Func{Name: "rec", Body: a.Body()})
+	if _, err := vm.CallNamed("rec"); !errors.Is(err, ErrTrap) {
+		t.Errorf("infinite recursion = %v", err)
+	}
+}
+
+func TestArithmeticMatchesGoProperty(t *testing.T) {
+	ops := []struct {
+		op Op
+		f  func(a, b int32) int32
+	}{
+		{OpI32Add, func(a, b int32) int32 { return a + b }},
+		{OpI32Sub, func(a, b int32) int32 { return a - b }},
+		{OpI32Mul, func(a, b int32) int32 { return a * b }},
+		{OpI32And, func(a, b int32) int32 { return a & b }},
+		{OpI32Or, func(a, b int32) int32 { return a | b }},
+		{OpI32Xor, func(a, b int32) int32 { return a ^ b }},
+		{OpI32Shl, func(a, b int32) int32 { return a << (uint32(b) & 31) }},
+		{OpI32ShrU, func(a, b int32) int32 { return int32(uint32(a) >> (uint32(b) & 31)) }},
+		{OpI32ShrS, func(a, b int32) int32 { return a >> (uint32(b) & 31) }},
+	}
+	for _, o := range ops {
+		a := &Asm{}
+		a.Get(0).Get(1).I(o.op).I(OpReturn)
+		vm := mustVM(t, &Func{Name: "f", NumParams: 2, Body: a.Body()})
+		op := o
+		f := func(x, y int32) bool {
+			got, err := vm.CallNamed("f", x, y)
+			return err == nil && got == op.f(x, y)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("op %d: %v", o.op, err)
+		}
+	}
+}
