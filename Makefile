@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test test-full bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# test runs the suite at reduced experiment fidelity (CI default).
+test:
+	$(GO) test -short ./...
+
+# test-full runs every experiment at full paper fidelity.
+test-full:
+	$(GO) test ./...
+
+# bench tracks the inference-runtime perf trajectory.
+bench:
+	$(GO) test -bench BenchmarkEngine -run '^$$' -benchmem .
+
+ci: vet build test

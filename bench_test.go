@@ -1,9 +1,13 @@
 package vedliot
 
 import (
+	"fmt"
 	"testing"
 
 	"vedliot/internal/bench"
+	"vedliot/internal/inference"
+	"vedliot/internal/nn"
+	"vedliot/internal/tensor"
 )
 
 // benchExperiment wraps one harness experiment as a testing.B benchmark:
@@ -101,3 +105,70 @@ func BenchmarkAblationPruning(b *testing.B) { benchExperiment(b, "ablation-prune
 // BenchmarkAblationEcallBatching contrasts enclave transition
 // granularities.
 func BenchmarkAblationEcallBatching(b *testing.B) { benchExperiment(b, "ablation-ecall") }
+
+// BenchmarkEngine tracks the inference-runtime perf trajectory on a
+// smart-mirror-class convolutional workload: the legacy tree-walking
+// interpreter vs the compiled execution-plan engine at batch 1, 8 and
+// 32, plus the fused RunBatch dispatch path. Compare matching batch
+// sizes across sub-benchmarks, e.g.:
+//
+//	go test -bench BenchmarkEngine -run ^$ .
+func BenchmarkEngine(b *testing.B) {
+	g := nn.FaceDetectNet(64, nn.BuildOptions{Weights: true, Seed: 7})
+	interp, err := inference.NewInterpreter(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := inference.Compile(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := func(batch, seed int) *tensor.Tensor {
+		in := tensor.New(tensor.FP32, batch, 1, 64, 64)
+		for i := range in.F32 {
+			in.F32[i] = float32((i*3+seed)%17)/17 - 0.5
+		}
+		return in
+	}
+	for _, batch := range []int{1, 8, 32} {
+		in := input(batch, 1)
+		b.Run(fmt.Sprintf("interpreter/batch%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := interp.RunSingle(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("engine/batch%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.RunSingle(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// Fused dispatch of 8 independent single-sample requests.
+	reqs := make([]map[string]*tensor.Tensor, 8)
+	for i := range reqs {
+		reqs[i] = map[string]*tensor.Tensor{g.Inputs[0]: input(1, i)}
+	}
+	b.Run("engine/runbatch8x1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.RunBatch(reqs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineCompile measures one-time compilation cost (kernel
+// binding, weight dequantization and memory planning).
+func BenchmarkEngineCompile(b *testing.B) {
+	g := nn.FaceDetectNet(64, nn.BuildOptions{Weights: true, Seed: 7})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inference.Compile(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

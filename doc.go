@@ -6,7 +6,7 @@
 // framework and the three use-case domains — each backed by simulators
 // where the paper used physical hardware.
 //
-// See DESIGN.md for the system inventory and the per-experiment index,
-// EXPERIMENTS.md for paper-vs-measured results, and cmd/vedliot-bench
-// for regenerating every table and figure.
+// See DESIGN.md for the system inventory, the Backend/Engine execution
+// architecture and the per-experiment index, and cmd/vedliot-bench for
+// regenerating every table and figure.
 package vedliot

@@ -1,0 +1,3 @@
+module vedliot
+
+go 1.21

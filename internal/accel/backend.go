@@ -1,0 +1,108 @@
+package accel
+
+import (
+	"fmt"
+	"time"
+
+	"vedliot/internal/inference"
+	"vedliot/internal/nn"
+	"vedliot/internal/tensor"
+)
+
+// Backend adapts a modeled Device to the inference.Backend interface:
+// programs compiled for a simulated accelerator execute functionally on
+// the host CPU engine while latency, throughput and power come from the
+// device's roofline model. The real CPU engine (inference.CPUBackend)
+// and every simulated accelerator therefore satisfy one compile-and-run
+// interface — the cross-accelerator methodology of the paper's Fig. 4
+// evaluation, where the same network is deployed unchanged across
+// heterogeneous targets.
+type Backend struct {
+	Device *Device
+	// Precision is the precision the device runs the model at. The
+	// zero value (FP32) is used as-is; use NewBackend to default to the
+	// device's fastest supported precision.
+	Precision tensor.DType
+	// EngineOptions configure the host engine that provides the
+	// functional execution.
+	EngineOptions []inference.Option
+}
+
+// NewBackend wraps a device, running it at its best supported precision.
+func NewBackend(d *Device) *Backend {
+	return &Backend{Device: d, Precision: d.BestPrecision()}
+}
+
+// Name implements inference.Backend.
+func (b *Backend) Name() string { return "accel:" + b.Device.Name }
+
+// Compile implements inference.Backend: it compiles the graph on the
+// host engine for functional execution and derives the device-model
+// workload once, so every later latency prediction is a closed-form
+// roofline evaluation.
+func (b *Backend) Compile(g *nn.Graph, opts ...inference.Option) (inference.Executable, error) {
+	if b.Device == nil {
+		return nil, fmt.Errorf("accel: backend has no device")
+	}
+	if !b.Device.Supports(b.Precision) {
+		return nil, fmt.Errorf("accel: %s does not support %s", b.Device.Name, b.Precision)
+	}
+	eng, err := inference.Compile(g, append(append([]inference.Option(nil), b.EngineOptions...), opts...)...)
+	if err != nil {
+		return nil, err
+	}
+	// The workload derivation needs batch-1 shapes; snapshot and restore
+	// OutShapes so Compile stays observably side-effect free, matching
+	// inference.Compile.
+	saved := make([]tensor.Shape, len(g.Nodes))
+	for i, n := range g.Nodes {
+		saved[i] = n.OutShape
+	}
+	if err := g.InferShapes(1); err != nil {
+		return nil, err
+	}
+	w, err := WorkloadFromGraph(g, b.Precision)
+	for i, n := range g.Nodes {
+		n.OutShape = saved[i]
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Engine: eng, device: b.Device, workload: w, precision: b.Precision}, nil
+}
+
+var _ inference.Backend = (*Backend)(nil)
+
+// Program is a model compiled for a simulated accelerator: the embedded
+// host Engine supplies bit-accurate execution (Run/RunBatch/RunSingle),
+// and the device model predicts what the target hardware would measure.
+type Program struct {
+	*inference.Engine
+
+	device    *Device
+	workload  Workload
+	precision tensor.DType
+}
+
+var _ inference.Executable = (*Program)(nil)
+
+// Device returns the modeled device.
+func (p *Program) Device() *Device { return p.device }
+
+// Precision returns the precision the device model is evaluated at.
+func (p *Program) Precision() tensor.DType { return p.precision }
+
+// Predict evaluates the device's roofline model for a batch of the
+// compiled workload.
+func (p *Program) Predict(batch int) (Measurement, error) {
+	return p.device.Evaluate(p.workload, p.precision, batch)
+}
+
+// PredictLatency returns the modeled end-to-end latency for a batch.
+func (p *Program) PredictLatency(batch int) (time.Duration, error) {
+	m, err := p.Predict(batch)
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(m.LatencyMS * float64(time.Millisecond)), nil
+}

@@ -1,0 +1,84 @@
+package accel
+
+import (
+	"testing"
+
+	"vedliot/internal/inference"
+	"vedliot/internal/nn"
+	"vedliot/internal/tensor"
+)
+
+func TestBackendCompileAndRun(t *testing.T) {
+	dev, err := FindDevice("Xavier NX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBackend(dev)
+	g := nn.GestureNet(32, 4, nn.BuildOptions{Weights: true, Seed: 42})
+	exe, err := b.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, ok := exe.(*Program)
+	if !ok {
+		t.Fatalf("Compile returned %T, want *Program", exe)
+	}
+
+	// Functional execution is bit-accurate with the host CPU engine.
+	cpu, err := inference.CPUBackend{}.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(tensor.FP32, 2, 1, 32, 32)
+	for i := range in.F32 {
+		in.F32[i] = float32(i%11)/11 - 0.5
+	}
+	inputs := map[string]*tensor.Tensor{g.Inputs[0]: in}
+	want, err := cpu.Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := prog.Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, w := range want {
+		d, err := tensor.MaxAbsDiff(w, got[name])
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d != 0 {
+			t.Errorf("%s: accel program diverges from CPU engine by %g", name, d)
+		}
+	}
+
+	// Modeled latency comes from the roofline and improves with batch.
+	l1, err := prog.PredictLatency(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m8, err := prog.Predict(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 <= 0 {
+		t.Errorf("batch-1 latency = %v", l1)
+	}
+	perInf1 := float64(l1)
+	perInf8 := m8.LatencyMS * float64(1e6) / 8 // ns per inference at batch 8
+	if perInf8 >= perInf1 {
+		t.Errorf("batching did not amortize: %v ns/inf at b=1 vs %v at b=8", perInf1, perInf8)
+	}
+}
+
+func TestBackendRejectsUnsupportedPrecision(t *testing.T) {
+	dev, err := FindDevice("EdgeTPU SoM") // INT8-only ASIC
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &Backend{Device: dev, Precision: tensor.FP32}
+	g := nn.MLP("m", []int{4, 2}, nn.BuildOptions{Weights: true, Seed: 1})
+	if _, err := b.Compile(g); err == nil {
+		t.Error("compile succeeded at a precision the device does not support")
+	}
+}

@@ -94,6 +94,7 @@ func Registry() []Experiment {
 		{ID: "comp49", Paper: "§III: up to 49x compression [7]", Run: DeepCompression49},
 		{ID: "theory", Paper: "§III: theoretical vs hardware speed-ups [8]", Run: TheoryVsHardware},
 		{ID: "kenning", Paper: "§III: Kenning measurement reports [10]", Run: KenningPipeline},
+		{ID: "engine", Paper: "toolchain: compiled engine vs interpreter", Run: EngineStudy},
 		{ID: "twine", Paper: "§IV-C: SQLite in SGX via WASM [17]", Run: Twine},
 		{ID: "pmp", Paper: "§IV-C: VexRiscv PMP unit", Run: PMPBench},
 		{ID: "cfu", Paper: "§II-B: Renode CFU simulation", Run: CFUBench},

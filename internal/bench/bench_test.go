@@ -7,8 +7,14 @@ import (
 
 // TestAllExperimentsPassChecks runs every registered experiment and
 // requires every embedded shape assertion to hold — the "paper shape
-// reproduced" integration test.
+// reproduced" integration test. Under -short the training-bound
+// experiments run at reduced iteration counts (see fidelity.go); every
+// experiment and every check still executes.
 func TestAllExperimentsPassChecks(t *testing.T) {
+	if testing.Short() {
+		SetQuick(true)
+		defer SetQuick(false)
+	}
 	for _, e := range Registry() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {

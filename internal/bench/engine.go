@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"time"
+
+	"vedliot/internal/inference"
+	"vedliot/internal/nn"
+	"vedliot/internal/tensor"
+)
+
+// EngineStudy compares the legacy tree-walking interpreter with the
+// compiled execution-plan engine on a smart-mirror-class convolutional
+// workload: single-inference latency, batch scaling, fused RunBatch
+// dispatch and the memory planner's arena footprint. This is the
+// harness's view of the toolchain refactor: same network, same
+// arithmetic (outputs are compared), different execution strategy.
+func EngineStudy() (*Report, error) {
+	r := newReport("Toolchain — compiled engine vs reference interpreter")
+
+	size := pick(64, 32)
+	iters := pick(3, 1)
+	g := nn.FaceDetectNet(size, nn.BuildOptions{Weights: true, Seed: 91})
+	interp, err := inference.NewInterpreter(g)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := inference.Compile(g)
+	if err != nil {
+		return nil, err
+	}
+
+	input := func(batch int) *tensor.Tensor {
+		in := tensor.New(tensor.FP32, batch, 1, size, size)
+		for i := range in.F32 {
+			in.F32[i] = float32(i%13)/13 - 0.5
+		}
+		return in
+	}
+
+	// Functional parity on a batch-8 input.
+	in8 := input(8)
+	want, err := interp.RunSingle(in8)
+	if err != nil {
+		return nil, err
+	}
+	got, err := eng.RunSingle(in8)
+	if err != nil {
+		return nil, err
+	}
+	parity, err := tensor.MaxAbsDiff(want, got)
+	if err != nil {
+		return nil, err
+	}
+
+	// timeIt returns the best-of-iters latency of one call.
+	timeIt := func(f func() error) (time.Duration, error) {
+		best := time.Duration(0)
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			if err := f(); err != nil {
+				return 0, err
+			}
+			d := time.Since(start)
+			if best == 0 || d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+
+	r.linef("%-28s %14s %14s %9s", "configuration", "interpreter", "engine", "speedup")
+	var speedup8 float64
+	for _, batch := range []int{1, 8, 32} {
+		in := input(batch)
+		ti, err := timeIt(func() error { _, err := interp.RunSingle(in); return err })
+		if err != nil {
+			return nil, err
+		}
+		te, err := timeIt(func() error { _, err := eng.RunSingle(in); return err })
+		if err != nil {
+			return nil, err
+		}
+		sp := float64(ti) / float64(te)
+		if batch == 8 {
+			speedup8 = sp
+		}
+		r.linef("batch %-22d %14v %14v %8.2fx", batch, ti, te, sp)
+	}
+
+	// Fused dispatch: 8 independent single-sample requests.
+	reqs := make([]map[string]*tensor.Tensor, 8)
+	for i := range reqs {
+		reqs[i] = map[string]*tensor.Tensor{g.Inputs[0]: input(1)}
+	}
+	tSeq, err := timeIt(func() error {
+		for _, req := range reqs {
+			if _, err := eng.Run(req); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tFused, err := timeIt(func() error { _, err := eng.RunBatch(reqs); return err })
+	if err != nil {
+		return nil, err
+	}
+	r.linef("8x1 requests: sequential %v, fused RunBatch %v (%.2fx)",
+		tSeq, tFused, float64(tSeq)/float64(tFused))
+
+	r.linef("memory plan: %d arena slots, %d floats/sample (vs %d unplanned)",
+		eng.NumSlots(), eng.ArenaFloatsPerSample(), unplannedFloats(g))
+	r.linef("output parity |engine - interpreter|: %g", parity)
+
+	r.check("engine output matches interpreter (<= 1e-5)", parity <= 1e-5)
+	// Timing checks stay lenient: CI machines are noisy. The benchmark
+	// suite at the repository root tracks the real speedup trajectory.
+	r.check("engine not slower than interpreter at batch 8", speedup8 >= 0.9)
+	r.check("planner reuses activation memory", eng.ArenaFloatsPerSample() < unplannedFloats(g))
+	return r, nil
+}
+
+// unplannedFloats sums all intermediate activation sizes for batch 1 —
+// what a naive per-node allocator would hold live.
+func unplannedFloats(g *nn.Graph) int {
+	if err := g.InferShapes(1); err != nil {
+		return 0
+	}
+	total := 0
+	isIO := make(map[string]bool)
+	for _, name := range g.Inputs {
+		isIO[name] = true
+	}
+	for _, name := range g.Outputs {
+		isIO[name] = true
+	}
+	for _, n := range g.Nodes {
+		if isIO[n.Name] {
+			continue
+		}
+		total += n.OutShape.NumElements()
+	}
+	return total
+}

@@ -1,0 +1,474 @@
+package inference
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"vedliot/internal/nn"
+	"vedliot/internal/tensor"
+)
+
+// Executable is a compiled model ready to run. Both the host CPU Engine
+// and the simulated-accelerator programs (internal/accel) satisfy it, so
+// the layers above (kenning targets, the microserver batch server, the
+// bench harness) schedule work against one interface regardless of the
+// execution target — the same role the paper's common toolchain plays
+// across heterogeneous accelerators.
+type Executable interface {
+	// Run executes one batch of inputs keyed by input-node name and
+	// returns the declared outputs.
+	Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error)
+	// RunBatch executes several independent requests in one dispatch,
+	// amortizing per-call overhead; result i corresponds to request i.
+	RunBatch(batches []map[string]*tensor.Tensor) ([]map[string]*tensor.Tensor, error)
+}
+
+// Backend compiles graphs into executables for one execution target.
+type Backend interface {
+	// Name identifies the backend in reports.
+	Name() string
+	// Compile lowers the graph for this target.
+	Compile(g *nn.Graph, opts ...Option) (Executable, error)
+}
+
+// CPUBackend is the host-CPU backend: Compile produces an *Engine.
+type CPUBackend struct{}
+
+// Name implements Backend.
+func (CPUBackend) Name() string { return "cpu-engine" }
+
+// Compile implements Backend.
+func (CPUBackend) Compile(g *nn.Graph, opts ...Option) (Executable, error) {
+	return Compile(g, opts...)
+}
+
+var _ Backend = CPUBackend{}
+var _ Executable = (*Engine)(nil)
+
+// Option configures compilation.
+type Option func(*config)
+
+type config struct {
+	workers   int
+	threshold int64
+}
+
+// WithWorkers bounds the kernel worker pool. The default is
+// runtime.GOMAXPROCS(0); 1 disables parallel execution.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithParallelThreshold sets the minimum estimated per-kernel op count
+// before work is split across the pool; smaller kernels run inline to
+// avoid dispatch overhead.
+func WithParallelThreshold(ops int64) Option {
+	return func(c *config) { c.threshold = ops }
+}
+
+// defaultParallelThreshold is the op count below which a kernel is not
+// worth splitting across goroutines.
+const defaultParallelThreshold = 1 << 15
+
+// locKind says where a value's buffer lives during Run.
+type locKind uint8
+
+const (
+	locUnassigned locKind = iota
+	locInput              // caller-provided input tensor
+	locSlot               // arena slab, reused across liveness intervals
+	locOutput             // freshly allocated output tensor
+)
+
+type location struct {
+	kind locKind
+	idx  int
+}
+
+// value is one activation in the plan. Shapes are per sample: the batch
+// dimension is supplied at Run time and scales every buffer uniformly.
+type value struct {
+	name  string
+	per   tensor.Shape
+	elems int
+	loc   location
+}
+
+// step is one bound kernel invocation.
+type step struct {
+	name string
+	op   nn.OpType
+	out  int
+	ins  []int
+	kern kernelFunc
+}
+
+// Engine is a compiled execution plan: topologically ordered steps with
+// pre-resolved kernels, weights dequantized to FP32 once at compile
+// time, and a static arena plan that reuses activation slabs based on
+// liveness. Engines are immutable after Compile and safe for concurrent
+// Run calls: per-call scratch arenas come from an internal pool.
+//
+// The engine snapshots weights at compile time; mutating the source
+// graph afterwards does not affect a compiled engine.
+type Engine struct {
+	name        string
+	inputNames  []string
+	inputVals   []int
+	outputNames []string
+	outputVals  []int
+	vals        []value
+	steps       []step
+
+	// Arena plan: slotOff/slotSize are per-sample float counts; the
+	// arena for a batch-N call is arenaPerSample*N floats.
+	slotOff        []int
+	slotSize       []int
+	arenaPerSample int
+
+	cfg    config
+	arenas sync.Pool // *[]float32
+}
+
+// Name returns the compiled graph's name.
+func (e *Engine) Name() string { return e.name }
+
+// NumSlots returns the number of arena slabs the planner allocated —
+// the peak number of simultaneously live intermediate activations.
+func (e *Engine) NumSlots() int { return len(e.slotSize) }
+
+// ArenaFloatsPerSample returns the arena footprint in float32 elements
+// per batch sample. Without planning this would be the sum of all
+// intermediate activation sizes; with liveness-based reuse it is the
+// peak working set.
+func (e *Engine) ArenaFloatsPerSample() int { return e.arenaPerSample }
+
+// Compile lowers a graph into an execution plan: one topo-sort, static
+// per-sample shape inference, kernel binding with compile-time weight
+// dequantization, and liveness-based arena planning. The batch dimension
+// stays dynamic: Run accepts any batch size.
+func Compile(g *nn.Graph, opts ...Option) (*Engine, error) {
+	cfg := config{workers: runtime.GOMAXPROCS(0), threshold: defaultParallelThreshold}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	if cfg.threshold < 0 {
+		cfg.threshold = 0
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+
+	// Static per-sample shapes. InferShapes mutates node OutShapes, which
+	// callers may have populated for a different batch size; snapshot and
+	// restore so Compile stays observably side-effect free.
+	saved := make([]tensor.Shape, len(g.Nodes))
+	for i, n := range g.Nodes {
+		saved[i] = n.OutShape
+	}
+	if err := g.InferShapes(1); err != nil {
+		return nil, fmt.Errorf("inference: compile %q: %w", g.Name, err)
+	}
+	per := make(map[string]tensor.Shape, len(order))
+	for _, n := range order {
+		per[n.Name] = n.OutShape[1:].Clone()
+	}
+	for i, n := range g.Nodes {
+		n.OutShape = saved[i]
+	}
+
+	e := &Engine{name: g.Name, cfg: cfg}
+	id := make(map[string]int, len(order))
+	for _, n := range order {
+		p := per[n.Name]
+		e.vals = append(e.vals, value{name: n.Name, per: p, elems: p.NumElements()})
+		id[n.Name] = len(e.vals) - 1
+	}
+	for _, name := range g.Inputs {
+		v := id[name]
+		e.vals[v].loc = location{locInput, len(e.inputVals)}
+		e.inputNames = append(e.inputNames, name)
+		e.inputVals = append(e.inputVals, v)
+	}
+	for _, name := range g.Outputs {
+		v := id[name]
+		e.outputNames = append(e.outputNames, name)
+		e.outputVals = append(e.outputVals, v)
+		if e.vals[v].loc.kind == locUnassigned {
+			// Outputs get dedicated freshly allocated tensors (they leave
+			// the call), never arena slots.
+			e.vals[v].loc = location{locOutput, len(e.outputNames) - 1}
+		}
+	}
+	for _, n := range order {
+		if n.Op == nn.OpInput {
+			continue
+		}
+		ins := make([]int, len(n.Inputs))
+		inPer := make([]tensor.Shape, len(n.Inputs))
+		for i, in := range n.Inputs {
+			ins[i] = id[in]
+			inPer[i] = e.vals[id[in]].per
+		}
+		kern, err := bindKernel(n, inPer, e.vals[id[n.Name]].per)
+		if err != nil {
+			return nil, fmt.Errorf("inference: compile node %q (%s): %w", n.Name, n.Op, err)
+		}
+		e.steps = append(e.steps, step{name: n.Name, op: n.Op, out: id[n.Name], ins: ins, kern: kern})
+	}
+	e.planMemory()
+	return e, nil
+}
+
+func (e *Engine) getArena(batch int) []float32 {
+	need := e.arenaPerSample * batch
+	if need == 0 {
+		return nil
+	}
+	if p, ok := e.arenas.Get().(*[]float32); ok {
+		if cap(*p) >= need {
+			return (*p)[:need]
+		}
+	}
+	return make([]float32, need)
+}
+
+func (e *Engine) putArena(buf []float32) {
+	if buf == nil {
+		return
+	}
+	e.arenas.Put(&buf)
+}
+
+// resolveInputs validates the provided inputs against the plan and
+// returns their FP32 views plus the call's batch size.
+func (e *Engine) resolveInputs(inputs map[string]*tensor.Tensor) ([][]float32, int, error) {
+	if len(e.inputVals) == 0 {
+		return nil, 0, fmt.Errorf("inference: graph %q declares no inputs", e.name)
+	}
+	bufs := make([][]float32, len(e.inputVals))
+	batch := 0
+	for i, v := range e.inputVals {
+		name := e.inputNames[i]
+		t, ok := inputs[name]
+		if !ok || t == nil {
+			return nil, 0, fmt.Errorf("inference: missing input %q", name)
+		}
+		if len(t.Shape) == 0 {
+			return nil, 0, fmt.Errorf("inference: input %q is a scalar, want batched tensor", name)
+		}
+		want := append(tensor.Shape{t.Shape[0]}, e.vals[v].per...)
+		if !t.Shape.Equal(want) {
+			return nil, 0, fmt.Errorf("inference: input %q has shape %v, want %v", name, t.Shape, want)
+		}
+		if i == 0 {
+			batch = t.Shape[0]
+		} else if t.Shape[0] != batch {
+			return nil, 0, fmt.Errorf("inference: input %q has batch %d, want %d", name, t.Shape[0], batch)
+		}
+		if t.DType == tensor.FP32 {
+			bufs[i] = t.F32
+		} else {
+			bufs[i] = t.Float32s()
+		}
+	}
+	if batch <= 0 {
+		return nil, 0, fmt.Errorf("inference: batch must be positive")
+	}
+	return bufs, batch, nil
+}
+
+// Run executes the plan for one batch of inputs. It is safe to call
+// concurrently from multiple goroutines.
+func (e *Engine) Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	inBufs, batch, err := e.resolveInputs(inputs)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]*tensor.Tensor, len(e.outputVals))
+	for i, v := range e.outputVals {
+		loc := e.vals[v].loc
+		if loc.kind == locOutput && loc.idx == i {
+			outs[i] = tensor.New(tensor.FP32, append(tensor.Shape{batch}, e.vals[v].per...)...)
+		}
+	}
+	arena := e.getArena(batch)
+	resolve := func(v int) []float32 {
+		val := &e.vals[v]
+		switch val.loc.kind {
+		case locInput:
+			return inBufs[val.loc.idx]
+		case locOutput:
+			return outs[val.loc.idx].F32
+		case locSlot:
+			off := e.slotOff[val.loc.idx] * batch
+			return arena[off : off+val.elems*batch]
+		}
+		return nil
+	}
+	rc := runCtx{batch: batch, workers: e.cfg.workers, threshold: e.cfg.threshold}
+	srcs := make([][]float32, 0, 4)
+	for si := range e.steps {
+		st := &e.steps[si]
+		srcs = srcs[:0]
+		for _, in := range st.ins {
+			srcs = append(srcs, resolve(in))
+		}
+		if err := st.kern(&rc, resolve(st.out), srcs); err != nil {
+			e.putArena(arena)
+			return nil, fmt.Errorf("inference: node %q (%s): %w", st.name, st.op, err)
+		}
+	}
+	e.putArena(arena)
+	result := make(map[string]*tensor.Tensor, len(e.outputVals))
+	for i, v := range e.outputVals {
+		loc := e.vals[v].loc
+		switch loc.kind {
+		case locOutput:
+			result[e.outputNames[i]] = outs[loc.idx]
+		case locInput:
+			// A graph output that is an input node passes through, as in
+			// the interpreter.
+			result[e.outputNames[i]] = inputs[e.outputNames[i]]
+		}
+	}
+	return result, nil
+}
+
+// RunAll executes the plan and returns every node's activation keyed by
+// node name, bypassing the arena (each activation gets its own tensor so
+// all of them remain valid after the call). Calibration uses this.
+func (e *Engine) RunAll(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	inBufs, batch, err := e.resolveInputs(inputs)
+	if err != nil {
+		return nil, err
+	}
+	acts := make([]*tensor.Tensor, len(e.vals))
+	result := make(map[string]*tensor.Tensor, len(e.vals))
+	for i := range e.inputVals {
+		result[e.inputNames[i]] = inputs[e.inputNames[i]]
+	}
+	resolve := func(v int) []float32 {
+		if e.vals[v].loc.kind == locInput {
+			return inBufs[e.vals[v].loc.idx]
+		}
+		return acts[v].F32
+	}
+	rc := runCtx{batch: batch, workers: e.cfg.workers, threshold: e.cfg.threshold}
+	srcs := make([][]float32, 0, 4)
+	for si := range e.steps {
+		st := &e.steps[si]
+		acts[st.out] = tensor.New(tensor.FP32, append(tensor.Shape{batch}, e.vals[st.out].per...)...)
+		srcs = srcs[:0]
+		for _, in := range st.ins {
+			srcs = append(srcs, resolve(in))
+		}
+		if err := st.kern(&rc, acts[st.out].F32, srcs); err != nil {
+			return nil, fmt.Errorf("inference: node %q (%s): %w", st.name, st.op, err)
+		}
+		result[st.name] = acts[st.out]
+	}
+	return result, nil
+}
+
+// RunSingle is a convenience wrapper for graphs with exactly one input
+// and one output.
+func (e *Engine) RunSingle(in *tensor.Tensor) (*tensor.Tensor, error) {
+	if len(e.inputNames) != 1 || len(e.outputNames) != 1 {
+		return nil, fmt.Errorf("inference: RunSingle wants 1 input/1 output, graph has %d/%d",
+			len(e.inputNames), len(e.outputNames))
+	}
+	outs, err := e.Run(map[string]*tensor.Tensor{e.inputNames[0]: in})
+	if err != nil {
+		return nil, err
+	}
+	return outs[e.outputNames[0]], nil
+}
+
+// RunBatch fuses several independent requests into one dispatch: inputs
+// are stacked along the batch dimension, the plan runs once, and the
+// outputs are split back per request. Serving layers use this to
+// amortize dispatch overhead and to give the parallel kernels larger
+// work items.
+func (e *Engine) RunBatch(batches []map[string]*tensor.Tensor) ([]map[string]*tensor.Tensor, error) {
+	if len(batches) == 0 {
+		return nil, nil
+	}
+	if len(batches) == 1 {
+		out, err := e.Run(batches[0])
+		if err != nil {
+			return nil, err
+		}
+		return []map[string]*tensor.Tensor{out}, nil
+	}
+	// Per-request batch sizes, from the first declared input.
+	sizes := make([]int, len(batches))
+	total := 0
+	first := e.inputNames[0]
+	for r, req := range batches {
+		t, ok := req[first]
+		if !ok || t == nil || len(t.Shape) == 0 {
+			return nil, fmt.Errorf("inference: request %d: missing input %q", r, first)
+		}
+		sizes[r] = t.Shape[0]
+		total += t.Shape[0]
+	}
+	// Stack every input.
+	stacked := make(map[string]*tensor.Tensor, len(e.inputNames))
+	for i, v := range e.inputVals {
+		name := e.inputNames[i]
+		perShape := e.vals[v].per
+		perElems := e.vals[v].elems
+		st := tensor.New(tensor.FP32, append(tensor.Shape{total}, perShape...)...)
+		off := 0
+		for r, req := range batches {
+			t, ok := req[name]
+			if !ok || t == nil {
+				return nil, fmt.Errorf("inference: request %d: missing input %q", r, name)
+			}
+			want := append(tensor.Shape{sizes[r]}, perShape...)
+			if !t.Shape.Equal(want) {
+				return nil, fmt.Errorf("inference: request %d: input %q has shape %v, want %v", r, name, t.Shape, want)
+			}
+			if t.DType == tensor.FP32 {
+				copy(st.F32[off:], t.F32)
+			} else {
+				copy(st.F32[off:], t.Float32s())
+			}
+			off += sizes[r] * perElems
+		}
+		stacked[name] = st
+	}
+	outs, err := e.Run(stacked)
+	if err != nil {
+		return nil, err
+	}
+	// Split outputs back per request.
+	results := make([]map[string]*tensor.Tensor, len(batches))
+	for r := range results {
+		results[r] = make(map[string]*tensor.Tensor, len(e.outputNames))
+	}
+	for i, v := range e.outputVals {
+		name := e.outputNames[i]
+		full := outs[name]
+		perShape := e.vals[v].per
+		perElems := e.vals[v].elems
+		src := full.F32
+		off := 0
+		for r := range batches {
+			part := tensor.New(tensor.FP32, append(tensor.Shape{sizes[r]}, perShape...)...)
+			copy(part.F32, src[off:off+sizes[r]*perElems])
+			off += sizes[r] * perElems
+			results[r][name] = part
+		}
+	}
+	return results, nil
+}

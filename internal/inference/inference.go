@@ -6,6 +6,20 @@
 // accuracy numbers for the compression experiments come from it. Weights
 // stored in FP16 or INT8 are dequantized on the fly, so a quantized graph
 // runs with exactly the arithmetic a de-quantizing edge runtime would use.
+//
+// Two execution strategies are provided:
+//
+//   - Interpreter walks the graph node by node, allocating every
+//     activation and dequantizing weights on each call. It is the
+//     reference semantics and the baseline in engine benchmarks.
+//   - Engine (see Compile) is the compiled execution-plan runtime:
+//     kernels are bound and weights dequantized once at compile time,
+//     activations live in a liveness-planned arena, and the hot kernels
+//     run on a bounded worker pool. See DESIGN.md.
+//
+// Runner is the historical entry point and is now a thin facade: it
+// compiles an Engine when the graph is compilable and falls back to the
+// Interpreter otherwise (e.g. structure-only graphs without weights).
 package inference
 
 import (
@@ -16,14 +30,87 @@ import (
 	"vedliot/internal/tensor"
 )
 
-// Runner executes a validated graph.
+// Runner executes a validated graph. Since the engine refactor it is a
+// facade over Compile + Engine.Run; graphs that cannot be compiled (for
+// example structure-only graphs without materialized weights) fall back
+// to the tree-walking Interpreter, which reports the precise failure at
+// Run time exactly as the historical Runner did.
 type Runner struct {
-	graph *nn.Graph
-	order []*nn.Node
+	graph      *nn.Graph
+	engine     *Engine
+	interp     *Interpreter
+	compileErr error
 }
 
 // NewRunner prepares a runner; the graph must validate.
 func NewRunner(g *nn.Graph) (*Runner, error) {
+	it, err := NewInterpreter(g)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{graph: g, interp: it}
+	eng, err := Compile(g)
+	if err != nil {
+		// Historical Runner semantics: construction succeeds for any
+		// valid graph (including structure-only ones the engine cannot
+		// compile) and execution reports the precise failure. The
+		// compile error stays inspectable via CompileError so callers
+		// can tell intended fallback from an engine regression.
+		r.compileErr = err
+		return r, nil
+	}
+	r.engine = eng
+	return r, nil
+}
+
+// Engine returns the compiled engine backing this runner, or nil when
+// the graph could not be compiled and the interpreter is used instead.
+func (r *Runner) Engine() *Engine { return r.engine }
+
+// CompileError returns why the graph fell back to the interpreter, or
+// nil when the runner is engine-backed.
+func (r *Runner) CompileError() error { return r.compileErr }
+
+// Run executes the graph on the given inputs (keyed by input-node name)
+// and returns the declared outputs. All tensors are FP32.
+func (r *Runner) Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	if r.engine != nil {
+		return r.engine.Run(inputs)
+	}
+	return r.interp.Run(inputs)
+}
+
+// RunAll executes the graph and returns every node's activation, keyed by
+// node name. Quantization calibration (internal/optimize) uses this to
+// observe intermediate dynamic ranges.
+func (r *Runner) RunAll(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	if r.engine != nil {
+		return r.engine.RunAll(inputs)
+	}
+	return r.interp.RunAll(inputs)
+}
+
+// RunSingle is a convenience wrapper for graphs with exactly one input
+// and one output.
+func (r *Runner) RunSingle(in *tensor.Tensor) (*tensor.Tensor, error) {
+	if r.engine != nil {
+		return r.engine.RunSingle(in)
+	}
+	return r.interp.RunSingle(in)
+}
+
+// Interpreter is the tree-walking reference runtime: no compilation, no
+// kernel binding, every activation freshly allocated and every quantized
+// weight dequantized at each use. It defines the semantics the compiled
+// Engine must reproduce and serves as the baseline in the
+// interpreter-vs-engine benchmarks.
+type Interpreter struct {
+	graph *nn.Graph
+	order []*nn.Node
+}
+
+// NewInterpreter prepares an interpreter; the graph must validate.
+func NewInterpreter(g *nn.Graph) (*Interpreter, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -31,12 +118,12 @@ func NewRunner(g *nn.Graph) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{graph: g, order: order}, nil
+	return &Interpreter{graph: g, order: order}, nil
 }
 
 // Run executes the graph on the given inputs (keyed by input-node name)
 // and returns the declared outputs. All tensors are FP32.
-func (r *Runner) Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+func (r *Interpreter) Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
 	acts := make(map[string]*tensor.Tensor, len(r.order))
 	for _, name := range r.graph.Inputs {
 		in, ok := inputs[name]
@@ -75,9 +162,8 @@ func (r *Runner) Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tenso
 }
 
 // RunAll executes the graph and returns every node's activation, keyed by
-// node name. Quantization calibration (internal/optimize) uses this to
-// observe intermediate dynamic ranges.
-func (r *Runner) RunAll(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+// node name.
+func (r *Interpreter) RunAll(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
 	acts := make(map[string]*tensor.Tensor, len(r.order))
 	for _, name := range r.graph.Inputs {
 		in, ok := inputs[name]
@@ -101,7 +187,7 @@ func (r *Runner) RunAll(inputs map[string]*tensor.Tensor) (map[string]*tensor.Te
 
 // RunSingle is a convenience wrapper for graphs with exactly one input
 // and one output.
-func (r *Runner) RunSingle(in *tensor.Tensor) (*tensor.Tensor, error) {
+func (r *Interpreter) RunSingle(in *tensor.Tensor) (*tensor.Tensor, error) {
 	if len(r.graph.Inputs) != 1 || len(r.graph.Outputs) != 1 {
 		return nil, fmt.Errorf("inference: RunSingle wants 1 input/1 output, graph has %d/%d",
 			len(r.graph.Inputs), len(r.graph.Outputs))
@@ -113,7 +199,7 @@ func (r *Runner) RunSingle(in *tensor.Tensor) (*tensor.Tensor, error) {
 	return outs[r.graph.Outputs[0]], nil
 }
 
-func (r *Runner) exec(n *nn.Node, acts map[string]*tensor.Tensor) (*tensor.Tensor, error) {
+func (r *Interpreter) exec(n *nn.Node, acts map[string]*tensor.Tensor) (*tensor.Tensor, error) {
 	get := func(i int) (*tensor.Tensor, error) {
 		if i >= len(n.Inputs) {
 			return nil, fmt.Errorf("missing input %d", i)

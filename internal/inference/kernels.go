@@ -2,6 +2,8 @@ package inference
 
 import (
 	"fmt"
+	"math"
+	"sync"
 
 	"vedliot/internal/nn"
 	"vedliot/internal/tensor"
@@ -388,4 +390,712 @@ func softmaxRows(x *tensor.Tensor) (*tensor.Tensor, error) {
 		copy(out.F32[b*f:(b+1)*f], sm.F32)
 	}
 	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Compiled-engine kernels.
+//
+// Everything below is the Engine's kernel set: binders run once at
+// compile time (resolving attributes, checking shapes and dequantizing
+// FP16/INT8 weights to FP32), and the returned closures operate on raw
+// float32 buffers whose per-sample geometry is fixed — only the batch
+// dimension varies per call. The hot kernels (conv2d, dense, pool) split
+// their outermost loops across the bounded worker pool in parallel.go.
+// Every kernel keeps the per-element accumulation order of the
+// interpreter above, so engine results are bitwise identical to the
+// reference semantics at any worker count.
+// ---------------------------------------------------------------------------
+
+// kernelFunc executes one bound operator for a batch. dst and srcs are
+// batch-major buffers laid out as batch x per-sample elements.
+type kernelFunc func(rc *runCtx, dst []float32, srcs [][]float32) error
+
+// bindKernel resolves a node to an executable kernel closure given the
+// per-sample shapes of its inputs and output.
+func bindKernel(n *nn.Node, ins []tensor.Shape, out tensor.Shape) (kernelFunc, error) {
+	switch n.Op {
+	case nn.OpConv, nn.OpDepthwiseConv:
+		return bindConv(n, ins[0], out)
+	case nn.OpDense:
+		return bindDense(n, ins[0], out)
+	case nn.OpBatchNorm:
+		return bindBatchNorm(n, ins[0])
+	case nn.OpReLU, nn.OpReLU6, nn.OpLeakyReLU, nn.OpSigmoid, nn.OpTanh,
+		nn.OpHSwish, nn.OpHSigmoid, nn.OpMish:
+		return bindActivation(n)
+	case nn.OpMaxPool:
+		return bindPool(n, ins[0], out, true)
+	case nn.OpAvgPool:
+		return bindPool(n, ins[0], out, false)
+	case nn.OpGlobalAvgPool:
+		return bindGlobalAvgPool(ins[0])
+	case nn.OpAdd, nn.OpMul:
+		return bindAccumulate(n, ins, out)
+	case nn.OpConcat:
+		return bindConcat(ins, out)
+	case nn.OpUpsample:
+		return bindUpsample(n, ins[0], out)
+	case nn.OpSoftmax:
+		return bindSoftmax(ins[0])
+	case nn.OpFlatten, nn.OpIdentity:
+		return bindCopy(), nil
+	}
+	return nil, fmt.Errorf("unsupported op %s", n.Op)
+}
+
+// convGeom is the compile-time geometry of one convolution.
+type convGeom struct {
+	inC, inH, inW    int
+	outC, outH, outW int
+	kh, kw           int
+	sh, sw           int
+	ph, pw           int
+	icPerG, ocPerG   int
+}
+
+func bindConv(n *nn.Node, in, out tensor.Shape) (kernelFunc, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("conv wants NCHW, got per-sample %v", in)
+	}
+	w := n.Weight(nn.WeightKey)
+	if w == nil {
+		return nil, fmt.Errorf("conv has no weights (built with Weights: false?)")
+	}
+	a := n.Attrs
+	inC, inH, inW := in[0], in[1], in[2]
+	groups := a.Groups
+	if groups <= 0 {
+		groups = 1
+	}
+	outC := a.OutC
+	if n.Op == nn.OpDepthwiseConv {
+		groups = inC
+		if outC == 0 {
+			outC = inC
+		}
+	}
+	if inC%groups != 0 || outC%groups != 0 {
+		return nil, fmt.Errorf("channels %d/outC %d not divisible by groups %d", inC, outC, groups)
+	}
+	wantW := tensor.Shape{outC, inC / groups, a.KernelH, a.KernelW}
+	if !w.Shape.Equal(wantW) {
+		return nil, fmt.Errorf("weight shape %v, want %v", w.Shape, wantW)
+	}
+	g := convGeom{
+		inC: inC, inH: inH, inW: inW,
+		outC: outC, outH: out[1], outW: out[2],
+		kh: a.KernelH, kw: a.KernelW,
+		sh: a.StrideH, sw: a.StrideW,
+		ph: a.PadH, pw: a.PadW,
+		icPerG: inC / groups, ocPerG: outC / groups,
+	}
+	wv := w.Float32s() // dequantized once, at compile time
+	var bias []float32
+	if bt := n.Weight(nn.BiasKey); bt != nil {
+		bias = bt.Float32s()
+	}
+	pointwise := g.kh == 1 && g.kw == 1 && g.sh == 1 && g.sw == 1 && g.ph == 0 && g.pw == 0
+	planeCost := int64(g.outH*g.outW) * int64(g.icPerG*g.kh*g.kw) * 2
+	// Channel-heavy convolutions go through an im2col patch matrix: the
+	// per-pixel reduction becomes one long contiguous dot, which the
+	// scalar loop executes far faster than strided row walks. Gathering
+	// pays one extra pass over the patches, so shallow reductions
+	// (depthwise, stem layers) keep the direct kernel-outer form.
+	const im2colMinTaps = 32
+	taps := g.icPerG * g.kh * g.kw
+	if !pointwise && taps >= im2colMinTaps {
+		groups := g.inC / g.icPerG
+		px := g.outH * g.outW
+		var pool sync.Pool
+		return func(rc *runCtx, dst []float32, srcs [][]float32) error {
+			xv := srcs[0]
+			need := rc.batch * groups * px * taps
+			var cols []float32
+			if p, ok := pool.Get().(*[]float32); ok && cap(*p) >= need {
+				cols = (*p)[:need]
+			} else {
+				cols = make([]float32, need)
+			}
+			rc.parallelFor(rc.batch*groups, int64(px*taps), func(lo, hi int) {
+				for p := lo; p < hi; p++ {
+					convGather(cols, xv, &g, p/groups, p%groups, px, taps)
+				}
+			})
+			rc.parallelFor(rc.batch*g.outC, planeCost, func(lo, hi int) {
+				for p := lo; p < hi; p++ {
+					b, oc := p/g.outC, p%g.outC
+					convDotPatches(dst, cols, wv, bias, &g, b, oc, groups, px, taps)
+				}
+			})
+			pool.Put(&cols)
+			return nil
+		}, nil
+	}
+	return func(rc *runCtx, dst []float32, srcs [][]float32) error {
+		xv := srcs[0]
+		rc.parallelFor(rc.batch*g.outC, planeCost, func(lo, hi int) {
+			for p := lo; p < hi; p++ {
+				b, oc := p/g.outC, p%g.outC
+				if pointwise {
+					convPlanePointwise(dst, xv, wv, bias, &g, b, oc)
+				} else {
+					convPlane(dst, xv, wv, bias, &g, b, oc)
+				}
+			}
+		})
+		return nil
+	}, nil
+}
+
+// convGather fills one (batch, group) patch matrix: row j holds the
+// receptive field of output pixel j in (ic, ky, kx) tap order — the same
+// order the weights are stored in, and the same accumulation order the
+// interpreter uses. Out-of-bounds taps store 0, which contributes
+// nothing to the dot where the interpreter skips the term.
+func convGather(cols, xv []float32, g *convGeom, b, grp, px, taps int) {
+	base := (b*(g.inC/g.icPerG) + grp) * px * taps
+	for oy := 0; oy < g.outH; oy++ {
+		iy0 := oy*g.sh - g.ph
+		for ox := 0; ox < g.outW; ox++ {
+			ix0 := ox*g.sw - g.pw
+			kxLo := 0
+			if ix0 < 0 {
+				kxLo = -ix0
+			}
+			kxHi := g.kw
+			if ix0+g.kw > g.inW {
+				kxHi = g.inW - ix0
+			}
+			at := base + (oy*g.outW+ox)*taps
+			for ic := 0; ic < g.icPerG; ic++ {
+				xBase := (b*g.inC + grp*g.icPerG + ic) * g.inH * g.inW
+				for ky := 0; ky < g.kh; ky++ {
+					row := cols[at : at+g.kw]
+					at += g.kw
+					iy := iy0 + ky
+					if iy < 0 || iy >= g.inH || kxLo >= kxHi {
+						for i := range row {
+							row[i] = 0
+						}
+						continue
+					}
+					for i := 0; i < kxLo; i++ {
+						row[i] = 0
+					}
+					copy(row[kxLo:kxHi], xv[xBase+iy*g.inW+ix0+kxLo:xBase+iy*g.inW+ix0+kxHi])
+					for i := kxHi; i < g.kw; i++ {
+						row[i] = 0
+					}
+				}
+			}
+		}
+	}
+}
+
+// convDotPatches computes one (batch, output-channel) plane as px dots
+// of length taps between the weight row and the gathered patch rows.
+func convDotPatches(dst, cols, wv, bias []float32, g *convGeom, b, oc, groups, px, taps int) {
+	grp := oc / g.ocPerG
+	colBase := (b*groups + grp) * px * taps
+	wRow := wv[oc*taps : (oc+1)*taps]
+	var b0 float32
+	if bias != nil {
+		b0 = bias[oc]
+	}
+	outPlane := dst[(b*g.outC+oc)*px : (b*g.outC+oc+1)*px]
+	for j := range outPlane {
+		col := cols[colBase+j*taps : colBase+(j+1)*taps]
+		col = col[:len(wRow)]
+		acc := b0
+		for i, wk := range wRow {
+			acc += col[i] * wk
+		}
+		outPlane[j] = acc
+	}
+}
+
+// convPlane computes one (batch, output-channel) plane in kernel-outer
+// form: the plane is initialized with the bias, then every kernel tap
+// (ic, ky, kx) accumulates a scaled, shifted input row into the output
+// rows. Inner loops run over whole output rows — contiguous for
+// stride 1 — so per-tap setup amortizes over outW elements instead of
+// paying slice/bounds overhead per pixel. Each output element still
+// receives its contributions in (ic, ky, kx) order, so results are
+// bitwise identical to the interpreter's per-pixel accumulation.
+func convPlane(dst, xv, wv, bias []float32, g *convGeom, b, oc int) {
+	grp := oc / g.ocPerG
+	icBase := grp * g.icPerG
+	var b0 float32
+	if bias != nil {
+		b0 = bias[oc]
+	}
+	outBase := (b*g.outC + oc) * g.outH * g.outW
+	plane := dst[outBase : outBase+g.outH*g.outW]
+	for i := range plane {
+		plane[i] = b0
+	}
+	for ic := 0; ic < g.icPerG; ic++ {
+		xBase := (b*g.inC + icBase + ic) * g.inH * g.inW
+		wBase := (oc*g.icPerG + ic) * g.kh * g.kw
+		for ky := 0; ky < g.kh; ky++ {
+			for kx := 0; kx < g.kw; kx++ {
+				w := wv[wBase+ky*g.kw+kx]
+				// Output columns whose input column ox*sw-pw+kx stays in
+				// bounds; clipping hoisted out of the row loops.
+				oxLo := 0
+				if g.pw > kx {
+					oxLo = (g.pw - kx + g.sw - 1) / g.sw
+				}
+				oxHi := 0
+				if maxIx := g.inW - 1 + g.pw - kx; maxIx >= 0 {
+					oxHi = maxIx/g.sw + 1
+					if oxHi > g.outW {
+						oxHi = g.outW
+					}
+				}
+				if oxLo >= oxHi {
+					continue
+				}
+				for oy := 0; oy < g.outH; oy++ {
+					iy := oy*g.sh - g.ph + ky
+					if iy < 0 || iy >= g.inH {
+						continue
+					}
+					xRow := xv[xBase+iy*g.inW : xBase+(iy+1)*g.inW]
+					oRow := plane[oy*g.outW : (oy+1)*g.outW]
+					if g.sw == 1 {
+						o := oRow[oxLo:oxHi]
+						x := xRow[oxLo-g.pw+kx:]
+						x = x[:len(o)]
+						for i, xi := range x {
+							o[i] += w * xi
+						}
+					} else {
+						ix := oxLo*g.sw - g.pw + kx
+						for ox := oxLo; ox < oxHi; ox++ {
+							oRow[ox] += w * xRow[ix]
+							ix += g.sw
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// convPlanePointwise is the 1x1/stride-1/no-pad fast path: the plane is
+// a bias-initialized accumulation of scaled input planes. Per output
+// element the input channels still accumulate in ascending order, so
+// results are bitwise identical to the general path.
+func convPlanePointwise(dst, xv, wv, bias []float32, g *convGeom, b, oc int) {
+	grp := oc / g.ocPerG
+	icBase := grp * g.icPerG
+	hw := g.inH * g.inW
+	var b0 float32
+	if bias != nil {
+		b0 = bias[oc]
+	}
+	out := dst[(b*g.outC+oc)*hw : (b*g.outC+oc+1)*hw]
+	for i := range out {
+		out[i] = b0
+	}
+	for ic := 0; ic < g.icPerG; ic++ {
+		f := wv[oc*g.icPerG+ic]
+		xPlane := xv[(b*g.inC+icBase+ic)*hw : (b*g.inC+icBase+ic+1)*hw]
+		xPlane = xPlane[:len(out)]
+		for i, x := range xPlane {
+			out[i] += x * f
+		}
+	}
+}
+
+func bindDense(n *nn.Node, in, out tensor.Shape) (kernelFunc, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("dense wants [N,features], got per-sample %v", in)
+	}
+	w := n.Weight(nn.WeightKey)
+	if w == nil {
+		return nil, fmt.Errorf("dense has no weights")
+	}
+	inF, outF := in[0], out[0]
+	want := tensor.Shape{outF, inF}
+	if !w.Shape.Equal(want) {
+		return nil, fmt.Errorf("weight shape %v, want %v", w.Shape, want)
+	}
+	wv := w.Float32s()
+	var bias []float32
+	if bt := n.Weight(nn.BiasKey); bt != nil {
+		bias = bt.Float32s()
+	}
+	unitCost := int64(inF) * 2
+	return func(rc *runCtx, dst []float32, srcs [][]float32) error {
+		xv := srcs[0]
+		// One unit = one output scalar; chunks span (batch, out-feature)
+		// pairs so a single sample still fans out across the pool.
+		rc.parallelFor(rc.batch*outF, unitCost, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				b, o := r/outF, r%outF
+				xRow := xv[b*inF : (b+1)*inF]
+				wRow := wv[o*inF : (o+1)*inF]
+				wRow = wRow[:len(xRow)]
+				var acc float32
+				if bias != nil {
+					acc = bias[o]
+				}
+				for i, xi := range xRow {
+					acc += xi * wRow[i]
+				}
+				dst[r] = acc
+			}
+		})
+		return nil
+	}, nil
+}
+
+func bindBatchNorm(n *nn.Node, in tensor.Shape) (kernelFunc, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("batchnorm wants NCHW, got per-sample %v", in)
+	}
+	gamma, beta := n.Weight(nn.GammaKey), n.Weight(nn.BetaKey)
+	mean, variance := n.Weight(nn.MeanKey), n.Weight(nn.VarKey)
+	if gamma == nil || beta == nil || mean == nil || variance == nil {
+		return nil, fmt.Errorf("batchnorm missing statistics")
+	}
+	c := in[0]
+	if gamma.NumElements() != c {
+		return nil, fmt.Errorf("batchnorm gamma has %d elements for %d channels", gamma.NumElements(), c)
+	}
+	eps := n.Attrs.Eps
+	if eps == 0 {
+		eps = 1e-5
+	}
+	gv, bv, mv, vv := gamma.Float32s(), beta.Float32s(), mean.Float32s(), variance.Float32s()
+	// Per-channel scale and shift are fixed statistics: fold them once at
+	// compile time instead of on every call.
+	scale := make([]float32, c)
+	shift := make([]float32, c)
+	for i := 0; i < c; i++ {
+		inv := 1 / sqrt32(vv[i]+eps)
+		scale[i] = gv[i] * inv
+		shift[i] = bv[i] - mv[i]*scale[i]
+	}
+	hw := in[1] * in[2]
+	return func(rc *runCtx, dst []float32, srcs [][]float32) error {
+		xv := srcs[0]
+		rc.parallelFor(rc.batch*c, int64(hw)*2, func(lo, hi int) {
+			for p := lo; p < hi; p++ {
+				base := p * hw
+				s, sh := scale[p%c], shift[p%c]
+				x := xv[base : base+hw]
+				out := dst[base : base+hw]
+				out = out[:len(x)]
+				for i, v := range x {
+					out[i] = v*s + sh
+				}
+			}
+		})
+		return nil
+	}, nil
+}
+
+func bindActivation(n *nn.Node) (kernelFunc, error) {
+	var f func(float32) float32
+	var unitCost int64 = 4
+	switch n.Op {
+	case nn.OpReLU:
+		f = func(v float32) float32 {
+			if v < 0 {
+				return 0
+			}
+			return v
+		}
+	case nn.OpReLU6:
+		f = relu6
+	case nn.OpLeakyReLU:
+		alpha := n.Attrs.Alpha
+		if alpha == 0 {
+			alpha = 0.1
+		}
+		f = func(v float32) float32 {
+			if v < 0 {
+				return alpha * v
+			}
+			return v
+		}
+	case nn.OpSigmoid:
+		f, unitCost = sigmoid, 32
+	case nn.OpTanh:
+		f, unitCost = func(v float32) float32 { return float32(math.Tanh(float64(v))) }, 32
+	case nn.OpHSwish:
+		f = func(v float32) float32 { return v * relu6(v+3) / 6 }
+	case nn.OpHSigmoid:
+		f = func(v float32) float32 { return relu6(v+3) / 6 }
+	case nn.OpMish:
+		f, unitCost = func(v float32) float32 {
+			sp := math.Log1p(math.Exp(float64(v))) // softplus
+			return float32(float64(v) * math.Tanh(sp))
+		}, 64
+	default:
+		return nil, fmt.Errorf("unsupported activation %s", n.Op)
+	}
+	return func(rc *runCtx, dst []float32, srcs [][]float32) error {
+		xv := srcs[0]
+		rc.parallelFor(len(dst), unitCost, func(lo, hi int) {
+			x := xv[lo:hi]
+			out := dst[lo:hi]
+			out = out[:len(x)]
+			for i, v := range x {
+				out[i] = f(v)
+			}
+		})
+		return nil
+	}, nil
+}
+
+func bindPool(n *nn.Node, in, out tensor.Shape, isMax bool) (kernelFunc, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("pool wants NCHW, got per-sample %v", in)
+	}
+	a := n.Attrs
+	c, inH, inW := in[0], in[1], in[2]
+	outH, outW := out[1], out[2]
+	planeCost := int64(outH*outW) * int64(a.KernelH*a.KernelW)
+	return func(rc *runCtx, dst []float32, srcs [][]float32) error {
+		xv := srcs[0]
+		rc.parallelFor(rc.batch*c, planeCost, func(lo, hi int) {
+			for p := lo; p < hi; p++ {
+				base := p * inH * inW
+				outBase := p * outH * outW
+				for oy := 0; oy < outH; oy++ {
+					iy0 := oy*a.StrideH - a.PadH
+					kyLo := 0
+					if iy0 < 0 {
+						kyLo = -iy0
+					}
+					kyHi := a.KernelH
+					if iy0+a.KernelH > inH {
+						kyHi = inH - iy0
+					}
+					for ox := 0; ox < outW; ox++ {
+						ix0 := ox*a.StrideW - a.PadW
+						kxLo := 0
+						if ix0 < 0 {
+							kxLo = -ix0
+						}
+						kxHi := a.KernelW
+						if ix0+a.KernelW > inW {
+							kxHi = inW - ix0
+						}
+						var acc float32
+						if isMax {
+							first := true
+							for ky := kyLo; ky < kyHi; ky++ {
+								row := base + (iy0+ky)*inW + ix0
+								for kx := kxLo; kx < kxHi; kx++ {
+									v := xv[row+kx]
+									if first || v > acc {
+										acc = v
+										first = false
+									}
+								}
+							}
+						} else {
+							for ky := kyLo; ky < kyHi; ky++ {
+								row := base + (iy0+ky)*inW + ix0
+								for kx := kxLo; kx < kxHi; kx++ {
+									acc += xv[row+kx]
+								}
+							}
+							if count := (kyHi - kyLo) * (kxHi - kxLo); count > 0 {
+								acc /= float32(count)
+							}
+						}
+						dst[outBase+oy*outW+ox] = acc
+					}
+				}
+			}
+		})
+		return nil
+	}, nil
+}
+
+func bindGlobalAvgPool(in tensor.Shape) (kernelFunc, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("global pool wants NCHW, got per-sample %v", in)
+	}
+	c, hw := in[0], in[1]*in[2]
+	return func(rc *runCtx, dst []float32, srcs [][]float32) error {
+		xv := srcs[0]
+		rc.parallelFor(rc.batch*c, int64(hw), func(lo, hi int) {
+			for p := lo; p < hi; p++ {
+				x := xv[p*hw : (p+1)*hw]
+				var sum float64
+				for _, v := range x {
+					sum += float64(v)
+				}
+				dst[p] = float32(sum / float64(hw))
+			}
+		})
+		return nil
+	}, nil
+}
+
+func bindAccumulate(n *nn.Node, ins []tensor.Shape, out tensor.Shape) (kernelFunc, error) {
+	mul := n.Op == nn.OpMul
+	// Classify every extra operand at compile time: full elementwise or
+	// the [N,C,1,1] channel broadcast used by squeeze-excite blocks.
+	broadcast := make([]bool, len(ins))
+	for i := 1; i < len(ins); i++ {
+		s := ins[i]
+		switch {
+		case s.Equal(out):
+			broadcast[i] = false
+		case len(out) == 3 && len(s) == 3 && s[0] == out[0] && s[1] == 1 && s[2] == 1:
+			broadcast[i] = true
+		default:
+			return nil, fmt.Errorf("%w: %v vs %v", tensor.ErrShape, out, s)
+		}
+	}
+	var c, hw int
+	if len(out) == 3 {
+		c, hw = out[0], out[1]*out[2]
+	}
+	return func(rc *runCtx, dst []float32, srcs [][]float32) error {
+		copy(dst, srcs[0])
+		for i := 1; i < len(srcs); i++ {
+			yv := srcs[i]
+			if !broadcast[i] {
+				rc.parallelFor(len(dst), 1, func(lo, hi int) {
+					y := yv[lo:hi]
+					out := dst[lo:hi]
+					out = out[:len(y)]
+					if mul {
+						for j, v := range y {
+							out[j] *= v
+						}
+					} else {
+						for j, v := range y {
+							out[j] += v
+						}
+					}
+				})
+				continue
+			}
+			rc.parallelFor(rc.batch*c, int64(hw), func(lo, hi int) {
+				for p := lo; p < hi; p++ {
+					f := yv[p]
+					out := dst[p*hw : (p+1)*hw]
+					if mul {
+						for j := range out {
+							out[j] *= f
+						}
+					} else {
+						for j := range out {
+							out[j] += f
+						}
+					}
+				}
+			})
+		}
+		return nil
+	}, nil
+}
+
+func bindConcat(ins []tensor.Shape, out tensor.Shape) (kernelFunc, error) {
+	if len(out) != 3 {
+		return nil, fmt.Errorf("concat wants NCHW, got per-sample %v", out)
+	}
+	hw := out[1] * out[2]
+	sizes := make([]int, len(ins)) // per-sample float counts
+	for i, s := range ins {
+		if len(s) != 3 || s[1] != out[1] || s[2] != out[2] {
+			return nil, fmt.Errorf("%w: concat input %v vs %v", tensor.ErrShape, s, out)
+		}
+		sizes[i] = s[0] * hw
+	}
+	totalPer := out.NumElements()
+	return func(rc *runCtx, dst []float32, srcs [][]float32) error {
+		for b := 0; b < rc.batch; b++ {
+			off := b * totalPer
+			for i, src := range srcs {
+				sz := sizes[i]
+				copy(dst[off:off+sz], src[b*sz:(b+1)*sz])
+				off += sz
+			}
+		}
+		return nil
+	}, nil
+}
+
+func bindUpsample(n *nn.Node, in, out tensor.Shape) (kernelFunc, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("upsample wants NCHW, got per-sample %v", in)
+	}
+	scale := n.Attrs.Scale
+	if scale <= 0 {
+		return nil, fmt.Errorf("upsample scale %d", scale)
+	}
+	c, h, w := in[0], in[1], in[2]
+	oh, ow := out[1], out[2]
+	return func(rc *runCtx, dst []float32, srcs [][]float32) error {
+		xv := srcs[0]
+		rc.parallelFor(rc.batch*c, int64(oh*ow), func(lo, hi int) {
+			for p := lo; p < hi; p++ {
+				inBase := p * h * w
+				outBase := p * oh * ow
+				for oy := 0; oy < oh; oy++ {
+					iy := oy / scale
+					inRow := inBase + iy*w
+					outRow := outBase + oy*ow
+					for ox := 0; ox < ow; ox++ {
+						dst[outRow+ox] = xv[inRow+ox/scale]
+					}
+				}
+			}
+		})
+		return nil
+	}, nil
+}
+
+func bindSoftmax(in tensor.Shape) (kernelFunc, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("softmax wants [N,features], got per-sample %v", in)
+	}
+	f := in[0]
+	return func(rc *runCtx, dst []float32, srcs [][]float32) error {
+		xv := srcs[0]
+		rc.parallelFor(rc.batch, int64(f)*32, func(lo, hi int) {
+			for b := lo; b < hi; b++ {
+				row := xv[b*f : (b+1)*f]
+				out := dst[b*f : (b+1)*f]
+				out = out[:len(row)]
+				// Mirrors tensor.Softmax exactly (including its
+				// intermediate float32 rounding) for bit parity with the
+				// interpreter.
+				maxV := row[0]
+				for _, v := range row[1:] {
+					if v > maxV {
+						maxV = v
+					}
+				}
+				var sum float64
+				for i, v := range row {
+					e := math.Exp(float64(v - maxV))
+					out[i] = float32(e)
+					sum += e
+				}
+				for i := range out {
+					out[i] = float32(float64(out[i]) / sum)
+				}
+			}
+		})
+		return nil
+	}, nil
+}
+
+func bindCopy() kernelFunc {
+	return func(rc *runCtx, dst []float32, srcs [][]float32) error {
+		copy(dst, srcs[0])
+		return nil
+	}
 }

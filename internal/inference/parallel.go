@@ -1,0 +1,72 @@
+package inference
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// runCtx carries the per-call execution state kernels need: the dynamic
+// batch size and the worker-pool bounds chosen at compile time.
+type runCtx struct {
+	batch     int
+	workers   int
+	threshold int64
+}
+
+// parallelFor executes fn over the index range [0, n), splitting it into
+// contiguous chunks drained by a bounded pool of goroutines (the calling
+// goroutine is one of the workers). unitCost approximates the elementary
+// ops per index; ranges whose total estimated cost falls below the
+// engine's parallel threshold run inline, so small kernels never pay
+// dispatch overhead. Chunks are handed out through an atomic cursor,
+// which load-balances uneven work (e.g. convolution rows with different
+// padding clips) without per-chunk channel traffic.
+//
+// Each index is processed by exactly one goroutine and fn receives
+// disjoint ranges, so kernels keep their per-element accumulation order
+// and produce bitwise-identical results at any worker count.
+func (rc *runCtx) parallelFor(n int, unitCost int64, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := rc.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 || int64(n)*unitCost < rc.threshold {
+		fn(0, n)
+		return
+	}
+	// More chunks than workers smooths imbalance; chunk count is capped
+	// so tiny units still amortize the cursor increment.
+	chunks := w * 4
+	if chunks > n {
+		chunks = n
+	}
+	size := (n + chunks - 1) / chunks
+	var cursor int64
+	work := func() {
+		for {
+			i := int(atomic.AddInt64(&cursor, 1)) - 1
+			lo := i * size
+			if lo >= n {
+				return
+			}
+			hi := lo + size
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for i := 0; i < w-1; i++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}

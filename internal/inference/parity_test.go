@@ -1,0 +1,129 @@
+package inference
+
+import (
+	"fmt"
+	"testing"
+
+	"vedliot/internal/nn"
+	"vedliot/internal/tensor"
+)
+
+// parityTol is the engine-vs-interpreter tolerance for the example
+// topologies; in practice the divergence is exactly zero because the
+// engine preserves per-element accumulation order.
+const parityTol = 1e-5
+
+// exampleGraphs builds every topology the examples/ programs
+// instantiate (quickstart, smartmirror, arcdetect, motorcondition,
+// paeb), with materialized weights and — where an example uses a
+// survey-scale configuration — reduced input sizes so the test stays
+// fast. The paeb example models offload of a YoloV4-class detector; its
+// stand-in here is a miniature CSP/PANet-style detector exercising the
+// same operator patterns (Mish/LeakyReLU, SPP max-pool stack, concat,
+// upsample, multi-scale heads) at test scale.
+func exampleGraphs() []*nn.Graph {
+	return []*nn.Graph{
+		// examples/quickstart
+		nn.GestureNet(64, 8, nn.BuildOptions{Weights: true, Seed: 1}),
+		// examples/smartmirror (Fig. 5 pipeline stages)
+		nn.FaceDetectNet(96, nn.BuildOptions{Weights: true, Seed: 2}),
+		nn.FaceEmbedNet(64, 128, nn.BuildOptions{Weights: true, Seed: 3}),
+		nn.SpeechNet(100, 26, 29, nn.BuildOptions{Weights: true, Seed: 4}),
+		// examples/arcdetect
+		nn.ArcNet(256, nn.BuildOptions{Weights: true, Seed: 5}),
+		// examples/motorcondition
+		nn.MotorNet(128, 5, nn.BuildOptions{Weights: true, Seed: 6}),
+		nn.MLP("motor-clf", []int{128, 64, 5}, nn.BuildOptions{Weights: true, Seed: 7}),
+		// examples/paeb (YoloV4-class topology at test scale)
+		miniYolo(64, 4),
+	}
+}
+
+// miniYolo builds a compact YoloV4-shaped detector: a Mish backbone
+// with two downsampling stages, an SPP-style pooling stack, and two
+// detection heads joined through upsample + concat — the operator mix
+// of nn.YoloV4 without its 64M survey-scale parameters.
+func miniYolo(inputSize, numClasses int) *nn.Graph {
+	b := nn.NewBuilder("mini-yolo", nn.BuildOptions{Weights: true, Seed: 8})
+	headC := 3 * (5 + numClasses)
+	x := b.Input("input", 3, inputSize, inputSize)
+	x = b.ConvBNAct(x, 3, 8, 3, 1, 1, nn.OpMish)
+	x = b.ConvBNAct(x, 8, 16, 3, 2, 1, nn.OpMish)
+	route := b.ConvBNAct(x, 16, 16, 3, 1, 1, nn.OpMish) // stride-2 feature
+	x = b.ConvBNAct(route, 16, 32, 3, 2, 1, nn.OpMish)  // stride-4 feature
+	// SPP: parallel max-pools concatenated.
+	p1 := b.MaxPool(x, 5, 1, 2)
+	p2 := b.MaxPool(x, 9, 1, 4)
+	x = b.Concat(p1, p2, x)
+	x = b.ConvBNAct(x, 96, 32, 1, 1, 0, nn.OpLeakyReLU)
+	// Coarse head.
+	h2 := b.Conv(x, 32, headC, 1, 1, 0)
+	// Fine head via top-down path.
+	up := b.ConvBNAct(x, 32, 16, 1, 1, 0, nn.OpLeakyReLU)
+	up = b.Upsample(up, 2)
+	fine := b.Concat(b.ConvBNAct(route, 16, 16, 1, 1, 0, nn.OpLeakyReLU), up)
+	fine = b.ConvBNAct(fine, 32, 16, 3, 1, 1, nn.OpLeakyReLU)
+	h1 := b.Conv(fine, 16, headC, 1, 1, 0)
+	return b.Graph(h1, h2)
+}
+
+// withPrecision returns a deep copy of g whose weights are stored at
+// the given precision. The engine pre-dequantizes at compile time; the
+// interpreter dequantizes on the fly — both must agree.
+func withPrecision(g *nn.Graph, dt tensor.DType) *nn.Graph {
+	if dt == tensor.FP32 {
+		return g
+	}
+	c := g.Clone()
+	for _, n := range c.Nodes {
+		for key, w := range n.Weights {
+			n.SetWeight(key, w.Convert(dt))
+		}
+	}
+	return c
+}
+
+// TestEngineParityOnExampleGraphs compiles every example topology at
+// FP32, FP16 and INT8 weight precision and checks Engine.Run against
+// the legacy interpreter within parityTol.
+func TestEngineParityOnExampleGraphs(t *testing.T) {
+	for _, base := range exampleGraphs() {
+		for _, dt := range []tensor.DType{tensor.FP32, tensor.FP16, tensor.INT8} {
+			t.Run(fmt.Sprintf("%s/%s", base.Name, dt), func(t *testing.T) {
+				g := withPrecision(base, dt)
+				eng, err := Compile(g)
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				it, err := NewInterpreter(g)
+				if err != nil {
+					t.Fatalf("interpreter: %v", err)
+				}
+				inNode := g.Node(g.Inputs[0])
+				in := tensor.New(tensor.FP32, append(tensor.Shape{2}, inNode.Attrs.Shape...)...)
+				fillInput(in, int(dt)+1)
+				inputs := map[string]*tensor.Tensor{g.Inputs[0]: in}
+				want, err := it.Run(inputs)
+				if err != nil {
+					t.Fatalf("interpreter run: %v", err)
+				}
+				got, err := eng.Run(inputs)
+				if err != nil {
+					t.Fatalf("engine run: %v", err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("engine produced %d outputs, interpreter %d", len(got), len(want))
+				}
+				for name, w := range want {
+					d, err := tensor.MaxAbsDiff(w, got[name])
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					if d > parityTol {
+						t.Errorf("output %s diverges by %g (tol %g)", name, d, parityTol)
+					}
+				}
+			})
+		}
+	}
+}

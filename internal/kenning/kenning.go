@@ -33,10 +33,14 @@ type Target interface {
 	Infer(in *tensor.Tensor) (*tensor.Tensor, time.Duration, error)
 }
 
-// CPUTarget executes on the host through the reference interpreter —
-// Kenning's "native runtime" role.
+// CPUTarget executes on the host through the compiled execution-plan
+// engine — Kenning's "native runtime" role. Deploy is the compile step;
+// Infer measures real wall time per inference.
 type CPUTarget struct {
-	runner *inference.Runner
+	// Options configure engine compilation (worker pool size etc.).
+	Options []inference.Option
+
+	engine *inference.Engine
 }
 
 // Name implements Target.
@@ -44,32 +48,33 @@ func (c *CPUTarget) Name() string { return "cpu-reference" }
 
 // Deploy implements Target.
 func (c *CPUTarget) Deploy(g *nn.Graph) error {
-	r, err := inference.NewRunner(g)
+	eng, err := inference.Compile(g, c.Options...)
 	if err != nil {
 		return err
 	}
-	c.runner = r
+	c.engine = eng
 	return nil
 }
 
 // Infer implements Target.
 func (c *CPUTarget) Infer(in *tensor.Tensor) (*tensor.Tensor, time.Duration, error) {
-	if c.runner == nil {
+	if c.engine == nil {
 		return nil, 0, fmt.Errorf("kenning: target not deployed")
 	}
 	start := time.Now()
-	out, err := c.runner.RunSingle(in)
+	out, err := c.engine.RunSingle(in)
 	return out, time.Since(start), err
 }
 
-// SimTarget executes functionally on the reference interpreter but
-// reports the latency an accelerator model predicts — the "deploy to
-// target hardware and measure" role when the hardware is simulated.
+// SimTarget deploys through a Device-backed accel.Backend: execution is
+// bit-accurate on the host engine while the reported latency comes from
+// the accelerator's roofline model — the "deploy to target hardware and
+// measure" role when the hardware is simulated.
 type SimTarget struct {
 	Device    *accel.Device
 	Precision tensor.DType
 
-	runner  *inference.Runner
+	program *accel.Program
 	latency time.Duration
 }
 
@@ -78,32 +83,27 @@ func (s *SimTarget) Name() string { return "sim:" + s.Device.Name }
 
 // Deploy implements Target.
 func (s *SimTarget) Deploy(g *nn.Graph) error {
-	r, err := inference.NewRunner(g)
+	backend := &accel.Backend{Device: s.Device, Precision: s.Precision}
+	exe, err := backend.Compile(g)
 	if err != nil {
 		return err
 	}
-	if err := g.InferShapes(1); err != nil {
-		return err
-	}
-	w, err := accel.WorkloadFromGraph(g, s.Precision)
+	prog := exe.(*accel.Program)
+	lat, err := prog.PredictLatency(1)
 	if err != nil {
 		return err
 	}
-	m, err := s.Device.Evaluate(w, s.Precision, 1)
-	if err != nil {
-		return err
-	}
-	s.runner = r
-	s.latency = time.Duration(m.LatencyMS * float64(time.Millisecond))
+	s.program = prog
+	s.latency = lat
 	return nil
 }
 
 // Infer implements Target.
 func (s *SimTarget) Infer(in *tensor.Tensor) (*tensor.Tensor, time.Duration, error) {
-	if s.runner == nil {
+	if s.program == nil {
 		return nil, 0, fmt.Errorf("kenning: target not deployed")
 	}
-	out, err := s.runner.RunSingle(in)
+	out, err := s.program.RunSingle(in)
 	return out, s.latency, err
 }
 

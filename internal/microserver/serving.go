@@ -1,0 +1,233 @@
+package microserver
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"vedliot/internal/inference"
+	"vedliot/internal/nn"
+	"vedliot/internal/tensor"
+)
+
+// ServeConfig tunes a node's inference server.
+type ServeConfig struct {
+	// MaxBatch is the largest number of queued requests fused into one
+	// engine dispatch (default 8).
+	MaxBatch int
+	// MaxWait bounds how long the dispatcher waits for the batch to
+	// fill after the first request arrives (default 2ms). Zero keeps
+	// the default; latency-critical nodes can set it to a nanosecond.
+	MaxWait time.Duration
+	// QueueDepth is the request channel capacity (default 4*MaxBatch).
+	QueueDepth int
+	// EngineOptions configure compilation of the shared engine.
+	EngineOptions []inference.Option
+}
+
+func (c ServeConfig) withDefaults() ServeConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxBatch
+	}
+	return c
+}
+
+// ServeStats is a server's cumulative telemetry, the serving-side
+// counterpart of the chassis Monitoring snapshots.
+type ServeStats struct {
+	Requests int64
+	Batches  int64
+	// MaxBatch is the largest batch actually dispatched.
+	MaxBatch int
+}
+
+// MeanBatch returns the average number of requests fused per dispatch.
+func (s ServeStats) MeanBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Requests) / float64(s.Batches)
+}
+
+// Server is one microserver node's inference service: a single compiled
+// engine shared by all clients, fed through a batching queue. Concurrent
+// Infer calls are coalesced into Engine.RunBatch dispatches, which
+// amortizes per-call overhead and hands the parallel kernels larger work
+// items — the "serve as fast as the hardware allows" path for a module
+// hosting a DL workload.
+type Server struct {
+	engine    *inference.Engine
+	inputName string
+	outName   string
+	cfg       ServeConfig
+
+	reqs chan *request
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	// lifeMu serializes shutdown against in-flight submissions: Infer
+	// holds a read lock across its enqueue, so Close (write lock) cannot
+	// mark the server closed while a request is between the closed-check
+	// and the queue. Dispatcher goroutines never take lifeMu.
+	lifeMu sync.RWMutex
+	closed bool
+
+	statsMu sync.Mutex
+	stats   ServeStats
+}
+
+type request struct {
+	in   *tensor.Tensor
+	out  *tensor.Tensor
+	err  error
+	done chan struct{}
+}
+
+// Serve compiles the graph once and starts the dispatcher. The graph
+// must have exactly one input and one output (the serving shape of
+// every use-case network).
+func Serve(g *nn.Graph, cfg ServeConfig) (*Server, error) {
+	if len(g.Inputs) != 1 || len(g.Outputs) != 1 {
+		return nil, fmt.Errorf("microserver: serving wants 1 input/1 output, graph has %d/%d",
+			len(g.Inputs), len(g.Outputs))
+	}
+	eng, err := inference.Compile(g, cfg.EngineOptions...)
+	if err != nil {
+		return nil, fmt.Errorf("microserver: compile %q: %w", g.Name, err)
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		engine:    eng,
+		inputName: g.Inputs[0],
+		outName:   g.Outputs[0],
+		cfg:       cfg,
+		reqs:      make(chan *request, cfg.QueueDepth),
+		quit:      make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.dispatch()
+	return s, nil
+}
+
+// Engine exposes the shared compiled engine (e.g. for direct batch
+// submission or reporting).
+func (s *Server) Engine() *inference.Engine { return s.engine }
+
+// Infer submits one input and blocks until its result is ready. Safe
+// for concurrent use; concurrent callers share engine dispatches. The
+// input carries a leading batch dimension ([1, ...] for one sample;
+// larger batches are allowed and fused with the queue like any other
+// request).
+func (s *Server) Infer(in *tensor.Tensor) (*tensor.Tensor, error) {
+	s.lifeMu.RLock()
+	if s.closed {
+		s.lifeMu.RUnlock()
+		return nil, fmt.Errorf("microserver: server closed")
+	}
+	r := &request{in: in, done: make(chan struct{})}
+	s.reqs <- r
+	s.lifeMu.RUnlock()
+	<-r.done
+	return r.out, r.err
+}
+
+// Close drains the dispatcher and releases it. Requests already queued
+// are completed or failed; later Infer calls fail immediately.
+func (s *Server) Close() {
+	s.lifeMu.Lock()
+	if s.closed {
+		s.lifeMu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.quit)
+	s.lifeMu.Unlock()
+	s.wg.Wait()
+}
+
+// Stats returns cumulative serving telemetry.
+func (s *Server) Stats() ServeStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
+}
+
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	for {
+		var first *request
+		select {
+		case first = <-s.reqs:
+		case <-s.quit:
+			s.drain()
+			return
+		}
+		pending := []*request{first}
+		timer := time.NewTimer(s.cfg.MaxWait)
+	collect:
+		for len(pending) < s.cfg.MaxBatch {
+			select {
+			case r := <-s.reqs:
+				pending = append(pending, r)
+			case <-timer.C:
+				break collect
+			case <-s.quit:
+				break collect
+			}
+		}
+		timer.Stop()
+		s.runBatch(pending)
+	}
+}
+
+// drain fails any requests that were queued after shutdown began.
+func (s *Server) drain() {
+	for {
+		select {
+		case r := <-s.reqs:
+			r.err = fmt.Errorf("microserver: server closed")
+			close(r.done)
+		default:
+			return
+		}
+	}
+}
+
+func (s *Server) runBatch(pending []*request) {
+	batches := make([]map[string]*tensor.Tensor, len(pending))
+	for i, r := range pending {
+		batches[i] = map[string]*tensor.Tensor{s.inputName: r.in}
+	}
+	outs, err := s.engine.RunBatch(batches)
+	if err != nil {
+		// One malformed input fails a fused dispatch; retry requests
+		// individually so only the offender sees the error.
+		for i, r := range pending {
+			out, rerr := s.engine.Run(batches[i])
+			if rerr != nil {
+				r.err = rerr
+			} else {
+				r.out = out[s.outName]
+			}
+			close(r.done)
+		}
+	} else {
+		for i, r := range pending {
+			r.out = outs[i][s.outName]
+			close(r.done)
+		}
+	}
+	s.statsMu.Lock()
+	s.stats.Requests += int64(len(pending))
+	s.stats.Batches++
+	if len(pending) > s.stats.MaxBatch {
+		s.stats.MaxBatch = len(pending)
+	}
+	s.statsMu.Unlock()
+}

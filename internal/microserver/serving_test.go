@@ -1,0 +1,148 @@
+package microserver
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"vedliot/internal/inference"
+	"vedliot/internal/nn"
+	"vedliot/internal/tensor"
+)
+
+func servedModel(t *testing.T, cfg ServeConfig) (*Server, *nn.Graph) {
+	t.Helper()
+	g := nn.GestureNet(16, 4, nn.BuildOptions{Weights: true, Seed: 77})
+	s, err := Serve(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, g
+}
+
+func gestureInput(seed int) *tensor.Tensor {
+	in := tensor.New(tensor.FP32, 1, 1, 16, 16)
+	for i := range in.F32 {
+		in.F32[i] = float32((i*3+seed*7)%17)/17 - 0.5
+	}
+	return in
+}
+
+func TestServeMatchesDirectEngine(t *testing.T) {
+	s, g := servedModel(t, ServeConfig{})
+	defer s.Close()
+	eng, err := inference.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := gestureInput(1)
+	want, err := eng.RunSingle(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Infer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := tensor.MaxAbsDiff(want, got); d != 0 {
+		t.Errorf("served result diverges by %g", d)
+	}
+}
+
+func TestServeBatchesConcurrentClients(t *testing.T) {
+	s, g := servedModel(t, ServeConfig{MaxBatch: 8, MaxWait: 20 * time.Millisecond})
+	defer s.Close()
+	eng, err := inference.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			in := gestureInput(c)
+			want, err := eng.RunSingle(in)
+			if err != nil {
+				errs <- err
+				return
+			}
+			got, err := s.Infer(in)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if d, _ := tensor.MaxAbsDiff(want, got); d != 0 {
+				errs <- &shapeErr{d}
+				return
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := s.Stats()
+	if st.Requests != clients {
+		t.Errorf("stats recorded %d requests, want %d", st.Requests, clients)
+	}
+	if st.Batches >= clients {
+		t.Errorf("no batching: %d dispatches for %d requests", st.Batches, clients)
+	}
+	if st.MeanBatch() <= 1 {
+		t.Errorf("mean batch = %v, want > 1", st.MeanBatch())
+	}
+}
+
+type shapeErr struct{ d float64 }
+
+func (e *shapeErr) Error() string { return "served result diverges" }
+
+func TestServeBadRequestFailsAlone(t *testing.T) {
+	s, _ := servedModel(t, ServeConfig{MaxBatch: 4, MaxWait: 20 * time.Millisecond})
+	defer s.Close()
+	var wg sync.WaitGroup
+	goodErr := make(chan error, 1)
+	badErr := make(chan error, 1)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, err := s.Infer(gestureInput(1))
+		goodErr <- err
+	}()
+	go func() {
+		defer wg.Done()
+		_, err := s.Infer(tensor.New(tensor.FP32, 1, 3, 16, 16)) // wrong channels
+		badErr <- err
+	}()
+	wg.Wait()
+	if err := <-goodErr; err != nil {
+		t.Errorf("well-formed request failed: %v", err)
+	}
+	if err := <-badErr; err == nil {
+		t.Error("malformed request succeeded")
+	}
+}
+
+func TestServeClose(t *testing.T) {
+	s, _ := servedModel(t, ServeConfig{})
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Infer(gestureInput(1)); err == nil {
+		t.Error("Infer succeeded after Close")
+	}
+}
+
+func TestServeRejectsMultiOutputGraphs(t *testing.T) {
+	b := nn.NewBuilder("t", nn.BuildOptions{Weights: true, Seed: 5})
+	x := b.Input("input", 1, 8, 8)
+	c := b.Conv(x, 1, 2, 3, 1, 1)
+	r := b.Act(c, nn.OpReLU)
+	g := b.Graph(c, r)
+	if _, err := Serve(g, ServeConfig{}); err == nil {
+		t.Error("Serve accepted a two-output graph")
+	}
+}

@@ -60,24 +60,24 @@ func MagnitudePrune(g *nn.Graph, sparsity float64) (PruneReport, error) {
 	}
 	rep := PruneReport{PerLayer: make(map[string]float64)}
 
-	// Collect all magnitudes to find the global threshold.
-	var mags []float32
+	// The global threshold is the k-th smallest |w|; a counting
+	// selection finds it exactly in two passes, without materializing
+	// and sorting the full magnitude vector (which dominated pruning
+	// time on ResNet50-sized models).
+	total := 0
 	for _, n := range g.Nodes {
 		if !prunable(n) {
 			continue
 		}
-		for _, v := range n.Weight(nn.WeightKey).Float32s() {
-			mags = append(mags, float32(math.Abs(float64(v))))
-		}
+		total += n.Weight(nn.WeightKey).NumElements()
 	}
-	if len(mags) == 0 {
+	if total == 0 {
 		return rep, nil
 	}
-	sort.Slice(mags, func(i, j int) bool { return mags[i] < mags[j] })
-	k := int(sparsity * float64(len(mags)))
+	k := int(sparsity * float64(total))
 	var threshold float32
 	if k > 0 {
-		threshold = mags[k-1]
+		threshold = kthMagnitude(g, k)
 	}
 
 	stats, err := g.Stats()
@@ -116,6 +116,52 @@ func MagnitudePrune(g *nn.Graph, sparsity float64) (PruneReport, error) {
 		rep.MACsAfter -= saved
 	}
 	return rep, nil
+}
+
+// kthMagnitude returns the k-th smallest (1-based) weight magnitude
+// across all prunable tensors. Non-negative IEEE-754 floats order
+// exactly like their bit patterns, so a radix-style counting selection
+// over the high then low 16 bits finds the precise order statistic in
+// O(n) — the same value a full sort would put at index k-1.
+func kthMagnitude(g *nn.Graph, k int) float32 {
+	const magMask = 0x7fffffff // clears the sign: |v| bit pattern
+	forEachMag := func(fn func(bits uint32)) {
+		for _, n := range g.Nodes {
+			if !prunable(n) {
+				continue
+			}
+			for _, v := range n.Weight(nn.WeightKey).Float32s() {
+				fn(math.Float32bits(v) & magMask)
+			}
+		}
+	}
+	coarse := make([]int, 1<<16)
+	forEachMag(func(bits uint32) { coarse[bits>>16]++ })
+	rank := k
+	hiBucket := -1
+	for i, c := range coarse {
+		if rank <= c {
+			hiBucket = i
+			break
+		}
+		rank -= c
+	}
+	if hiBucket < 0 {
+		return math.MaxFloat32 // k beyond population; callers prevent this
+	}
+	fine := make([]int, 1<<16)
+	forEachMag(func(bits uint32) {
+		if int(bits>>16) == hiBucket {
+			fine[bits&0xffff]++
+		}
+	})
+	for i, c := range fine {
+		if rank <= c {
+			return math.Float32frombits(uint32(hiBucket)<<16 | uint32(i))
+		}
+		rank -= c
+	}
+	return math.MaxFloat32
 }
 
 // ChannelPrune implements structured pruning: for each prunable conv it

@@ -123,14 +123,15 @@ func QuantizeWeights(g *nn.Graph, cfg QuantConfig) (QuantReport, error) {
 		rep.WeightMSE = sumSq / float64(count)
 	}
 
-	// Calibrate activation ranges if samples were provided.
+	// Calibrate activation ranges if samples were provided: the graph is
+	// compiled once and the engine runs every sample.
 	if len(cfg.CalibrationSamples) > 0 {
-		runner, err := inference.NewRunner(g)
+		eng, err := inference.Compile(g)
 		if err != nil {
 			return rep, err
 		}
 		for _, sample := range cfg.CalibrationSamples {
-			acts, err := runner.RunAll(sample)
+			acts, err := eng.RunAll(sample)
 			if err != nil {
 				return rep, fmt.Errorf("optimize: calibration: %w", err)
 			}

@@ -1,0 +1,81 @@
+package optimize
+
+import (
+	"fmt"
+
+	"vedliot/internal/inference"
+	"vedliot/internal/nn"
+	"vedliot/internal/tensor"
+)
+
+// ValidationReport records a pass-preservation check.
+type ValidationReport struct {
+	// Applied is the pipeline log of passes that changed the graph.
+	Applied []string
+	// Probes is the number of probe inputs compared.
+	Probes int
+	// MaxDiff is the worst output divergence observed across all probes
+	// and declared outputs.
+	MaxDiff float64
+}
+
+// ValidatePasses checks that an optimization pipeline preserves the
+// network function: it applies the passes to a clone of g and compares
+// the rewritten graph against the original on every probe input. Both
+// graphs are compiled exactly once and the engines then run all probes —
+// the compile-once/run-many shape every pass validation should have.
+// It returns the rewritten graph so callers can adopt it once validated.
+//
+// A non-nil error means the pipeline or an execution failed; a MaxDiff
+// above the caller's tolerance means the rewrite changed the function.
+func ValidatePasses(g *nn.Graph, passes []Pass, probes []map[string]*tensor.Tensor) (*nn.Graph, ValidationReport, error) {
+	var rep ValidationReport
+	if len(probes) == 0 {
+		return nil, rep, fmt.Errorf("optimize: validation needs at least one probe input")
+	}
+	rewritten := g.Clone()
+	applied, err := Pipeline(rewritten, passes, 0)
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.Applied = applied
+
+	ref, err := inference.Compile(g)
+	if err != nil {
+		return nil, rep, fmt.Errorf("optimize: compile reference: %w", err)
+	}
+	opt, err := inference.Compile(rewritten)
+	if err != nil {
+		return nil, rep, fmt.Errorf("optimize: compile rewritten: %w", err)
+	}
+	if len(g.Outputs) != len(rewritten.Outputs) {
+		return nil, rep, fmt.Errorf("optimize: pipeline changed output count %d -> %d",
+			len(g.Outputs), len(rewritten.Outputs))
+	}
+	for _, probe := range probes {
+		want, err := ref.Run(probe)
+		if err != nil {
+			return nil, rep, fmt.Errorf("optimize: reference run: %w", err)
+		}
+		got, err := opt.Run(probe)
+		if err != nil {
+			return nil, rep, fmt.Errorf("optimize: rewritten run: %w", err)
+		}
+		// Outputs are compared positionally: passes may legally rewire a
+		// declared output to a differently named node (e.g. batch-norm
+		// folding exposes the fused convolution).
+		for i, name := range g.Outputs {
+			w := want[name]
+			o := got[rewritten.Outputs[i]]
+			d, err := tensor.MaxAbsDiff(w, o)
+			if err != nil {
+				return nil, rep, fmt.Errorf("optimize: output %s: %w", name, err)
+			}
+			if d > rep.MaxDiff {
+				rep.MaxDiff = d
+			}
+		}
+		rep.Probes++
+	}
+	return rewritten, rep, nil
+}

@@ -1,0 +1,73 @@
+package optimize
+
+import (
+	"testing"
+
+	"vedliot/internal/nn"
+	"vedliot/internal/tensor"
+)
+
+func probeInputs(g *nn.Graph, n int) []map[string]*tensor.Tensor {
+	if err := g.InferShapes(1); err != nil {
+		panic(err)
+	}
+	shape := g.Node(g.Inputs[0]).OutShape
+	var probes []map[string]*tensor.Tensor
+	for p := 0; p < n; p++ {
+		in := tensor.New(tensor.FP32, shape...)
+		for i := range in.F32 {
+			in.F32[i] = float32((i*5+p*11)%19)/19 - 0.5
+		}
+		probes = append(probes, map[string]*tensor.Tensor{g.Inputs[0]: in})
+	}
+	return probes
+}
+
+func TestValidatePassesStandardPipeline(t *testing.T) {
+	b := nn.NewBuilder("t", nn.BuildOptions{Weights: true, Seed: 31})
+	x := b.Input("input", 1, 12, 12)
+	x = b.ConvBNAct(x, 1, 4, 3, 1, 1, nn.OpReLU)
+	x = b.ConvBNAct(x, 4, 8, 3, 2, 1, nn.OpReLU)
+	x = b.GlobalAvgPool(x)
+	x = b.Flatten(x)
+	g := b.Graph(x)
+	// Non-trivial BN statistics so folding actually changes weights.
+	for _, n := range g.Nodes {
+		if n.Op == nn.OpBatchNorm {
+			for i := range n.Weight(nn.MeanKey).F32 {
+				n.Weight(nn.MeanKey).F32[i] = 0.05 * float32(i+1)
+				n.Weight(nn.VarKey).F32[i] = 0.5 + 0.1*float32(i)
+			}
+		}
+	}
+	rewritten, rep, err := ValidatePasses(g, StandardPasses(), probeInputs(g, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Applied) == 0 {
+		t.Error("standard passes applied nothing to a conv+BN graph")
+	}
+	if rep.Probes != 4 {
+		t.Errorf("validated %d probes, want 4", rep.Probes)
+	}
+	if rep.MaxDiff > 1e-4 {
+		t.Errorf("pipeline changed the function: max diff %g", rep.MaxDiff)
+	}
+	if len(rewritten.Nodes) >= len(g.Nodes) {
+		t.Errorf("folding did not shrink the graph: %d -> %d nodes", len(g.Nodes), len(rewritten.Nodes))
+	}
+	// The original graph is untouched.
+	for _, n := range g.Nodes {
+		if n.Op == nn.OpBatchNorm {
+			return
+		}
+	}
+	t.Error("ValidatePasses mutated the input graph")
+}
+
+func TestValidatePassesNeedsProbes(t *testing.T) {
+	g := nn.MLP("m", []int{4, 2}, nn.BuildOptions{Weights: true, Seed: 1})
+	if _, _, err := ValidatePasses(g, StandardPasses(), nil); err == nil {
+		t.Error("validation accepted zero probes")
+	}
+}
