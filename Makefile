@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-full bench ci
+.PHONY: all build vet test test-full test-race bench serve-demo ci
 
 all: ci
 
@@ -18,8 +18,19 @@ test:
 test-full:
 	$(GO) test ./...
 
+# test-race runs the concurrent packages under the race detector.
+test-race:
+	$(GO) test -short -race ./internal/inference/... ./internal/microserver/... ./internal/cluster/...
+
 # bench tracks the inference-runtime perf trajectory.
 bench:
 	$(GO) test -bench BenchmarkEngine -run '^$$' -benchmem .
 
-ci: vet build test
+# serve-demo smoke-checks the fleet-serving path: the smart-mirror face
+# detector on a 2-device heterogeneous uRECS fleet (CPU + Xavier NX).
+serve-demo:
+	$(GO) run ./cmd/vedliot-serve -chassis urecs \
+		-modules "SMARC ARM,Jetson Xavier NX" \
+		-model mirror-face -requests 120 -rate 400
+
+ci: vet build test test-race

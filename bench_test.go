@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"vedliot/internal/bench"
+	"vedliot/internal/cluster"
 	"vedliot/internal/inference"
+	"vedliot/internal/microserver"
 	"vedliot/internal/nn"
 	"vedliot/internal/tensor"
 )
@@ -105,6 +107,62 @@ func BenchmarkAblationPruning(b *testing.B) { benchExperiment(b, "ablation-prune
 // BenchmarkAblationEcallBatching contrasts enclave transition
 // granularities.
 func BenchmarkAblationEcallBatching(b *testing.B) { benchExperiment(b, "ablation-ecall") }
+
+// BenchmarkClusterServing regenerates the fleet-serving study:
+// throughput vs replica count under the synthetic open-loop trace plus
+// the heterogeneous uRECS fleet on the real serving path.
+func BenchmarkClusterServing(b *testing.B) { benchExperiment(b, "cluster") }
+
+// BenchmarkClusterSubmit measures the real serving path end to end:
+// async Submit/Wait through the scheduler, its admission queue and a
+// heterogeneous fleet's batching servers.
+func BenchmarkClusterSubmit(b *testing.B) {
+	chassis := microserver.NewURECS()
+	for slot, name := range []string{"SMARC ARM", "Jetson Xavier NX", "Coral SoM"} {
+		m, err := microserver.FindModule(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := chassis.Insert(slot, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sched := cluster.NewScheduler(chassis, cluster.Config{QueueDepth: 1024})
+	defer sched.Close()
+	g := nn.FaceDetectNet(32, nn.BuildOptions{Weights: true, Seed: 7})
+	if _, err := sched.Deploy(g); err != nil {
+		b.Fatal(err)
+	}
+	in := tensor.New(tensor.FP32, 1, 1, 32, 32)
+	for i := range in.F32 {
+		in.F32[i] = float32(i%17)/17 - 0.5
+	}
+	ins := map[string]*tensor.Tensor{g.Inputs[0]: in}
+	b.ResetTimer()
+	tickets := make([]*cluster.Ticket, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		tk, err := sched.Submit(g.Name, ins)
+		if err != nil {
+			// Admission shed under benchmark pressure: wait out the
+			// backlog and retry once.
+			for _, t := range tickets {
+				if _, werr := t.Wait(); werr != nil {
+					b.Fatal(werr)
+				}
+			}
+			tickets = tickets[:0]
+			if tk, err = sched.Submit(g.Name, ins); err != nil {
+				b.Fatal(err)
+			}
+		}
+		tickets = append(tickets, tk)
+	}
+	for _, tk := range tickets {
+		if _, err := tk.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkEngine tracks the inference-runtime perf trajectory on a
 // smart-mirror-class convolutional workload: the legacy tree-walking

@@ -6,12 +6,19 @@
 //	vedliot-bench -list           # enumerate experiments
 //	vedliot-bench -run fig4       # run one experiment
 //	vedliot-bench -all            # run everything
+//	vedliot-bench -run engine -json   # also write BENCH_engine.json
+//
+// With -json each executed experiment additionally writes a
+// machine-readable perf artifact BENCH_<id>.json (checks + metrics)
+// into -outdir, seeding the bench trajectory tracked across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"vedliot/internal/bench"
 )
@@ -20,6 +27,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiments")
 	run := flag.String("run", "", "run one experiment by id")
 	all := flag.Bool("all", false, "run every experiment")
+	jsonOut := flag.Bool("json", false, "write BENCH_<id>.json perf artifacts")
+	outdir := flag.String("outdir", ".", "directory for -json artifacts")
 	flag.Parse()
 
 	switch {
@@ -33,13 +42,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := execute(e); err != nil {
+		if err := execute(e, *jsonOut, *outdir); err != nil {
 			fatal(err)
 		}
 	case *all:
 		failures := 0
 		for _, e := range bench.Registry() {
-			if err := execute(e); err != nil {
+			if err := execute(e, *jsonOut, *outdir); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 				failures++
 			}
@@ -54,15 +63,35 @@ func main() {
 	}
 }
 
-func execute(e bench.Experiment) error {
+func execute(e bench.Experiment, jsonOut bool, outdir string) error {
 	rep, err := e.Run()
 	if err != nil {
 		return err
 	}
 	fmt.Print(rep)
+	if jsonOut {
+		// The artifact is written even when checks fail: a failing run
+		// is still a data point in the trajectory.
+		if err := writeArtifact(outdir, e.ID, rep); err != nil {
+			return err
+		}
+	}
 	if failed := rep.Failed(); len(failed) > 0 {
 		return fmt.Errorf("failed shape checks: %v", failed)
 	}
+	return nil
+}
+
+func writeArtifact(dir, id string, rep *bench.Report) error {
+	data, err := json.MarshalIndent(rep.Artifact(id), "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+id+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
 	return nil
 }
 

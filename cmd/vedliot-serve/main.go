@@ -1,0 +1,195 @@
+// Command vedliot-serve drives the fleet-serving layer end to end: it
+// assembles a RECS chassis, deploys a model-zoo entry onto every
+// mounted compute module through the cluster scheduler, replays a
+// synthetic open-loop request trace against the fleet in real time and
+// reports latency, throughput, cost-aware routing and the chassis
+// power view. The same trace is also replayed through the analytic
+// fleet simulation for a modeled-vs-measured comparison.
+//
+// Usage:
+//
+//	vedliot-serve -chassis urecs -modules "SMARC ARM,Jetson Xavier NX" \
+//	    -model mirror-face -requests 120 -rate 400
+//	vedliot-serve -list-models
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"vedliot/internal/cluster"
+	"vedliot/internal/microserver"
+	"vedliot/internal/nn"
+	"vedliot/internal/tensor"
+)
+
+// zoo maps servable model-zoo entries (1-in/1-out serving shape) to
+// their constructors; sizes follow the use-case experiments.
+var zoo = map[string]struct {
+	About string
+	Build func() *nn.Graph
+}{
+	"mirror-face": {"smart-mirror face detector (Fig. 5 stage 1)",
+		func() *nn.Graph { return nn.FaceDetectNet(32, nn.BuildOptions{Weights: true, Seed: 91}) }},
+	"mirror-gesture": {"smart-mirror gesture classifier",
+		func() *nn.Graph { return nn.GestureNet(16, 4, nn.BuildOptions{Weights: true, Seed: 77}) }},
+	"mirror-embed": {"smart-mirror face embedding (FaceNet stand-in)",
+		func() *nn.Graph { return nn.FaceEmbedNet(32, 64, nn.BuildOptions{Weights: true, Seed: 23}) }},
+	"motor": {"motor-condition classifier (§V-B)",
+		func() *nn.Graph { return nn.MotorNet(256, 3, nn.BuildOptions{Weights: true, Seed: 31}) }},
+	"arc": {"DC-arc detector (§V-B)",
+		func() *nn.Graph { return nn.ArcNet(256, nn.BuildOptions{Weights: true, Seed: 37}) }},
+}
+
+func main() {
+	chassisName := flag.String("chassis", "urecs", "chassis: urecs, trecs, recsbox")
+	modules := flag.String("modules", "SMARC ARM,Jetson Xavier NX", "comma-separated module names (slot order)")
+	model := flag.String("model", "mirror-face", "model-zoo entry to deploy")
+	listModels := flag.Bool("list-models", false, "list servable model-zoo entries")
+	requests := flag.Int("requests", 120, "trace length")
+	rate := flag.Float64("rate", 400, "open-loop arrival rate (req/s)")
+	seed := flag.Int64("seed", 42, "trace seed")
+	queue := flag.Int("queue", 256, "admission queue depth")
+	emulate := flag.Bool("emulate", true, "stretch accelerator requests to modeled latency")
+	flag.Parse()
+
+	if *listModels {
+		names := make([]string, 0, len(zoo))
+		for n := range zoo {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("%-16s %s\n", n, zoo[n].About)
+		}
+		return
+	}
+
+	entry, ok := zoo[*model]
+	if !ok {
+		fatal(fmt.Errorf("unknown model %q (see -list-models)", *model))
+	}
+
+	// Assemble the platform.
+	var chassis *microserver.Chassis
+	switch *chassisName {
+	case "urecs":
+		chassis = microserver.NewURECS()
+	case "trecs":
+		chassis = microserver.NewTRECS(3)
+	case "recsbox":
+		chassis = microserver.NewRECSBox(4)
+	default:
+		fatal(fmt.Errorf("unknown chassis %q", *chassisName))
+	}
+	fmt.Printf("%s (%s tier), %d slots, baseboard %.1f W\n",
+		chassis.Name, chassis.Tier, len(chassis.Slots), chassis.BaseboardW)
+	slot := 0
+	for _, name := range strings.Split(*modules, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		m, err := microserver.FindModule(name)
+		if err != nil {
+			fatal(err)
+		}
+		if err := chassis.Insert(slot, m); err != nil {
+			fatal(err)
+		}
+		backend, err := cluster.BackendForModule(m)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("slot %d <- %-18s (%s, %.1f-%.1f W) backend %s\n",
+			slot, m.Name, m.Arch, m.IdleW, m.MaxW, backend.Name())
+		slot++
+	}
+
+	// Deploy the fleet.
+	sched := cluster.NewScheduler(chassis, cluster.Config{QueueDepth: *queue, EmulateLatency: *emulate})
+	defer sched.Close()
+	g := entry.Build()
+	dep, err := sched.Deploy(g)
+	if err != nil {
+		fatal(err)
+	}
+	if err := g.InferShapes(1); err != nil {
+		fatal(err)
+	}
+	inShape := g.Node(g.Inputs[0]).OutShape
+	fmt.Printf("\ndeployed %s (%s) on %d replicas, input %v\n",
+		g.Name, entry.About, len(dep.Replicas()), inShape)
+
+	// Replay the open-loop trace in real time.
+	trace := cluster.OpenLoopTrace(*requests, *rate, *seed)
+	fmt.Printf("replaying %d requests at %.0f req/s (span %v)...\n",
+		*requests, *rate, trace.Duration().Round(time.Millisecond))
+	input := tensor.New(tensor.FP32, inShape...)
+	for i := range input.F32 {
+		input.F32[i] = float32(i%13)/13 - 0.5
+	}
+	ins := map[string]*tensor.Tensor{g.Inputs[0]: input}
+	start := time.Now()
+	tickets := make([]*cluster.Ticket, 0, *requests)
+	shed := 0
+	for _, at := range trace.Arrivals {
+		if d := time.Until(start.Add(at)); d > 0 {
+			time.Sleep(d)
+		}
+		tk, err := sched.Submit(g.Name, ins)
+		if err != nil {
+			shed++ // open-loop clients don't retry
+			continue
+		}
+		tickets = append(tickets, tk)
+	}
+	var lats []time.Duration
+	failed := 0
+	for _, tk := range tickets {
+		if _, err := tk.Wait(); err != nil {
+			failed++
+			continue
+		}
+		lats = append(lats, tk.Latency())
+	}
+	wall := time.Since(start)
+
+	// Report.
+	sum := cluster.Summarize(lats)
+	fmt.Printf("\ncompleted %d/%d (shed %d, failed %d) in %v -> %.0f req/s\n",
+		len(lats), *requests, shed, failed, wall.Round(time.Millisecond),
+		float64(len(lats))/wall.Seconds())
+	fmt.Printf("latency: mean %v  p50 %v  p95 %v  max %v\n",
+		sum.Mean.Round(time.Microsecond), sum.P50.Round(time.Microsecond),
+		sum.P95.Round(time.Microsecond), sum.Max.Round(time.Microsecond))
+
+	fmt.Printf("\nrouting (cost = service estimate x queue depth, power tie-break):\n")
+	st := dep.Stats()
+	for _, line := range st.ReplicaTable() {
+		fmt.Println(line)
+	}
+	util := map[int]float64{}
+	for _, rs := range st.Replicas {
+		util[rs.Slot] = 1
+	}
+	fmt.Printf("chassis power: %.1f W idle-fleet, %.1f W all-serving (budget %.0f W)\n",
+		chassis.PowerW(nil), chassis.PowerW(util), chassis.BudgetW)
+
+	// Modeled replay of the same trace for comparison.
+	sim, err := cluster.SimulateTrace(cluster.SimFleet(dep), trace)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nanalytic replay of the same trace: %.0f req/s, p95 %v, %.1f J\n",
+		sim.Throughput, sim.Latency.P95.Round(time.Microsecond), sim.EnergyJ)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vedliot-serve:", err)
+	os.Exit(1)
+}

@@ -89,6 +89,11 @@ var _ inference.Executable = (*Program)(nil)
 // Device returns the modeled device.
 func (p *Program) Device() *Device { return p.device }
 
+// HostEngine returns the host CPU engine that provides the program's
+// functional execution. Serving layers use it to reach the shared
+// engine regardless of which backend compiled the model.
+func (p *Program) HostEngine() *inference.Engine { return p.Engine }
+
 // Precision returns the precision the device model is evaluated at.
 func (p *Program) Precision() tensor.DType { return p.precision }
 

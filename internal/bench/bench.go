@@ -29,6 +29,17 @@ type Report struct {
 	Lines []string
 	// Checks are machine-checkable shape assertions (name -> pass).
 	Checks map[string]bool
+	// Metrics are the experiment's machine-readable measurements, in
+	// recording order — the payload of the perf artifacts written by
+	// `vedliot-bench -json`.
+	Metrics []Metric
+}
+
+// Metric is one named measurement of an experiment run.
+type Metric struct {
+	Name  string  `json:"name"`
+	Unit  string  `json:"unit,omitempty"`
+	Value float64 `json:"value"`
 }
 
 func newReport(title string) *Report {
@@ -42,6 +53,26 @@ func (r *Report) linef(format string, args ...any) {
 // check records a shape assertion.
 func (r *Report) check(name string, ok bool) {
 	r.Checks[name] = ok
+}
+
+// metric records one machine-readable measurement.
+func (r *Report) metric(name, unit string, value float64) {
+	r.Metrics = append(r.Metrics, Metric{Name: name, Unit: unit, Value: value})
+}
+
+// Artifact is the JSON perf record of one experiment run, the unit of
+// the bench trajectory (`vedliot-bench -json` writes one
+// BENCH_<id>.json per experiment).
+type Artifact struct {
+	ID      string          `json:"id"`
+	Title   string          `json:"title"`
+	Checks  map[string]bool `json:"checks"`
+	Metrics []Metric        `json:"metrics,omitempty"`
+}
+
+// Artifact packages the report for machine consumption.
+func (r *Report) Artifact(id string) Artifact {
+	return Artifact{ID: id, Title: r.Title, Checks: r.Checks, Metrics: r.Metrics}
 }
 
 // Failed returns the names of failed checks, sorted.
@@ -95,6 +126,7 @@ func Registry() []Experiment {
 		{ID: "theory", Paper: "§III: theoretical vs hardware speed-ups [8]", Run: TheoryVsHardware},
 		{ID: "kenning", Paper: "§III: Kenning measurement reports [10]", Run: KenningPipeline},
 		{ID: "engine", Paper: "toolchain: compiled engine vs interpreter", Run: EngineStudy},
+		{ID: "cluster", Paper: "platform: heterogeneous fleet serving", Run: ClusterStudy},
 		{ID: "twine", Paper: "§IV-C: SQLite in SGX via WASM [17]", Run: Twine},
 		{ID: "pmp", Paper: "§IV-C: VexRiscv PMP unit", Run: PMPBench},
 		{ID: "cfu", Paper: "§II-B: Renode CFU simulation", Run: CFUBench},

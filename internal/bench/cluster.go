@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"vedliot/internal/cluster"
+	"vedliot/internal/inference"
+	"vedliot/internal/microserver"
+	"vedliot/internal/nn"
+	"vedliot/internal/tensor"
+)
+
+// ClusterStudy exercises the fleet-serving layer at both of its scales:
+//
+//  1. Replica scaling — a synthetic open-loop trace replayed (in exact
+//     virtual time, so the result is machine-independent) against 1, 2
+//     and 4 CPU-equivalent replicas, showing aggregate throughput
+//     scaling with replica count.
+//  2. Heterogeneous fleet — the real serving path on a uRECS chassis
+//     mixing the host CPU engine with two distinct accelerator device
+//     models behind the one Backend interface: functional parity with
+//     the reference engine, cost-aware routing telemetry and the
+//     chassis power view.
+func ClusterStudy() (*Report, error) {
+	r := newReport("Platform — heterogeneous fleet serving")
+
+	// --- Part 1: throughput vs. replica count -------------------------
+	// A CPU-equivalent replica: 2ms service (≈ the smart-mirror face
+	// detector on an embedded CPU), COM Express Xeon-D power envelope.
+	requests := pick(2000, 400)
+	trace := cluster.OpenLoopTrace(requests, 2000, 7)
+	cpuFleet := func(k int) []cluster.SimReplica {
+		fleet := make([]cluster.SimReplica, k)
+		for i := range fleet {
+			fleet[i] = cluster.SimReplica{
+				Name: fmt.Sprintf("cpu%d", i), Service: 2 * time.Millisecond, IdleW: 25, MaxW: 45,
+			}
+		}
+		return fleet
+	}
+	r.linef("open-loop trace: %d requests at 2000 req/s (span %v)", requests, trace.Duration().Round(time.Millisecond))
+	r.linef("%-10s %12s %12s %12s %12s", "replicas", "throughput", "p50", "p95", "energy")
+	tput := map[int]float64{}
+	for _, k := range []int{1, 2, 4} {
+		res, err := cluster.SimulateTrace(cpuFleet(k), trace)
+		if err != nil {
+			return nil, err
+		}
+		tput[k] = res.Throughput
+		r.linef("%-10d %9.0f/s %12v %12v %10.1f J", k, res.Throughput,
+			res.Latency.P50.Round(time.Microsecond), res.Latency.P95.Round(time.Microsecond), res.EnergyJ)
+		r.metric(fmt.Sprintf("throughput_%dx_cpu", k), "req/s", res.Throughput)
+		r.metric(fmt.Sprintf("p95_latency_%dx_cpu", k), "ns", float64(res.Latency.P95))
+	}
+	scaling := tput[4] / tput[1]
+	r.linef("aggregate throughput 1 -> 4 replicas: %.2fx", scaling)
+	r.metric("throughput_scaling_1_to_4", "x", scaling)
+	r.check("throughput scales >=1.5x from 1 to 4 CPU-equivalent replicas", scaling >= 1.5)
+
+	// --- Part 2: heterogeneous fleet, real serving path ---------------
+	chassis := microserver.NewURECS()
+	for slot, name := range []string{"SMARC ARM", "Jetson Xavier NX", "Coral SoM"} {
+		m, err := microserver.FindModule(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := chassis.Insert(slot, m); err != nil {
+			return nil, err
+		}
+	}
+	sched := cluster.NewScheduler(chassis, cluster.Config{QueueDepth: 256})
+	defer sched.Close()
+	g := nn.FaceDetectNet(32, nn.BuildOptions{Weights: true, Seed: 91})
+	dep, err := sched.Deploy(g)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := inference.Compile(g)
+	if err != nil {
+		return nil, err
+	}
+	in := tensor.New(tensor.FP32, 1, 1, 32, 32)
+	for i := range in.F32 {
+		in.F32[i] = float32(i%13)/13 - 0.5
+	}
+	want, err := eng.RunSingle(in)
+	if err != nil {
+		return nil, err
+	}
+
+	burst := pick(96, 32)
+	tickets := make([]*cluster.Ticket, 0, burst)
+	for i := 0; i < burst; i++ {
+		tk, err := sched.Submit(g.Name, map[string]*tensor.Tensor{g.Inputs[0]: in})
+		if err != nil {
+			return nil, err
+		}
+		tickets = append(tickets, tk)
+	}
+	parity := 0.0
+	var lats []time.Duration
+	for _, tk := range tickets {
+		outs, err := tk.Wait()
+		if err != nil {
+			return nil, err
+		}
+		if d, _ := tensor.MaxAbsDiff(want, outs[g.Outputs[0]]); d > parity {
+			parity = d
+		}
+		lats = append(lats, tk.Latency())
+	}
+	sum := cluster.Summarize(lats)
+
+	st := dep.Stats()
+	r.linef("")
+	r.linef("uRECS fleet, %s, burst of %d async requests:", g.Name, burst)
+	for _, line := range st.ReplicaTable() {
+		r.linef("%s", line)
+	}
+	distinctAccel := map[string]bool{}
+	cpuServed, accelServed := int64(0), int64(0)
+	var fastest cluster.ReplicaStats
+	for _, rs := range st.Replicas {
+		r.metric("served_"+rs.Backend, "req", float64(rs.Served))
+		if rs.Modeled > 0 {
+			distinctAccel[rs.Backend] = true
+			accelServed += rs.Served
+			if fastest.Backend == "" || rs.Modeled < fastest.Modeled {
+				fastest = rs
+			}
+		} else {
+			cpuServed += rs.Served
+		}
+	}
+	r.linef("burst latency: mean %v p50 %v p95 %v | chassis max power %.1f W",
+		sum.Mean.Round(time.Microsecond), sum.P50.Round(time.Microsecond),
+		sum.P95.Round(time.Microsecond), chassis.MaxPowerW())
+	r.metric("hetero_burst_p95", "ns", float64(sum.P95))
+	r.metric("hetero_parity", "maxabs", parity)
+
+	r.check("fleet results bit-exact vs reference engine", parity == 0)
+	r.check("fleet spans CPU engine + >=2 distinct accel device models",
+		cpuServed > 0 && len(distinctAccel) >= 2)
+	r.check("every backend served requests (warm-up probes each replica)",
+		st.Completed == int64(burst) && allServed(st.Replicas))
+	r.check("cost-aware routing favors modeled-fast accelerators",
+		accelServed > cpuServed && fastest.Served > 0)
+	return r, nil
+}
+
+func allServed(replicas []cluster.ReplicaStats) bool {
+	for _, rs := range replicas {
+		if rs.Served < 1 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"time"
 
 	"vedliot/internal/inference"
@@ -85,6 +86,8 @@ func EngineStudy() (*Report, error) {
 			speedup8 = sp
 		}
 		r.linef("batch %-22d %14v %14v %8.2fx", batch, ti, te, sp)
+		r.metric(fmt.Sprintf("engine_latency_batch%d", batch), "ns", float64(te))
+		r.metric(fmt.Sprintf("engine_speedup_batch%d", batch), "x", sp)
 	}
 
 	// Fused dispatch: 8 independent single-sample requests.
@@ -109,9 +112,11 @@ func EngineStudy() (*Report, error) {
 	}
 	r.linef("8x1 requests: sequential %v, fused RunBatch %v (%.2fx)",
 		tSeq, tFused, float64(tSeq)/float64(tFused))
+	r.metric("fused_dispatch_speedup", "x", float64(tSeq)/float64(tFused))
 
 	r.linef("memory plan: %d arena slots, %d floats/sample (vs %d unplanned)",
 		eng.NumSlots(), eng.ArenaFloatsPerSample(), unplannedFloats(g))
+	r.metric("arena_floats_per_sample", "f32", float64(eng.ArenaFloatsPerSample()))
 	r.linef("output parity |engine - interpreter|: %g", parity)
 
 	r.check("engine output matches interpreter (<= 1e-5)", parity <= 1e-5)

@@ -1,0 +1,677 @@
+// Package cluster is the fleet-serving layer: it places model replicas
+// onto the heterogeneous compute modules mounted in a RECS chassis
+// (§II-A) and routes traffic across them. One replica is one
+// backend-generic microserver.Server — the host CPU engine for plain
+// compute modules, a Device-backed accel.Backend for modules that name
+// an accelerator — so the whole fleet is driven through the single
+// inference.Backend/Executable pair, the cluster-level extension of the
+// paper's cross-accelerator methodology.
+//
+// A Scheduler owns one admission queue per deployed model. Requests
+// enter through blocking Infer or asynchronous Submit/Wait, and a
+// router assigns each to the replica with the lowest estimated
+// completion cost: the backend's roofline-predicted latency (or an
+// observed EWMA for backends without a device model) scaled by the
+// replica's current queue depth, with a power-aware tie-break from the
+// chassis module power envelope.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vedliot/internal/accel"
+	"vedliot/internal/inference"
+	"vedliot/internal/microserver"
+	"vedliot/internal/nn"
+	"vedliot/internal/tensor"
+)
+
+// Errors returned by the admission path.
+var (
+	// ErrOverloaded reports a full admission queue: the request was
+	// shed, not queued.
+	ErrOverloaded = errors.New("cluster: admission queue full")
+	// ErrClosed reports a scheduler or deployment that has shut down.
+	ErrClosed = errors.New("cluster: scheduler closed")
+)
+
+// Config tunes the fleet scheduler.
+type Config struct {
+	// QueueDepth is the per-model admission queue capacity (default 64).
+	// Submit sheds load with ErrOverloaded once it is full.
+	QueueDepth int
+	// Serve configures each replica's batching server.
+	Serve microserver.ServeConfig
+	// EmulateLatency stretches every accelerator-backed request to its
+	// roofline-predicted latency (functional execution on the host is
+	// usually faster than the model), so trace replays exhibit the
+	// modeled heterogeneity. Off by default; drivers and demos turn it
+	// on, tests keep wall time.
+	EmulateLatency bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	return c
+}
+
+// Scheduler serves model fleets on one chassis. Deploy places a model
+// on the powered compute modules; Infer/Submit route requests across
+// the resulting replicas.
+type Scheduler struct {
+	chassis *microserver.Chassis
+	cfg     Config
+
+	mu          sync.Mutex
+	deployments map[string]*Deployment
+	closed      bool
+}
+
+// NewScheduler wraps a populated chassis. The chassis is not mutated;
+// power gating and module exchange stay with the platform layer.
+func NewScheduler(c *microserver.Chassis, cfg Config) *Scheduler {
+	return &Scheduler{chassis: c, cfg: cfg.withDefaults(), deployments: make(map[string]*Deployment)}
+}
+
+// Chassis returns the underlying platform.
+func (s *Scheduler) Chassis() *microserver.Chassis { return s.chassis }
+
+// BackendForModule resolves the inference backend a module serves with:
+// the host CPU engine for plain compute modules, a Device-backed
+// accelerator backend when the module names an accel device model.
+func BackendForModule(m *microserver.Module) (inference.Backend, error) {
+	if m.Accelerator == "" {
+		return inference.CPUBackend{}, nil
+	}
+	dev, err := accel.FindDevice(m.Accelerator)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: module %s: %w", m.Name, err)
+	}
+	return accel.NewBackend(dev), nil
+}
+
+// Deploy places the model on every powered slot of the chassis.
+func (s *Scheduler) Deploy(g *nn.Graph) (*Deployment, error) {
+	var slots []int
+	for _, slot := range s.chassis.Slots {
+		if slot.Powered() {
+			slots = append(slots, slot.Index)
+		}
+	}
+	return s.DeployOn(g, slots...)
+}
+
+// DeployOn places the model on the given chassis slots, compiling it
+// once per slot's backend and starting one replica server per slot.
+// Every replica is probed with one warm-up inference, which verifies
+// the backend end to end and seeds the observed-latency estimate.
+func (s *Scheduler) DeployOn(g *nn.Graph, slots ...int) (*Deployment, error) {
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("cluster: deploy %q: no slots", g.Name)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, dup := s.deployments[g.Name]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("cluster: model %q already deployed", g.Name)
+	}
+	s.mu.Unlock()
+
+	d := &Deployment{
+		model:       g.Name,
+		inputNames:  append([]string(nil), g.Inputs...),
+		outputNames: append([]string(nil), g.Outputs...),
+		queue:       make(chan *Ticket, s.cfg.QueueDepth),
+		quit:        make(chan struct{}),
+		emulate:     s.cfg.EmulateLatency,
+	}
+	for _, idx := range slots {
+		if idx < 0 || idx >= len(s.chassis.Slots) {
+			d.closeReplicas()
+			return nil, fmt.Errorf("cluster: %s has no slot %d", s.chassis.Name, idx)
+		}
+		slot := s.chassis.Slots[idx]
+		mod := slot.Module()
+		if mod == nil || !slot.Powered() {
+			d.closeReplicas()
+			return nil, fmt.Errorf("cluster: slot %d has no powered module", idx)
+		}
+		backend, err := BackendForModule(mod)
+		if err != nil {
+			d.closeReplicas()
+			return nil, err
+		}
+		srv, err := microserver.ServeBackend(g, backend, s.cfg.Serve)
+		if err != nil {
+			d.closeReplicas()
+			return nil, fmt.Errorf("cluster: slot %d (%s): %w", idx, mod.Name, err)
+		}
+		r := &Replica{
+			id:     len(d.replicas),
+			slot:   idx,
+			module: mod.Name,
+			server: srv,
+			idleW:  mod.IdleW,
+			maxW:   mod.MaxW,
+		}
+		if p, ok := srv.Executable().(*accel.Program); ok {
+			if lat, err := p.PredictLatency(1); err == nil {
+				r.modeled = lat
+			}
+		}
+		d.replicas = append(d.replicas, r)
+	}
+	if err := d.warmup(g); err != nil {
+		d.closeReplicas()
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		d.closeReplicas()
+		return nil, ErrClosed
+	}
+	if _, dup := s.deployments[g.Name]; dup {
+		d.closeReplicas()
+		return nil, fmt.Errorf("cluster: model %q already deployed", g.Name)
+	}
+	s.deployments[g.Name] = d
+	d.routerWG.Add(1)
+	go d.route()
+	return d, nil
+}
+
+// Deployment returns the fleet serving the named model. The empty name
+// resolves when exactly one model is deployed.
+func (s *Scheduler) Deployment(model string) (*Deployment, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if model == "" {
+		if len(s.deployments) == 1 {
+			for _, d := range s.deployments {
+				return d, nil
+			}
+		}
+		return nil, fmt.Errorf("cluster: %d models deployed, name one", len(s.deployments))
+	}
+	d, ok := s.deployments[model]
+	if !ok {
+		return nil, fmt.Errorf("cluster: model %q not deployed", model)
+	}
+	return d, nil
+}
+
+// Infer routes one request for the named model and blocks for the
+// result.
+func (s *Scheduler) Infer(model string, inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	d, err := s.Deployment(model)
+	if err != nil {
+		return nil, err
+	}
+	return d.Infer(inputs)
+}
+
+// InferSingle is the single-tensor shortcut for 1-in/1-out models.
+func (s *Scheduler) InferSingle(model string, in *tensor.Tensor) (*tensor.Tensor, error) {
+	d, err := s.Deployment(model)
+	if err != nil {
+		return nil, err
+	}
+	return d.InferSingle(in)
+}
+
+// Submit asynchronously admits one request for the named model.
+func (s *Scheduler) Submit(model string, inputs map[string]*tensor.Tensor) (*Ticket, error) {
+	d, err := s.Deployment(model)
+	if err != nil {
+		return nil, err
+	}
+	return d.Submit(inputs)
+}
+
+// PowerW snapshots the chassis power draw implied by the fleet's
+// current activity: a slot counts as fully utilized while any of its
+// replicas has requests in flight.
+func (s *Scheduler) PowerW() float64 {
+	util := map[int]float64{}
+	s.mu.Lock()
+	for _, d := range s.deployments {
+		for _, r := range d.replicas {
+			if r.inflight.Load() > 0 {
+				util[r.slot] = 1
+			}
+		}
+	}
+	s.mu.Unlock()
+	return s.chassis.PowerW(util)
+}
+
+// Close shuts every deployment down: queued requests are failed,
+// in-flight ones complete, replica servers are released.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ds := make([]*Deployment, 0, len(s.deployments))
+	for _, d := range s.deployments {
+		ds = append(ds, d)
+	}
+	s.mu.Unlock()
+	for _, d := range ds {
+		d.close()
+	}
+}
+
+// Deployment is one model's fleet: its replicas, admission queue and
+// router.
+type Deployment struct {
+	model       string
+	inputNames  []string
+	outputNames []string
+	replicas    []*Replica
+	emulate     bool
+
+	queue    chan *Ticket
+	quit     chan struct{}
+	routerWG sync.WaitGroup
+	reqWG    sync.WaitGroup
+
+	// lifeMu serializes shutdown against admissions, mirroring the
+	// microserver.Server pattern: Submit holds a read lock across its
+	// enqueue so close cannot mark the deployment closed while a ticket
+	// is between the closed-check and the queue.
+	lifeMu sync.RWMutex
+	closed bool
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	rejected  atomic.Int64
+}
+
+// Model returns the deployed model's name.
+func (d *Deployment) Model() string { return d.model }
+
+// Replicas returns the fleet members in slot order.
+func (d *Deployment) Replicas() []*Replica { return d.replicas }
+
+// warmup probes every replica with one zero-input request, verifying
+// the backend end to end and seeding the observed-latency EWMA.
+func (d *Deployment) warmup(g *nn.Graph) error {
+	if err := g.InferShapes(1); err != nil {
+		return err
+	}
+	inputs := make(map[string]*tensor.Tensor, len(d.inputNames))
+	for _, name := range d.inputNames {
+		n := g.Node(name)
+		if n == nil {
+			return fmt.Errorf("cluster: graph %q missing input node %q", g.Name, name)
+		}
+		inputs[name] = tensor.New(tensor.FP32, n.OutShape...)
+	}
+	for _, r := range d.replicas {
+		start := time.Now()
+		if _, err := r.server.InferMap(inputs); err != nil {
+			return fmt.Errorf("cluster: warmup replica %d (%s, %s): %w", r.id, r.module, r.Backend(), err)
+		}
+		r.observe(time.Since(start), nil)
+	}
+	return nil
+}
+
+// Submit admits one request without blocking for its result; the
+// returned Ticket resolves through Wait. A full admission queue sheds
+// the request with ErrOverloaded.
+func (d *Deployment) Submit(inputs map[string]*tensor.Tensor) (*Ticket, error) {
+	d.lifeMu.RLock()
+	defer d.lifeMu.RUnlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	tk := &Ticket{ins: inputs, done: make(chan struct{}), start: time.Now()}
+	select {
+	case d.queue <- tk:
+		d.submitted.Add(1)
+		return tk, nil
+	default:
+		d.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+}
+
+// Infer admits one request and blocks until its result is ready.
+func (d *Deployment) Infer(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	tk, err := d.Submit(inputs)
+	if err != nil {
+		return nil, err
+	}
+	return tk.Wait()
+}
+
+// InferSingle is the single-tensor shortcut for 1-in/1-out models.
+func (d *Deployment) InferSingle(in *tensor.Tensor) (*tensor.Tensor, error) {
+	if len(d.inputNames) != 1 || len(d.outputNames) != 1 {
+		return nil, fmt.Errorf("cluster: InferSingle wants 1 input/1 output, model %q has %d/%d",
+			d.model, len(d.inputNames), len(d.outputNames))
+	}
+	outs, err := d.Infer(map[string]*tensor.Tensor{d.inputNames[0]: in})
+	if err != nil {
+		return nil, err
+	}
+	return outs[d.outputNames[0]], nil
+}
+
+// route is the deployment's router: it drains the admission queue and
+// dispatches every ticket to the cheapest replica.
+func (d *Deployment) route() {
+	defer d.routerWG.Done()
+	for {
+		// Once shutdown has begun, fail queued tickets instead of
+		// dispatching them, keeping close prompt and deterministic.
+		select {
+		case <-d.quit:
+			d.drain()
+			return
+		default:
+		}
+		select {
+		case tk := <-d.queue:
+			d.dispatch(tk)
+		case <-d.quit:
+			d.drain()
+			return
+		}
+	}
+}
+
+// drain fails tickets that were still queued when shutdown began. They
+// count as completed (with ErrClosed), preserving the Stats invariant
+// submitted == completed + rejected.
+func (d *Deployment) drain() {
+	for {
+		select {
+		case tk := <-d.queue:
+			tk.err = ErrClosed
+			d.completed.Add(1)
+			close(tk.done)
+		default:
+			return
+		}
+	}
+}
+
+// dispatch routes one ticket: cost-aware replica selection, a hand-off
+// into the replica's batching queue (which blocks while the replica is
+// saturated — node-level backpressure that in turn fills the admission
+// queue and sheds load), then asynchronous completion.
+func (d *Deployment) dispatch(tk *Ticket) {
+	r := d.pick()
+	depth := r.inflight.Add(1)
+	start := time.Now()
+	pending, err := r.server.SubmitMap(tk.ins)
+	if err != nil {
+		r.inflight.Add(-1)
+		r.observe(0, err)
+		tk.err = err
+		tk.replica = r
+		d.completed.Add(1)
+		close(tk.done)
+		return
+	}
+	d.reqWG.Add(1)
+	go func() {
+		defer d.reqWG.Done()
+		outs, err := pending.Wait()
+		wall := time.Since(start)
+		if d.emulate && err == nil && r.modeled > wall {
+			time.Sleep(r.modeled - wall)
+			wall = r.modeled
+		}
+		r.inflight.Add(-1)
+		// Normalize the observation by the queue depth at submission:
+		// wall time ≈ depth × service when requests ahead serialize, so
+		// the EWMA tracks per-request service time rather than
+		// congestion — congestion is already priced into the routing
+		// cost via the inflight factor, and an idle replica must not
+		// keep a backlog-inflated estimate.
+		r.observe(wall/time.Duration(depth), err)
+		tk.outs, tk.err = outs, err
+		tk.replica = r
+		tk.latency = time.Since(tk.start)
+		d.completed.Add(1)
+		close(tk.done)
+	}()
+}
+
+// pick returns the replica with the lowest estimated completion cost:
+// per-request service estimate scaled by queue depth. Costs within 2%
+// of each other are considered tied and resolved toward the lower
+// worst-case module power — the chassis power model's tie-break.
+func (d *Deployment) pick() *Replica {
+	var best *Replica
+	var bestCost float64
+	for _, r := range d.replicas {
+		c := float64(r.inflight.Load()+1) * float64(r.ServiceEstimate())
+		switch {
+		case best == nil || c < 0.98*bestCost:
+			best, bestCost = r, c
+		case c <= 1.02*bestCost && r.maxW < best.maxW:
+			best, bestCost = r, c
+		}
+	}
+	return best
+}
+
+// close shuts the deployment down: admissions stop, queued tickets
+// fail, in-flight requests complete, replica servers are released.
+func (d *Deployment) close() {
+	d.lifeMu.Lock()
+	if d.closed {
+		d.lifeMu.Unlock()
+		return
+	}
+	d.closed = true
+	close(d.quit)
+	d.lifeMu.Unlock()
+	d.routerWG.Wait()
+	d.reqWG.Wait()
+	d.closeReplicas()
+}
+
+func (d *Deployment) closeReplicas() {
+	for _, r := range d.replicas {
+		r.server.Close()
+	}
+}
+
+// Stats snapshots the deployment's routing telemetry.
+func (d *Deployment) Stats() Stats {
+	st := Stats{
+		Model:     d.model,
+		Submitted: d.submitted.Load(),
+		Completed: d.completed.Load(),
+		Rejected:  d.rejected.Load(),
+	}
+	for _, r := range d.replicas {
+		st.Replicas = append(st.Replicas, r.Stats())
+	}
+	return st
+}
+
+// Stats is a deployment's cumulative routing telemetry.
+type Stats struct {
+	Model     string
+	Submitted int64
+	Completed int64
+	Rejected  int64
+	Replicas  []ReplicaStats
+}
+
+// ReplicaTable renders the per-replica routing telemetry as aligned
+// text lines (header first) — the table both the bench report and the
+// vedliot-serve driver print.
+func (s Stats) ReplicaTable() []string {
+	lines := []string{fmt.Sprintf("%-6s %-18s %-20s %9s %12s %12s",
+		"slot", "module", "backend", "served", "svc est", "maxW")}
+	for _, rs := range s.Replicas {
+		lines = append(lines, fmt.Sprintf("%-6d %-18s %-20s %9d %12v %10.1fW",
+			rs.Slot, rs.Module, rs.Backend, rs.Served, rs.Estimate().Round(time.Microsecond), rs.MaxW))
+	}
+	return lines
+}
+
+// Ticket is one admitted request; Wait blocks for its result.
+type Ticket struct {
+	ins     map[string]*tensor.Tensor
+	outs    map[string]*tensor.Tensor
+	err     error
+	done    chan struct{}
+	start   time.Time
+	latency time.Duration
+	replica *Replica
+}
+
+// Wait blocks until the request resolves.
+func (t *Ticket) Wait() (map[string]*tensor.Tensor, error) {
+	<-t.done
+	return t.outs, t.err
+}
+
+// Latency returns the admission-to-completion latency; valid after
+// Wait.
+func (t *Ticket) Latency() time.Duration {
+	<-t.done
+	return t.latency
+}
+
+// Replica returns the fleet member that served the request; valid after
+// Wait (nil for tickets failed by shutdown).
+func (t *Ticket) Replica() *Replica {
+	<-t.done
+	return t.replica
+}
+
+// Replica is one fleet member: a backend-generic server bound to a
+// chassis slot.
+type Replica struct {
+	id     int
+	slot   int
+	module string
+	server *microserver.Server
+	// modeled is the backend's roofline-predicted batch-1 latency, zero
+	// when the backend has no device model (host CPU engine).
+	modeled time.Duration
+	idleW   float64
+	maxW    float64
+
+	inflight atomic.Int64
+	served   atomic.Int64
+	failed   atomic.Int64
+	// ewmaNS is the observed per-request latency EWMA in nanoseconds.
+	ewmaNS atomic.Int64
+}
+
+// ID returns the replica's index within its deployment.
+func (r *Replica) ID() int { return r.id }
+
+// Slot returns the chassis slot the replica is bound to.
+func (r *Replica) Slot() int { return r.slot }
+
+// Module names the compute module hosting the replica.
+func (r *Replica) Module() string { return r.module }
+
+// Backend names the inference backend the replica serves with.
+func (r *Replica) Backend() string { return r.server.Backend() }
+
+// Server exposes the replica's batching server.
+func (r *Replica) Server() *microserver.Server { return r.server }
+
+// ModeledLatency returns the roofline-predicted batch-1 latency, zero
+// for backends without a device model.
+func (r *Replica) ModeledLatency() time.Duration { return r.modeled }
+
+// ServiceEstimate is the per-request service time the router weighs:
+// the roofline prediction when the backend has a device model,
+// otherwise the observed EWMA (seeded by the deploy warm-up).
+func (r *Replica) ServiceEstimate() time.Duration {
+	if r.modeled > 0 {
+		return r.modeled
+	}
+	if ewma := r.ewmaNS.Load(); ewma > 0 {
+		return time.Duration(ewma)
+	}
+	return time.Millisecond
+}
+
+// observe folds one completed request into the replica's telemetry.
+func (r *Replica) observe(wall time.Duration, err error) {
+	if err != nil {
+		r.failed.Add(1)
+		return
+	}
+	r.served.Add(1)
+	for {
+		old := r.ewmaNS.Load()
+		next := int64(wall)
+		if old > 0 {
+			next = old + (int64(wall)-old)/4
+		}
+		if r.ewmaNS.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Stats snapshots the replica's telemetry.
+func (r *Replica) Stats() ReplicaStats {
+	return ReplicaStats{
+		ID:       r.id,
+		Slot:     r.slot,
+		Module:   r.module,
+		Backend:  r.Backend(),
+		Served:   r.served.Load(),
+		Failed:   r.failed.Load(),
+		Inflight: r.inflight.Load(),
+		Modeled:  r.modeled,
+		Observed: time.Duration(r.ewmaNS.Load()),
+		MaxW:     r.maxW,
+	}
+}
+
+// ReplicaStats is one replica's telemetry snapshot.
+type ReplicaStats struct {
+	ID       int
+	Slot     int
+	Module   string
+	Backend  string
+	Served   int64
+	Failed   int64
+	Inflight int64
+	// Modeled is the roofline-predicted batch-1 latency (zero without a
+	// device model); Observed is the measured per-request EWMA.
+	Modeled  time.Duration
+	Observed time.Duration
+	MaxW     float64
+}
+
+// Estimate mirrors Replica.ServiceEstimate on the snapshot: the
+// roofline prediction when a device model exists, the observed EWMA
+// otherwise.
+func (rs ReplicaStats) Estimate() time.Duration {
+	if rs.Modeled > 0 {
+		return rs.Modeled
+	}
+	return rs.Observed
+}

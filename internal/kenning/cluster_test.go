@@ -1,0 +1,80 @@
+package kenning
+
+import (
+	"testing"
+
+	"vedliot/internal/microserver"
+)
+
+func heterogeneousChassis(t *testing.T) *microserver.Chassis {
+	t.Helper()
+	c := microserver.NewURECS()
+	for slot, name := range []string{"SMARC ARM", "Jetson Xavier NX"} {
+		m, err := microserver.FindModule(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Insert(slot, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestEvaluateOnClusterTarget(t *testing.T) {
+	g, testSet := trainedClassifier(t)
+	target := &ClusterTarget{Chassis: heterogeneousChassis(t)}
+	defer target.Close()
+	ev, err := Evaluate(g, target, testSet, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every replica runs the same arithmetic, so fleet routing cannot
+	// change the quality numbers.
+	cpu, err := Evaluate(g, &CPUTarget{}, testSet, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Confusion.Accuracy() != cpu.Confusion.Accuracy() {
+		t.Error("cluster target changed accuracy")
+	}
+	if ev.Latency.Count != len(testSet) || ev.Latency.Mean <= 0 {
+		t.Errorf("latency stats = %+v", ev.Latency)
+	}
+	dep, err := target.Scheduler().Deployment(g.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(dep.Replicas()); got != 2 {
+		t.Errorf("fleet has %d replicas, want 2", got)
+	}
+	st := dep.Stats()
+	if st.Completed < int64(len(testSet)) {
+		t.Errorf("fleet completed %d requests, want >= %d", st.Completed, len(testSet))
+	}
+}
+
+func TestClusterTargetLifecycle(t *testing.T) {
+	target := &ClusterTarget{Chassis: heterogeneousChassis(t)}
+	if _, _, err := target.Infer(nil); err == nil {
+		t.Error("Infer succeeded before Deploy")
+	}
+	g, testSet := trainedClassifier(t)
+	if err := target.Deploy(g); err != nil {
+		t.Fatal(err)
+	}
+	// Redeploy replaces the fleet (the old scheduler is closed).
+	if err := target.Deploy(g.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evaluate(g, target, testSet[:4], 3); err != nil {
+		t.Fatal(err)
+	}
+	target.Close()
+	if _, _, err := target.Infer(nil); err == nil {
+		t.Error("Infer succeeded after Close")
+	}
+	if (&ClusterTarget{}).Name() != "cluster" {
+		t.Error("unnamed target")
+	}
+}

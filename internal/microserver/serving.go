@@ -21,7 +21,8 @@ type ServeConfig struct {
 	MaxWait time.Duration
 	// QueueDepth is the request channel capacity (default 4*MaxBatch).
 	QueueDepth int
-	// EngineOptions configure compilation of the shared engine.
+	// EngineOptions configure compilation on the serving backend (for
+	// the CPU backend these are the host-engine options).
 	EngineOptions []inference.Option
 }
 
@@ -56,22 +57,30 @@ func (s ServeStats) MeanBatch() float64 {
 }
 
 // Server is one microserver node's inference service: a single compiled
-// engine shared by all clients, fed through a batching queue. Concurrent
-// Infer calls are coalesced into Engine.RunBatch dispatches, which
-// amortizes per-call overhead and hands the parallel kernels larger work
-// items — the "serve as fast as the hardware allows" path for a module
-// hosting a DL workload.
+// executable shared by all clients, fed through a batching queue.
+// Concurrent Infer/InferMap calls are coalesced into RunBatch
+// dispatches, which amortizes per-call overhead and hands the parallel
+// kernels larger work items — the "serve as fast as the hardware
+// allows" path for a module hosting a DL workload.
+//
+// The server is backend-generic: it fronts whatever
+// inference.Backend compiled the model — the host CPU engine or any
+// simulated accelerator (accel.Backend) mounted in a chassis slot. The
+// fleet layer (internal/cluster) builds one Server per device and
+// routes traffic across them.
 type Server struct {
-	engine    *inference.Engine
-	inputName string
-	outName   string
-	cfg       ServeConfig
+	exe         inference.Executable
+	backendName string
+	graphName   string
+	inputNames  []string
+	outputNames []string
+	cfg         ServeConfig
 
 	reqs chan *request
 	quit chan struct{}
 	wg   sync.WaitGroup
 
-	// lifeMu serializes shutdown against in-flight submissions: Infer
+	// lifeMu serializes shutdown against in-flight submissions: InferMap
 	// holds a read lock across its enqueue, so Close (write lock) cannot
 	// mark the server closed while a request is between the closed-check
 	// and the queue. Dispatcher goroutines never take lifeMu.
@@ -83,58 +92,123 @@ type Server struct {
 }
 
 type request struct {
-	in   *tensor.Tensor
-	out  *tensor.Tensor
+	ins  map[string]*tensor.Tensor
+	outs map[string]*tensor.Tensor
 	err  error
 	done chan struct{}
 }
 
-// Serve compiles the graph once and starts the dispatcher. The graph
-// must have exactly one input and one output (the serving shape of
-// every use-case network).
+// Serve compiles the graph on the host CPU backend and starts the
+// dispatcher — the historical single-node entry point, now a thin
+// wrapper over ServeBackend.
 func Serve(g *nn.Graph, cfg ServeConfig) (*Server, error) {
-	if len(g.Inputs) != 1 || len(g.Outputs) != 1 {
-		return nil, fmt.Errorf("microserver: serving wants 1 input/1 output, graph has %d/%d",
-			len(g.Inputs), len(g.Outputs))
+	return ServeBackend(g, inference.CPUBackend{}, cfg)
+}
+
+// ServeBackend compiles the graph for the given backend and starts the
+// dispatcher. Graphs with any number of inputs and outputs are served:
+// full input/output maps flow through the batching queue (InferMap);
+// the single-tensor Infer shortcut additionally requires the 1-in/1-out
+// serving shape.
+func ServeBackend(g *nn.Graph, b inference.Backend, cfg ServeConfig) (*Server, error) {
+	if b == nil {
+		return nil, fmt.Errorf("microserver: nil backend")
 	}
-	eng, err := inference.Compile(g, cfg.EngineOptions...)
-	if err != nil {
-		return nil, fmt.Errorf("microserver: compile %q: %w", g.Name, err)
+	if len(g.Inputs) == 0 || len(g.Outputs) == 0 {
+		return nil, fmt.Errorf("microserver: graph %q has %d inputs/%d outputs, need at least 1/1",
+			g.Name, len(g.Inputs), len(g.Outputs))
 	}
 	cfg = cfg.withDefaults()
+	exe, err := b.Compile(g, cfg.EngineOptions...)
+	if err != nil {
+		return nil, fmt.Errorf("microserver: compile %q for %s: %w", g.Name, b.Name(), err)
+	}
 	s := &Server{
-		engine:    eng,
-		inputName: g.Inputs[0],
-		outName:   g.Outputs[0],
-		cfg:       cfg,
-		reqs:      make(chan *request, cfg.QueueDepth),
-		quit:      make(chan struct{}),
+		exe:         exe,
+		backendName: b.Name(),
+		graphName:   g.Name,
+		inputNames:  append([]string(nil), g.Inputs...),
+		outputNames: append([]string(nil), g.Outputs...),
+		cfg:         cfg,
+		reqs:        make(chan *request, cfg.QueueDepth),
+		quit:        make(chan struct{}),
 	}
 	s.wg.Add(1)
 	go s.dispatch()
 	return s, nil
 }
 
-// Engine exposes the shared compiled engine (e.g. for direct batch
-// submission or reporting).
-func (s *Server) Engine() *inference.Engine { return s.engine }
+// Executable exposes the shared compiled model (e.g. for direct batch
+// submission, latency prediction or reporting).
+func (s *Server) Executable() inference.Executable { return s.exe }
 
-// Infer submits one input and blocks until its result is ready. Safe
-// for concurrent use; concurrent callers share engine dispatches. The
-// input carries a leading batch dimension ([1, ...] for one sample;
-// larger batches are allowed and fused with the queue like any other
-// request).
+// Backend returns the name of the backend the model was compiled for.
+func (s *Server) Backend() string { return s.backendName }
+
+// Engine returns the host CPU engine backing this server, or nil when
+// the server fronts a non-CPU executable that does not expose one.
+func (s *Server) Engine() *inference.Engine {
+	switch e := s.exe.(type) {
+	case *inference.Engine:
+		return e
+	case interface{ HostEngine() *inference.Engine }:
+		return e.HostEngine()
+	}
+	return nil
+}
+
+// Infer submits one input and blocks until its result is ready — the
+// single-tensor shortcut for 1-input/1-output graphs. Safe for
+// concurrent use; concurrent callers share dispatches. The input
+// carries a leading batch dimension ([1, ...] for one sample; larger
+// batches are allowed and fused with the queue like any other request).
 func (s *Server) Infer(in *tensor.Tensor) (*tensor.Tensor, error) {
+	if len(s.inputNames) != 1 || len(s.outputNames) != 1 {
+		return nil, fmt.Errorf("microserver: Infer wants 1 input/1 output, graph %q has %d/%d (use InferMap)",
+			s.graphName, len(s.inputNames), len(s.outputNames))
+	}
+	outs, err := s.InferMap(map[string]*tensor.Tensor{s.inputNames[0]: in})
+	if err != nil {
+		return nil, err
+	}
+	return outs[s.outputNames[0]], nil
+}
+
+// InferMap submits a full input map (keyed by input-node name) and
+// blocks until the full output map is ready — the general serving path
+// for multi-head graphs. Safe for concurrent use; concurrent callers
+// share dispatches.
+func (s *Server) InferMap(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	p, err := s.SubmitMap(inputs)
+	if err != nil {
+		return nil, err
+	}
+	return p.Wait()
+}
+
+// SubmitMap hands a request to the batching queue without waiting for
+// its result; the returned Pending resolves through Wait. The enqueue
+// blocks while the queue is full, which is the node-level backpressure
+// the fleet router leans on.
+func (s *Server) SubmitMap(inputs map[string]*tensor.Tensor) (*Pending, error) {
 	s.lifeMu.RLock()
 	if s.closed {
 		s.lifeMu.RUnlock()
 		return nil, fmt.Errorf("microserver: server closed")
 	}
-	r := &request{in: in, done: make(chan struct{})}
+	r := &request{ins: inputs, done: make(chan struct{})}
 	s.reqs <- r
 	s.lifeMu.RUnlock()
-	<-r.done
-	return r.out, r.err
+	return &Pending{r: r}, nil
+}
+
+// Pending is a request accepted into the batching queue.
+type Pending struct{ r *request }
+
+// Wait blocks until the request's dispatch resolves.
+func (p *Pending) Wait() (map[string]*tensor.Tensor, error) {
+	<-p.r.done
+	return p.r.outs, p.r.err
 }
 
 // Close drains the dispatcher and releases it. Requests already queued
@@ -161,6 +235,15 @@ func (s *Server) Stats() ServeStats {
 func (s *Server) dispatch() {
 	defer s.wg.Done()
 	for {
+		// Once shutdown has begun, stop accepting new work even if the
+		// queue is non-empty: queued requests are failed by drain, which
+		// keeps Close prompt and deterministic.
+		select {
+		case <-s.quit:
+			s.drain()
+			return
+		default:
+		}
 		var first *request
 		select {
 		case first = <-s.reqs:
@@ -202,24 +285,24 @@ func (s *Server) drain() {
 func (s *Server) runBatch(pending []*request) {
 	batches := make([]map[string]*tensor.Tensor, len(pending))
 	for i, r := range pending {
-		batches[i] = map[string]*tensor.Tensor{s.inputName: r.in}
+		batches[i] = r.ins
 	}
-	outs, err := s.engine.RunBatch(batches)
+	outs, err := s.exe.RunBatch(batches)
 	if err != nil {
 		// One malformed input fails a fused dispatch; retry requests
 		// individually so only the offender sees the error.
 		for i, r := range pending {
-			out, rerr := s.engine.Run(batches[i])
+			out, rerr := s.exe.Run(batches[i])
 			if rerr != nil {
 				r.err = rerr
 			} else {
-				r.out = out[s.outName]
+				r.outs = out
 			}
 			close(r.done)
 		}
 	} else {
 		for i, r := range pending {
-			r.out = outs[i][s.outName]
+			r.outs = outs[i]
 			close(r.done)
 		}
 	}

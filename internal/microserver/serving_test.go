@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"vedliot/internal/accel"
 	"vedliot/internal/inference"
 	"vedliot/internal/nn"
 	"vedliot/internal/tensor"
@@ -136,13 +137,286 @@ func TestServeClose(t *testing.T) {
 	}
 }
 
-func TestServeRejectsMultiOutputGraphs(t *testing.T) {
+// multiHeadGraph builds a two-output graph (conv features + relu head),
+// the shape Serve historically rejected.
+func multiHeadGraph() *nn.Graph {
 	b := nn.NewBuilder("t", nn.BuildOptions{Weights: true, Seed: 5})
 	x := b.Input("input", 1, 8, 8)
 	c := b.Conv(x, 1, 2, 3, 1, 1)
 	r := b.Act(c, nn.OpReLU)
-	g := b.Graph(c, r)
-	if _, err := Serve(g, ServeConfig{}); err == nil {
-		t.Error("Serve accepted a two-output graph")
+	return b.Graph(c, r)
+}
+
+func TestServeMultiHeadGraph(t *testing.T) {
+	g := multiHeadGraph()
+	s, err := Serve(g, ServeConfig{MaxBatch: 4, MaxWait: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	eng, err := inference.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(tensor.FP32, 1, 1, 8, 8)
+	for i := range in.F32 {
+		in.F32[i] = float32(i%7)/7 - 0.5
+	}
+	ins := map[string]*tensor.Tensor{g.Inputs[0]: in}
+	want, err := eng.Run(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent clients so the full maps flow through fused dispatches.
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := s.InferMap(ins)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(got) != len(g.Outputs) {
+				errs <- &shapeErr{float64(len(got))}
+				return
+			}
+			for _, name := range g.Outputs {
+				if d, _ := tensor.MaxAbsDiff(want[name], got[name]); d != 0 {
+					errs <- &shapeErr{d}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// The single-tensor shortcut stays restricted to the 1-in/1-out shape.
+	if _, err := s.Infer(in); err == nil {
+		t.Error("Infer accepted a two-output graph; want InferMap-only")
+	}
+}
+
+func TestServeBackendGeneric(t *testing.T) {
+	g := nn.GestureNet(16, 4, nn.BuildOptions{Weights: true, Seed: 77})
+	dev, err := accel.FindDevice("Xavier NX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ServeBackend(g, accel.NewBackend(dev), ServeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got, want := s.Backend(), "accel:Xavier NX"; got != want {
+		t.Errorf("Backend() = %q, want %q", got, want)
+	}
+	if s.Engine() == nil {
+		t.Error("accel-backed server exposes no host engine")
+	}
+	eng, err := inference.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := gestureInput(3)
+	want, err := eng.RunSingle(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Infer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := tensor.MaxAbsDiff(want, got); d != 0 {
+		t.Errorf("accel-served result diverges from host engine by %g", d)
+	}
+}
+
+// gatedBackend wraps a backend so tests can hold a dispatch in flight:
+// every Run/RunBatch blocks until the gate channel yields.
+type gatedBackend struct {
+	inner inference.Backend
+	gate  chan struct{}
+}
+
+func (b gatedBackend) Name() string { return "gated:" + b.inner.Name() }
+
+func (b gatedBackend) Compile(g *nn.Graph, opts ...inference.Option) (inference.Executable, error) {
+	exe, err := b.inner.Compile(g, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return gatedExe{inner: exe, gate: b.gate}, nil
+}
+
+type gatedExe struct {
+	inner inference.Executable
+	gate  chan struct{}
+}
+
+func (e gatedExe) Run(in map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	<-e.gate
+	return e.inner.Run(in)
+}
+
+func (e gatedExe) RunBatch(b []map[string]*tensor.Tensor) ([]map[string]*tensor.Tensor, error) {
+	<-e.gate
+	return e.inner.RunBatch(b)
+}
+
+// TestServeDrainFailsQueued pins the shutdown drain path: requests
+// still queued when Close lands are failed, not executed.
+func TestServeDrainFailsQueued(t *testing.T) {
+	g := nn.GestureNet(16, 4, nn.BuildOptions{Weights: true, Seed: 77})
+	gate := make(chan struct{})
+	s, err := ServeBackend(g, gatedBackend{inner: inference.CPUBackend{}, gate: gate}, ServeConfig{
+		MaxBatch: 1, MaxWait: time.Nanosecond, QueueDepth: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	infer := func(res chan error) {
+		_, err := s.Infer(gestureInput(1))
+		res <- err
+	}
+	// First request occupies the dispatcher (blocked on the gate)...
+	resA := make(chan error, 1)
+	go infer(resA)
+	// ...so the next two sit in the queue.
+	resB, resC := make(chan error, 1), make(chan error, 1)
+	waitQueued := func() {
+		for i := 0; len(s.reqs) < 2 && i < 1000; i++ {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	go infer(resB)
+	go infer(resC)
+	waitQueued()
+
+	closed := make(chan struct{})
+	go func() { s.Close(); close(closed) }()
+	// Wait until Close has marked the server closed (it then blocks in
+	// wg.Wait until the gated dispatch finishes).
+	for {
+		s.lifeMu.RLock()
+		c := s.closed
+		s.lifeMu.RUnlock()
+		if c {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	gate <- struct{}{} // release the in-flight dispatch
+	<-closed
+
+	// Exactly one request was in flight (and must have been served);
+	// the two still queued must have been failed by drain. Which of the
+	// three goroutines won the race to the dispatcher is arbitrary.
+	served, drained := 0, 0
+	for _, res := range []chan error{resA, resB, resC} {
+		if err := <-res; err == nil {
+			served++
+		} else {
+			drained++
+		}
+	}
+	if served != 1 || drained != 2 {
+		t.Errorf("served %d / drained %d requests, want 1 served (in-flight) and 2 drain failures", served, drained)
+	}
+	if _, err := s.Infer(gestureInput(1)); err == nil {
+		t.Error("Infer succeeded after Close")
+	}
+}
+
+// TestServeInferRacingClose hammers Infer from many goroutines while
+// Close lands mid-storm: every call must resolve (result or closed
+// error) and the server must shut down cleanly.
+func TestServeInferRacingClose(t *testing.T) {
+	s, _ := servedModel(t, ServeConfig{MaxBatch: 4, MaxWait: time.Millisecond})
+	const clients = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			out, err := s.Infer(gestureInput(c))
+			if err == nil && out == nil {
+				errs <- &shapeErr{0}
+				return
+			}
+			errs <- err
+		}(c)
+	}
+	s.Close()
+	wg.Wait()
+	close(errs)
+	served, refused := 0, 0
+	for err := range errs {
+		if err == nil {
+			served++
+		} else {
+			refused++
+		}
+	}
+	if served+refused != clients {
+		t.Errorf("%d of %d racing calls unresolved", clients-served-refused, clients)
+	}
+}
+
+// TestServeFusedBatchFailureIsolation forces three requests into one
+// fused dispatch with one malformed input: the dispatch fails, the
+// individual retry isolates the offender, and the well-formed requests
+// still succeed with engine-exact results.
+func TestServeFusedBatchFailureIsolation(t *testing.T) {
+	s, g := servedModel(t, ServeConfig{MaxBatch: 3, MaxWait: 2 * time.Second})
+	defer s.Close()
+	eng, err := inference.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodIn := gestureInput(1)
+	want, err := eng.RunSingle(goodIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	goodA, goodB, bad := make(chan error, 1), make(chan error, 1), make(chan error, 1)
+	run := func(in *tensor.Tensor, res chan error, check bool) {
+		defer wg.Done()
+		out, err := s.Infer(in)
+		if err == nil && check {
+			if d, _ := tensor.MaxAbsDiff(want, out); d != 0 {
+				err = &shapeErr{d}
+			}
+		}
+		res <- err
+	}
+	wg.Add(3)
+	go run(goodIn, goodA, true)
+	go run(tensor.New(tensor.FP32, 1, 3, 16, 16), bad, false) // wrong channels
+	go run(goodIn, goodB, true)
+	wg.Wait()
+	if err := <-goodA; err != nil {
+		t.Errorf("well-formed request A failed: %v", err)
+	}
+	if err := <-goodB; err != nil {
+		t.Errorf("well-formed request B failed: %v", err)
+	}
+	if err := <-bad; err == nil {
+		t.Error("malformed request succeeded")
+	}
+	st := s.Stats()
+	if st.Batches != 1 {
+		t.Errorf("requests split across %d dispatches, want 1 fused batch", st.Batches)
+	}
+	if st.MaxBatch != 3 {
+		t.Errorf("fused batch size %d, want 3", st.MaxBatch)
 	}
 }
