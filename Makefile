@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-full test-race bench serve-demo ci
+.PHONY: all build vet test test-full test-race bench bench-json bench-gate serve-demo ci
 
 all: ci
 
@@ -24,7 +24,19 @@ test-race:
 
 # bench tracks the inference-runtime perf trajectory.
 bench:
-	$(GO) test -bench BenchmarkEngine -run '^$$' -benchmem .
+	$(GO) test -bench 'BenchmarkEngine|BenchmarkQuantized' -run '^$$' -benchmem .
+
+# bench-json regenerates the gated perf artifacts (BENCH_<id>.json),
+# exactly what the CI bench-gate job runs.
+bench-json:
+	$(GO) run ./cmd/vedliot-bench -run engine -json -outdir .
+	$(GO) run ./cmd/vedliot-bench -run quantized -json -outdir .
+	$(GO) run ./cmd/vedliot-bench -run cluster -json -outdir .
+
+# bench-gate checks the artifacts against the committed baseline —
+# local runs match CI exactly.
+bench-gate: bench-json
+	$(GO) run ./cmd/bench-gate -baseline bench_baseline.json -dir .
 
 # serve-demo smoke-checks the fleet-serving path: the smart-mirror face
 # detector on a 2-device heterogeneous uRECS fleet (CPU + Xavier NX).
@@ -33,4 +45,4 @@ serve-demo:
 		-modules "SMARC ARM,Jetson Xavier NX" \
 		-model mirror-face -requests 120 -rate 400
 
-ci: vet build test test-race
+ci: vet build test test-race bench-gate

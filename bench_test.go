@@ -9,6 +9,7 @@ import (
 	"vedliot/internal/inference"
 	"vedliot/internal/microserver"
 	"vedliot/internal/nn"
+	"vedliot/internal/optimize"
 	"vedliot/internal/tensor"
 )
 
@@ -217,6 +218,56 @@ func BenchmarkEngine(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkQuantized tracks the native INT8 engine against the FP32
+// engine on the MobileNet-style workload at batch 1 and 8 (single
+// core), the headline comparison of the quantized bench experiment.
+func BenchmarkQuantized(b *testing.B) {
+	g := nn.MobileNetEdge(64, 10, nn.BuildOptions{Weights: true, Seed: 3})
+	if _, err := optimize.Pipeline(g, optimize.StandardPasses(), 0); err != nil {
+		b.Fatal(err)
+	}
+	input := func(batch, seed int) map[string]*tensor.Tensor {
+		in, err := nn.SyntheticInput(g, batch, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return in
+	}
+	samples, err := nn.SyntheticCalibration(g, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	schema, err := optimize.Calibrate(g, samples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fp, err := inference.Compile(g, inference.WithWorkers(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := inference.CompileQuantized(g, schema, inference.WithWorkers(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range []int{1, 8} {
+		in := input(batch, 9)
+		b.Run(fmt.Sprintf("fp32/batch%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := fp.Run(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("int8/batch%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := q.Run(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkEngineCompile measures one-time compilation cost (kernel

@@ -1,0 +1,54 @@
+// Command bench-gate is the CI perf-regression gate: it compares the
+// BENCH_<id>.json artifacts of a `vedliot-bench -json` run against the
+// committed baseline (bench_baseline.json) and exits non-zero when a
+// gated metric regressed beyond tolerance, an artifact or metric is
+// missing, or an experiment's own shape checks failed.
+//
+// Usage:
+//
+//	vedliot-bench -run engine -run-all-gated... -json -outdir out/
+//	bench-gate -baseline bench_baseline.json -dir out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vedliot/internal/bench"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "bench_baseline.json", "committed baseline file")
+	dir := flag.String("dir", ".", "directory holding BENCH_<id>.json artifacts")
+	flag.Parse()
+
+	baseline, err := bench.LoadBaseline(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	artifacts, err := bench.LoadArtifacts(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	results := baseline.Check(artifacts)
+	if len(results) == 0 {
+		fatal(fmt.Errorf("baseline %s gates no metrics", *baselinePath))
+	}
+	failures := 0
+	for _, r := range results {
+		fmt.Println(r)
+		if !r.Ok() {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fatal(fmt.Errorf("%d/%d gated metrics failed", failures, len(results)))
+	}
+	fmt.Printf("bench-gate: %d gated metrics within tolerance\n", len(results))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench-gate:", err)
+	os.Exit(1)
+}

@@ -14,17 +14,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"vedliot/internal/accel"
+	"vedliot/internal/inference"
 	"vedliot/internal/kenning"
 	"vedliot/internal/nn"
 	"vedliot/internal/onnx"
 	"vedliot/internal/optimize"
+	"vedliot/internal/tensor"
 )
 
 func main() {
-	model := flag.String("model", "lenet", "model: lenet, mlp, motornet, arcnet, mobilenetv3, resnet50, yolov4, yolov4tiny")
+	model := flag.String("model", "lenet", "model: lenet, mlp, motornet, arcnet, mobilenetedge, mobilenetv3, resnet50, yolov4, yolov4tiny")
 	quantize := flag.Bool("quantize", false, "post-training INT8 quantization")
+	int8Runtime := flag.Bool("int8-runtime", false, "calibrate activations and compare the native INT8 engine against the FP32 engine (implies -quantize)")
+	calib := flag.Int("calib", 4, "calibration batches for -int8-runtime")
 	prune := flag.Float64("prune", 0, "magnitude-pruning sparsity (0..1)")
 	target := flag.String("target", "", "accelerator to evaluate on (see internal/accel)")
 	stats := flag.Bool("stats", false, "print the per-layer statistics table")
@@ -38,12 +43,15 @@ func main() {
 
 	// Toolchain pipeline.
 	cfg := kenning.PipelineConfig{Prune: *prune}
-	if *quantize {
+	if *quantize || *int8Runtime {
 		if !weights {
-			fatal(fmt.Errorf("-quantize needs a weighted model (lenet, mlp, motornet, arcnet)"))
+			fatal(fmt.Errorf("-quantize needs a weighted model (lenet, mlp, motornet, arcnet, mobilenetedge)"))
 		}
 		cfg.Quantize = true
 		cfg.Granularity = optimize.PerChannel
+	}
+	if *int8Runtime {
+		cfg.CalibrationSamples = calibrationSamples(g, *calib)
 	}
 	if *prune > 0 && !weights {
 		fatal(fmt.Errorf("-prune needs a weighted model"))
@@ -60,6 +68,14 @@ func main() {
 	if rep.QuantReport != nil {
 		fmt.Printf("quantized (%s): weights %d -> %d bytes\n",
 			rep.QuantReport.Granularity, rep.QuantReport.BytesBefore, rep.QuantReport.BytesAfter)
+	}
+	if *int8Runtime {
+		if rep.Schema == nil {
+			fatal(fmt.Errorf("calibration produced no schema"))
+		}
+		if err := compareRuntimes(g, rep.Schema); err != nil {
+			fatal(err)
+		}
 	}
 
 	if err := g.InferShapes(1); err != nil {
@@ -110,8 +126,66 @@ func main() {
 	}
 }
 
+// calibrationSamples builds deterministic pseudo-random batches shaped
+// like the model input.
+func calibrationSamples(g *nn.Graph, n int) []map[string]*tensor.Tensor {
+	samples, err := nn.SyntheticCalibration(g, n)
+	if err != nil {
+		fatal(err)
+	}
+	return samples
+}
+
+// compareRuntimes deploys the calibrated model on both host engines and
+// prints the single-core latency comparison — the CLI view of the
+// `quantized` bench experiment.
+func compareRuntimes(g *nn.Graph, schema *nn.QuantSchema) error {
+	fp, err := inference.Compile(g, inference.WithWorkers(1))
+	if err != nil {
+		return err
+	}
+	q, err := inference.CompileQuantized(g, schema, inference.WithWorkers(1))
+	if err != nil {
+		return err
+	}
+	in, err := nn.SyntheticInput(g, 2, 1)
+	if err != nil {
+		return err
+	}
+	// Warm, then best-of-3 interleaved.
+	if _, err := fp.Run(in); err != nil {
+		return err
+	}
+	if _, err := q.Run(in); err != nil {
+		return err
+	}
+	var bestF, bestQ time.Duration
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if _, err := fp.Run(in); err != nil {
+			return err
+		}
+		if d := time.Since(start); bestF == 0 || d < bestF {
+			bestF = d
+		}
+		start = time.Now()
+		if _, err := q.Run(in); err != nil {
+			return err
+		}
+		if d := time.Since(start); bestQ == 0 || d < bestQ {
+			bestQ = d
+		}
+	}
+	fmt.Printf("int8 runtime: %d calibrated values, fp32 %v -> int8 %v (%.2fx), arena %d B -> %d B/sample\n",
+		len(schema.Activations), bestF, bestQ, float64(bestF)/float64(bestQ),
+		fp.ArenaFloatsPerSample()*4, q.ArenaBytesPerSample())
+	return nil
+}
+
 func buildModel(name string) (*nn.Graph, bool, error) {
 	switch name {
+	case "mobilenetedge":
+		return nn.MobileNetEdge(64, 10, nn.BuildOptions{Weights: true, Seed: 3}), true, nil
 	case "lenet":
 		return nn.LeNet(28, 10, nn.BuildOptions{Weights: true, Seed: 1}), true, nil
 	case "mlp":

@@ -24,6 +24,7 @@ import (
 	"vedliot/internal/cluster"
 	"vedliot/internal/microserver"
 	"vedliot/internal/nn"
+	"vedliot/internal/optimize"
 	"vedliot/internal/tensor"
 )
 
@@ -55,6 +56,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "trace seed")
 	queue := flag.Int("queue", 256, "admission queue depth")
 	emulate := flag.Bool("emulate", true, "stretch accelerator requests to modeled latency")
+	int8Serve := flag.Bool("int8", false, "calibrate the model and serve INT8-capable accelerator replicas on the native quantized engine")
 	flag.Parse()
 
 	if *listModels {
@@ -88,6 +90,20 @@ func main() {
 	}
 	fmt.Printf("%s (%s tier), %d slots, baseboard %.1f W\n",
 		chassis.Name, chassis.Tier, len(chassis.Slots), chassis.BaseboardW)
+
+	// Build the model first: INT8 serving calibrates it before the
+	// fleet compiles per-module executables.
+	g := entry.Build()
+	var schema *nn.QuantSchema
+	if *int8Serve {
+		var err error
+		if schema, err = calibrate(g); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("calibrated %d activation ranges: INT8 accelerator replicas use the native quantized engine\n",
+			len(schema.Activations))
+	}
+
 	slot := 0
 	for _, name := range strings.Split(*modules, ",") {
 		name = strings.TrimSpace(name)
@@ -101,7 +117,7 @@ func main() {
 		if err := chassis.Insert(slot, m); err != nil {
 			fatal(err)
 		}
-		backend, err := cluster.BackendForModule(m)
+		backend, err := cluster.BackendForModule(m, schema)
 		if err != nil {
 			fatal(err)
 		}
@@ -111,9 +127,8 @@ func main() {
 	}
 
 	// Deploy the fleet.
-	sched := cluster.NewScheduler(chassis, cluster.Config{QueueDepth: *queue, EmulateLatency: *emulate})
+	sched := cluster.NewScheduler(chassis, cluster.Config{QueueDepth: *queue, EmulateLatency: *emulate, Schema: schema})
 	defer sched.Close()
-	g := entry.Build()
 	dep, err := sched.Deploy(g)
 	if err != nil {
 		fatal(err)
@@ -187,6 +202,16 @@ func main() {
 	}
 	fmt.Printf("\nanalytic replay of the same trace: %.0f req/s, p95 %v, %.1f J\n",
 		sim.Throughput, sim.Latency.P95.Round(time.Microsecond), sim.EnergyJ)
+}
+
+// calibrate derives the activation schema from deterministic
+// pseudo-random batches shaped like the model input.
+func calibrate(g *nn.Graph) (*nn.QuantSchema, error) {
+	samples, err := nn.SyntheticCalibration(g, 4)
+	if err != nil {
+		return nil, err
+	}
+	return optimize.Calibrate(g, samples)
 }
 
 func fatal(err error) {

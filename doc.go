@@ -6,7 +6,15 @@
 // framework and the three use-case domains — each backed by simulators
 // where the paper used physical hardware.
 //
+// The execution stack offers two compiled runtimes behind one
+// Backend/Executable interface pair: the FP32 execution-plan engine and
+// a native INT8 engine (integer kernels, fixed-point requantization,
+// activation-fused lookup tables) driven by a calibrated nn.QuantSchema
+// — the runtime the INT8-only edge accelerators of the paper's Fig. 4
+// evaluation are modeled on.
+//
 // See DESIGN.md for the system inventory, the Backend/Engine execution
-// architecture and the per-experiment index, and cmd/vedliot-bench for
-// regenerating every table and figure.
+// architecture, the quantized-execution path and the per-experiment
+// index; cmd/vedliot-bench regenerates every table and figure, and
+// cmd/bench-gate enforces the committed perf baseline in CI.
 package vedliot

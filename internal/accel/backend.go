@@ -1,6 +1,7 @@
 package accel
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -11,18 +12,30 @@ import (
 
 // Backend adapts a modeled Device to the inference.Backend interface:
 // programs compiled for a simulated accelerator execute functionally on
-// the host CPU engine while latency, throughput and power come from the
+// the host engine while latency, throughput and power come from the
 // device's roofline model. The real CPU engine (inference.CPUBackend)
 // and every simulated accelerator therefore satisfy one compile-and-run
 // interface — the cross-accelerator methodology of the paper's Fig. 4
 // evaluation, where the same network is deployed unchanged across
 // heterogeneous targets.
+//
+// When the backend runs at INT8 and a calibration schema is attached,
+// functional execution goes through the native quantized engine
+// (inference.CompileQuantized) instead of the FP32 engine — the
+// INT8-only device models (EdgeTPU class) then produce genuinely
+// quantized outputs, making their roofline predictions honest about
+// the arithmetic the modeled silicon performs.
 type Backend struct {
 	Device *Device
 	// Precision is the precision the device runs the model at. The
 	// zero value (FP32) is used as-is; use NewBackend to default to the
 	// device's fastest supported precision.
 	Precision tensor.DType
+	// Schema is the activation calibration artifact enabling native
+	// INT8 execution. Nil keeps the FP32 functional path (with INT8
+	// weights dequantized at compile time), preserving bit-exact parity
+	// with the host engine.
+	Schema *nn.QuantSchema
 	// EngineOptions configure the host engine that provides the
 	// functional execution.
 	EngineOptions []inference.Option
@@ -31,6 +44,12 @@ type Backend struct {
 // NewBackend wraps a device, running it at its best supported precision.
 func NewBackend(d *Device) *Backend {
 	return &Backend{Device: d, Precision: d.BestPrecision()}
+}
+
+// NewQuantizedBackend wraps a device for native INT8 execution under
+// the given calibration schema.
+func NewQuantizedBackend(d *Device, schema *nn.QuantSchema) *Backend {
+	return &Backend{Device: d, Precision: tensor.INT8, Schema: schema}
 }
 
 // Name implements inference.Backend.
@@ -47,9 +66,27 @@ func (b *Backend) Compile(g *nn.Graph, opts ...inference.Option) (inference.Exec
 	if !b.Device.Supports(b.Precision) {
 		return nil, fmt.Errorf("accel: %s does not support %s", b.Device.Name, b.Precision)
 	}
-	eng, err := inference.Compile(g, append(append([]inference.Option(nil), b.EngineOptions...), opts...)...)
-	if err != nil {
-		return nil, err
+	engOpts := append(append([]inference.Option(nil), b.EngineOptions...), opts...)
+	var exec inference.Executable
+	quantized := false
+	if b.Precision == tensor.INT8 && b.Schema != nil {
+		q, err := inference.CompileQuantized(g, b.Schema, engOpts...)
+		switch {
+		case err == nil:
+			exec, quantized = q, true
+		case errors.Is(err, inference.ErrNotQuantizable):
+			// Schema does not cover this graph: degrade to the FP32
+			// functional path rather than failing the deploy.
+		default:
+			return nil, err
+		}
+	}
+	if exec == nil {
+		eng, err := inference.Compile(g, engOpts...)
+		if err != nil {
+			return nil, err
+		}
+		exec = eng
 	}
 	// The workload derivation needs batch-1 shapes; snapshot and restore
 	// OutShapes so Compile stays observably side-effect free, matching
@@ -68,31 +105,65 @@ func (b *Backend) Compile(g *nn.Graph, opts ...inference.Option) (inference.Exec
 	if err != nil {
 		return nil, err
 	}
-	return &Program{Engine: eng, device: b.Device, workload: w, precision: b.Precision}, nil
+	return &Program{exec: exec, device: b.Device, workload: w, precision: b.Precision, quantized: quantized}, nil
 }
 
 var _ inference.Backend = (*Backend)(nil)
 
 // Program is a model compiled for a simulated accelerator: the embedded
-// host Engine supplies bit-accurate execution (Run/RunBatch/RunSingle),
-// and the device model predicts what the target hardware would measure.
+// host executable supplies functional execution (the FP32 engine, or
+// the native quantized engine for INT8 deployments with a calibration
+// schema), and the device model predicts what the target hardware would
+// measure.
 type Program struct {
-	*inference.Engine
-
+	exec      inference.Executable
 	device    *Device
 	workload  Workload
 	precision tensor.DType
+	quantized bool
 }
 
 var _ inference.Executable = (*Program)(nil)
 
+// Run implements inference.Executable.
+func (p *Program) Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	return p.exec.Run(inputs)
+}
+
+// RunBatch implements inference.Executable.
+func (p *Program) RunBatch(batches []map[string]*tensor.Tensor) ([]map[string]*tensor.Tensor, error) {
+	return p.exec.RunBatch(batches)
+}
+
+// singleRunner is the RunSingle convenience both host engines provide.
+type singleRunner interface {
+	RunSingle(*tensor.Tensor) (*tensor.Tensor, error)
+}
+
+// RunSingle is the single-tensor shortcut for 1-in/1-out graphs.
+func (p *Program) RunSingle(in *tensor.Tensor) (*tensor.Tensor, error) {
+	return p.exec.(singleRunner).RunSingle(in)
+}
+
 // Device returns the modeled device.
 func (p *Program) Device() *Device { return p.device }
 
-// HostEngine returns the host CPU engine that provides the program's
-// functional execution. Serving layers use it to reach the shared
-// engine regardless of which backend compiled the model.
-func (p *Program) HostEngine() *inference.Engine { return p.Engine }
+// Executable returns the host executable providing functional
+// execution.
+func (p *Program) Executable() inference.Executable { return p.exec }
+
+// HostEngine returns the host FP32 engine backing the program, or nil
+// when the program executes on the native quantized engine. Serving
+// layers use it to reach the shared engine regardless of which backend
+// compiled the model.
+func (p *Program) HostEngine() *inference.Engine {
+	eng, _ := p.exec.(*inference.Engine)
+	return eng
+}
+
+// Quantized reports whether functional execution runs on the native
+// INT8 engine.
+func (p *Program) Quantized() bool { return p.quantized }
 
 // Precision returns the precision the device model is evaluated at.
 func (p *Program) Precision() tensor.DType { return p.precision }

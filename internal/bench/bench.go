@@ -126,6 +126,7 @@ func Registry() []Experiment {
 		{ID: "theory", Paper: "§III: theoretical vs hardware speed-ups [8]", Run: TheoryVsHardware},
 		{ID: "kenning", Paper: "§III: Kenning measurement reports [10]", Run: KenningPipeline},
 		{ID: "engine", Paper: "toolchain: compiled engine vs interpreter", Run: EngineStudy},
+		{ID: "quantized", Paper: "toolchain: native INT8 engine vs FP32 engine", Run: QuantizedStudy},
 		{ID: "cluster", Paper: "platform: heterogeneous fleet serving", Run: ClusterStudy},
 		{ID: "twine", Paper: "§IV-C: SQLite in SGX via WASM [17]", Run: Twine},
 		{ID: "pmp", Paper: "§IV-C: VexRiscv PMP unit", Run: PMPBench},

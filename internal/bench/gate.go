@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The perf-regression gate: a committed baseline (bench_baseline.json
+// at the repository root) names the metrics the CI bench-gate job
+// enforces, and Check compares a run's BENCH_<id>.json artifacts
+// against it. Baselines gate ratios and deterministic plan properties
+// rather than absolute wall times, so the gate survives machine
+// differences between laptops and CI runners while still catching real
+// regressions in the engine and the serving stack.
+
+// Baseline is the committed perf floor.
+type Baseline struct {
+	// Tolerance is the default allowed relative regression (0.15 means
+	// a metric may be up to 15% worse than its baseline value).
+	Tolerance float64 `json:"tolerance"`
+	// Experiments maps experiment id to its gated metrics by name.
+	Experiments map[string]map[string]GateMetric `json:"experiments"`
+}
+
+// GateMetric is one gated measurement.
+type GateMetric struct {
+	// Value is the committed baseline value.
+	Value float64 `json:"value"`
+	// Direction is "higher" (default: regression when the current value
+	// falls below value*(1-tol)) or "lower" (regression when it rises
+	// above value*(1+tol)).
+	Direction string `json:"direction,omitempty"`
+	// Tolerance overrides the baseline default for this metric.
+	Tolerance *float64 `json:"tolerance,omitempty"`
+}
+
+// GateResult is the verdict for one gated metric.
+type GateResult struct {
+	Experiment string
+	Metric     string
+	Baseline   float64
+	Current    float64
+	Limit      float64
+	Direction  string
+	// Missing reports that the artifact or metric was absent — a gate
+	// failure, since silently dropped experiments must not pass.
+	Missing bool
+	// FailedChecks lists the artifact's own failed shape checks.
+	FailedChecks []string
+	Regressed    bool
+}
+
+// Ok reports whether the metric passed the gate.
+func (r GateResult) Ok() bool { return !r.Regressed && !r.Missing && len(r.FailedChecks) == 0 }
+
+// String renders one result row.
+func (r GateResult) String() string {
+	status := "ok"
+	switch {
+	case r.Missing:
+		status = "MISSING"
+	case r.Regressed:
+		status = "REGRESSED"
+	case len(r.FailedChecks) > 0:
+		status = "CHECKS FAILED: " + strings.Join(r.FailedChecks, ", ")
+	}
+	return fmt.Sprintf("%-10s %-28s baseline %10.3f  current %10.3f  limit %10.3f (%s)  %s",
+		r.Experiment, r.Metric, r.Baseline, r.Current, r.Limit, r.Direction, status)
+}
+
+// LoadBaseline reads a committed baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: load baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("bench: parse baseline %s: %w", path, err)
+	}
+	if b.Tolerance <= 0 {
+		b.Tolerance = 0.15
+	}
+	return &b, nil
+}
+
+// LoadArtifacts reads every BENCH_<id>.json perf artifact in dir,
+// keyed by experiment id.
+func LoadArtifacts(dir string) (map[string]Artifact, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	arts := make(map[string]Artifact, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var a Artifact
+		if err := json.Unmarshal(data, &a); err != nil {
+			return nil, fmt.Errorf("bench: parse artifact %s: %w", p, err)
+		}
+		if a.ID == "" {
+			a.ID = strings.TrimSuffix(strings.TrimPrefix(filepath.Base(p), "BENCH_"), ".json")
+		}
+		arts[a.ID] = a
+	}
+	return arts, nil
+}
+
+// Check evaluates every gated metric against the run's artifacts,
+// sorted by experiment then metric name. Each gated experiment also
+// re-asserts the artifact's own shape checks, so a run that wrote a
+// failing artifact cannot slip through on metrics alone.
+func (b *Baseline) Check(artifacts map[string]Artifact) []GateResult {
+	var results []GateResult
+	expIDs := make([]string, 0, len(b.Experiments))
+	for id := range b.Experiments {
+		expIDs = append(expIDs, id)
+	}
+	sort.Strings(expIDs)
+	for _, id := range expIDs {
+		gates := b.Experiments[id]
+		art, haveArt := artifacts[id]
+		var failed []string
+		if haveArt {
+			for name, ok := range art.Checks {
+				if !ok {
+					failed = append(failed, name)
+				}
+			}
+			sort.Strings(failed)
+		}
+		names := make([]string, 0, len(gates))
+		for name := range gates {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			gm := gates[name]
+			tol := b.Tolerance
+			if gm.Tolerance != nil {
+				tol = *gm.Tolerance
+			}
+			dir := gm.Direction
+			if dir == "" {
+				dir = "higher"
+			}
+			res := GateResult{
+				Experiment:   id,
+				Metric:       name,
+				Baseline:     gm.Value,
+				Direction:    dir,
+				FailedChecks: failed,
+			}
+			if !haveArt {
+				res.Missing = true
+				results = append(results, res)
+				continue
+			}
+			cur, found := findMetric(art, name)
+			if !found {
+				res.Missing = true
+				results = append(results, res)
+				continue
+			}
+			res.Current = cur
+			if dir == "lower" {
+				res.Limit = gm.Value * (1 + tol)
+				res.Regressed = cur > res.Limit
+			} else {
+				res.Limit = gm.Value * (1 - tol)
+				res.Regressed = cur < res.Limit
+			}
+			results = append(results, res)
+		}
+	}
+	return results
+}
+
+func findMetric(a Artifact, name string) (float64, bool) {
+	for _, m := range a.Metrics {
+		if m.Name == name {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}

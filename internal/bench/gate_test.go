@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeArtifactFile(t *testing.T, dir, id string, a Artifact) {
+	t.Helper()
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_"+id+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testBaseline() *Baseline {
+	lowTol := 0.01
+	return &Baseline{
+		Tolerance: 0.15,
+		Experiments: map[string]map[string]GateMetric{
+			"engine": {
+				"engine_speedup_batch8":   {Value: 2.0},
+				"arena_floats_per_sample": {Value: 100, Direction: "lower", Tolerance: &lowTol},
+			},
+			"quantized": {
+				"quant_speedup_batch8": {Value: 1.5},
+			},
+		},
+	}
+}
+
+func TestGatePassesAtBaseline(t *testing.T) {
+	dir := t.TempDir()
+	writeArtifactFile(t, dir, "engine", Artifact{
+		ID:     "engine",
+		Checks: map[string]bool{"parity": true},
+		Metrics: []Metric{
+			{Name: "engine_speedup_batch8", Value: 2.1},
+			{Name: "arena_floats_per_sample", Value: 100},
+		},
+	})
+	writeArtifactFile(t, dir, "quantized", Artifact{
+		ID:      "quantized",
+		Metrics: []Metric{{Name: "quant_speedup_batch8", Value: 1.6}},
+	})
+	arts, err := LoadArtifacts(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range testBaseline().Check(arts) {
+		if !res.Ok() {
+			t.Errorf("unexpected gate failure: %s", res)
+		}
+	}
+}
+
+func TestGateCatchesRegression(t *testing.T) {
+	dir := t.TempDir()
+	writeArtifactFile(t, dir, "engine", Artifact{
+		ID: "engine",
+		Metrics: []Metric{
+			// 1.6 < 2.0*(1-0.15): regression.
+			{Name: "engine_speedup_batch8", Value: 1.6},
+			// lower-is-better with 1% tolerance: 102 > 100*1.01 fails.
+			{Name: "arena_floats_per_sample", Value: 102},
+		},
+	})
+	writeArtifactFile(t, dir, "quantized", Artifact{
+		ID:      "quantized",
+		Metrics: []Metric{{Name: "quant_speedup_batch8", Value: 1.45}}, // within 15%
+	})
+	arts, err := LoadArtifacts(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := testBaseline().Check(arts)
+	byMetric := map[string]GateResult{}
+	for _, r := range results {
+		byMetric[r.Metric] = r
+	}
+	if !byMetric["engine_speedup_batch8"].Regressed {
+		t.Error("speedup regression not caught")
+	}
+	if !byMetric["arena_floats_per_sample"].Regressed {
+		t.Error("arena growth not caught despite tight tolerance")
+	}
+	if byMetric["quant_speedup_batch8"].Regressed {
+		t.Error("in-tolerance value flagged as regression")
+	}
+}
+
+func TestGateFailsOnMissingArtifactsAndChecks(t *testing.T) {
+	dir := t.TempDir()
+	// quantized artifact absent entirely; engine artifact present but
+	// missing one gated metric and carrying a failed shape check.
+	writeArtifactFile(t, dir, "engine", Artifact{
+		ID:      "engine",
+		Checks:  map[string]bool{"parity": false},
+		Metrics: []Metric{{Name: "engine_speedup_batch8", Value: 3}},
+	})
+	arts, err := LoadArtifacts(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := testBaseline().Check(arts)
+	var missing, failedChecks int
+	for _, r := range results {
+		if r.Missing {
+			missing++
+		}
+		if len(r.FailedChecks) > 0 {
+			failedChecks++
+		}
+		if r.Ok() && r.Experiment == "engine" {
+			t.Errorf("engine result passed despite failed shape check: %s", r)
+		}
+	}
+	if missing != 2 { // arena metric absent + whole quantized artifact absent
+		t.Errorf("missing count = %d, want 2", missing)
+	}
+	if failedChecks == 0 {
+		t.Error("failed shape checks not surfaced")
+	}
+}
+
+// TestCommittedBaselineMatchesRegistry pins the repo's committed
+// baseline to real experiments and metric names, so a renamed metric
+// cannot silently turn the CI gate into a no-op.
+func TestCommittedBaselineMatchesRegistry(t *testing.T) {
+	b, err := LoadBaseline("../../bench_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{}
+	for _, e := range Registry() {
+		known[e.ID] = true
+	}
+	if len(b.Experiments) == 0 {
+		t.Fatal("committed baseline gates nothing")
+	}
+	for id := range b.Experiments {
+		if !known[id] {
+			t.Errorf("baseline gates unknown experiment %q", id)
+		}
+	}
+}

@@ -52,6 +52,11 @@ type Config struct {
 	// modeled heterogeneity. Off by default; drivers and demos turn it
 	// on, tests keep wall time.
 	EmulateLatency bool
+	// Schema is the activation calibration artifact for native INT8
+	// serving: INT8-capable accelerator modules then execute on the
+	// quantized engine instead of the FP32 one. Nil keeps every replica
+	// on the FP32 functional path (bit-exact across the fleet).
+	Schema *nn.QuantSchema
 }
 
 func (c Config) withDefaults() Config {
@@ -84,8 +89,11 @@ func (s *Scheduler) Chassis() *microserver.Chassis { return s.chassis }
 
 // BackendForModule resolves the inference backend a module serves with:
 // the host CPU engine for plain compute modules, a Device-backed
-// accelerator backend when the module names an accel device model.
-func BackendForModule(m *microserver.Module) (inference.Backend, error) {
+// accelerator backend when the module names an accel device model. A
+// non-nil schema puts INT8-precision accelerator modules on the native
+// quantized engine (the INT8-only EdgeTPU-class devices in particular),
+// mirroring how a real fleet deploys the calibrated model.
+func BackendForModule(m *microserver.Module, schema *nn.QuantSchema) (inference.Backend, error) {
 	if m.Accelerator == "" {
 		return inference.CPUBackend{}, nil
 	}
@@ -93,7 +101,11 @@ func BackendForModule(m *microserver.Module) (inference.Backend, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: module %s: %w", m.Name, err)
 	}
-	return accel.NewBackend(dev), nil
+	b := accel.NewBackend(dev)
+	if schema != nil && b.Precision == tensor.INT8 {
+		b.Schema = schema
+	}
+	return b, nil
 }
 
 // Deploy places the model on every powered slot of the chassis.
@@ -145,7 +157,7 @@ func (s *Scheduler) DeployOn(g *nn.Graph, slots ...int) (*Deployment, error) {
 			d.closeReplicas()
 			return nil, fmt.Errorf("cluster: slot %d has no powered module", idx)
 		}
-		backend, err := BackendForModule(mod)
+		backend, err := BackendForModule(mod, s.cfg.Schema)
 		if err != nil {
 			d.closeReplicas()
 			return nil, err

@@ -121,6 +121,11 @@ type Engine struct {
 	vals        []value
 	steps       []step
 
+	// Per-sample shapes of declared inputs/outputs, precomputed at
+	// compile time so the per-call paths allocate nothing for them.
+	inPer  []tensor.Shape
+	outPer []tensor.Shape
+
 	// Arena plan: slotOff/slotSize are per-sample float counts; the
 	// arena for a batch-N call is arenaPerSample*N floats.
 	slotOff        []int
@@ -225,7 +230,17 @@ func Compile(g *nn.Graph, opts ...Option) (*Engine, error) {
 		e.steps = append(e.steps, step{name: n.Name, op: n.Op, out: id[n.Name], ins: ins, kern: kern})
 	}
 	e.planMemory()
+	e.inPer, e.outPer = perShapes(e.vals, e.inputVals), perShapes(e.vals, e.outputVals)
 	return e, nil
+}
+
+// perShapes collects the per-sample shape of each listed value.
+func perShapes(vals []value, ids []int) []tensor.Shape {
+	per := make([]tensor.Shape, len(ids))
+	for i, v := range ids {
+		per[i] = vals[v].per
+	}
+	return per
 }
 
 func (e *Engine) getArena(batch int) []float32 {
@@ -251,13 +266,20 @@ func (e *Engine) putArena(buf []float32) {
 // resolveInputs validates the provided inputs against the plan and
 // returns their FP32 views plus the call's batch size.
 func (e *Engine) resolveInputs(inputs map[string]*tensor.Tensor) ([][]float32, int, error) {
-	if len(e.inputVals) == 0 {
-		return nil, 0, fmt.Errorf("inference: graph %q declares no inputs", e.name)
+	return resolveBatchedInputs(e.inputNames, e.inPer, inputs)
+}
+
+// resolveBatchedInputs validates an input map against per-sample shapes
+// and returns the FP32 views plus the call's batch size. Shared by the
+// FP32 engine and the quantized engine (which quantizes the views at
+// graph entry).
+func resolveBatchedInputs(inputNames []string, per []tensor.Shape, inputs map[string]*tensor.Tensor) ([][]float32, int, error) {
+	if len(inputNames) == 0 {
+		return nil, 0, fmt.Errorf("inference: graph declares no inputs")
 	}
-	bufs := make([][]float32, len(e.inputVals))
+	bufs := make([][]float32, len(inputNames))
 	batch := 0
-	for i, v := range e.inputVals {
-		name := e.inputNames[i]
+	for i, name := range inputNames {
 		t, ok := inputs[name]
 		if !ok || t == nil {
 			return nil, 0, fmt.Errorf("inference: missing input %q", name)
@@ -265,7 +287,7 @@ func (e *Engine) resolveInputs(inputs map[string]*tensor.Tensor) ([][]float32, i
 		if len(t.Shape) == 0 {
 			return nil, 0, fmt.Errorf("inference: input %q is a scalar, want batched tensor", name)
 		}
-		want := append(tensor.Shape{t.Shape[0]}, e.vals[v].per...)
+		want := append(tensor.Shape{t.Shape[0]}, per[i]...)
 		if !t.Shape.Equal(want) {
 			return nil, 0, fmt.Errorf("inference: input %q has shape %v, want %v", name, t.Shape, want)
 		}
@@ -399,11 +421,24 @@ func (e *Engine) RunSingle(in *tensor.Tensor) (*tensor.Tensor, error) {
 // amortize dispatch overhead and to give the parallel kernels larger
 // work items.
 func (e *Engine) RunBatch(batches []map[string]*tensor.Tensor) ([]map[string]*tensor.Tensor, error) {
+	return fuseRunBatch(e.Run, e.inputNames, e.inPer, e.outputNames, e.outPer, batches)
+}
+
+// fuseRunBatch implements batch fusion generically over any plan whose
+// Run consumes and produces FP32 tensors: inputs are stacked along the
+// batch dimension, run executes once, and the outputs are split back per
+// request. Both the FP32 engine and the quantized engine dispatch fused
+// batches through it.
+func fuseRunBatch(run func(map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error),
+	inputNames []string, inputPer []tensor.Shape,
+	outputNames []string, outputPer []tensor.Shape,
+	batches []map[string]*tensor.Tensor) ([]map[string]*tensor.Tensor, error) {
+
 	if len(batches) == 0 {
 		return nil, nil
 	}
 	if len(batches) == 1 {
-		out, err := e.Run(batches[0])
+		out, err := run(batches[0])
 		if err != nil {
 			return nil, err
 		}
@@ -412,7 +447,7 @@ func (e *Engine) RunBatch(batches []map[string]*tensor.Tensor) ([]map[string]*te
 	// Per-request batch sizes, from the first declared input.
 	sizes := make([]int, len(batches))
 	total := 0
-	first := e.inputNames[0]
+	first := inputNames[0]
 	for r, req := range batches {
 		t, ok := req[first]
 		if !ok || t == nil || len(t.Shape) == 0 {
@@ -422,11 +457,10 @@ func (e *Engine) RunBatch(batches []map[string]*tensor.Tensor) ([]map[string]*te
 		total += t.Shape[0]
 	}
 	// Stack every input.
-	stacked := make(map[string]*tensor.Tensor, len(e.inputNames))
-	for i, v := range e.inputVals {
-		name := e.inputNames[i]
-		perShape := e.vals[v].per
-		perElems := e.vals[v].elems
+	stacked := make(map[string]*tensor.Tensor, len(inputNames))
+	for i, name := range inputNames {
+		perShape := inputPer[i]
+		perElems := perShape.NumElements()
 		st := tensor.New(tensor.FP32, append(tensor.Shape{total}, perShape...)...)
 		off := 0
 		for r, req := range batches {
@@ -447,20 +481,19 @@ func (e *Engine) RunBatch(batches []map[string]*tensor.Tensor) ([]map[string]*te
 		}
 		stacked[name] = st
 	}
-	outs, err := e.Run(stacked)
+	outs, err := run(stacked)
 	if err != nil {
 		return nil, err
 	}
 	// Split outputs back per request.
 	results := make([]map[string]*tensor.Tensor, len(batches))
 	for r := range results {
-		results[r] = make(map[string]*tensor.Tensor, len(e.outputNames))
+		results[r] = make(map[string]*tensor.Tensor, len(outputNames))
 	}
-	for i, v := range e.outputVals {
-		name := e.outputNames[i]
+	for i, name := range outputNames {
 		full := outs[name]
-		perShape := e.vals[v].per
-		perElems := e.vals[v].elems
+		perShape := outputPer[i]
+		perElems := perShape.NumElements()
 		src := full.F32
 		off := 0
 		for r := range batches {

@@ -453,13 +453,15 @@ type convGeom struct {
 	icPerG, ocPerG   int
 }
 
-func bindConv(n *nn.Node, in, out tensor.Shape) (kernelFunc, error) {
+// convGeometry derives the compile-time geometry of a conv node and
+// validates its weight tensor, shared by the FP32 and quantized binders.
+func convGeometry(n *nn.Node, in, out tensor.Shape) (convGeom, *tensor.Tensor, error) {
 	if len(in) != 3 {
-		return nil, fmt.Errorf("conv wants NCHW, got per-sample %v", in)
+		return convGeom{}, nil, fmt.Errorf("conv wants NCHW, got per-sample %v", in)
 	}
 	w := n.Weight(nn.WeightKey)
 	if w == nil {
-		return nil, fmt.Errorf("conv has no weights (built with Weights: false?)")
+		return convGeom{}, nil, fmt.Errorf("conv has no weights (built with Weights: false?)")
 	}
 	a := n.Attrs
 	inC, inH, inW := in[0], in[1], in[2]
@@ -475,19 +477,26 @@ func bindConv(n *nn.Node, in, out tensor.Shape) (kernelFunc, error) {
 		}
 	}
 	if inC%groups != 0 || outC%groups != 0 {
-		return nil, fmt.Errorf("channels %d/outC %d not divisible by groups %d", inC, outC, groups)
+		return convGeom{}, nil, fmt.Errorf("channels %d/outC %d not divisible by groups %d", inC, outC, groups)
 	}
 	wantW := tensor.Shape{outC, inC / groups, a.KernelH, a.KernelW}
 	if !w.Shape.Equal(wantW) {
-		return nil, fmt.Errorf("weight shape %v, want %v", w.Shape, wantW)
+		return convGeom{}, nil, fmt.Errorf("weight shape %v, want %v", w.Shape, wantW)
 	}
-	g := convGeom{
+	return convGeom{
 		inC: inC, inH: inH, inW: inW,
 		outC: outC, outH: out[1], outW: out[2],
 		kh: a.KernelH, kw: a.KernelW,
 		sh: a.StrideH, sw: a.StrideW,
 		ph: a.PadH, pw: a.PadW,
 		icPerG: inC / groups, ocPerG: outC / groups,
+	}, w, nil
+}
+
+func bindConv(n *nn.Node, in, out tensor.Shape) (kernelFunc, error) {
+	g, w, err := convGeometry(n, in, out)
+	if err != nil {
+		return nil, err
 	}
 	wv := w.Float32s() // dequantized once, at compile time
 	var bias []float32
@@ -798,7 +807,10 @@ func bindBatchNorm(n *nn.Node, in tensor.Shape) (kernelFunc, error) {
 	}, nil
 }
 
-func bindActivation(n *nn.Node) (kernelFunc, error) {
+// activationFn resolves an activation node to its scalar function and
+// an approximate per-element op cost, shared by the FP32 binder and the
+// quantized LUT builder.
+func activationFn(n *nn.Node) (func(float32) float32, int64, error) {
 	var f func(float32) float32
 	var unitCost int64 = 4
 	switch n.Op {
@@ -836,7 +848,15 @@ func bindActivation(n *nn.Node) (kernelFunc, error) {
 			return float32(float64(v) * math.Tanh(sp))
 		}, 64
 	default:
-		return nil, fmt.Errorf("unsupported activation %s", n.Op)
+		return nil, 0, fmt.Errorf("unsupported activation %s", n.Op)
+	}
+	return f, unitCost, nil
+}
+
+func bindActivation(n *nn.Node) (kernelFunc, error) {
+	f, unitCost, err := activationFn(n)
+	if err != nil {
+		return nil, err
 	}
 	return func(rc *runCtx, dst []float32, srcs [][]float32) error {
 		xv := srcs[0]

@@ -1,35 +1,54 @@
 package inference
 
+// planStep is the I/O view of one execution step that the arena planner
+// consumes — shared by the FP32 engine (whose arena holds float32
+// elements) and the quantized engine (int8 elements).
+type planStep struct {
+	out int
+	ins []int
+}
+
 // planMemory assigns every intermediate activation to an arena slab
-// using liveness analysis over the compiled step order. Values flow
-// through three location kinds: inputs stay in the caller's tensors,
-// declared outputs get fresh per-call tensors (they outlive the call),
-// and everything else shares a small set of slots whose per-sample sizes
-// are fixed at compile time. A slot is recycled as soon as its last
-// consumer has executed, so the arena footprint is the peak working set
-// of the graph rather than the sum of all activations — the classic
-// static memory plan of deployment runtimes.
+// using liveness analysis over the compiled step order.
 func (e *Engine) planMemory() {
+	steps := make([]planStep, len(e.steps))
+	for i, st := range e.steps {
+		steps[i] = planStep{out: st.out, ins: st.ins}
+	}
+	e.slotOff, e.slotSize, e.arenaPerSample = planArena(e.vals, steps)
+}
+
+// planArena assigns every unassigned value to an arena slab using
+// liveness analysis over the step order. Values flow through three
+// location kinds: inputs stay in the caller's tensors, declared outputs
+// get fresh per-call tensors (they outlive the call), and everything
+// else shares a small set of slots whose per-sample sizes are fixed at
+// compile time. A slot is recycled as soon as its last consumer has
+// executed, so the arena footprint is the peak working set of the graph
+// rather than the sum of all activations — the classic static memory
+// plan of deployment runtimes. Sizes are in elements; the caller scales
+// by its element width.
+func planArena(vals []value, steps []planStep) (slotOff, slotSize []int, perSample int) {
 	// lastUse[v] is the index of the last step consuming value v, or -1.
-	lastUse := make([]int, len(e.vals))
+	lastUse := make([]int, len(vals))
 	for i := range lastUse {
 		lastUse[i] = -1
 	}
-	for si, st := range e.steps {
+	for si, st := range steps {
 		for _, v := range st.ins {
 			lastUse[v] = si
 		}
 	}
 
 	type slotState struct {
-		size int // per-sample float32 count, max over assigned values
+		size int // per-sample element count, max over assigned values
 		free bool
 	}
 	var slots []slotState
 
 	// acquire picks the free slot wasting the least space for a value of
-	// n floats, growing a slot when nothing fits, and creating a new slot
-	// only when none is free.
+	// n elements, growing a slot when nothing fits, and creating a new
+	// slot only when none is free.
 	acquire := func(n int) int {
 		bestFit, bestFitSize := -1, -1 // smallest free slot >= n
 		largest, largestSize := -1, -1 // largest free slot overall
@@ -59,9 +78,9 @@ func (e *Engine) planMemory() {
 		return idx
 	}
 
-	for si := range e.steps {
-		st := &e.steps[si]
-		out := &e.vals[st.out]
+	for si := range steps {
+		st := &steps[si]
+		out := &vals[st.out]
 		// Assign the destination before releasing dying inputs: kernels
 		// are not in-place safe, so a step's output must never alias one
 		// of its own inputs.
@@ -70,7 +89,7 @@ func (e *Engine) planMemory() {
 		}
 		for _, in := range st.ins {
 			if lastUse[in] == si {
-				if l := e.vals[in].loc; l.kind == locSlot {
+				if l := vals[in].loc; l.kind == locSlot {
 					slots[l.idx].free = true
 				}
 			}
@@ -84,13 +103,13 @@ func (e *Engine) planMemory() {
 		}
 	}
 
-	e.slotSize = make([]int, len(slots))
-	e.slotOff = make([]int, len(slots))
+	slotSize = make([]int, len(slots))
+	slotOff = make([]int, len(slots))
 	off := 0
 	for i, s := range slots {
-		e.slotSize[i] = s.size
-		e.slotOff[i] = off
+		slotSize[i] = s.size
+		slotOff[i] = off
 		off += s.size
 	}
-	e.arenaPerSample = off
+	return slotOff, slotSize, off
 }

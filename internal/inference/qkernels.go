@@ -1,0 +1,1019 @@
+package inference
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"vedliot/internal/nn"
+	"vedliot/internal/tensor"
+)
+
+// Quantized-engine kernels.
+//
+// Binders run once at CompileQuantized: they quantize weights to int8
+// (symmetric, per output channel), fold biases into int32 at the
+// accumulator scale, precompute the fixed-point requantization
+// multipliers between layers, and build 256-entry lookup tables for
+// element-wise ops. The returned closures operate on raw int8 code
+// buffers under the calibration schema's affine mappings — no float
+// arithmetic on the conv/dense hot path. Integer accumulation is
+// associative, so the same parallelFor split as the FP32 engine yields
+// bitwise-identical results at any worker count.
+//
+// The int32 accumulator bounds the supported reduction depth: one tap
+// contributes at most 127*255 after zero-point correction, so
+// reductions up to ~10^5 taps are safe — far beyond any layer in the
+// model zoo.
+
+// errNoQuantKernel reports an op without a native integer lowering; the
+// compiler wraps the FP32 kernel in a dequantize/requantize island.
+var errNoQuantKernel = errors.New("no quantized kernel")
+
+// fusableProducer reports ops whose requantization loop can absorb a
+// following element-wise activation as a fused table lookup.
+func fusableProducer(op nn.OpType) bool {
+	return op == nn.OpConv || op == nn.OpDepthwiseConv || op == nn.OpDense
+}
+
+// bindQuantKernel resolves a node to an int8 kernel closure given the
+// per-sample shapes and the schema's quantization params of its inputs
+// and output. post, when non-nil, is a fused activation recode applied
+// inside the producer's requantization loop (conv/dense only).
+func bindQuantKernel(n *nn.Node, ins []tensor.Shape, out tensor.Shape, inQ []tensor.QuantParams, outQ tensor.QuantParams, post *[256]int8) (qkernelFunc, error) {
+	switch n.Op {
+	case nn.OpConv, nn.OpDepthwiseConv:
+		return bindQuantConv(n, ins[0], out, inQ[0], outQ, post)
+	case nn.OpDense:
+		return bindQuantDense(n, ins[0], out, inQ[0], outQ, post)
+	case nn.OpBatchNorm:
+		return bindQuantBatchNorm(n, ins[0], inQ[0], outQ)
+	case nn.OpReLU, nn.OpReLU6, nn.OpLeakyReLU, nn.OpSigmoid, nn.OpTanh,
+		nn.OpHSwish, nn.OpHSigmoid, nn.OpMish:
+		return bindQuantActivation(n, inQ[0], outQ)
+	case nn.OpMaxPool:
+		return bindQuantMaxPool(n, ins[0], out, inQ[0], outQ)
+	case nn.OpAvgPool:
+		return bindQuantAvgPool(n, ins[0], out, inQ[0], outQ)
+	case nn.OpGlobalAvgPool:
+		return bindQuantGlobalAvgPool(ins[0], inQ[0], outQ)
+	case nn.OpAdd:
+		return bindQuantAdd(ins, out, inQ, outQ)
+	case nn.OpMul:
+		return bindQuantMul(ins, out, inQ, outQ)
+	case nn.OpConcat:
+		return bindQuantConcat(ins, out, inQ, outQ)
+	case nn.OpUpsample:
+		return bindQuantUpsample(n, ins[0], out, inQ[0], outQ)
+	case nn.OpFlatten, nn.OpIdentity:
+		return bindQuantRecode(inQ[0], outQ), nil
+	}
+	return nil, errNoQuantKernel
+}
+
+// buildLUT tabulates code → code for a scalar real function under the
+// in/out affine mappings — the universal int8 lowering for element-wise
+// ops (and for pure recodes with f = identity).
+func buildLUT(inQ, outQ tensor.QuantParams, f func(float32) float32) *[256]int8 {
+	var lut [256]int8
+	for c := -128; c <= 127; c++ {
+		lut[c+128] = outQ.Quantize(f(inQ.Dequantize(int8(c))))
+	}
+	return &lut
+}
+
+// sameQuant reports whether two mappings are identical, making a recode
+// a plain copy.
+func sameQuant(a, b tensor.QuantParams) bool { return a.Scale == b.Scale && a.Zero == b.Zero }
+
+// quantizeFilter lowers a weight tensor to int8 codes with one
+// symmetric scale per output channel. INT8 weights from the PTQ pass
+// (per-tensor symmetric) are adopted verbatim; FP32/FP16 weights —
+// including the fake-quantized per-channel form — are quantized here,
+// recovering per-channel scales.
+func quantizeFilter(w *tensor.Tensor, outC int) ([]int8, []float64) {
+	n := w.NumElements()
+	perOut := n / outC
+	scales := make([]float64, outC)
+	if w.DType == tensor.INT8 && w.Quant.Zero == 0 && w.Quant.Scale > 0 {
+		codes := make([]int8, n)
+		copy(codes, w.I8)
+		for oc := range scales {
+			scales[oc] = float64(w.Quant.Scale)
+		}
+		return codes, scales
+	}
+	vals := w.Float32s()
+	codes := make([]int8, n)
+	for oc := 0; oc < outC; oc++ {
+		ch := vals[oc*perOut : (oc+1)*perOut]
+		q := tensor.SymmetricParams(ch)
+		scales[oc] = float64(q.Scale)
+		for i, v := range ch {
+			codes[oc*perOut+i] = q.Quantize(v)
+		}
+	}
+	return codes, scales
+}
+
+// foldBias converts a real-valued bias to int32 at the accumulator
+// scale sIn*sW[oc], plus the per-channel requantizers to the output
+// scale.
+func foldBias(bias *tensor.Tensor, wScales []float64, inQ, outQ tensor.QuantParams) ([]int32, []tensor.Requant) {
+	outC := len(wScales)
+	sIn, sOut := float64(inQ.Scale), float64(outQ.Scale)
+	b32 := make([]int32, outC)
+	req := make([]tensor.Requant, outC)
+	var bv []float32
+	if bias != nil {
+		bv = bias.Float32s()
+	}
+	for oc := 0; oc < outC; oc++ {
+		accScale := sIn * wScales[oc]
+		req[oc] = tensor.NewRequant(accScale / sOut)
+		if bv != nil && accScale > 0 {
+			b32[oc] = int32(math.Round(float64(bv[oc]) / accScale))
+		}
+	}
+	return b32, req
+}
+
+// qconv is the bound state of one integer convolution. Weight codes are
+// kept widened to int16: the input side is zero-point-shifted to int16
+// as well (so padding contributes exactly 0), and the multiply-
+// accumulate runs through the SIMD integer kernels (tensor.DotInt16 /
+// tensor.AxpyInt16).
+type qconv struct {
+	g      convGeom
+	w16    []int16
+	bias32 []int32
+	req    []tensor.Requant
+	zpIn   int32
+	zpOut  int32
+	post   *[256]int8 // fused activation recode, nil when unfused
+}
+
+// widenCodes converts int8 weight codes to the int16 operand form of
+// the SIMD kernels.
+func widenCodes(codes []int8) []int16 {
+	w16 := make([]int16, len(codes))
+	for i, c := range codes {
+		w16[i] = int16(c)
+	}
+	return w16
+}
+
+// requantRow requantizes one int32 accumulator row into int8 codes,
+// applying the fused activation recode when present.
+func requantRow(out []int8, acc []int32, req tensor.Requant, zpOut int32, post *[256]int8) {
+	out = out[:len(acc)]
+	if post != nil {
+		for i, v := range acc {
+			out[i] = post[int(tensor.ClampInt8(zpOut+req.Apply(v)))+128]
+		}
+		return
+	}
+	for i, v := range acc {
+		out[i] = tensor.ClampInt8(zpOut + req.Apply(v))
+	}
+}
+
+func bindQuantConv(n *nn.Node, in, out tensor.Shape, inQ, outQ tensor.QuantParams, post *[256]int8) (qkernelFunc, error) {
+	g, w, err := convGeometry(n, in, out)
+	if err != nil {
+		return nil, err
+	}
+	codes, wScales := quantizeFilter(w, g.outC)
+	bias32, req := foldBias(n.Weight(nn.BiasKey), wScales, inQ, outQ)
+	p := &qconv{g: g, w16: widenCodes(codes), bias32: bias32, req: req, zpIn: inQ.Zero, zpOut: outQ.Zero, post: post}
+	taps := g.icPerG * g.kh * g.kw
+	planeCost := int64(g.outH*g.outW) * int64(taps) * 2
+
+	// Routing: pointwise and depthwise convolutions accumulate int32
+	// planes through the SIMD axpy (whole contiguous planes for 1x1,
+	// plane-wide taps with edge fixup for stride-1 depthwise) — no
+	// patch gather, so the input streams once per output channel.
+	// Spatial convolutions with a real channel reduction (the stems)
+	// gather a zero-point-shifted int16 patch matrix instead and run
+	// one contiguous SIMD dot per output pixel; padded taps are plain
+	// zeros there.
+	const qim2colMinTaps = 16
+	pointwise := g.kh == 1 && g.kw == 1 && g.sh == 1 && g.sw == 1 && g.ph == 0 && g.pw == 0
+	if !pointwise && g.icPerG > 1 && taps >= qim2colMinTaps {
+		groups := g.inC / g.icPerG
+		px := g.outH * g.outW
+		var pool sync.Pool
+		return func(rc *runCtx, dst []int8, srcs [][]int8) error {
+			xv := srcs[0]
+			need := rc.batch * groups * px * taps
+			var cols []int16
+			if bp, ok := pool.Get().(*[]int16); ok && cap(*bp) >= need {
+				cols = (*bp)[:need]
+			} else {
+				cols = make([]int16, need)
+			}
+			rc.parallelFor(rc.batch*groups, int64(px*taps), func(lo, hi int) {
+				for pi := lo; pi < hi; pi++ {
+					qconvGather(cols, xv, &p.g, pi/groups, pi%groups, px, taps, p.zpIn)
+				}
+			})
+			rc.parallelFor(rc.batch*p.g.outC, planeCost, func(lo, hi int) {
+				for pi := lo; pi < hi; pi++ {
+					qconvDotPatches(dst, cols, p, pi/p.g.outC, pi%p.g.outC, groups, px, taps)
+				}
+			})
+			pool.Put(&cols)
+			return nil
+		}, nil
+	}
+	hwIn := g.inH * g.inW
+	px := g.outH * g.outW
+	var x16Pool, accPool sync.Pool
+	return func(rc *runCtx, dst []int8, srcs [][]int8) error {
+		xv := srcs[0]
+		// Shift the whole input by the zero point once: padded (skipped)
+		// taps then contribute exactly 0 to the linear term, so the
+		// kernel-outer accumulation needs no padding-aware bookkeeping.
+		need := rc.batch * p.g.inC * hwIn
+		var x16 []int16
+		if bp, ok := x16Pool.Get().(*[]int16); ok && cap(*bp) >= need {
+			x16 = (*bp)[:need]
+		} else {
+			x16 = make([]int16, need)
+		}
+		zp := p.zpIn
+		rc.parallelFor(need, 2, func(lo, hi int) {
+			x := xv[lo:hi]
+			out := x16[lo:hi]
+			out = out[:len(x)]
+			for i, v := range x {
+				out[i] = int16(int32(v) - zp)
+			}
+		})
+		rc.parallelFor(rc.batch*p.g.outC, planeCost, func(lo, hi int) {
+			var acc []int32
+			if bp, ok := accPool.Get().(*[]int32); ok && cap(*bp) >= px {
+				acc = (*bp)[:px]
+			} else {
+				acc = make([]int32, px)
+			}
+			for pi := lo; pi < hi; pi++ {
+				if pointwise {
+					qconvPlanePointwise(dst, x16, p, acc, pi/p.g.outC, pi%p.g.outC)
+				} else {
+					qconvPlane(dst, x16, p, acc, pi/p.g.outC, pi%p.g.outC)
+				}
+			}
+			accPool.Put(&acc)
+		})
+		x16Pool.Put(&x16)
+		return nil
+	}, nil
+}
+
+// qconvGather fills one (batch, group) patch matrix with zero-point-
+// shifted int16 values in (ic, ky, kx) tap order; out-of-bounds taps
+// store 0, which is exactly what the padding value real 0 contributes
+// after the shift.
+func qconvGather(cols []int16, xv []int8, g *convGeom, b, grp, px, taps int, zp int32) {
+	base := (b*(g.inC/g.icPerG) + grp) * px * taps
+	for oy := 0; oy < g.outH; oy++ {
+		iy0 := oy*g.sh - g.ph
+		for ox := 0; ox < g.outW; ox++ {
+			ix0 := ox*g.sw - g.pw
+			kxLo := 0
+			if ix0 < 0 {
+				kxLo = -ix0
+			}
+			kxHi := g.kw
+			if ix0+g.kw > g.inW {
+				kxHi = g.inW - ix0
+			}
+			at := base + (oy*g.outW+ox)*taps
+			for ic := 0; ic < g.icPerG; ic++ {
+				xBase := (b*g.inC + grp*g.icPerG + ic) * g.inH * g.inW
+				for ky := 0; ky < g.kh; ky++ {
+					row := cols[at : at+g.kw]
+					at += g.kw
+					iy := iy0 + ky
+					if iy < 0 || iy >= g.inH || kxLo >= kxHi {
+						for i := range row {
+							row[i] = 0
+						}
+						continue
+					}
+					for i := 0; i < kxLo; i++ {
+						row[i] = 0
+					}
+					src := xv[xBase+iy*g.inW+ix0+kxLo : xBase+iy*g.inW+ix0+kxHi]
+					seg := row[kxLo:kxHi]
+					seg = seg[:len(src)]
+					for i, v := range src {
+						seg[i] = int16(int32(v) - zp)
+					}
+					for i := kxHi; i < g.kw; i++ {
+						row[i] = 0
+					}
+				}
+			}
+		}
+	}
+}
+
+// qconvDotPatches computes one (batch, output-channel) plane as px SIMD
+// dots of length taps, then applies the folded bias and the fixed-point
+// requantization (the zero-point correction is already baked into the
+// shifted patches).
+func qconvDotPatches(dst []int8, cols []int16, p *qconv, b, oc, groups, px, taps int) {
+	g := &p.g
+	grp := oc / g.ocPerG
+	colBase := (b*groups + grp) * px * taps
+	wRow := p.w16[oc*taps : (oc+1)*taps]
+	bias := p.bias32[oc]
+	req := p.req[oc]
+	zpOut := p.zpOut
+	post := p.post
+	outPlane := dst[(b*g.outC+oc)*px : (b*g.outC+oc+1)*px]
+	for j := range outPlane {
+		col := cols[colBase+j*taps : colBase+(j+1)*taps]
+		code := tensor.ClampInt8(zpOut + req.Apply(tensor.DotInt16(col, wRow)+bias))
+		if post != nil {
+			code = post[int(code)+128]
+		}
+		outPlane[j] = code
+	}
+}
+
+// qconvPlane computes one (batch, output-channel) plane of a shallow
+// reduction in kernel-outer form, mirroring the FP32 convPlane: the
+// int32 accumulator plane is initialized with the folded bias, every
+// kernel tap accumulates a scaled, shifted row of the zero-point-shifted
+// int16 input (clipping hoisted out of the row loops), and the plane is
+// requantized once at the end.
+func qconvPlane(dst []int8, x16 []int16, p *qconv, acc []int32, b, oc int) {
+	g := &p.g
+	grp := oc / g.ocPerG
+	icBase := grp * g.icPerG
+	b0 := p.bias32[oc]
+	px := g.outH * g.outW
+	plane := acc[:px]
+	for i := range plane {
+		plane[i] = b0
+	}
+	samePlane := g.sh == 1 && g.sw == 1 && g.outH == g.inH && g.outW == g.inW
+	for ic := 0; ic < g.icPerG; ic++ {
+		xBase := (b*g.inC + icBase + ic) * g.inH * g.inW
+		wBase := (oc*g.icPerG + ic) * g.kh * g.kw
+		for ky := 0; ky < g.kh; ky++ {
+			for kx := 0; kx < g.kw; kx++ {
+				w := p.w16[wBase+ky*g.kw+kx]
+				if w == 0 {
+					continue // zero taps contribute nothing to the shifted input
+				}
+				if samePlane {
+					qconvTapSame(plane, x16[xBase:xBase+px], g, w, ky, kx)
+					continue
+				}
+				// Output columns whose input column stays in bounds;
+				// clipping hoisted out of the row loops.
+				oxLo := 0
+				if g.pw > kx {
+					oxLo = (g.pw - kx + g.sw - 1) / g.sw
+				}
+				oxHi := 0
+				if maxIx := g.inW - 1 + g.pw - kx; maxIx >= 0 {
+					oxHi = maxIx/g.sw + 1
+					if oxHi > g.outW {
+						oxHi = g.outW
+					}
+				}
+				if oxLo >= oxHi {
+					continue
+				}
+				for oy := 0; oy < g.outH; oy++ {
+					iy := oy*g.sh - g.ph + ky
+					if iy < 0 || iy >= g.inH {
+						continue
+					}
+					xRow := x16[xBase+iy*g.inW : xBase+(iy+1)*g.inW]
+					oRow := plane[oy*g.outW : (oy+1)*g.outW]
+					if g.sw == 1 {
+						o := oRow[oxLo:oxHi]
+						x := xRow[oxLo-g.pw+kx:]
+						x = x[:len(o)]
+						tensor.AxpyInt16(o, x, w)
+					} else {
+						wv := int32(w)
+						ix := oxLo*g.sw - g.pw + kx
+						for ox := oxLo; ox < oxHi; ox++ {
+							oRow[ox] += wv * int32(xRow[ix])
+							ix += g.sw
+						}
+					}
+				}
+			}
+		}
+	}
+	requantRow(dst[(b*g.outC+oc)*px:(b*g.outC+oc+1)*px], plane, p.req[oc], p.zpOut, p.post)
+}
+
+// qconvTapSame accumulates one kernel tap into a stride-1, same-size
+// output plane as a single plane-wide SIMD axpy. The flattened source
+// offset dy*inW+dx makes horizontal taps wrap across row ends, wrongly
+// accumulating the neighbouring row's opposite edge where the real
+// source is zero padding; those few edge columns are corrected by a
+// scalar fixup pass afterwards. This turns kh*kw*outH short row calls
+// into kh*kw plane calls, which is what amortizes the SIMD kernel's
+// setup on the small planes of depthwise stacks.
+func qconvTapSame(plane []int32, x []int16, g *convGeom, w int16, ky, kx int) {
+	inW, px := g.inW, g.inH*g.inW
+	d := (ky-g.ph)*inW + (kx - g.pw)
+	// Row clipping: output rows whose source row is in bounds.
+	rLo, rHi := 0, g.outH
+	if g.ph > ky {
+		rLo = g.ph - ky
+	}
+	if over := ky - g.ph; over > 0 {
+		rHi = g.outH - over
+	}
+	jLo, jHi := rLo*inW, rHi*inW
+	// Clamp to the valid source window; skipped head/tail elements are
+	// edge columns whose true contribution is zero padding.
+	if jLo+d < 0 {
+		jLo = -d
+	}
+	if jHi+d > px {
+		jHi = px - d
+	}
+	if jLo >= jHi {
+		return
+	}
+	tensor.AxpyInt16(plane[jLo:jHi], x[jLo+d:jHi+d], w)
+	// Column fixup: subtract the wrapped contributions at the edge.
+	wv := int32(w)
+	if cl := g.pw - kx; cl > 0 { // left edge columns [0, cl)
+		for r := rLo; r < rHi; r++ {
+			base := r * inW
+			for c := 0; c < cl; c++ {
+				if j := base + c; j >= jLo && j < jHi {
+					plane[j] -= wv * int32(x[j+d])
+				}
+			}
+		}
+	} else if cr := kx - g.pw; cr > 0 { // right edge columns [inW-cr, inW)
+		for r := rLo; r < rHi; r++ {
+			base := r*inW + inW - cr
+			for c := 0; c < cr; c++ {
+				if j := base + c; j >= jLo && j < jHi {
+					plane[j] -= wv * int32(x[j+d])
+				}
+			}
+		}
+	}
+}
+
+// qconvPlanePointwise is the 1x1/stride-1/no-pad fast path of the
+// shallow form: input and output planes are contiguous, so each input
+// channel accumulates with one whole-plane loop instead of per-row
+// slicing.
+func qconvPlanePointwise(dst []int8, x16 []int16, p *qconv, acc []int32, b, oc int) {
+	g := &p.g
+	grp := oc / g.ocPerG
+	icBase := grp * g.icPerG
+	hw := g.inH * g.inW
+	b0 := p.bias32[oc]
+	plane := acc[:hw]
+	for i := range plane {
+		plane[i] = b0
+	}
+	for ic := 0; ic < g.icPerG; ic++ {
+		w := p.w16[oc*g.icPerG+ic]
+		if w == 0 {
+			continue
+		}
+		xPlane := x16[(b*g.inC+icBase+ic)*hw : (b*g.inC+icBase+ic+1)*hw]
+		tensor.AxpyInt16(plane, xPlane, w)
+	}
+	requantRow(dst[(b*g.outC+oc)*hw:(b*g.outC+oc+1)*hw], plane, p.req[oc], p.zpOut, p.post)
+}
+
+func bindQuantDense(n *nn.Node, in, out tensor.Shape, inQ, outQ tensor.QuantParams, post *[256]int8) (qkernelFunc, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("dense wants [N,features], got per-sample %v", in)
+	}
+	w := n.Weight(nn.WeightKey)
+	if w == nil {
+		return nil, fmt.Errorf("dense has no weights")
+	}
+	inF, outF := in[0], out[0]
+	want := tensor.Shape{outF, inF}
+	if !w.Shape.Equal(want) {
+		return nil, fmt.Errorf("weight shape %v, want %v", w.Shape, want)
+	}
+	codes, wScales := quantizeFilter(w, outF)
+	bias32, req := foldBias(n.Weight(nn.BiasKey), wScales, inQ, outQ)
+	w16 := widenCodes(codes)
+	zpIn, zpOut := inQ.Zero, outQ.Zero
+	unitCost := int64(inF) * 2
+	var x16Pool sync.Pool
+	return func(rc *runCtx, dst []int8, srcs [][]int8) error {
+		xv := srcs[0]
+		// Zero-point-shift the input rows once so the SIMD dot needs no
+		// correction term.
+		need := rc.batch * inF
+		var x16 []int16
+		if bp, ok := x16Pool.Get().(*[]int16); ok && cap(*bp) >= need {
+			x16 = (*bp)[:need]
+		} else {
+			x16 = make([]int16, need)
+		}
+		rc.parallelFor(need, 2, func(lo, hi int) {
+			x := xv[lo:hi]
+			out := x16[lo:hi]
+			out = out[:len(x)]
+			for i, v := range x {
+				out[i] = int16(int32(v) - zpIn)
+			}
+		})
+		rc.parallelFor(rc.batch*outF, unitCost, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				b, o := r/outF, r%outF
+				xRow := x16[b*inF : (b+1)*inF]
+				wRow := w16[o*inF : (o+1)*inF]
+				lin := tensor.DotInt16(xRow, wRow) + bias32[o]
+				code := tensor.ClampInt8(zpOut + req[o].Apply(lin))
+				if post != nil {
+					code = post[int(code)+128]
+				}
+				dst[r] = code
+			}
+		})
+		x16Pool.Put(&x16)
+		return nil
+	}, nil
+}
+
+// bindQuantBatchNorm lowers inference-mode normalization to one lookup
+// table per channel: the per-channel affine y = s*x + sh composed with
+// the in/out quantization mappings is still a scalar function of the
+// input code.
+func bindQuantBatchNorm(n *nn.Node, in tensor.Shape, inQ, outQ tensor.QuantParams) (qkernelFunc, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("batchnorm wants NCHW, got per-sample %v", in)
+	}
+	gamma, beta := n.Weight(nn.GammaKey), n.Weight(nn.BetaKey)
+	mean, variance := n.Weight(nn.MeanKey), n.Weight(nn.VarKey)
+	if gamma == nil || beta == nil || mean == nil || variance == nil {
+		return nil, fmt.Errorf("batchnorm missing statistics")
+	}
+	c := in[0]
+	if gamma.NumElements() != c {
+		return nil, fmt.Errorf("batchnorm gamma has %d elements for %d channels", gamma.NumElements(), c)
+	}
+	eps := n.Attrs.Eps
+	if eps == 0 {
+		eps = 1e-5
+	}
+	gv, bv, mv, vv := gamma.Float32s(), beta.Float32s(), mean.Float32s(), variance.Float32s()
+	luts := make([]*[256]int8, c)
+	for ch := 0; ch < c; ch++ {
+		inv := 1 / sqrt32(vv[ch]+eps)
+		s := gv[ch] * inv
+		sh := bv[ch] - mv[ch]*s
+		luts[ch] = buildLUT(inQ, outQ, func(x float32) float32 { return x*s + sh })
+	}
+	hw := in[1] * in[2]
+	return func(rc *runCtx, dst []int8, srcs [][]int8) error {
+		xv := srcs[0]
+		rc.parallelFor(rc.batch*c, int64(hw), func(lo, hi int) {
+			for p := lo; p < hi; p++ {
+				lut := luts[p%c]
+				base := p * hw
+				x := xv[base : base+hw]
+				out := dst[base : base+hw]
+				out = out[:len(x)]
+				for i, v := range x {
+					out[i] = lut[int(v)+128]
+				}
+			}
+		})
+		return nil
+	}, nil
+}
+
+func bindQuantActivation(n *nn.Node, inQ, outQ tensor.QuantParams) (qkernelFunc, error) {
+	f, _, err := activationFn(n)
+	if err != nil {
+		return nil, err
+	}
+	lut := buildLUT(inQ, outQ, f)
+	return lutKernel(lut), nil
+}
+
+// bindQuantRecode handles pure layout ops (flatten, identity): a copy
+// when the mappings agree, a recode LUT otherwise.
+func bindQuantRecode(inQ, outQ tensor.QuantParams) qkernelFunc {
+	if sameQuant(inQ, outQ) {
+		return func(rc *runCtx, dst []int8, srcs [][]int8) error {
+			copy(dst, srcs[0])
+			return nil
+		}
+	}
+	return lutKernel(buildLUT(inQ, outQ, func(x float32) float32 { return x }))
+}
+
+func lutKernel(lut *[256]int8) qkernelFunc {
+	return func(rc *runCtx, dst []int8, srcs [][]int8) error {
+		xv := srcs[0]
+		rc.parallelFor(len(dst), 2, func(lo, hi int) {
+			x := xv[lo:hi]
+			out := dst[lo:hi]
+			out = out[:len(x)]
+			for i, v := range x {
+				out[i] = lut[int(v)+128]
+			}
+		})
+		return nil
+	}
+}
+
+func bindQuantMaxPool(n *nn.Node, in, out tensor.Shape, inQ, outQ tensor.QuantParams) (qkernelFunc, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("pool wants NCHW, got per-sample %v", in)
+	}
+	a := n.Attrs
+	c, inH, inW := in[0], in[1], in[2]
+	outH, outW := out[1], out[2]
+	// Max over codes equals max over reals (the affine map is monotone),
+	// so the window max is taken in the code domain and recoded only
+	// when the calibrated output range differs from the input's.
+	var recode *[256]int8
+	if !sameQuant(inQ, outQ) {
+		recode = buildLUT(inQ, outQ, func(x float32) float32 { return x })
+	}
+	empty := inQ.Quantize(0) // windows with no in-bounds taps read real 0
+	planeCost := int64(outH*outW) * int64(a.KernelH*a.KernelW)
+	return func(rc *runCtx, dst []int8, srcs [][]int8) error {
+		xv := srcs[0]
+		rc.parallelFor(rc.batch*c, planeCost, func(lo, hi int) {
+			for p := lo; p < hi; p++ {
+				base := p * inH * inW
+				outBase := p * outH * outW
+				for oy := 0; oy < outH; oy++ {
+					iy0 := oy*a.StrideH - a.PadH
+					kyLo := 0
+					if iy0 < 0 {
+						kyLo = -iy0
+					}
+					kyHi := a.KernelH
+					if iy0+a.KernelH > inH {
+						kyHi = inH - iy0
+					}
+					for ox := 0; ox < outW; ox++ {
+						ix0 := ox*a.StrideW - a.PadW
+						kxLo := 0
+						if ix0 < 0 {
+							kxLo = -ix0
+						}
+						kxHi := a.KernelW
+						if ix0+a.KernelW > inW {
+							kxHi = inW - ix0
+						}
+						acc := empty
+						first := true
+						for ky := kyLo; ky < kyHi; ky++ {
+							row := base + (iy0+ky)*inW + ix0
+							for kx := kxLo; kx < kxHi; kx++ {
+								if v := xv[row+kx]; first || v > acc {
+									acc = v
+									first = false
+								}
+							}
+						}
+						if recode != nil {
+							acc = recode[int(acc)+128]
+						}
+						dst[outBase+oy*outW+ox] = acc
+					}
+				}
+			}
+		})
+		return nil
+	}, nil
+}
+
+func bindQuantAvgPool(n *nn.Node, in, out tensor.Shape, inQ, outQ tensor.QuantParams) (qkernelFunc, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("pool wants NCHW, got per-sample %v", in)
+	}
+	a := n.Attrs
+	c, inH, inW := in[0], in[1], in[2]
+	outH, outW := out[1], out[2]
+	// Averages divide by the in-bounds tap count (count_include_pad =
+	// false), which varies at the edges: one requantizer per possible
+	// count folds the division into the fixed-point multiplier.
+	sIn, sOut := float64(inQ.Scale), float64(outQ.Scale)
+	maxCount := a.KernelH * a.KernelW
+	reqByCount := make([]tensor.Requant, maxCount+1)
+	for cnt := 1; cnt <= maxCount; cnt++ {
+		reqByCount[cnt] = tensor.NewRequant(sIn / (sOut * float64(cnt)))
+	}
+	zpIn, zpOut := inQ.Zero, outQ.Zero
+	planeCost := int64(outH*outW) * int64(maxCount)
+	return func(rc *runCtx, dst []int8, srcs [][]int8) error {
+		xv := srcs[0]
+		rc.parallelFor(rc.batch*c, planeCost, func(lo, hi int) {
+			for p := lo; p < hi; p++ {
+				base := p * inH * inW
+				outBase := p * outH * outW
+				for oy := 0; oy < outH; oy++ {
+					iy0 := oy*a.StrideH - a.PadH
+					kyLo := 0
+					if iy0 < 0 {
+						kyLo = -iy0
+					}
+					kyHi := a.KernelH
+					if iy0+a.KernelH > inH {
+						kyHi = inH - iy0
+					}
+					for ox := 0; ox < outW; ox++ {
+						ix0 := ox*a.StrideW - a.PadW
+						kxLo := 0
+						if ix0 < 0 {
+							kxLo = -ix0
+						}
+						kxHi := a.KernelW
+						if ix0+a.KernelW > inW {
+							kxHi = inW - ix0
+						}
+						var sum int32
+						for ky := kyLo; ky < kyHi; ky++ {
+							row := base + (iy0+ky)*inW + ix0
+							for kx := kxLo; kx < kxHi; kx++ {
+								sum += int32(xv[row+kx])
+							}
+						}
+						var q int32
+						if count := (kyHi - kyLo) * (kxHi - kxLo); count > 0 {
+							q = reqByCount[count].Apply(sum - int32(count)*zpIn)
+						}
+						dst[outBase+oy*outW+ox] = tensor.ClampInt8(zpOut + q)
+					}
+				}
+			}
+		})
+		return nil
+	}, nil
+}
+
+func bindQuantGlobalAvgPool(in tensor.Shape, inQ, outQ tensor.QuantParams) (qkernelFunc, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("global pool wants NCHW, got per-sample %v", in)
+	}
+	c, hw := in[0], in[1]*in[2]
+	req := tensor.NewRequant(float64(inQ.Scale) / (float64(outQ.Scale) * float64(hw)))
+	zpIn, zpOut := inQ.Zero, outQ.Zero
+	return func(rc *runCtx, dst []int8, srcs [][]int8) error {
+		xv := srcs[0]
+		rc.parallelFor(rc.batch*c, int64(hw), func(lo, hi int) {
+			for p := lo; p < hi; p++ {
+				x := xv[p*hw : (p+1)*hw]
+				var sum int32
+				for _, v := range x {
+					sum += int32(v)
+				}
+				dst[p] = tensor.ClampInt8(zpOut + req.Apply(sum-int32(hw)*zpIn))
+			}
+		})
+		return nil
+	}, nil
+}
+
+// classifyBroadcast mirrors bindAccumulate's compile-time operand
+// classification: full element-wise, or the [C,1,1] channel broadcast.
+func classifyBroadcast(ins []tensor.Shape, out tensor.Shape) ([]bool, error) {
+	broadcast := make([]bool, len(ins))
+	for i := 1; i < len(ins); i++ {
+		s := ins[i]
+		switch {
+		case s.Equal(out):
+			broadcast[i] = false
+		case len(out) == 3 && len(s) == 3 && s[0] == out[0] && s[1] == 1 && s[2] == 1:
+			broadcast[i] = true
+		default:
+			return nil, fmt.Errorf("%w: %v vs %v", tensor.ErrShape, out, s)
+		}
+	}
+	return broadcast, nil
+}
+
+// bindQuantAdd lowers element-wise addition: each operand's real
+// contribution, rescaled to the output scale, is a 256-entry int32
+// table of its code, so the sum is table lookups plus one clamp.
+func bindQuantAdd(ins []tensor.Shape, out tensor.Shape, inQ []tensor.QuantParams, outQ tensor.QuantParams) (qkernelFunc, error) {
+	broadcast, err := classifyBroadcast(ins, out)
+	if err != nil {
+		return nil, err
+	}
+	sOut := float64(outQ.Scale)
+	luts := make([]*[256]int32, len(ins))
+	for op := range ins {
+		var lut [256]int32
+		s, zp := float64(inQ[op].Scale), inQ[op].Zero
+		for c := -128; c <= 127; c++ {
+			lut[c+128] = int32(math.Round(s * float64(int32(c)-zp) / sOut))
+		}
+		luts[op] = &lut
+	}
+	c, hw := 1, out.NumElements()
+	if len(out) == 3 {
+		c, hw = out[0], out[1]*out[2]
+	}
+	zpOut := outQ.Zero
+	unit := int64(len(ins)) * 2
+	return func(rc *runCtx, dst []int8, srcs [][]int8) error {
+		rc.parallelFor(rc.batch*c, int64(hw)*unit, func(lo, hi int) {
+			for p := lo; p < hi; p++ {
+				base := p * hw
+				bcast := zpOut
+				for op := 1; op < len(srcs); op++ {
+					if broadcast[op] {
+						bcast += luts[op][int(srcs[op][p])+128]
+					}
+				}
+				for j := base; j < base+hw; j++ {
+					acc := bcast
+					acc += luts[0][int(srcs[0][j])+128]
+					for op := 1; op < len(srcs); op++ {
+						if !broadcast[op] {
+							acc += luts[op][int(srcs[op][j])+128]
+						}
+					}
+					dst[j] = tensor.ClampInt8(acc)
+				}
+			}
+		})
+		return nil
+	}, nil
+}
+
+// bindQuantMul lowers two-operand multiplication (the squeeze-excite
+// channel scale and element-wise gating): the zero-point-corrected
+// product fits int32 and one fixed-point multiplier rescales it.
+// Higher arity falls back to the FP32 island.
+func bindQuantMul(ins []tensor.Shape, out tensor.Shape, inQ []tensor.QuantParams, outQ tensor.QuantParams) (qkernelFunc, error) {
+	if len(ins) != 2 {
+		return nil, errNoQuantKernel
+	}
+	broadcast, err := classifyBroadcast(ins, out)
+	if err != nil {
+		return nil, err
+	}
+	req := tensor.NewRequant(float64(inQ[0].Scale) * float64(inQ[1].Scale) / float64(outQ.Scale))
+	zpA, zpB, zpOut := inQ[0].Zero, inQ[1].Zero, outQ.Zero
+	c, hw := 1, out.NumElements()
+	if len(out) == 3 {
+		c, hw = out[0], out[1]*out[2]
+	}
+	return func(rc *runCtx, dst []int8, srcs [][]int8) error {
+		av, bv := srcs[0], srcs[1]
+		rc.parallelFor(rc.batch*c, int64(hw)*4, func(lo, hi int) {
+			for p := lo; p < hi; p++ {
+				base := p * hw
+				if broadcast[1] {
+					f := int32(bv[p]) - zpB
+					for j := base; j < base+hw; j++ {
+						dst[j] = tensor.ClampInt8(zpOut + req.Apply((int32(av[j])-zpA)*f))
+					}
+					continue
+				}
+				for j := base; j < base+hw; j++ {
+					dst[j] = tensor.ClampInt8(zpOut + req.Apply((int32(av[j])-zpA)*(int32(bv[j])-zpB)))
+				}
+			}
+		})
+		return nil
+	}, nil
+}
+
+func bindQuantConcat(ins []tensor.Shape, out tensor.Shape, inQ []tensor.QuantParams, outQ tensor.QuantParams) (qkernelFunc, error) {
+	if len(out) != 3 {
+		return nil, fmt.Errorf("concat wants NCHW, got per-sample %v", out)
+	}
+	hw := out[1] * out[2]
+	sizes := make([]int, len(ins)) // per-sample element counts
+	luts := make([]*[256]int8, len(ins))
+	for i, s := range ins {
+		if len(s) != 3 || s[1] != out[1] || s[2] != out[2] {
+			return nil, fmt.Errorf("%w: concat input %v vs %v", tensor.ErrShape, s, out)
+		}
+		sizes[i] = s[0] * hw
+		// Each branch carries its own calibrated range; recode onto the
+		// shared output mapping unless they already agree.
+		if !sameQuant(inQ[i], outQ) {
+			luts[i] = buildLUT(inQ[i], outQ, func(x float32) float32 { return x })
+		}
+	}
+	totalPer := out.NumElements()
+	return func(rc *runCtx, dst []int8, srcs [][]int8) error {
+		for b := 0; b < rc.batch; b++ {
+			off := b * totalPer
+			for i, src := range srcs {
+				sz := sizes[i]
+				part := src[b*sz : (b+1)*sz]
+				if lut := luts[i]; lut != nil {
+					outSeg := dst[off : off+sz]
+					outSeg = outSeg[:len(part)]
+					for j, v := range part {
+						outSeg[j] = lut[int(v)+128]
+					}
+				} else {
+					copy(dst[off:off+sz], part)
+				}
+				off += sz
+			}
+		}
+		return nil
+	}, nil
+}
+
+func bindQuantUpsample(n *nn.Node, in, out tensor.Shape, inQ, outQ tensor.QuantParams) (qkernelFunc, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("upsample wants NCHW, got per-sample %v", in)
+	}
+	scale := n.Attrs.Scale
+	if scale <= 0 {
+		return nil, fmt.Errorf("upsample scale %d", scale)
+	}
+	var recode *[256]int8
+	if !sameQuant(inQ, outQ) {
+		recode = buildLUT(inQ, outQ, func(x float32) float32 { return x })
+	}
+	c, h, w := in[0], in[1], in[2]
+	oh, ow := out[1], out[2]
+	return func(rc *runCtx, dst []int8, srcs [][]int8) error {
+		xv := srcs[0]
+		rc.parallelFor(rc.batch*c, int64(oh*ow), func(lo, hi int) {
+			for p := lo; p < hi; p++ {
+				inBase := p * h * w
+				outBase := p * oh * ow
+				for oy := 0; oy < oh; oy++ {
+					iy := oy / scale
+					inRow := inBase + iy*w
+					outRow := outBase + oy*ow
+					for ox := 0; ox < ow; ox++ {
+						v := xv[inRow+ox/scale]
+						if recode != nil {
+							v = recode[int(v)+128]
+						}
+						dst[outRow+ox] = v
+					}
+				}
+			}
+		})
+		return nil
+	}, nil
+}
+
+// wrapFP32Fallback runs an op without an integer lowering as an FP32
+// island: dequantize its int8 inputs into pooled scratch, execute the
+// bound FP32 kernel, quantize the result back. Coverage stays total
+// while the cost is confined to the wrapped step (softmax heads and
+// other non-linear reductions).
+func wrapFP32Fallback(kern kernelFunc, ins []tensor.Shape, out tensor.Shape, inQ []tensor.QuantParams, outQ tensor.QuantParams) qkernelFunc {
+	inElems := make([]int, len(ins))
+	total := out.NumElements()
+	outElems := total
+	for i, s := range ins {
+		inElems[i] = s.NumElements()
+		total += inElems[i]
+	}
+	var pool sync.Pool
+	return func(rc *runCtx, dst []int8, srcs [][]int8) error {
+		need := total * rc.batch
+		var scratch []float32
+		if p, ok := pool.Get().(*[]float32); ok && cap(*p) >= need {
+			scratch = (*p)[:need]
+		} else {
+			scratch = make([]float32, need)
+		}
+		off := 0
+		fsrcs := make([][]float32, len(srcs))
+		for i, src := range srcs {
+			n := inElems[i] * rc.batch
+			buf := scratch[off : off+n]
+			off += n
+			tensor.DequantizeSlice(buf, src, inQ[i])
+			fsrcs[i] = buf
+		}
+		fdst := scratch[off : off+outElems*rc.batch]
+		if err := kern(rc, fdst, fsrcs); err != nil {
+			pool.Put(&scratch)
+			return err
+		}
+		tensor.QuantizeSlice(dst, fdst, outQ)
+		pool.Put(&scratch)
+		return nil
+	}
+}

@@ -1,0 +1,384 @@
+package inference
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"vedliot/internal/nn"
+	"vedliot/internal/tensor"
+)
+
+// ErrNotQuantizable reports that a graph cannot be lowered to the
+// integer plan — no calibration schema, a schema that does not cover
+// every value, or a model without materialized weights. Backends treat
+// it as the signal to fall back to the FP32 engine.
+var ErrNotQuantizable = errors.New("inference: graph not quantizable")
+
+// QuantEngine is the native INT8 execution plan: the same topo-sorted
+// step list, liveness-planned arena and bounded worker pool as the FP32
+// Engine, but every activation is stored as an int8 code under the
+// calibration schema's affine mapping. Inputs are quantized once at
+// graph entry, conv/dense run with int32 accumulators and fixed-point
+// requantization between layers, element-wise ops run through
+// precomputed int8 lookup tables, and values are dequantized only at
+// declared outputs. The arena therefore holds one byte per activation
+// element instead of four — the ~4x working-set reduction INT8-only
+// edge accelerators (EdgeTPU class) get from native quantized execution.
+//
+// Engines are immutable after CompileQuantized and safe for concurrent
+// Run calls: per-call scratch comes from internal pools.
+type QuantEngine struct {
+	name        string
+	inputNames  []string
+	inputVals   []int
+	outputNames []string
+	outputVals  []int
+	vals        []value
+	qp          []tensor.QuantParams // per value, from the schema
+	steps       []qstep
+	inPer       []tensor.Shape
+	outPer      []tensor.Shape
+
+	// Arena plan: slotOff/slotSize are per-sample int8 element counts;
+	// the arena for a batch-N call is arenaPerSample*N bytes.
+	slotOff        []int
+	slotSize       []int
+	arenaPerSample int
+
+	// fallbacks counts steps executed through the dequantize→FP32
+	// kernel→requantize wrapper (ops without an integer lowering).
+	fallbacks int
+
+	cfg    config
+	arenas sync.Pool // *[]int8
+	inbufs sync.Pool // *[]int8, entry-quantized inputs
+}
+
+// qstep is one bound integer kernel invocation.
+type qstep struct {
+	name string
+	op   nn.OpType
+	out  int
+	ins  []int
+	kern qkernelFunc
+}
+
+// qkernelFunc executes one bound operator for a batch over int8 code
+// buffers laid out batch-major, mirroring kernelFunc.
+type qkernelFunc func(rc *runCtx, dst []int8, srcs [][]int8) error
+
+var _ Executable = (*QuantEngine)(nil)
+
+// QuantizedBackend is the host-CPU backend for the integer plan:
+// Compile produces a *QuantEngine under the given calibration schema,
+// falling back to the FP32 engine when the graph cannot be lowered
+// (ErrNotQuantizable), so callers always get a runnable executable.
+type QuantizedBackend struct {
+	// Schema is the calibration artifact (optimize.Calibrate or the
+	// QuantizeWeights calibration pass).
+	Schema *nn.QuantSchema
+}
+
+// Name implements Backend.
+func (QuantizedBackend) Name() string { return "cpu-engine-int8" }
+
+// Compile implements Backend.
+func (b QuantizedBackend) Compile(g *nn.Graph, opts ...Option) (Executable, error) {
+	q, err := CompileQuantized(g, b.Schema, opts...)
+	if err == nil {
+		return q, nil
+	}
+	if errors.Is(err, ErrNotQuantizable) {
+		return Compile(g, opts...)
+	}
+	return nil, err
+}
+
+var _ Backend = QuantizedBackend{}
+
+// Name returns the compiled graph's name.
+func (e *QuantEngine) Name() string { return e.name }
+
+// NumSlots returns the number of arena slabs the planner allocated.
+func (e *QuantEngine) NumSlots() int { return len(e.slotSize) }
+
+// ArenaBytesPerSample returns the activation arena footprint in bytes
+// per batch sample — int8 codes, so one quarter of the FP32 engine's
+// ArenaFloatsPerSample()*4 on the same plan.
+func (e *QuantEngine) ArenaBytesPerSample() int { return e.arenaPerSample }
+
+// FallbackSteps returns how many plan steps execute through the FP32
+// fallback wrapper rather than a native integer kernel.
+func (e *QuantEngine) FallbackSteps() int { return e.fallbacks }
+
+// CompileQuantized lowers a graph into the native INT8 execution plan
+// under the calibration schema. The pipeline mirrors Compile — one
+// topo-sort, static per-sample shape inference, kernel binding and
+// liveness-based arena planning — but kernel binding quantizes weights
+// to int8 (per output channel, symmetric), folds biases into int32 and
+// precomputes the fixed-point requantization multipliers between
+// layers. Ops without an integer lowering (softmax) are bound through a
+// dequantize→FP32 kernel→requantize wrapper, so coverage is total once
+// the schema covers the graph.
+//
+// Returns ErrNotQuantizable (wrapped) when the schema is nil or does
+// not cover every graph value, or when the model has no materialized
+// weights; callers that want transparent degradation use
+// QuantizedBackend, which falls back to the FP32 engine.
+func CompileQuantized(g *nn.Graph, schema *nn.QuantSchema, opts ...Option) (*QuantEngine, error) {
+	cfg := config{workers: runtime.GOMAXPROCS(0), threshold: defaultParallelThreshold}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	if cfg.threshold < 0 {
+		cfg.threshold = 0
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := schema.Covers(g); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotQuantizable, err)
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+
+	// Static per-sample shapes, with the same snapshot/restore dance as
+	// Compile so compilation stays observably side-effect free.
+	saved := make([]tensor.Shape, len(g.Nodes))
+	for i, n := range g.Nodes {
+		saved[i] = n.OutShape
+	}
+	if err := g.InferShapes(1); err != nil {
+		return nil, fmt.Errorf("inference: compile quantized %q: %w", g.Name, err)
+	}
+	per := make(map[string]tensor.Shape, len(order))
+	for _, n := range order {
+		per[n.Name] = n.OutShape[1:].Clone()
+	}
+	for i, n := range g.Nodes {
+		n.OutShape = saved[i]
+	}
+
+	e := &QuantEngine{name: g.Name, cfg: cfg}
+	id := make(map[string]int, len(order))
+	for _, n := range order {
+		p := per[n.Name]
+		e.vals = append(e.vals, value{name: n.Name, per: p, elems: p.NumElements()})
+		q, _ := schema.Params(n.Name)
+		e.qp = append(e.qp, q)
+		id[n.Name] = len(e.vals) - 1
+	}
+	for _, name := range g.Inputs {
+		v := id[name]
+		e.vals[v].loc = location{locInput, len(e.inputVals)}
+		e.inputNames = append(e.inputNames, name)
+		e.inputVals = append(e.inputVals, v)
+	}
+	for _, name := range g.Outputs {
+		v := id[name]
+		e.outputNames = append(e.outputNames, name)
+		e.outputVals = append(e.outputVals, v)
+		if e.vals[v].loc.kind == locUnassigned {
+			e.vals[v].loc = location{locOutput, len(e.outputNames) - 1}
+		}
+	}
+	// Activation fusion: a conv/dense whose only consumer is an
+	// element-wise activation emits the activation's codes directly —
+	// the activation becomes one extra table lookup inside the
+	// requantization loop instead of a separate pass over the tensor.
+	// The intermediate pre-activation value never materializes.
+	consumers := g.Consumers()
+	isOutput := make(map[string]bool, len(g.Outputs))
+	for _, name := range g.Outputs {
+		isOutput[name] = true
+	}
+	fusedAway := make(map[string]bool)
+	for _, n := range order {
+		if n.Op == nn.OpInput || fusedAway[n.Name] {
+			continue
+		}
+		ins := make([]int, len(n.Inputs))
+		inPer := make([]tensor.Shape, len(n.Inputs))
+		inQ := make([]tensor.QuantParams, len(n.Inputs))
+		for i, in := range n.Inputs {
+			ins[i] = id[in]
+			inPer[i] = e.vals[id[in]].per
+			inQ[i] = e.qp[id[in]]
+		}
+		outV := id[n.Name]
+		var post *[256]int8
+		if fusableProducer(n.Op) && !isOutput[n.Name] {
+			if cs := consumers[n.Name]; len(cs) == 1 {
+				if act := g.Node(cs[0]); act != nil && !isOutput[n.Name] {
+					if f, _, aerr := activationFn(act); aerr == nil {
+						// Compose: requantize to the pre-activation
+						// mapping, then recode through the activation.
+						post = buildLUT(e.qp[outV], e.qp[id[act.Name]], f)
+						outV = id[act.Name]
+						fusedAway[act.Name] = true
+					}
+				}
+			}
+		}
+		kern, err := bindQuantKernel(n, inPer, e.vals[outV].per, inQ, e.qp[id[n.Name]], post)
+		if errors.Is(err, errNoQuantKernel) {
+			// No integer lowering: run the FP32 kernel inside a
+			// dequantize/requantize island.
+			fk, ferr := bindKernel(n, inPer, e.vals[outV].per)
+			if ferr != nil {
+				return nil, fmt.Errorf("inference: compile quantized node %q (%s): %w", n.Name, n.Op, ferr)
+			}
+			kern = wrapFP32Fallback(fk, inPer, e.vals[outV].per, inQ, e.qp[outV])
+			e.fallbacks++
+			err = nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("inference: compile quantized node %q (%s): %w", n.Name, n.Op, err)
+		}
+		e.steps = append(e.steps, qstep{name: n.Name, op: n.Op, out: outV, ins: ins, kern: kern})
+	}
+	steps := make([]planStep, len(e.steps))
+	for i, st := range e.steps {
+		steps[i] = planStep{out: st.out, ins: st.ins}
+	}
+	e.slotOff, e.slotSize, e.arenaPerSample = planArena(e.vals, steps)
+	e.inPer, e.outPer = perShapes(e.vals, e.inputVals), perShapes(e.vals, e.outputVals)
+	return e, nil
+}
+
+func (e *QuantEngine) getBuf(pool *sync.Pool, need int) []int8 {
+	if need == 0 {
+		return nil
+	}
+	if p, ok := pool.Get().(*[]int8); ok && cap(*p) >= need {
+		return (*p)[:need]
+	}
+	return make([]int8, need)
+}
+
+func putBuf(pool *sync.Pool, buf []int8) {
+	if buf != nil {
+		pool.Put(&buf)
+	}
+}
+
+// Run executes the integer plan for one batch of FP32 inputs and
+// returns FP32 outputs: quantize at entry, int8 end to end, dequantize
+// at exit. Safe for concurrent use.
+func (e *QuantEngine) Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	inBufs, batch, err := resolveBatchedInputs(e.inputNames, e.inPer, inputs)
+	if err != nil {
+		return nil, err
+	}
+	rc := runCtx{batch: batch, workers: e.cfg.workers, threshold: e.cfg.threshold}
+
+	// Quantize every input once at graph entry.
+	inElems := 0
+	for _, v := range e.inputVals {
+		inElems += e.vals[v].elems
+	}
+	inArena := e.getBuf(&e.inbufs, inElems*batch)
+	qin := make([][]int8, len(e.inputVals))
+	off := 0
+	for i, v := range e.inputVals {
+		n := e.vals[v].elems * batch
+		buf := inArena[off : off+n]
+		off += n
+		q := e.qp[v]
+		src := inBufs[i]
+		rc.parallelFor(n, 8, func(lo, hi int) {
+			tensor.QuantizeSlice(buf[lo:hi], src[lo:hi], q)
+		})
+		qin[i] = buf
+	}
+
+	outs8 := make([][]int8, len(e.outputVals))
+	for i, v := range e.outputVals {
+		loc := e.vals[v].loc
+		if loc.kind == locOutput && loc.idx == i {
+			outs8[i] = make([]int8, e.vals[v].elems*batch)
+		}
+	}
+	arena := e.getBuf(&e.arenas, e.arenaPerSample*batch)
+	resolve := func(v int) []int8 {
+		val := &e.vals[v]
+		switch val.loc.kind {
+		case locInput:
+			return qin[val.loc.idx]
+		case locOutput:
+			return outs8[val.loc.idx]
+		case locSlot:
+			off := e.slotOff[val.loc.idx] * batch
+			return arena[off : off+val.elems*batch]
+		}
+		return nil
+	}
+	srcs := make([][]int8, 0, 4)
+	for si := range e.steps {
+		st := &e.steps[si]
+		srcs = srcs[:0]
+		for _, in := range st.ins {
+			srcs = append(srcs, resolve(in))
+		}
+		if err := st.kern(&rc, resolve(st.out), srcs); err != nil {
+			putBuf(&e.arenas, arena)
+			putBuf(&e.inbufs, inArena)
+			return nil, fmt.Errorf("inference: quantized node %q (%s): %w", st.name, st.op, err)
+		}
+	}
+
+	// Dequantize declared outputs into fresh FP32 tensors. A name
+	// listed twice in g.Outputs shares one buffer (loc.idx points at
+	// the first occurrence), exactly like the FP32 engine.
+	result := make(map[string]*tensor.Tensor, len(e.outputVals))
+	for i, v := range e.outputVals {
+		loc := e.vals[v].loc
+		switch loc.kind {
+		case locOutput:
+			if _, done := result[e.outputNames[i]]; done {
+				continue
+			}
+			t := tensor.New(tensor.FP32, append(tensor.Shape{batch}, e.vals[v].per...)...)
+			codes := outs8[loc.idx]
+			q := e.qp[v]
+			rc.parallelFor(len(codes), 4, func(lo, hi int) {
+				tensor.DequantizeSlice(t.F32[lo:hi], codes[lo:hi], q)
+			})
+			result[e.outputNames[i]] = t
+		case locInput:
+			// A graph output that is an input node passes through
+			// unquantized, as in the FP32 engine.
+			result[e.outputNames[i]] = inputs[e.outputNames[i]]
+		}
+	}
+	putBuf(&e.arenas, arena)
+	putBuf(&e.inbufs, inArena)
+	return result, nil
+}
+
+// RunSingle is a convenience wrapper for graphs with exactly one input
+// and one output.
+func (e *QuantEngine) RunSingle(in *tensor.Tensor) (*tensor.Tensor, error) {
+	if len(e.inputNames) != 1 || len(e.outputNames) != 1 {
+		return nil, fmt.Errorf("inference: RunSingle wants 1 input/1 output, graph has %d/%d",
+			len(e.inputNames), len(e.outputNames))
+	}
+	outs, err := e.Run(map[string]*tensor.Tensor{e.inputNames[0]: in})
+	if err != nil {
+		return nil, err
+	}
+	return outs[e.outputNames[0]], nil
+}
+
+// RunBatch fuses several independent requests into one dispatch of the
+// integer plan, through the same stack/split path as the FP32 engine.
+func (e *QuantEngine) RunBatch(batches []map[string]*tensor.Tensor) ([]map[string]*tensor.Tensor, error) {
+	return fuseRunBatch(e.Run, e.inputNames, e.inPer, e.outputNames, e.outPer, batches)
+}

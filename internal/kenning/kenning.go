@@ -35,44 +35,76 @@ type Target interface {
 
 // CPUTarget executes on the host through the compiled execution-plan
 // engine — Kenning's "native runtime" role. Deploy is the compile step;
-// Infer measures real wall time per inference.
+// Infer measures real wall time per inference. With a calibration
+// Schema attached, Deploy compiles the native INT8 plan instead
+// (falling back to FP32 when the graph cannot be lowered), so the
+// measured latencies reflect genuinely quantized execution.
 type CPUTarget struct {
 	// Options configure engine compilation (worker pool size etc.).
 	Options []inference.Option
+	// Schema enables the native quantized runtime.
+	Schema *nn.QuantSchema
 
-	engine *inference.Engine
+	exe singleRunner
 }
 
-// Name implements Target.
-func (c *CPUTarget) Name() string { return "cpu-reference" }
+// singleRunner is the RunSingle surface shared by the FP32 and
+// quantized engines.
+type singleRunner interface {
+	RunSingle(*tensor.Tensor) (*tensor.Tensor, error)
+}
+
+// Name implements Target. Before Deploy it names the intent; after
+// Deploy it names the runtime actually compiled, so a quantized deploy
+// that fell back to FP32 (schema not covering the graph) is not
+// mislabeled in measurement reports.
+func (c *CPUTarget) Name() string {
+	if _, quantized := c.exe.(*inference.QuantEngine); quantized || (c.exe == nil && c.Schema != nil) {
+		return "cpu-int8"
+	}
+	return "cpu-reference"
+}
 
 // Deploy implements Target.
 func (c *CPUTarget) Deploy(g *nn.Graph) error {
+	if c.Schema != nil {
+		exe, err := inference.QuantizedBackend{Schema: c.Schema}.Compile(g, c.Options...)
+		if err != nil {
+			return err
+		}
+		c.exe = exe.(singleRunner)
+		return nil
+	}
 	eng, err := inference.Compile(g, c.Options...)
 	if err != nil {
 		return err
 	}
-	c.engine = eng
+	c.exe = eng
 	return nil
 }
 
 // Infer implements Target.
 func (c *CPUTarget) Infer(in *tensor.Tensor) (*tensor.Tensor, time.Duration, error) {
-	if c.engine == nil {
+	if c.exe == nil {
 		return nil, 0, fmt.Errorf("kenning: target not deployed")
 	}
 	start := time.Now()
-	out, err := c.engine.RunSingle(in)
+	out, err := c.exe.RunSingle(in)
 	return out, time.Since(start), err
 }
 
 // SimTarget deploys through a Device-backed accel.Backend: execution is
-// bit-accurate on the host engine while the reported latency comes from
-// the accelerator's roofline model — the "deploy to target hardware and
-// measure" role when the hardware is simulated.
+// functionally accurate on the host (bit-exact FP32, or the native
+// quantized engine for INT8 deployments with a Schema) while the
+// reported latency comes from the accelerator's roofline model — the
+// "deploy to target hardware and measure" role when the hardware is
+// simulated.
 type SimTarget struct {
 	Device    *accel.Device
 	Precision tensor.DType
+	// Schema enables native INT8 functional execution on INT8
+	// deployments.
+	Schema *nn.QuantSchema
 
 	program *accel.Program
 	latency time.Duration
@@ -83,7 +115,7 @@ func (s *SimTarget) Name() string { return "sim:" + s.Device.Name }
 
 // Deploy implements Target.
 func (s *SimTarget) Deploy(g *nn.Graph) error {
-	backend := &accel.Backend{Device: s.Device, Precision: s.Precision}
+	backend := &accel.Backend{Device: s.Device, Precision: s.Precision, Schema: s.Schema}
 	exe, err := backend.Compile(g)
 	if err != nil {
 		return err
@@ -114,6 +146,10 @@ type PipelineConfig struct {
 	// Quantize enables post-training INT8 weight quantization.
 	Quantize    bool
 	Granularity optimize.QuantGranularity
+	// CalibrationSamples are inputs run through the optimized graph to
+	// derive the activation QuantSchema (rep.Schema) — the artifact the
+	// native INT8 runtime consumes. Empty skips calibration.
+	CalibrationSamples []map[string]*tensor.Tensor
 	// Prune applies magnitude pruning to this sparsity when > 0.
 	Prune float64
 }
@@ -123,7 +159,10 @@ type PipelineReport struct {
 	AppliedPasses []string
 	QuantReport   *optimize.QuantReport
 	PruneReport   *optimize.PruneReport
-	WeightBytes   int64
+	// Schema is the calibrated activation schema (nil without
+	// calibration samples).
+	Schema      *nn.QuantSchema
+	WeightBytes int64
 }
 
 // RunPipeline optimizes g in place for deployment.
@@ -149,11 +188,21 @@ func RunPipeline(g *nn.Graph, cfg PipelineConfig) (PipelineReport, error) {
 		rep.PruneReport = &pr
 	}
 	if cfg.Quantize {
-		qr, err := optimize.QuantizeWeights(g, optimize.QuantConfig{Granularity: cfg.Granularity})
+		qr, err := optimize.QuantizeWeights(g, optimize.QuantConfig{
+			Granularity:        cfg.Granularity,
+			CalibrationSamples: cfg.CalibrationSamples,
+		})
 		if err != nil {
 			return rep, err
 		}
 		rep.QuantReport = &qr
+		rep.Schema = qr.Schema
+	} else if len(cfg.CalibrationSamples) > 0 {
+		schema, err := optimize.Calibrate(g, cfg.CalibrationSamples)
+		if err != nil {
+			return rep, err
+		}
+		rep.Schema = schema
 	}
 	rep.WeightBytes = g.WeightBytes()
 	return rep, nil

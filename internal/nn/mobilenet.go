@@ -51,6 +51,41 @@ func MobileNetV3(inputSize int, opts BuildOptions) *Graph {
 	return b.Graph(x)
 }
 
+// mobileNetEdgeBlocks is the reduced bneck stack of MobileNetEdge: the
+// same block grammar as the Large table, cut down to edge-class depth.
+var mobileNetEdgeBlocks = []mnV3Block{
+	{3, 16, 16, false, false, 1},
+	{3, 64, 24, false, false, 2},
+	{3, 72, 24, false, false, 1},
+	{5, 96, 40, true, true, 2},
+	{5, 120, 40, true, true, 1},
+	{3, 160, 64, true, true, 2},
+	{3, 192, 64, true, true, 1},
+}
+
+// MobileNetEdge builds a compact MobileNetV3-style classifier — the
+// depthwise-separable inverted-residual grammar (expand, depthwise,
+// squeeze-excite, project, residual add) at a depth the pure-Go runtime
+// executes quickly. It is the workhorse of the quantized-runtime study:
+// small enough to benchmark in CI, but it exercises every structural
+// feature of the big model (hswish, SE channel scaling, residuals,
+// global pooling, dense head, softmax).
+func MobileNetEdge(inputSize, numClasses int, opts BuildOptions) *Graph {
+	b := NewBuilder("mobilenet-edge", opts)
+	x := b.Input("input", 3, inputSize, inputSize)
+	x = b.ConvBNAct(x, 3, 16, 3, 2, 1, OpHSwish)
+	inC := 16
+	for _, blk := range mobileNetEdgeBlocks {
+		x, inC = invertedResidual(b, x, inC, blk)
+	}
+	x = b.ConvBNAct(x, inC, 256, 1, 1, 0, OpHSwish)
+	x = b.GlobalAvgPool(x)
+	x = b.Flatten(x)
+	x = b.Dense(x, 256, numClasses)
+	x = b.Softmax(x)
+	return b.Graph(x)
+}
+
 // invertedResidual appends one bneck block: 1×1 expand, k×k depthwise,
 // optional squeeze-excite, 1×1 project, with a residual when shapes allow.
 func invertedResidual(b *Builder, x string, inC int, blk mnV3Block) (string, int) {

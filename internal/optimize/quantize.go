@@ -43,6 +43,10 @@ type QuantReport struct {
 	WeightMSE float64
 	// ActivationRanges maps node name to the calibrated (min,max).
 	ActivationRanges map[string][2]float32
+	// Schema is the activation quantization schema derived from the
+	// calibrated ranges (nil without calibration samples) — the artifact
+	// inference.CompileQuantized consumes for native INT8 execution.
+	Schema *nn.QuantSchema
 	// BytesBefore and BytesAfter give the weight storage footprints.
 	BytesBefore int64
 	BytesAfter  int64
@@ -124,7 +128,9 @@ func QuantizeWeights(g *nn.Graph, cfg QuantConfig) (QuantReport, error) {
 	}
 
 	// Calibrate activation ranges if samples were provided: the graph is
-	// compiled once and the engine runs every sample.
+	// compiled once and the engine runs every sample. Because weights
+	// were quantized above, the ranges — and the schema derived from
+	// them — reflect the deployed (quantized-weight) network.
 	if len(cfg.CalibrationSamples) > 0 {
 		eng, err := inference.Compile(g)
 		if err != nil {
@@ -135,22 +141,9 @@ func QuantizeWeights(g *nn.Graph, cfg QuantConfig) (QuantReport, error) {
 			if err != nil {
 				return rep, fmt.Errorf("optimize: calibration: %w", err)
 			}
-			for name, t := range acts {
-				lo, hi := t.MinMax()
-				r, ok := rep.ActivationRanges[name]
-				if !ok {
-					rep.ActivationRanges[name] = [2]float32{lo, hi}
-					continue
-				}
-				if lo < r[0] {
-					r[0] = lo
-				}
-				if hi > r[1] {
-					r[1] = hi
-				}
-				rep.ActivationRanges[name] = r
-			}
+			foldRanges(rep.ActivationRanges, acts)
 		}
+		rep.Schema = SchemaFromRanges(g.Name, rep.ActivationRanges)
 	}
 	return rep, nil
 }

@@ -1,0 +1,102 @@
+package tensor
+
+import "math"
+
+// Bulk INT8 helpers for the native quantized execution path
+// (inference.QuantEngine): slice-level quantize/dequantize used at graph
+// entry/exit, and the fixed-point requantization multiplier applied
+// between integer layers.
+
+// QuantizeSlice quantizes src into dst element-wise under q. The slices
+// must have equal length.
+func QuantizeSlice(dst []int8, src []float32, q QuantParams) {
+	if q.Scale == 0 {
+		z := int8(q.Zero)
+		for i := range dst {
+			dst[i] = z
+		}
+		return
+	}
+	inv := 1 / float64(q.Scale)
+	zero := float64(q.Zero)
+	for i, v := range src {
+		r := math.Round(float64(v)*inv) + zero
+		if r > 127 {
+			r = 127
+		}
+		if r < -128 {
+			r = -128
+		}
+		dst[i] = int8(r)
+	}
+}
+
+// DequantizeSlice dequantizes src into dst element-wise under q. The
+// slices must have equal length.
+func DequantizeSlice(dst []float32, src []int8, q QuantParams) {
+	s := q.Scale
+	z := q.Zero
+	for i, c := range src {
+		dst[i] = s * float32(int32(c)-z)
+	}
+}
+
+// Requant is a positive real multiplier in fixed-point form, the
+// requantization step between integer layers: Apply(acc) computes
+// round(acc * m) using only integer arithmetic, so quantized kernels
+// stay float-free and bit-deterministic on the hot path. The classic
+// int32-accumulator scheme: m = sIn*sW/sOut is decomposed as
+// mult * 2^-shift with mult a 31-bit mantissa.
+type Requant struct {
+	mult  int64
+	shift uint
+	round int64
+}
+
+// NewRequant builds the fixed-point form of the positive multiplier m.
+// Non-positive or non-finite multipliers collapse to the zero requant
+// (Apply always returns 0), the safe behavior for dead channels whose
+// scale vanished.
+func NewRequant(m float64) Requant {
+	if m <= 0 || math.IsInf(m, 1) || math.IsNaN(m) {
+		return Requant{}
+	}
+	frac, exp := math.Frexp(m) // m = frac * 2^exp, frac in [0.5, 1)
+	mult := int64(math.Round(frac * (1 << 31)))
+	if mult == 1<<31 { // rounding carried into the next power of two
+		mult >>= 1
+		exp++
+	}
+	shift := 31 - exp
+	// Multipliers >= 2^31 would need a negative shift; fold the excess
+	// into the mantissa. Layer-scale ratios are O(1), so this is a
+	// robustness path, not a hot one.
+	for shift < 0 && mult < 1<<62 {
+		mult <<= 1
+		shift++
+	}
+	if shift < 0 {
+		shift = 0
+	}
+	r := Requant{mult: mult, shift: uint(shift)}
+	if r.shift > 0 {
+		r.round = 1 << (r.shift - 1)
+	}
+	return r
+}
+
+// Apply computes round(acc * m) with round-half-up semantics.
+func (r Requant) Apply(acc int32) int32 {
+	return int32((int64(acc)*r.mult + r.round) >> r.shift)
+}
+
+// ClampInt8 saturates v to the INT8 code range.
+func ClampInt8(v int32) int8 {
+	if v > 127 {
+		return 127
+	}
+	if v < -128 {
+		return -128
+	}
+	return int8(v)
+}

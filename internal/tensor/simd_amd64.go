@@ -1,0 +1,37 @@
+//go:build amd64 && !purego
+
+package tensor
+
+// SSE2 integer kernels for the native INT8 execution path. SSE2 is part
+// of the amd64 baseline, so no runtime feature detection is needed; the
+// pure-Go fallback in simd_generic.go serves every other GOARCH (and
+// the purego build tag).
+//
+// PMADDWD multiplies eight int16 pairs and sums adjacent products into
+// four int32 lanes — eight multiply-accumulates per instruction, which
+// is what makes the quantized engine faster than scalar FP32 on hosts
+// without native INT8 matrix units.
+
+// FastInt8 reports whether the SIMD integer kernels back DotInt16 and
+// AxpyInt16. Perf assertions about the quantized engine beating the
+// FP32 engine only hold where this is true; the portable fallbacks are
+// correct but not faster than scalar float code.
+const FastInt8 = true
+
+// DotInt16 returns the dot product of a and b over min(len(a), len(b))
+// elements with int32 accumulation.
+//
+// Accumulator contract: |a[i]*b[i]| must stay below 2^15 * 2^15 and the
+// reduction below 2^31. The quantized engine's operands are zero-point-
+// shifted activations (|v| <= 255) times int8 weight codes (|w| <= 127),
+// so reductions up to ~10^5 taps are safe.
+//
+//go:noescape
+func DotInt16(a, b []int16) int32
+
+// AxpyInt16 computes dst[i] += int32(w) * int32(x[i]) over
+// min(len(dst), len(x)) elements — the accumulation step of the
+// kernel-outer convolution form.
+//
+//go:noescape
+func AxpyInt16(dst []int32, x []int16, w int16)

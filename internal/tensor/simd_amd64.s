@@ -1,0 +1,114 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func DotInt16(a, b []int16) int32
+//
+// Integer dot product via PMADDWD: each instruction multiplies eight
+// int16 pairs and sums adjacent products into four int32 lanes. The
+// main loop consumes 16 elements per iteration (two PMADDWD), the tail
+// runs scalar, and the four lanes are reduced at the end.
+TEXT ·DotInt16(SB), NOSPLIT, $0-52
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ b_base+24(FP), DI
+	MOVQ b_len+32(FP), DX
+	CMPQ DX, CX
+	JGE  lenok
+	MOVQ DX, CX
+lenok:
+	PXOR X0, X0 // vector accumulator (4 x int32)
+	XORL AX, AX // scalar accumulator
+
+loop16:
+	CMPQ CX, $16
+	JLT  tail
+	MOVOU (SI), X1
+	MOVOU (DI), X2
+	PMADDWL X2, X1
+	PADDL X1, X0
+	MOVOU 16(SI), X3
+	MOVOU 16(DI), X4
+	PMADDWL X4, X3
+	PADDL X3, X0
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $16, CX
+	JMP  loop16
+
+tail:
+	CMPQ CX, $0
+	JLE  reduce
+	MOVWLSX (SI), BX
+	MOVWLSX (DI), R9
+	IMULL R9, BX
+	ADDL BX, AX
+	ADDQ $2, SI
+	ADDQ $2, DI
+	DECQ CX
+	JMP  tail
+
+reduce:
+	// Horizontal sum of the four int32 lanes.
+	PSHUFD $0xEE, X0, X1
+	PADDL X1, X0
+	PSHUFD $0x55, X0, X1
+	PADDL X1, X0
+	MOVQ X0, BX
+	ADDL BX, AX
+	MOVL AX, ret+48(FP)
+	RET
+
+// func AxpyInt16(dst []int32, x []int16, w int16)
+//
+// dst[i] += w * x[i]: the broadcast weight multiplies eight int16 lanes
+// per iteration (PMULLW/PMULHW give the 32-bit products), accumulated
+// into the int32 destination.
+TEXT ·AxpyInt16(SB), NOSPLIT, $0-50
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ x_base+24(FP), SI
+	MOVQ x_len+32(FP), DX
+	CMPQ DX, CX
+	JGE  alenok
+	MOVQ DX, CX
+alenok:
+	MOVWLSX w+48(FP), AX
+	MOVQ AX, X7
+	PSHUFLW $0, X7, X7 // w in all four low words
+	PSHUFD $0, X7, X7  // w in all eight words
+
+loop8:
+	CMPQ CX, $8
+	JLT  atail
+	MOVOU (SI), X1     // 8 x int16
+	MOVOU X1, X2
+	PMULLW X7, X1      // low 16 bits of products
+	PMULHW X7, X2      // high 16 bits of products (signed)
+	MOVOU X1, X3
+	PUNPCKLWL X2, X1   // 4 x int32 (elements 0..3)
+	PUNPCKHWL X2, X3   // 4 x int32 (elements 4..7)
+	MOVOU (DI), X4
+	PADDL X1, X4
+	MOVOU X4, (DI)
+	MOVOU 16(DI), X5
+	PADDL X3, X5
+	MOVOU X5, 16(DI)
+	ADDQ $16, SI
+	ADDQ $32, DI
+	SUBQ $8, CX
+	JMP  loop8
+
+atail:
+	CMPQ CX, $0
+	JLE  adone
+	MOVWLSX (SI), BX
+	IMULL AX, BX
+	ADDL BX, (DI)
+	ADDQ $2, SI
+	ADDQ $4, DI
+	DECQ CX
+	JMP  atail
+
+adone:
+	RET

@@ -1,0 +1,89 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// dotRef is the reference scalar dot the SIMD kernels must match.
+func dotRef(a, b []int16) int32 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var acc int32
+	for i := 0; i < n; i++ {
+		acc += int32(a[i]) * int32(b[i])
+	}
+	return acc
+}
+
+func TestDotInt16(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 3, 7, 8, 15, 16, 17, 31, 63, 64, 257, 1000} {
+		a := make([]int16, n)
+		b := make([]int16, n)
+		for i := range a {
+			a[i] = int16(rng.Intn(511) - 255) // zero-point-shifted activation range
+			b[i] = int16(rng.Intn(255) - 127) // int8 weight code range
+		}
+		if got, want := DotInt16(a, b), dotRef(a, b); got != want {
+			t.Errorf("n=%d: DotInt16 = %d, want %d", n, got, want)
+		}
+	}
+	// Unequal lengths truncate to the shorter operand.
+	a := []int16{1, 2, 3, 4}
+	b := []int16{5, 6}
+	if got := DotInt16(a, b); got != 17 {
+		t.Errorf("truncated dot = %d, want 17", got)
+	}
+}
+
+func TestAxpyInt16(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 5, 8, 9, 16, 33, 100} {
+		for _, w := range []int16{-127, -3, 0, 1, 89} {
+			x := make([]int16, n)
+			dst := make([]int32, n)
+			want := make([]int32, n)
+			for i := range x {
+				x[i] = int16(rng.Intn(511) - 255)
+				dst[i] = int32(rng.Intn(1000) - 500)
+				want[i] = dst[i] + int32(w)*int32(x[i])
+			}
+			AxpyInt16(dst, x, w)
+			for i := range dst {
+				if dst[i] != want[i] {
+					t.Fatalf("n=%d w=%d: dst[%d] = %d, want %d", n, w, i, dst[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkDotInt16(b *testing.B) {
+	x := make([]int16, 1024)
+	y := make([]int16, 1024)
+	for i := range x {
+		x[i] = int16(i%509 - 254)
+		y[i] = int16(i%251 - 125)
+	}
+	b.SetBytes(2048)
+	var sink int32
+	for i := 0; i < b.N; i++ {
+		sink += DotInt16(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkAxpyInt16(b *testing.B) {
+	x := make([]int16, 1024)
+	dst := make([]int32, 1024)
+	for i := range x {
+		x[i] = int16(i%509 - 254)
+	}
+	b.SetBytes(2048)
+	for i := 0; i < b.N; i++ {
+		AxpyInt16(dst, x, 77)
+	}
+}

@@ -122,10 +122,11 @@ func (s Shape) Valid() bool {
 }
 
 // QuantParams hold the affine quantization mapping for INT8 tensors:
-// real = scale * (q - zero).
+// real = scale * (q - zero). The JSON form is the unit the calibration
+// schema (nn.QuantSchema) persists.
 type QuantParams struct {
-	Scale float32
-	Zero  int32
+	Scale float32 `json:"scale"`
+	Zero  int32   `json:"zero,omitempty"`
 }
 
 // Quantize maps a real value to the nearest representable INT8 code.
