@@ -18,6 +18,7 @@ import (
 
 	"vedliot/internal/accel"
 	"vedliot/internal/inference"
+	"vedliot/internal/inference/ir"
 	"vedliot/internal/kenning"
 	"vedliot/internal/nn"
 	"vedliot/internal/onnx"
@@ -33,6 +34,7 @@ func main() {
 	prune := flag.Float64("prune", 0, "magnitude-pruning sparsity (0..1)")
 	target := flag.String("target", "", "accelerator to evaluate on (see internal/accel)")
 	stats := flag.Bool("stats", false, "print the per-layer statistics table")
+	dumpIR := flag.Bool("dump-ir", false, "print the deterministic pass-by-pass lowering IR (INT8 pipeline with -int8-runtime)")
 	flag.Parse()
 
 	g, weights, err := buildModel(*model)
@@ -74,6 +76,11 @@ func main() {
 			fatal(fmt.Errorf("calibration produced no schema"))
 		}
 		if err := compareRuntimes(g, rep.Schema); err != nil {
+			fatal(err)
+		}
+	}
+	if *dumpIR {
+		if err := dumpLowering(g, rep.Schema); err != nil {
 			fatal(err)
 		}
 	}
@@ -124,6 +131,19 @@ func main() {
 				dev.Name, prec, batch, m.LatencyMS, m.GOPS, m.PowerW, m.Bound, m.EnergyPerInferenceMJ())
 		}
 	}
+}
+
+// dumpLowering prints the shared compilation pipeline's deterministic
+// pass-by-pass textual IR — the same trace the golden tests pin. With a
+// calibration schema the INT8 pipeline (precision assignment, islands)
+// is shown; without one, the FP32 pipeline.
+func dumpLowering(g *nn.Graph, schema *nn.QuantSchema) error {
+	_, records, err := inference.Lower(g, schema, true)
+	if err != nil {
+		return err
+	}
+	fmt.Print(ir.FormatRecords(records, true))
+	return nil
 }
 
 // calibrationSamples builds deterministic pseudo-random batches shaped

@@ -21,6 +21,10 @@ import (
 	"path/filepath"
 
 	"vedliot/internal/bench"
+	"vedliot/internal/inference"
+	"vedliot/internal/inference/ir"
+	"vedliot/internal/nn"
+	"vedliot/internal/optimize"
 )
 
 func main() {
@@ -29,9 +33,14 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	jsonOut := flag.Bool("json", false, "write BENCH_<id>.json perf artifacts")
 	outdir := flag.String("outdir", ".", "directory for -json artifacts")
+	dumpIR := flag.Bool("dump-ir", false, "print the deterministic pass-by-pass lowering IR of the toolchain study models (FP32 and INT8) and exit")
 	flag.Parse()
 
 	switch {
+	case *dumpIR:
+		if err := dumpToolchainIR(); err != nil {
+			fatal(err)
+		}
 	case *list:
 		fmt.Printf("%-20s %s\n", "id", "paper artifact")
 		for _, e := range bench.Registry() {
@@ -93,6 +102,41 @@ func writeArtifact(dir, id string, rep *bench.Report) error {
 	}
 	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+// dumpToolchainIR prints the pass-by-pass lowering trace of the two
+// toolchain study models: the engine study's face detector through the
+// FP32 pipeline and the quantized study's MobileNet-style classifier
+// through the INT8 pipeline. The output is deterministic apart from
+// pass timings — the structural dumps are exactly what the golden IR
+// tests pin.
+func dumpToolchainIR() error {
+	dump := func(g *nn.Graph, schema *nn.QuantSchema) error {
+		_, records, err := inference.Lower(g, schema, true)
+		if err != nil {
+			return err
+		}
+		fmt.Print(ir.FormatRecords(records, true))
+		return nil
+	}
+	fmt.Println("--- engine study model (FP32 pipeline) ---")
+	if err := dump(nn.FaceDetectNet(64, nn.BuildOptions{Weights: true, Seed: 91}), nil); err != nil {
+		return err
+	}
+	g := nn.MobileNetEdge(64, 10, nn.BuildOptions{Weights: true, Seed: 3})
+	if _, err := optimize.Pipeline(g, optimize.StandardPasses(), 0); err != nil {
+		return err
+	}
+	samples, err := nn.SyntheticCalibration(g, 3)
+	if err != nil {
+		return err
+	}
+	schema, err := optimize.Calibrate(g, samples)
+	if err != nil {
+		return err
+	}
+	fmt.Println("--- quantized study model (INT8 pipeline) ---")
+	return dump(g, schema)
 }
 
 func fatal(err error) {

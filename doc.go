@@ -9,12 +9,18 @@
 // The execution stack offers two compiled runtimes behind one
 // Backend/Executable interface pair: the FP32 execution-plan engine and
 // a native INT8 engine (integer kernels, fixed-point requantization,
-// activation-fused lookup tables) driven by a calibrated nn.QuantSchema
-// — the runtime the INT8-only edge accelerators of the paper's Fig. 4
-// evaluation are modeled on.
+// lookup-table epilogues) driven by a calibrated nn.QuantSchema — the
+// runtime the INT8-only edge accelerators of the paper's Fig. 4
+// evaluation are modeled on. Both compilers drive one shared lowering
+// pipeline (internal/inference/ir): a typed IR plus an ordered pass
+// manager — shape inference, constant folding, identity/dead/CSE
+// elimination, epilogue fusion, precision assignment — with
+// deterministic pass-by-pass textual dumps (kenning -dump-ir,
+// vedliot-bench -dump-ir) pinned by golden tests.
 //
 // See DESIGN.md for the system inventory, the Backend/Engine execution
-// architecture, the quantized-execution path and the per-experiment
-// index; cmd/vedliot-bench regenerates every table and figure, and
+// architecture, the lowering IR and pass manager, the
+// quantized-execution path and the per-experiment index;
+// cmd/vedliot-bench regenerates every table and figure, and
 // cmd/bench-gate enforces the committed perf baseline in CI.
 package vedliot

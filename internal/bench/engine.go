@@ -25,6 +25,29 @@ func EngineStudy() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Lowering trace: the shared pass pipeline both compilers drive.
+	// Pass timings make compile-time regressions visible in the same
+	// artifact that gates run-time.
+	module, records, err := inference.Lower(g, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	var lowerTotal time.Duration
+	opsBefore, opsAfter := 0, 0
+	for _, rec := range records {
+		lowerTotal += rec.Duration
+		if opsBefore == 0 {
+			opsBefore = rec.OpsBefore
+		}
+		opsAfter = rec.OpsAfter
+	}
+	eliminated := opsBefore - opsAfter
+	fusedChains := 0
+	for _, op := range module.Ops {
+		if len(op.Fused) > 0 {
+			fusedChains++
+		}
+	}
 	eng, err := inference.Compile(g)
 	if err != nil {
 		return nil, err
@@ -117,6 +140,16 @@ func EngineStudy() (*Report, error) {
 	r.linef("memory plan: %d arena slots, %d floats/sample (vs %d unplanned)",
 		eng.NumSlots(), eng.ArenaFloatsPerSample(), unplannedFloats(g))
 	r.metric("arena_floats_per_sample", "f32", float64(eng.ArenaFloatsPerSample()))
+	r.linef("lowering: %d -> %d ops (%d eliminated, %d fused chains) in %v across %d passes",
+		opsBefore, opsAfter, eliminated, fusedChains, lowerTotal, len(records))
+	for _, rec := range records {
+		if rec.Changed {
+			r.linef("  pass %-18s %3d -> %3d ops  %v", rec.Pass, rec.OpsBefore, rec.OpsAfter, rec.Duration)
+		}
+	}
+	r.metric("lowering_ops_eliminated", "ops", float64(eliminated))
+	r.metric("lowering_fused_chains", "ops", float64(fusedChains))
+	r.metric("lowering_time_us", "us", float64(lowerTotal.Microseconds()))
 	r.linef("output parity |engine - interpreter|: %g", parity)
 
 	r.check("engine output matches interpreter (<= 1e-5)", parity <= 1e-5)
@@ -124,6 +157,7 @@ func EngineStudy() (*Report, error) {
 	// suite at the repository root tracks the real speedup trajectory.
 	r.check("engine not slower than interpreter at batch 8", speedup8 >= 0.9)
 	r.check("planner reuses activation memory", eng.ArenaFloatsPerSample() < unplannedFloats(g))
+	r.check("lowering fuses the conv epilogues", fusedChains >= 4 && eliminated >= 8)
 	return r, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"vedliot/internal/inference/ir"
 	"vedliot/internal/nn"
 	"vedliot/internal/tensor"
 )
@@ -121,6 +122,16 @@ type Engine struct {
 	vals        []value
 	steps       []step
 
+	// fullSteps is the unfused expansion of steps: fused producer+
+	// activation pairs run as two steps so every graph value
+	// materializes. RunAll (calibration, debugging) walks it; Run never
+	// does. When the plan has no fusions it is the steps slice itself.
+	fullSteps []step
+	// aliases maps graph values eliminated by lowering rewrites
+	// (identity elimination, CSE) to the plan value carrying the same
+	// activation, for RunAll reporting.
+	aliases map[string]int
+
 	// Per-sample shapes of declared inputs/outputs, precomputed at
 	// compile time so the per-call paths allocate nothing for them.
 	inPer  []tensor.Shape
@@ -149,11 +160,25 @@ func (e *Engine) NumSlots() int { return len(e.slotSize) }
 // peak working set.
 func (e *Engine) ArenaFloatsPerSample() int { return e.arenaPerSample }
 
-// Compile lowers a graph into an execution plan: one topo-sort, static
-// per-sample shape inference, kernel binding with compile-time weight
-// dequantization, and liveness-based arena planning. The batch dimension
-// stays dynamic: Run accepts any batch size.
+// Compile lowers a graph into an execution plan through the shared
+// lowering pipeline (see Lower and the ir package): the graph becomes a
+// typed IR, the pass pipeline rewrites it — folding constants, dropping
+// identity/dead nodes, merging common subexpressions and fusing
+// conv/dense/batch-norm with their activations — and the lowered module
+// is bound to FP32 kernels with weights dequantized at compile time,
+// then arena-planned by liveness. The batch dimension stays dynamic:
+// Run accepts any batch size. Compile never mutates the source graph.
 func Compile(g *nn.Graph, opts ...Option) (*Engine, error) {
+	cfg := newConfig(opts)
+	m, _, err := Lower(g, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	return newEngine(m, cfg)
+}
+
+// newConfig resolves compile options against the defaults.
+func newConfig(opts []Option) config {
 	cfg := config{workers: runtime.GOMAXPROCS(0), threshold: defaultParallelThreshold}
 	for _, o := range opts {
 		o(&cfg)
@@ -164,70 +189,67 @@ func Compile(g *nn.Graph, opts ...Option) (*Engine, error) {
 	if cfg.threshold < 0 {
 		cfg.threshold = 0
 	}
-	if err := g.Validate(); err != nil {
-		return nil, err
-	}
-	order, err := g.TopoSort()
-	if err != nil {
-		return nil, err
-	}
+	return cfg
+}
 
-	// Static per-sample shapes. InferShapes mutates node OutShapes, which
-	// callers may have populated for a different batch size; snapshot and
-	// restore so Compile stays observably side-effect free.
-	saved := make([]tensor.Shape, len(g.Nodes))
-	for i, n := range g.Nodes {
-		saved[i] = n.OutShape
+// newEngine binds a lowered FP32 module to kernels and plans its arena.
+func newEngine(m *ir.Module, cfg config) (*Engine, error) {
+	sc := buildScaffold(m)
+	e := &Engine{
+		name:        m.Name,
+		cfg:         cfg,
+		vals:        sc.vals,
+		inputNames:  sc.inputNames,
+		inputVals:   sc.inputVals,
+		outputNames: sc.outputNames,
+		outputVals:  sc.outputVals,
+		aliases:     sc.aliases,
 	}
-	if err := g.InferShapes(1); err != nil {
-		return nil, fmt.Errorf("inference: compile %q: %w", g.Name, err)
-	}
-	per := make(map[string]tensor.Shape, len(order))
-	for _, n := range order {
-		per[n.Name] = n.OutShape[1:].Clone()
-	}
-	for i, n := range g.Nodes {
-		n.OutShape = saved[i]
-	}
-
-	e := &Engine{name: g.Name, cfg: cfg}
-	id := make(map[string]int, len(order))
-	for _, n := range order {
-		p := per[n.Name]
-		e.vals = append(e.vals, value{name: n.Name, per: p, elems: p.NumElements()})
-		id[n.Name] = len(e.vals) - 1
-	}
-	for _, name := range g.Inputs {
-		v := id[name]
-		e.vals[v].loc = location{locInput, len(e.inputVals)}
-		e.inputNames = append(e.inputNames, name)
-		e.inputVals = append(e.inputVals, v)
-	}
-	for _, name := range g.Outputs {
-		v := id[name]
-		e.outputNames = append(e.outputNames, name)
-		e.outputVals = append(e.outputVals, v)
-		if e.vals[v].loc.kind == locUnassigned {
-			// Outputs get dedicated freshly allocated tensors (they leave
-			// the call), never arena slots.
-			e.vals[v].loc = location{locOutput, len(e.outputNames) - 1}
-		}
-	}
-	for _, n := range order {
-		if n.Op == nn.OpInput {
+	fused := false
+	for _, op := range m.Ops {
+		if op.Kind == nn.OpInput {
 			continue
 		}
-		ins := make([]int, len(n.Inputs))
-		inPer := make([]tensor.Shape, len(n.Inputs))
-		for i, in := range n.Inputs {
-			ins[i] = id[in]
-			inPer[i] = e.vals[id[in]].per
-		}
-		kern, err := bindKernel(n, inPer, e.vals[id[n.Name]].per)
+		ins, inPer := opOperands(&sc, op)
+		n := nodeFromOp(op)
+		out := sc.valOf[op.Out]
+		ep, err := buildEpilogue(op, channelCount(e.vals[out].per))
 		if err != nil {
-			return nil, fmt.Errorf("inference: compile node %q (%s): %w", n.Name, n.Op, err)
+			return nil, compileError(op, false, err)
 		}
-		e.steps = append(e.steps, step{name: n.Name, op: n.Op, out: id[n.Name], ins: ins, kern: kern})
+		kern, err := bindKernel(n, inPer, e.vals[out].per, ep)
+		if err != nil {
+			return nil, compileError(op, false, err)
+		}
+		st := step{name: op.Name, op: op.Kind, out: out, ins: ins, kern: kern}
+		e.steps = append(e.steps, st)
+		if len(op.Fused) == 0 {
+			e.fullSteps = append(e.fullSteps, st)
+			continue
+		}
+		// Unfused expansion for RunAll: the producer writes its own
+		// (pre-epilogue) value, then each absorbed stage runs as its own
+		// step — the exact plan the fused step collapses.
+		fused = true
+		pre := sc.valOf[op.Fused[0].Pre]
+		preKern, err := bindKernel(n, inPer, e.vals[pre].per, nil)
+		if err != nil {
+			return nil, compileError(op, false, err)
+		}
+		e.fullSteps = append(e.fullSteps, step{name: op.Name, op: op.Kind, out: pre, ins: ins, kern: preKern})
+		for i := range op.Fused {
+			f := &op.Fused[i]
+			fOut := sc.valOf[op.FusedOut(i)]
+			fKern, err := bindKernel(nodeFromFused(f), []tensor.Shape{e.vals[pre].per}, e.vals[fOut].per, nil)
+			if err != nil {
+				return nil, compileError(op, false, err)
+			}
+			e.fullSteps = append(e.fullSteps, step{name: f.Name, op: f.Kind, out: fOut, ins: []int{pre}, kern: fKern})
+			pre = fOut
+		}
+	}
+	if !fused {
+		e.fullSteps = e.steps
 	}
 	e.planMemory()
 	e.inPer, e.outPer = perShapes(e.vals, e.inputVals), perShapes(e.vals, e.outputVals)
@@ -357,17 +379,22 @@ func (e *Engine) Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tenso
 		case locOutput:
 			result[e.outputNames[i]] = outs[loc.idx]
 		case locInput:
-			// A graph output that is an input node passes through, as in
-			// the interpreter.
-			result[e.outputNames[i]] = inputs[e.outputNames[i]]
+			// A graph output that resolves to an input value passes the
+			// caller's tensor through, as in the interpreter.
+			result[e.outputNames[i]] = inputs[e.inputNames[loc.idx]]
 		}
 	}
 	return result, nil
 }
 
-// RunAll executes the plan and returns every node's activation keyed by
-// node name, bypassing the arena (each activation gets its own tensor so
-// all of them remain valid after the call). Calibration uses this.
+// RunAll executes the plan and returns every lowered value's activation
+// keyed by graph node name, bypassing the arena (each activation gets
+// its own tensor so all of them remain valid after the call). It walks
+// the unfused step expansion, so fused pre-activation values
+// materialize too, and values eliminated by lowering rewrites (identity
+// removal, CSE) are reported through their surviving alias.
+// Calibration uses this to observe every dynamic range the quantized
+// compiler needs.
 func (e *Engine) RunAll(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
 	inBufs, batch, err := e.resolveInputs(inputs)
 	if err != nil {
@@ -386,8 +413,8 @@ func (e *Engine) RunAll(inputs map[string]*tensor.Tensor) (map[string]*tensor.Te
 	}
 	rc := runCtx{batch: batch, workers: e.cfg.workers, threshold: e.cfg.threshold}
 	srcs := make([][]float32, 0, 4)
-	for si := range e.steps {
-		st := &e.steps[si]
+	for si := range e.fullSteps {
+		st := &e.fullSteps[si]
 		acts[st.out] = tensor.New(tensor.FP32, append(tensor.Shape{batch}, e.vals[st.out].per...)...)
 		srcs = srcs[:0]
 		for _, in := range st.ins {
@@ -397,6 +424,13 @@ func (e *Engine) RunAll(inputs map[string]*tensor.Tensor) (map[string]*tensor.Te
 			return nil, fmt.Errorf("inference: node %q (%s): %w", st.name, st.op, err)
 		}
 		result[st.name] = acts[st.out]
+	}
+	for name, v := range e.aliases {
+		if e.vals[v].loc.kind == locInput {
+			result[name] = inputs[e.inputNames[e.vals[v].loc.idx]]
+		} else if acts[v] != nil {
+			result[name] = acts[v]
+		}
 	}
 	return result, nil
 }

@@ -17,6 +17,12 @@
 //     activations live in a liveness-planned arena, and the hot kernels
 //     run on a bounded worker pool. See DESIGN.md.
 //
+// Compile (FP32) and CompileQuantized (native INT8, see quant.go) are
+// thin drivers over one shared lowering pipeline — the typed IR and
+// pass manager of internal/inference/ir (shape inference, constant
+// folding, identity/dead/CSE elimination, epilogue fusion, precision
+// assignment), exposed directly via Lower for -dump-ir style tooling.
+//
 // Runner is the historical entry point and is now a thin facade: it
 // compiles an Engine when the graph is compilable and falls back to the
 // Interpreter otherwise (e.g. structure-only graphs without weights).

@@ -1,0 +1,162 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vedliot/internal/nn"
+)
+
+// Dump renders the module as deterministic text: ops in plan order with
+// their operands, attributes, weight shapes, fusion and island marks,
+// then aliases and declared outputs. The format is byte-stable for a
+// given graph (deterministic topo order, sorted weight keys) and is
+// what the golden pass-pipeline tests pin down. Calibration-dependent
+// numbers (quantization scales) are deliberately omitted so goldens
+// stay stable across floating-point environments; precision shows as
+// the value type (f32/i8).
+func (m *Module) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s", m.Name)
+	if m.Quantized {
+		b.WriteString(" (int8")
+		if m.Islands > 0 {
+			fmt.Fprintf(&b, ", %d fp32 island(s)", m.Islands)
+		}
+		b.WriteString(")")
+	}
+	b.WriteByte('\n')
+	for _, op := range m.Ops {
+		out := m.Values[op.Out]
+		fmt.Fprintf(&b, "  %%%d = %s", out.ID, op.Kind)
+		for _, f := range op.Fused {
+			fmt.Fprintf(&b, "+%s", f.Kind)
+		}
+		b.WriteByte('(')
+		for i, in := range op.Ins {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%%%d", in)
+		}
+		b.WriteByte(')')
+		if attrs := formatAttrs(op); attrs != "" {
+			fmt.Fprintf(&b, " {%s}", attrs)
+		}
+		fmt.Fprintf(&b, " %q : %s%s", op.Name, out.Prec, shapeString(m, op.Out))
+		if len(op.Fused) > 0 {
+			b.WriteString(" (pre")
+			for _, f := range op.Fused {
+				fmt.Fprintf(&b, " %%%d", f.Pre)
+			}
+			b.WriteString(")")
+		}
+		if op.Island {
+			b.WriteString(" !fp32-island")
+		}
+		b.WriteByte('\n')
+	}
+	if len(m.Aliases) > 0 {
+		names := make([]string, 0, len(m.Aliases))
+		for name := range m.Aliases {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(&b, "  alias %q = %%%d\n", name, m.Aliases[name])
+		}
+	}
+	for _, o := range m.Outputs {
+		fmt.Fprintf(&b, "  out %q = %%%d\n", o.Name, o.Value)
+	}
+	return b.String()
+}
+
+// FormatRecords renders a pass-by-pass lowering trace: each record's
+// header (pass name, change status, op counts — plus the duration when
+// withTimings is set) followed by its captured dump. The CLIs'
+// -dump-ir print with timings; the golden tests pin the trace without
+// them, keeping the files byte-stable.
+func FormatRecords(recs []PassRecord, withTimings bool) string {
+	var b strings.Builder
+	for _, rec := range recs {
+		status := "no change"
+		if rec.Changed {
+			status = "changed"
+		}
+		if withTimings {
+			fmt.Fprintf(&b, "== after %s (%s, %d -> %d ops, %v) ==\n%s\n",
+				rec.Pass, status, rec.OpsBefore, rec.OpsAfter, rec.Duration, rec.Dump)
+		} else {
+			fmt.Fprintf(&b, "== after %s (%s, %d -> %d ops) ==\n%s\n",
+				rec.Pass, status, rec.OpsBefore, rec.OpsAfter, rec.Dump)
+		}
+	}
+	return b.String()
+}
+
+// shapeString renders a value's per-sample shape, or "?" before shape
+// inference ran.
+func shapeString(m *Module, id int) string {
+	s := m.Values[id].Shape
+	if s == nil {
+		return "[?]"
+	}
+	return s.String()
+}
+
+// formatAttrs renders the attributes an op kind actually reads, plus
+// weight shapes, in a fixed order.
+func formatAttrs(op *Op) string {
+	a := op.Attrs
+	var parts []string
+	add := func(format string, args ...any) {
+		parts = append(parts, fmt.Sprintf(format, args...))
+	}
+	switch op.Kind {
+	case nn.OpInput:
+		add("shape=%v", a.Shape)
+	case nn.OpConv, nn.OpDepthwiseConv:
+		add("k=%dx%d", a.KernelH, a.KernelW)
+		add("s=%dx%d", a.StrideH, a.StrideW)
+		add("p=%dx%d", a.PadH, a.PadW)
+		if a.Groups > 1 {
+			add("g=%d", a.Groups)
+		}
+		if a.OutC > 0 {
+			add("outC=%d", a.OutC)
+		}
+	case nn.OpDense:
+		add("outC=%d", a.OutC)
+	case nn.OpMaxPool, nn.OpAvgPool:
+		add("k=%dx%d", a.KernelH, a.KernelW)
+		add("s=%dx%d", a.StrideH, a.StrideW)
+		add("p=%dx%d", a.PadH, a.PadW)
+	case nn.OpLeakyReLU:
+		if a.Alpha != 0 {
+			add("alpha=%g", a.Alpha)
+		}
+	case nn.OpUpsample:
+		add("scale=%d", a.Scale)
+	case nn.OpBatchNorm:
+		if a.Eps != 0 {
+			add("eps=%g", a.Eps)
+		}
+	}
+	for _, f := range op.Fused {
+		if f.Kind == nn.OpLeakyReLU && f.Attrs.Alpha != 0 {
+			add("fused-alpha=%g", f.Attrs.Alpha)
+		}
+	}
+	keys := make([]string, 0, len(op.Weights))
+	for k := range op.Weights {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		w := op.Weights[k]
+		add("%s:%s%s", k, w.DType, w.Shape)
+	}
+	return strings.Join(parts, " ")
+}

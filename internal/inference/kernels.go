@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"vedliot/internal/inference/ir"
 	"vedliot/internal/nn"
 	"vedliot/internal/tensor"
 )
@@ -141,28 +142,10 @@ func batchNorm(n *nn.Node, x *tensor.Tensor) (*tensor.Tensor, error) {
 	if len(x.Shape) != 4 {
 		return nil, fmt.Errorf("batchnorm wants NCHW, got %v", x.Shape)
 	}
-	gamma, beta := n.Weight(nn.GammaKey), n.Weight(nn.BetaKey)
-	mean, variance := n.Weight(nn.MeanKey), n.Weight(nn.VarKey)
-	if gamma == nil || beta == nil || mean == nil || variance == nil {
-		return nil, fmt.Errorf("batchnorm missing statistics")
-	}
 	c := x.Shape[1]
-	if gamma.NumElements() != c {
-		return nil, fmt.Errorf("batchnorm gamma has %d elements for %d channels", gamma.NumElements(), c)
-	}
-	eps := n.Attrs.Eps
-	if eps == 0 {
-		eps = 1e-5
-	}
-	gv, bv, mv, vv := gamma.Float32s(), beta.Float32s(), mean.Float32s(), variance.Float32s()
-
-	// Precompute per-channel scale and shift.
-	scale := make([]float32, c)
-	shift := make([]float32, c)
-	for i := 0; i < c; i++ {
-		inv := 1 / sqrt32(vv[i]+eps)
-		scale[i] = gv[i] * inv
-		shift[i] = bv[i] - mv[i]*scale[i]
+	scale, shift, err := bnScaleShift(n, c)
+	if err != nil {
+		return nil, err
 	}
 
 	xv := x.Float32s()
@@ -178,22 +161,6 @@ func batchNorm(n *nn.Node, x *tensor.Tensor) (*tensor.Tensor, error) {
 		}
 	}
 	return out, nil
-}
-
-func sqrt32(v float32) float32 {
-	// Newton iterations seeded by a float64 sqrt would be overkill here.
-	if v <= 0 {
-		return 0
-	}
-	x := v
-	for i := 0; i < 32; i++ {
-		nx := 0.5 * (x + v/x)
-		if nx == x {
-			break
-		}
-		x = nx
-	}
-	return x
 }
 
 // pool implements max or average pooling with zero padding excluded from
@@ -410,16 +377,120 @@ func softmaxRows(x *tensor.Tensor) (*tensor.Tensor, error) {
 // batch-major buffers laid out as batch x per-sample elements.
 type kernelFunc func(rc *runCtx, dst []float32, srcs [][]float32) error
 
+// epilogue is a producer's fused element-wise tail: an optional leading
+// per-channel affine (a folded batch-norm) followed by an activation
+// tail. The common conv → batch-norm → ReLU block compiles to the
+// branch-free inline loop in apply; exotic chains fall back to composed
+// closures. Applied to the same float32 the unfused steps would read,
+// it yields bitwise-identical results.
+type epilogue struct {
+	// scale/shift is the leading per-channel affine; nil when the chain
+	// starts with an activation.
+	scale, shift []float32
+	// relu marks a tail of exactly one ReLU (inlined fast path).
+	relu bool
+	// fn is a channel-independent activation tail (possibly several
+	// activations composed); nil when relu or no tail.
+	fn func(float32) float32
+	// fnCh is the rare per-channel tail (a second batch-norm somewhere
+	// in the chain); nil otherwise.
+	fnCh []func(float32) float32
+}
+
+// apply maps one channel's epilogue over a just-written output span,
+// while it is still cache-hot from the producing kernel.
+func (ep *epilogue) apply(span []float32, ch int) {
+	if ep.scale != nil {
+		s, sh := ep.scale[ch], ep.shift[ch]
+		switch {
+		case ep.relu:
+			for i, v := range span {
+				v = v*s + sh
+				if v < 0 {
+					v = 0
+				}
+				span[i] = v
+			}
+		case ep.fn != nil:
+			f := ep.fn
+			for i, v := range span {
+				span[i] = f(v*s + sh)
+			}
+		case ep.fnCh != nil:
+			f := ep.fnCh[ch]
+			for i, v := range span {
+				span[i] = f(v*s + sh)
+			}
+		default:
+			for i, v := range span {
+				span[i] = v*s + sh
+			}
+		}
+		return
+	}
+	switch {
+	case ep.relu:
+		for i, v := range span {
+			if v < 0 {
+				v = 0
+			}
+			span[i] = v
+		}
+	case ep.fn != nil:
+		f := ep.fn
+		for i, v := range span {
+			span[i] = f(v)
+		}
+	case ep.fnCh != nil:
+		f := ep.fnCh[ch]
+		for i, v := range span {
+			span[i] = f(v)
+		}
+	}
+}
+
+// scalar returns the epilogue for channel ch as one composed function
+// (the dense binder precomputes these per output feature).
+func (ep *epilogue) scalar(ch int) func(float32) float32 {
+	var tail func(float32) float32
+	switch {
+	case ep.relu:
+		tail = func(v float32) float32 {
+			if v < 0 {
+				return 0
+			}
+			return v
+		}
+	case ep.fn != nil:
+		tail = ep.fn
+	case ep.fnCh != nil:
+		tail = ep.fnCh[ch]
+	}
+	if ep.scale == nil {
+		return tail
+	}
+	s, sh := ep.scale[ch], ep.shift[ch]
+	if tail == nil {
+		return func(v float32) float32 { return v*s + sh }
+	}
+	return func(v float32) float32 { return tail(v*s + sh) }
+}
+
 // bindKernel resolves a node to an executable kernel closure given the
-// per-sample shapes of its inputs and output.
-func bindKernel(n *nn.Node, ins []tensor.Shape, out tensor.Shape) (kernelFunc, error) {
+// per-sample shapes of its inputs and output. ep, when non-nil, is the
+// fused epilogue the lowering pipeline absorbed into the producer
+// (conv/dense/batch-norm), applied while the output is cache-hot.
+func bindKernel(n *nn.Node, ins []tensor.Shape, out tensor.Shape, ep *epilogue) (kernelFunc, error) {
+	if ep != nil && !fusesActivation(n.Op) {
+		return nil, fmt.Errorf("op %s cannot absorb a fused epilogue", n.Op)
+	}
 	switch n.Op {
 	case nn.OpConv, nn.OpDepthwiseConv:
-		return bindConv(n, ins[0], out)
+		return bindConv(n, ins[0], out, ep)
 	case nn.OpDense:
-		return bindDense(n, ins[0], out)
+		return bindDense(n, ins[0], out, ep)
 	case nn.OpBatchNorm:
-		return bindBatchNorm(n, ins[0])
+		return bindBatchNorm(n, ins[0], ep)
 	case nn.OpReLU, nn.OpReLU6, nn.OpLeakyReLU, nn.OpSigmoid, nn.OpTanh,
 		nn.OpHSwish, nn.OpHSigmoid, nn.OpMish:
 		return bindActivation(n)
@@ -441,6 +512,16 @@ func bindKernel(n *nn.Node, ins []tensor.Shape, out tensor.Shape) (kernelFunc, e
 		return bindCopy(), nil
 	}
 	return nil, fmt.Errorf("unsupported op %s", n.Op)
+}
+
+// fusesActivation reports the ops whose FP32 binders accept a fused
+// epilogue (the kernel-side mirror of ir.IsFusableProducer).
+func fusesActivation(op nn.OpType) bool {
+	switch op {
+	case nn.OpConv, nn.OpDepthwiseConv, nn.OpDense, nn.OpBatchNorm:
+		return true
+	}
+	return false
 }
 
 // convGeom is the compile-time geometry of one convolution.
@@ -493,7 +574,7 @@ func convGeometry(n *nn.Node, in, out tensor.Shape) (convGeom, *tensor.Tensor, e
 	}, w, nil
 }
 
-func bindConv(n *nn.Node, in, out tensor.Shape) (kernelFunc, error) {
+func bindConv(n *nn.Node, in, out tensor.Shape, ep *epilogue) (kernelFunc, error) {
 	g, w, err := convGeometry(n, in, out)
 	if err != nil {
 		return nil, err
@@ -505,6 +586,7 @@ func bindConv(n *nn.Node, in, out tensor.Shape) (kernelFunc, error) {
 	}
 	pointwise := g.kh == 1 && g.kw == 1 && g.sh == 1 && g.sw == 1 && g.ph == 0 && g.pw == 0
 	planeCost := int64(g.outH*g.outW) * int64(g.icPerG*g.kh*g.kw) * 2
+	px := g.outH * g.outW
 	// Channel-heavy convolutions go through an im2col patch matrix: the
 	// per-pixel reduction becomes one long contiguous dot, which the
 	// scalar loop executes far faster than strided row walks. Gathering
@@ -514,7 +596,25 @@ func bindConv(n *nn.Node, in, out tensor.Shape) (kernelFunc, error) {
 	taps := g.icPerG * g.kh * g.kw
 	if !pointwise && taps >= im2colMinTaps {
 		groups := g.inC / g.icPerG
-		px := g.outH * g.outW
+		// Output channels are processed in blocks of up to four per patch
+		// pass: the four accumulators form independent dependency chains
+		// (each element still accumulates in the interpreter's tap order,
+		// so results stay bitwise identical) that overlap the float-add
+		// latency the single serial chain is bound by, and each gathered
+		// patch row is read once per block instead of once per channel.
+		// Blocks never cross group boundaries, so one patch region serves
+		// the whole block.
+		type ocRange struct{ lo, hi int }
+		var blocks []ocRange
+		for grp := 0; grp < groups; grp++ {
+			for oc := grp * g.ocPerG; oc < (grp+1)*g.ocPerG; oc += 4 {
+				hi := oc + 4
+				if hi > (grp+1)*g.ocPerG {
+					hi = (grp + 1) * g.ocPerG
+				}
+				blocks = append(blocks, ocRange{oc, hi})
+			}
+		}
 		var pool sync.Pool
 		return func(rc *runCtx, dst []float32, srcs [][]float32) error {
 			xv := srcs[0]
@@ -530,10 +630,15 @@ func bindConv(n *nn.Node, in, out tensor.Shape) (kernelFunc, error) {
 					convGather(cols, xv, &g, p/groups, p%groups, px, taps)
 				}
 			})
-			rc.parallelFor(rc.batch*g.outC, planeCost, func(lo, hi int) {
+			rc.parallelFor(rc.batch*len(blocks), planeCost*4, func(lo, hi int) {
 				for p := lo; p < hi; p++ {
-					b, oc := p/g.outC, p%g.outC
-					convDotPatches(dst, cols, wv, bias, &g, b, oc, groups, px, taps)
+					b, blk := p/len(blocks), blocks[p%len(blocks)]
+					convDotPatchesBlock(dst, cols, wv, bias, &g, b, blk.lo, blk.hi, groups, px, taps)
+					if ep != nil {
+						for oc := blk.lo; oc < blk.hi; oc++ {
+							ep.apply(dst[(b*g.outC+oc)*px:(b*g.outC+oc+1)*px], oc)
+						}
+					}
 				}
 			})
 			pool.Put(&cols)
@@ -549,6 +654,9 @@ func bindConv(n *nn.Node, in, out tensor.Shape) (kernelFunc, error) {
 					convPlanePointwise(dst, xv, wv, bias, &g, b, oc)
 				} else {
 					convPlane(dst, xv, wv, bias, &g, b, oc)
+				}
+				if ep != nil {
+					ep.apply(dst[(b*g.outC+oc)*px:(b*g.outC+oc+1)*px], oc)
 				}
 			}
 		})
@@ -620,6 +728,51 @@ func convDotPatches(dst, cols, wv, bias []float32, g *convGeom, b, oc, groups, p
 			acc += col[i] * wk
 		}
 		outPlane[j] = acc
+	}
+}
+
+// convDotPatchesBlock computes up to four (batch, output-channel)
+// planes of one group in a single pass over the patch matrix. The
+// accumulators are independent — each output element still receives its
+// taps in the interpreter's (ic, ky, kx) order, so every plane is
+// bitwise identical to the single-channel form — but their add chains
+// interleave, hiding the float-add latency a lone serial chain stalls
+// on, and each patch row is loaded once for the whole block.
+func convDotPatchesBlock(dst, cols, wv, bias []float32, g *convGeom, b, oc0, oc1, groups, px, taps int) {
+	if oc1-oc0 < 4 {
+		for oc := oc0; oc < oc1; oc++ {
+			convDotPatches(dst, cols, wv, bias, g, b, oc, groups, px, taps)
+		}
+		return
+	}
+	grp := oc0 / g.ocPerG
+	colBase := (b*groups + grp) * px * taps
+	w0 := wv[(oc0+0)*taps : (oc0+1)*taps]
+	w1 := wv[(oc0+1)*taps : (oc0+2)*taps]
+	w2 := wv[(oc0+2)*taps : (oc0+3)*taps]
+	w3 := wv[(oc0+3)*taps : (oc0+4)*taps]
+	var b0, b1, b2, b3 float32
+	if bias != nil {
+		b0, b1, b2, b3 = bias[oc0], bias[oc0+1], bias[oc0+2], bias[oc0+3]
+	}
+	out0 := dst[(b*g.outC+oc0)*px : (b*g.outC+oc0+1)*px]
+	out1 := dst[(b*g.outC+oc0+1)*px : (b*g.outC+oc0+2)*px]
+	out2 := dst[(b*g.outC+oc0+2)*px : (b*g.outC+oc0+3)*px]
+	out3 := dst[(b*g.outC+oc0+3)*px : (b*g.outC+oc0+4)*px]
+	for j := 0; j < px; j++ {
+		col := cols[colBase+j*taps : colBase+(j+1)*taps]
+		a0, a1, a2, a3 := b0, b1, b2, b3
+		x0 := w0[:len(col)]
+		x1 := w1[:len(col)]
+		x2 := w2[:len(col)]
+		x3 := w3[:len(col)]
+		for i, c := range col {
+			a0 += c * x0[i]
+			a1 += c * x1[i]
+			a2 += c * x2[i]
+			a3 += c * x3[i]
+		}
+		out0[j], out1[j], out2[j], out3[j] = a0, a1, a2, a3
 	}
 }
 
@@ -718,7 +871,7 @@ func convPlanePointwise(dst, xv, wv, bias []float32, g *convGeom, b, oc int) {
 	}
 }
 
-func bindDense(n *nn.Node, in, out tensor.Shape) (kernelFunc, error) {
+func bindDense(n *nn.Node, in, out tensor.Shape, ep *epilogue) (kernelFunc, error) {
 	if len(in) != 1 {
 		return nil, fmt.Errorf("dense wants [N,features], got per-sample %v", in)
 	}
@@ -735,6 +888,15 @@ func bindDense(n *nn.Node, in, out tensor.Shape) (kernelFunc, error) {
 	var bias []float32
 	if bt := n.Weight(nn.BiasKey); bt != nil {
 		bias = bt.Float32s()
+	}
+	// Fused epilogue, precomposed per output feature: one call per
+	// output scalar next to an inF-long dot is noise.
+	var fs []func(float32) float32
+	if ep != nil {
+		fs = make([]func(float32) float32, outF)
+		for o := range fs {
+			fs[o] = ep.scalar(o)
+		}
 	}
 	unitCost := int64(inF) * 2
 	return func(rc *runCtx, dst []float32, srcs [][]float32) error {
@@ -754,6 +916,9 @@ func bindDense(n *nn.Node, in, out tensor.Shape) (kernelFunc, error) {
 				for i, xi := range xRow {
 					acc += xi * wRow[i]
 				}
+				if fs != nil {
+					acc = fs[o](acc)
+				}
 				dst[r] = acc
 			}
 		})
@@ -761,32 +926,50 @@ func bindDense(n *nn.Node, in, out tensor.Shape) (kernelFunc, error) {
 	}, nil
 }
 
-func bindBatchNorm(n *nn.Node, in tensor.Shape) (kernelFunc, error) {
-	if len(in) != 3 {
-		return nil, fmt.Errorf("batchnorm wants NCHW, got per-sample %v", in)
+// bnScaleShift resolves a batch-norm node's per-channel affine. The
+// lowering pipeline's constant-folding pass materializes it as derived
+// weights (ir.FoldScaleKey/FoldShiftKey); nodes bound outside the
+// pipeline fold on the spot through the same nn.FoldBatchNormStats
+// arithmetic, so both routes are bitwise identical.
+func bnScaleShift(n *nn.Node, c int) (scale, shift []float32, err error) {
+	if st, sh := n.Weight(ir.FoldScaleKey), n.Weight(ir.FoldShiftKey); st != nil && sh != nil {
+		return st.Float32s(), sh.Float32s(), nil
 	}
 	gamma, beta := n.Weight(nn.GammaKey), n.Weight(nn.BetaKey)
 	mean, variance := n.Weight(nn.MeanKey), n.Weight(nn.VarKey)
 	if gamma == nil || beta == nil || mean == nil || variance == nil {
-		return nil, fmt.Errorf("batchnorm missing statistics")
+		return nil, nil, fmt.Errorf("batchnorm missing statistics")
+	}
+	if gamma.NumElements() != c {
+		return nil, nil, fmt.Errorf("batchnorm gamma has %d elements for %d channels", gamma.NumElements(), c)
+	}
+	scale, shift = nn.FoldBatchNormStats(
+		gamma.Float32s(), beta.Float32s(), mean.Float32s(), variance.Float32s(), n.Attrs.Eps)
+	return scale, shift, nil
+}
+
+func bindBatchNorm(n *nn.Node, in tensor.Shape, ep *epilogue) (kernelFunc, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("batchnorm wants NCHW, got per-sample %v", in)
 	}
 	c := in[0]
-	if gamma.NumElements() != c {
-		return nil, fmt.Errorf("batchnorm gamma has %d elements for %d channels", gamma.NumElements(), c)
+	scale, shift, err := bnScaleShift(n, c)
+	if err != nil {
+		return nil, err
 	}
-	eps := n.Attrs.Eps
-	if eps == 0 {
-		eps = 1e-5
+	if len(scale) != c {
+		return nil, fmt.Errorf("batchnorm has %d folded channels for %d channels", len(scale), c)
 	}
-	gv, bv, mv, vv := gamma.Float32s(), beta.Float32s(), mean.Float32s(), variance.Float32s()
-	// Per-channel scale and shift are fixed statistics: fold them once at
-	// compile time instead of on every call.
-	scale := make([]float32, c)
-	shift := make([]float32, c)
-	for i := 0; i < c; i++ {
-		inv := 1 / sqrt32(vv[i]+eps)
-		scale[i] = gv[i] * inv
-		shift[i] = bv[i] - mv[i]*scale[i]
+	// The producer's own affine and any fused tail collapse into the
+	// same per-channel fast paths the conv epilogue uses: the common
+	// batch-norm + ReLU pair runs branch-lean and call-free.
+	reluTail := ep != nil && ep.relu && ep.scale == nil
+	var fs []func(float32) float32
+	if ep != nil && !reluTail {
+		fs = make([]func(float32) float32, c)
+		for ch := range fs {
+			fs[ch] = ep.scalar(ch)
+		}
 	}
 	hw := in[1] * in[2]
 	return func(rc *runCtx, dst []float32, srcs [][]float32) error {
@@ -798,8 +981,24 @@ func bindBatchNorm(n *nn.Node, in tensor.Shape) (kernelFunc, error) {
 				x := xv[base : base+hw]
 				out := dst[base : base+hw]
 				out = out[:len(x)]
-				for i, v := range x {
-					out[i] = v*s + sh
+				switch {
+				case reluTail:
+					for i, v := range x {
+						v = v*s + sh
+						if v < 0 {
+							v = 0
+						}
+						out[i] = v
+					}
+				case fs != nil:
+					f := fs[p%c]
+					for i, v := range x {
+						out[i] = f(v*s + sh)
+					}
+				default:
+					for i, v := range x {
+						out[i] = v*s + sh
+					}
 				}
 			}
 		})

@@ -1,0 +1,272 @@
+package inference
+
+import (
+	"fmt"
+
+	"vedliot/internal/inference/ir"
+	"vedliot/internal/nn"
+	"vedliot/internal/tensor"
+)
+
+// Lower runs the shared lowering pipeline over g: the typed IR is built
+// once and rewritten by the standard pass list (shape inference,
+// constant folding, identity/dead elimination, CSE, activation fusion,
+// precision assignment). Both Compile and CompileQuantized are thin
+// drivers over this one pipeline; a nil schema lowers the pure FP32
+// module, a non-nil schema assigns INT8 precision and marks FP32
+// islands. captureDumps additionally records the textual IR after each
+// pass (the -dump-ir surface of the CLIs and the golden pipeline
+// tests).
+func Lower(g *nn.Graph, schema *nn.QuantSchema, captureDumps bool) (*ir.Module, []ir.PassRecord, error) {
+	cfg := ir.Config{}
+	if schema != nil {
+		cfg.Schema = schema
+		cfg.IntLowering = hasIntLowering
+	}
+	return ir.Lower(g, cfg, captureDumps)
+}
+
+// scaffold is the executable-plan skeleton both engines share: the
+// lowered module's live values mapped onto plan value slots, the
+// declared interface resolved to those slots, and the alias table for
+// debug executions. Everything here is derived deterministically from
+// the module.
+type scaffold struct {
+	vals        []value
+	valOf       []int // module value id -> plan val index, -1 if unused
+	inputNames  []string
+	inputVals   []int
+	outputNames []string
+	outputVals  []int
+	aliases     map[string]int
+}
+
+// buildScaffold maps a lowered module onto plan values with the
+// location policy both engines use: inputs stay in caller tensors,
+// declared outputs get dedicated buffers (they leave the call), and
+// everything else is left for the arena planner.
+func buildScaffold(m *ir.Module) scaffold {
+	live := m.Live()
+	sc := scaffold{
+		valOf:   make([]int, len(m.Values)),
+		aliases: make(map[string]int, len(m.Aliases)),
+	}
+	for i := range sc.valOf {
+		sc.valOf[i] = -1
+	}
+	for _, v := range m.Values {
+		if !live[v.ID] {
+			continue
+		}
+		sc.valOf[v.ID] = len(sc.vals)
+		sc.vals = append(sc.vals, value{name: v.Name, per: v.Shape, elems: v.Elems})
+	}
+	for _, id := range m.Inputs {
+		ev := sc.valOf[id]
+		sc.vals[ev].loc = location{locInput, len(sc.inputVals)}
+		sc.inputNames = append(sc.inputNames, m.Values[id].Name)
+		sc.inputVals = append(sc.inputVals, ev)
+	}
+	for _, o := range m.Outputs {
+		ev := sc.valOf[o.Value]
+		sc.outputNames = append(sc.outputNames, o.Name)
+		sc.outputVals = append(sc.outputVals, ev)
+		if sc.vals[ev].loc.kind == locUnassigned {
+			sc.vals[ev].loc = location{locOutput, len(sc.outputNames) - 1}
+		}
+	}
+	for name, id := range m.Aliases {
+		if ev := sc.valOf[id]; ev >= 0 {
+			sc.aliases[name] = ev
+		}
+	}
+	return sc
+}
+
+// nodeFromOp adapts an IR op to the nn.Node surface the kernel binders
+// read (op kind, attributes, weights).
+func nodeFromOp(op *ir.Op) *nn.Node {
+	return &nn.Node{Name: op.Name, Op: op.Kind, Attrs: op.Attrs, Weights: op.Weights}
+}
+
+// nodeFromFused reconstructs the standalone node a fused epilogue stage
+// was absorbed from (RunAll's unfused expansion re-binds these).
+func nodeFromFused(f *ir.FusedOp) *nn.Node {
+	return &nn.Node{Name: f.Name, Op: f.Kind, Attrs: f.Attrs, Weights: f.Weights}
+}
+
+// buildEpilogue compiles an op's fused chain into the structured
+// epilogue the FP32 kernels inline: an optional leading per-channel
+// affine (the folded batch-norm), then an activation tail — a flagged
+// ReLU (branch-lean, call-free), a composed channel-independent
+// function, or per-channel closures for exotic chains with a second
+// batch-norm. Each stage is applied in chain order to the same float32
+// the unfused step would read, so results are bitwise identical to the
+// unfused plan. channels is the producer's output channel count
+// (conv/batch-norm) or feature count (dense).
+func buildEpilogue(op *ir.Op, channels int) (*epilogue, error) {
+	if len(op.Fused) == 0 {
+		return nil, nil
+	}
+	type stage struct {
+		kind         nn.OpType
+		act          func(float32) float32
+		scale, shift []float32
+	}
+	stages := make([]stage, len(op.Fused))
+	for i := range op.Fused {
+		f := &op.Fused[i]
+		if f.Kind == nn.OpBatchNorm {
+			scale, shift, err := bnScaleShift(nodeFromFused(f), channels)
+			if err != nil {
+				return nil, err
+			}
+			if len(scale) != channels {
+				return nil, fmt.Errorf("fused batchnorm %q has %d channels, want %d", f.Name, len(scale), channels)
+			}
+			stages[i] = stage{kind: f.Kind, scale: scale, shift: shift}
+			continue
+		}
+		fn, _, err := activationFn(nodeFromFused(f))
+		if err != nil {
+			return nil, err
+		}
+		stages[i] = stage{kind: f.Kind, act: fn}
+	}
+	ep := &epilogue{}
+	rest := stages
+	if rest[0].act == nil {
+		ep.scale, ep.shift = rest[0].scale, rest[0].shift
+		rest = rest[1:]
+	}
+	switch {
+	case len(rest) == 0:
+	case len(rest) == 1 && rest[0].kind == nn.OpReLU:
+		ep.relu = true
+	default:
+		perChannel := false
+		for _, st := range rest {
+			if st.act == nil {
+				perChannel = true
+			}
+		}
+		if !perChannel {
+			// Channel-independent activations compose into one function.
+			fns := make([]func(float32) float32, len(rest))
+			for i, st := range rest {
+				fns[i] = st.act
+			}
+			ep.fn = fns[0]
+			for _, f := range fns[1:] {
+				prev, next := ep.fn, f
+				ep.fn = func(v float32) float32 { return next(prev(v)) }
+			}
+			break
+		}
+		tail := rest
+		ep.fnCh = make([]func(float32) float32, channels)
+		for ch := 0; ch < channels; ch++ {
+			c := ch
+			ep.fnCh[ch] = func(v float32) float32 {
+				for _, st := range tail {
+					if st.act != nil {
+						v = st.act(v)
+					} else {
+						v = v*st.scale[c] + st.shift[c]
+					}
+				}
+				return v
+			}
+		}
+	}
+	return ep, nil
+}
+
+// buildEpilogueLUTs composes an op's fused chain into one int8 code
+// table per output channel for the quantized kernels: the producer
+// requantizes to its own (first Pre) mapping and the table recodes from
+// there through each stage's exact lookup — the same tables the unfused
+// steps would apply one by one, composed, so results are bitwise
+// identical. Returns nil for an unfused op.
+func buildEpilogueLUTs(m *ir.Module, op *ir.Op, channels int) ([]*[256]int8, error) {
+	if len(op.Fused) == 0 {
+		return nil, nil
+	}
+	var luts []*[256]int8
+	prevQ := m.Values[op.Fused[0].Pre].QP
+	for i := range op.Fused {
+		f := &op.Fused[i]
+		outQ := m.Values[op.FusedOut(i)].QP
+		var stageTbl func(ch int) *[256]int8
+		if f.Kind == nn.OpBatchNorm {
+			scale, shift, err := bnScaleShift(nodeFromFused(f), channels)
+			if err != nil {
+				return nil, err
+			}
+			if len(scale) != channels {
+				return nil, fmt.Errorf("fused batchnorm %q has %d channels, want %d", f.Name, len(scale), channels)
+			}
+			perCh := make([]*[256]int8, channels)
+			for ch := 0; ch < channels; ch++ {
+				s, sh := scale[ch], shift[ch]
+				perCh[ch] = buildLUT(prevQ, outQ, func(x float32) float32 { return x*s + sh })
+			}
+			stageTbl = func(ch int) *[256]int8 { return perCh[ch] }
+		} else {
+			fn, _, err := activationFn(nodeFromFused(f))
+			if err != nil {
+				return nil, err
+			}
+			shared := buildLUT(prevQ, outQ, fn)
+			stageTbl = func(int) *[256]int8 { return shared }
+		}
+		if luts == nil {
+			luts = make([]*[256]int8, channels)
+			for ch := range luts {
+				luts[ch] = stageTbl(ch)
+			}
+		} else {
+			for ch := range luts {
+				tbl := stageTbl(ch)
+				var next [256]int8
+				for c := range next {
+					next[c] = tbl[int(luts[ch][c])+128]
+				}
+				luts[ch] = &next
+			}
+		}
+		prevQ = outQ
+	}
+	return luts, nil
+}
+
+// opOperands resolves an op's input value ids and per-sample shapes in
+// plan terms.
+func opOperands(sc *scaffold, op *ir.Op) (ins []int, inPer []tensor.Shape) {
+	ins = make([]int, len(op.Ins))
+	inPer = make([]tensor.Shape, len(op.Ins))
+	for i, in := range op.Ins {
+		ins[i] = sc.valOf[in]
+		inPer[i] = sc.vals[ins[i]].per
+	}
+	return ins, inPer
+}
+
+// channelCount is the per-sample leading dimension an epilogue indexes
+// by: output channels for NCHW producers, features for dense.
+func channelCount(per tensor.Shape) int {
+	if len(per) == 0 {
+		return 1
+	}
+	return per[0]
+}
+
+// compileError wraps a kernel-binding failure with the op identity, the
+// shared error shape of both compilers.
+func compileError(op *ir.Op, quantized bool, err error) error {
+	kind := "compile"
+	if quantized {
+		kind = "compile quantized"
+	}
+	return fmt.Errorf("inference: %s node %q (%s): %w", kind, op.Name, op.Kind, err)
+}

@@ -83,11 +83,47 @@ func withPrecision(g *nn.Graph, dt tensor.DType) *nn.Graph {
 	return c
 }
 
+// multiHeadNet builds a two-input, three-output graph: two trunks with
+// fused conv→BN→act epilogues joined by an add, one head reading the
+// shared trunk, plus a head that is itself a fused producer's output
+// and an output that is also consumed downstream. This pins the fused
+// FP32 path on the shapes the single-head example graphs miss.
+func multiHeadNet() *nn.Graph {
+	b := nn.NewBuilder("multi-head", nn.BuildOptions{Weights: true, Seed: 21})
+	left := b.Input("left", 1, 16, 16)
+	right := b.Input("right", 1, 16, 16)
+	l := b.ConvBNAct(left, 1, 8, 3, 1, 1, nn.OpReLU)
+	r := b.ConvBNAct(right, 1, 8, 3, 1, 1, nn.OpHSwish)
+	trunk := b.Add(l, r)
+	headA := b.ConvBNAct(trunk, 8, 8, 3, 1, 1, nn.OpReLU)
+	headB := b.Conv(trunk, 8, 4, 1, 1, 0)
+	// headA is an output AND feeds headC: its value must stay valid.
+	headC := b.ConvBNAct(headA, 8, 4, 3, 2, 1, nn.OpReLU6)
+	return b.Graph(headA, headB, headC)
+}
+
+// islandNet builds a graph with a mid-graph softmax between dense
+// layers: in the INT8 plan the softmax is an FP32 island between
+// integer steps, and in the FP32 plan the dense producers before and
+// after it carry fused activations.
+func islandNet() *nn.Graph {
+	b := nn.NewBuilder("island", nn.BuildOptions{Weights: true, Seed: 22})
+	x := b.Input("input", 12)
+	x = b.Dense(x, 12, 16)
+	x = b.Act(x, nn.OpReLU)
+	x = b.Softmax(x) // mid-graph: island in the INT8 plan
+	x = b.Dense(x, 16, 6)
+	x = b.Act(x, nn.OpTanh)
+	x = b.Dense(x, 6, 4)
+	x = b.Softmax(x)
+	return b.Graph(x)
+}
+
 // TestEngineParityOnExampleGraphs compiles every example topology at
 // FP32, FP16 and INT8 weight precision and checks Engine.Run against
 // the legacy interpreter within parityTol.
 func TestEngineParityOnExampleGraphs(t *testing.T) {
-	for _, base := range exampleGraphs() {
+	for _, base := range append(exampleGraphs(), multiHeadNet(), islandNet()) {
 		for _, dt := range []tensor.DType{tensor.FP32, tensor.FP16, tensor.INT8} {
 			t.Run(fmt.Sprintf("%s/%s", base.Name, dt), func(t *testing.T) {
 				g := withPrecision(base, dt)
@@ -99,10 +135,12 @@ func TestEngineParityOnExampleGraphs(t *testing.T) {
 				if err != nil {
 					t.Fatalf("interpreter: %v", err)
 				}
-				inNode := g.Node(g.Inputs[0])
-				in := tensor.New(tensor.FP32, append(tensor.Shape{2}, inNode.Attrs.Shape...)...)
-				fillInput(in, int(dt)+1)
-				inputs := map[string]*tensor.Tensor{g.Inputs[0]: in}
+				inputs := make(map[string]*tensor.Tensor, len(g.Inputs))
+				for i, name := range g.Inputs {
+					in := tensor.New(tensor.FP32, append(tensor.Shape{2}, g.Node(name).Attrs.Shape...)...)
+					fillInput(in, int(dt)+1+i)
+					inputs[name] = in
+				}
 				want, err := it.Run(inputs)
 				if err != nil {
 					t.Fatalf("interpreter run: %v", err)
@@ -126,4 +164,135 @@ func TestEngineParityOnExampleGraphs(t *testing.T) {
 			})
 		}
 	}
+}
+
+// TestEngineRunAllCoversFusedValues checks that RunAll on a fused plan
+// still materializes every graph node's activation — including the
+// pre-epilogue values fusion eliminates from Run — bitwise equal to the
+// interpreter. Calibration depends on this.
+func TestEngineRunAllCoversFusedValues(t *testing.T) {
+	for _, g := range []*nn.Graph{multiHeadNet(), islandNet()} {
+		eng, err := Compile(g)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		it, err := NewInterpreter(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs := make(map[string]*tensor.Tensor, len(g.Inputs))
+		for i, name := range g.Inputs {
+			in := tensor.New(tensor.FP32, append(tensor.Shape{2}, g.Node(name).Attrs.Shape...)...)
+			fillInput(in, 3+i)
+			inputs[name] = in
+		}
+		want, err := it.RunAll(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.RunAll(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: RunAll returned %d activations, want %d", g.Name, len(got), len(want))
+		}
+		for name, w := range want {
+			d, err := tensor.MaxAbsDiff(w, got[name])
+			if err != nil {
+				t.Fatalf("%s/%s: %v", g.Name, name, err)
+			}
+			if d != 0 {
+				t.Errorf("%s/%s: RunAll diverges by %g", g.Name, name, d)
+			}
+		}
+	}
+}
+
+// TestQuantEngineIslandGraph lowers the mid-graph-softmax topology to
+// the INT8 plan: both softmax ops must run as FP32 islands, the fused
+// dense+activation steps around them stay native, and outputs track the
+// FP32 engine within INT8 resolution.
+func TestQuantEngineIslandGraph(t *testing.T) {
+	g := islandNet()
+	samples, err := nn.SyntheticCalibration(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := calibrateVia(g, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := CompileQuantized(g, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.FallbackSteps(); got != 2 {
+		t.Errorf("fallback steps = %d, want 2 (both softmax ops)", got)
+	}
+	ref, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := nn.SyntheticInput(g, 4, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := q.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, out := range g.Outputs {
+		d, err := tensor.MaxAbsDiff(want[out], got[out])
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The final softmax keeps values in [0,1]; INT8 resolution
+		// bounds the divergence well under 0.1.
+		if d > 0.1 {
+			t.Errorf("output %s diverges by %g", out, d)
+		}
+	}
+}
+
+// calibrateVia derives an activation schema exactly as optimize.
+// Calibrate does, without importing optimize (the inference package
+// cannot): compile, RunAll per sample, fold per-value ranges into
+// affine INT8 mappings.
+func calibrateVia(g *nn.Graph, samples []map[string]*tensor.Tensor) (*nn.QuantSchema, error) {
+	eng, err := Compile(g)
+	if err != nil {
+		return nil, err
+	}
+	ranges := make(map[string][2]float32)
+	for _, sample := range samples {
+		acts, err := eng.RunAll(sample)
+		if err != nil {
+			return nil, err
+		}
+		for name, tt := range acts {
+			lo, hi := tt.MinMax()
+			r, ok := ranges[name]
+			if !ok {
+				ranges[name] = [2]float32{lo, hi}
+				continue
+			}
+			if lo < r[0] {
+				r[0] = lo
+			}
+			if hi > r[1] {
+				r[1] = hi
+			}
+			ranges[name] = r
+		}
+	}
+	s := nn.NewQuantSchema(g.Name)
+	for name, r := range ranges {
+		s.Set(name, tensor.AffineParams(r[0], r[1]))
+	}
+	return s, nil
 }

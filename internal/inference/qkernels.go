@@ -29,26 +29,42 @@ import (
 
 // errNoQuantKernel reports an op without a native integer lowering; the
 // compiler wraps the FP32 kernel in a dequantize/requantize island.
+// ir's precision-assignment pass predicts this set via hasIntLowering
+// and marks such ops as islands up front; the error remains as the
+// binder-level ground truth.
 var errNoQuantKernel = errors.New("no quantized kernel")
 
-// fusableProducer reports ops whose requantization loop can absorb a
-// following element-wise activation as a fused table lookup.
-func fusableProducer(op nn.OpType) bool {
-	return op == nn.OpConv || op == nn.OpDepthwiseConv || op == nn.OpDense
+// hasIntLowering reports whether the quantized binder set has a native
+// integer kernel for (op, arity) — the predicate the lowering
+// pipeline's precision-assignment pass uses to mark FP32 islands. It
+// must stay in sync with bindQuantKernel's switch.
+func hasIntLowering(op nn.OpType, arity int) bool {
+	switch op {
+	case nn.OpSoftmax:
+		return false
+	case nn.OpMul:
+		// Two-operand products fit the int32 accumulator; higher arity
+		// falls back to the FP32 island.
+		return arity == 2
+	}
+	return true
 }
 
 // bindQuantKernel resolves a node to an int8 kernel closure given the
 // per-sample shapes and the schema's quantization params of its inputs
 // and output. post, when non-nil, is a fused activation recode applied
-// inside the producer's requantization loop (conv/dense only).
-func bindQuantKernel(n *nn.Node, ins []tensor.Shape, out tensor.Shape, inQ []tensor.QuantParams, outQ tensor.QuantParams, post *[256]int8) (qkernelFunc, error) {
+// inside the producer's requantization loop (conv/dense) or composed
+// into the per-channel tables (batch-norm) — exactly the table the
+// standalone activation step would apply, so fusion is bitwise
+// invisible.
+func bindQuantKernel(n *nn.Node, ins []tensor.Shape, out tensor.Shape, inQ []tensor.QuantParams, outQ tensor.QuantParams, post []*[256]int8) (qkernelFunc, error) {
 	switch n.Op {
 	case nn.OpConv, nn.OpDepthwiseConv:
 		return bindQuantConv(n, ins[0], out, inQ[0], outQ, post)
 	case nn.OpDense:
 		return bindQuantDense(n, ins[0], out, inQ[0], outQ, post)
 	case nn.OpBatchNorm:
-		return bindQuantBatchNorm(n, ins[0], inQ[0], outQ)
+		return bindQuantBatchNorm(n, ins[0], inQ[0], outQ, post)
 	case nn.OpReLU, nn.OpReLU6, nn.OpLeakyReLU, nn.OpSigmoid, nn.OpTanh,
 		nn.OpHSwish, nn.OpHSigmoid, nn.OpMish:
 		return bindQuantActivation(n, inQ[0], outQ)
@@ -151,7 +167,16 @@ type qconv struct {
 	req    []tensor.Requant
 	zpIn   int32
 	zpOut  int32
-	post   *[256]int8 // fused activation recode, nil when unfused
+	post   []*[256]int8 // per-channel fused-epilogue recode, nil when unfused
+}
+
+// postFor returns the fused-epilogue recode table for output channel
+// oc, or nil when unfused.
+func (p *qconv) postFor(oc int) *[256]int8 {
+	if p.post == nil {
+		return nil
+	}
+	return p.post[oc]
 }
 
 // widenCodes converts int8 weight codes to the int16 operand form of
@@ -179,7 +204,7 @@ func requantRow(out []int8, acc []int32, req tensor.Requant, zpOut int32, post *
 	}
 }
 
-func bindQuantConv(n *nn.Node, in, out tensor.Shape, inQ, outQ tensor.QuantParams, post *[256]int8) (qkernelFunc, error) {
+func bindQuantConv(n *nn.Node, in, out tensor.Shape, inQ, outQ tensor.QuantParams, post []*[256]int8) (qkernelFunc, error) {
 	g, w, err := convGeometry(n, in, out)
 	if err != nil {
 		return nil, err
@@ -333,7 +358,10 @@ func qconvDotPatches(dst []int8, cols []int16, p *qconv, b, oc, groups, px, taps
 	bias := p.bias32[oc]
 	req := p.req[oc]
 	zpOut := p.zpOut
-	post := p.post
+	var post *[256]int8
+	if p.post != nil {
+		post = p.post[oc]
+	}
 	outPlane := dst[(b*g.outC+oc)*px : (b*g.outC+oc+1)*px]
 	for j := range outPlane {
 		col := cols[colBase+j*taps : colBase+(j+1)*taps]
@@ -415,7 +443,7 @@ func qconvPlane(dst []int8, x16 []int16, p *qconv, acc []int32, b, oc int) {
 			}
 		}
 	}
-	requantRow(dst[(b*g.outC+oc)*px:(b*g.outC+oc+1)*px], plane, p.req[oc], p.zpOut, p.post)
+	requantRow(dst[(b*g.outC+oc)*px:(b*g.outC+oc+1)*px], plane, p.req[oc], p.zpOut, p.postFor(oc))
 }
 
 // qconvTapSame accumulates one kernel tap into a stride-1, same-size
@@ -495,10 +523,10 @@ func qconvPlanePointwise(dst []int8, x16 []int16, p *qconv, acc []int32, b, oc i
 		xPlane := x16[(b*g.inC+icBase+ic)*hw : (b*g.inC+icBase+ic+1)*hw]
 		tensor.AxpyInt16(plane, xPlane, w)
 	}
-	requantRow(dst[(b*g.outC+oc)*hw:(b*g.outC+oc+1)*hw], plane, p.req[oc], p.zpOut, p.post)
+	requantRow(dst[(b*g.outC+oc)*hw:(b*g.outC+oc+1)*hw], plane, p.req[oc], p.zpOut, p.postFor(oc))
 }
 
-func bindQuantDense(n *nn.Node, in, out tensor.Shape, inQ, outQ tensor.QuantParams, post *[256]int8) (qkernelFunc, error) {
+func bindQuantDense(n *nn.Node, in, out tensor.Shape, inQ, outQ tensor.QuantParams, post []*[256]int8) (qkernelFunc, error) {
 	if len(in) != 1 {
 		return nil, fmt.Errorf("dense wants [N,features], got per-sample %v", in)
 	}
@@ -544,7 +572,7 @@ func bindQuantDense(n *nn.Node, in, out tensor.Shape, inQ, outQ tensor.QuantPara
 				lin := tensor.DotInt16(xRow, wRow) + bias32[o]
 				code := tensor.ClampInt8(zpOut + req[o].Apply(lin))
 				if post != nil {
-					code = post[int(code)+128]
+					code = post[o][int(code)+128]
 				}
 				dst[r] = code
 			}
@@ -557,31 +585,30 @@ func bindQuantDense(n *nn.Node, in, out tensor.Shape, inQ, outQ tensor.QuantPara
 // bindQuantBatchNorm lowers inference-mode normalization to one lookup
 // table per channel: the per-channel affine y = s*x + sh composed with
 // the in/out quantization mappings is still a scalar function of the
-// input code.
-func bindQuantBatchNorm(n *nn.Node, in tensor.Shape, inQ, outQ tensor.QuantParams) (qkernelFunc, error) {
+// input code. A fused activation's recode table composes into each
+// channel table — one lookup where the unfused plan does two.
+func bindQuantBatchNorm(n *nn.Node, in tensor.Shape, inQ, outQ tensor.QuantParams, post []*[256]int8) (qkernelFunc, error) {
 	if len(in) != 3 {
 		return nil, fmt.Errorf("batchnorm wants NCHW, got per-sample %v", in)
 	}
-	gamma, beta := n.Weight(nn.GammaKey), n.Weight(nn.BetaKey)
-	mean, variance := n.Weight(nn.MeanKey), n.Weight(nn.VarKey)
-	if gamma == nil || beta == nil || mean == nil || variance == nil {
-		return nil, fmt.Errorf("batchnorm missing statistics")
-	}
 	c := in[0]
-	if gamma.NumElements() != c {
-		return nil, fmt.Errorf("batchnorm gamma has %d elements for %d channels", gamma.NumElements(), c)
+	scale, shift, err := bnScaleShift(n, c)
+	if err != nil {
+		return nil, err
 	}
-	eps := n.Attrs.Eps
-	if eps == 0 {
-		eps = 1e-5
+	if len(scale) != c {
+		return nil, fmt.Errorf("batchnorm has %d folded channels for %d channels", len(scale), c)
 	}
-	gv, bv, mv, vv := gamma.Float32s(), beta.Float32s(), mean.Float32s(), variance.Float32s()
 	luts := make([]*[256]int8, c)
 	for ch := 0; ch < c; ch++ {
-		inv := 1 / sqrt32(vv[ch]+eps)
-		s := gv[ch] * inv
-		sh := bv[ch] - mv[ch]*s
-		luts[ch] = buildLUT(inQ, outQ, func(x float32) float32 { return x*s + sh })
+		s, sh := scale[ch], shift[ch]
+		lut := buildLUT(inQ, outQ, func(x float32) float32 { return x*s + sh })
+		if post != nil {
+			for i, code := range lut {
+				lut[i] = post[ch][int(code)+128]
+			}
+		}
+		luts[ch] = lut
 	}
 	hw := in[1] * in[2]
 	return func(rc *runCtx, dst []int8, srcs [][]int8) error {

@@ -3,9 +3,9 @@ package inference
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 
+	"vedliot/internal/inference/ir"
 	"vedliot/internal/nn"
 	"vedliot/internal/tensor"
 )
@@ -114,135 +114,104 @@ func (e *QuantEngine) ArenaBytesPerSample() int { return e.arenaPerSample }
 func (e *QuantEngine) FallbackSteps() int { return e.fallbacks }
 
 // CompileQuantized lowers a graph into the native INT8 execution plan
-// under the calibration schema. The pipeline mirrors Compile — one
-// topo-sort, static per-sample shape inference, kernel binding and
-// liveness-based arena planning — but kernel binding quantizes weights
-// to int8 (per output channel, symmetric), folds biases into int32 and
-// precomputes the fixed-point requantization multipliers between
-// layers. Ops without an integer lowering (softmax) are bound through a
-// dequantize→FP32 kernel→requantize wrapper, so coverage is total once
-// the schema covers the graph.
+// under the calibration schema, through the same shared lowering
+// pipeline as Compile (see Lower and the ir package): one deterministic
+// topo-sort, one shape-inference pass, the same rewrites (constant
+// folding, identity/dead elimination, CSE, activation fusion) plus
+// precision assignment, which stamps every value's INT8 mapping and
+// marks ops without an integer lowering as FP32 islands. Kernel binding
+// then quantizes weights to int8 (per output channel, symmetric), folds
+// biases into int32 and precomputes the fixed-point requantization
+// multipliers between layers; islands run through a dequantize→FP32
+// kernel→requantize wrapper, so coverage is total once the schema
+// covers the lowered module.
 //
 // Returns ErrNotQuantizable (wrapped) when the schema is nil or does
-// not cover every graph value, or when the model has no materialized
+// not cover every lowered value, or when the model has no materialized
 // weights; callers that want transparent degradation use
 // QuantizedBackend, which falls back to the FP32 engine.
 func CompileQuantized(g *nn.Graph, schema *nn.QuantSchema, opts ...Option) (*QuantEngine, error) {
-	cfg := config{workers: runtime.GOMAXPROCS(0), threshold: defaultParallelThreshold}
-	for _, o := range opts {
-		o(&cfg)
+	cfg := newConfig(opts)
+	if schema == nil {
+		return nil, fmt.Errorf("%w: nil quant schema", ErrNotQuantizable)
 	}
-	if cfg.workers < 1 {
-		cfg.workers = 1
-	}
-	if cfg.threshold < 0 {
-		cfg.threshold = 0
-	}
-	if err := g.Validate(); err != nil {
-		return nil, err
-	}
-	if err := schema.Covers(g); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrNotQuantizable, err)
-	}
-	order, err := g.TopoSort()
+	m, _, err := Lower(g, schema, false)
 	if err != nil {
+		if errors.Is(err, ir.ErrSchemaGap) {
+			return nil, fmt.Errorf("%w: %v", ErrNotQuantizable, err)
+		}
 		return nil, err
 	}
+	return newQuantEngine(m, cfg)
+}
 
-	// Static per-sample shapes, with the same snapshot/restore dance as
-	// Compile so compilation stays observably side-effect free.
-	saved := make([]tensor.Shape, len(g.Nodes))
-	for i, n := range g.Nodes {
-		saved[i] = n.OutShape
+// newQuantEngine binds a lowered INT8 module to integer kernels and
+// plans its (one byte per element) arena.
+func newQuantEngine(m *ir.Module, cfg config) (*QuantEngine, error) {
+	sc := buildScaffold(m)
+	e := &QuantEngine{
+		name:        m.Name,
+		cfg:         cfg,
+		vals:        sc.vals,
+		inputNames:  sc.inputNames,
+		inputVals:   sc.inputVals,
+		outputNames: sc.outputNames,
+		outputVals:  sc.outputVals,
 	}
-	if err := g.InferShapes(1); err != nil {
-		return nil, fmt.Errorf("inference: compile quantized %q: %w", g.Name, err)
-	}
-	per := make(map[string]tensor.Shape, len(order))
-	for _, n := range order {
-		per[n.Name] = n.OutShape[1:].Clone()
-	}
-	for i, n := range g.Nodes {
-		n.OutShape = saved[i]
-	}
-
-	e := &QuantEngine{name: g.Name, cfg: cfg}
-	id := make(map[string]int, len(order))
-	for _, n := range order {
-		p := per[n.Name]
-		e.vals = append(e.vals, value{name: n.Name, per: p, elems: p.NumElements()})
-		q, _ := schema.Params(n.Name)
-		e.qp = append(e.qp, q)
-		id[n.Name] = len(e.vals) - 1
-	}
-	for _, name := range g.Inputs {
-		v := id[name]
-		e.vals[v].loc = location{locInput, len(e.inputVals)}
-		e.inputNames = append(e.inputNames, name)
-		e.inputVals = append(e.inputVals, v)
-	}
-	for _, name := range g.Outputs {
-		v := id[name]
-		e.outputNames = append(e.outputNames, name)
-		e.outputVals = append(e.outputVals, v)
-		if e.vals[v].loc.kind == locUnassigned {
-			e.vals[v].loc = location{locOutput, len(e.outputNames) - 1}
+	e.qp = make([]tensor.QuantParams, len(e.vals))
+	for id, ev := range sc.valOf {
+		if ev >= 0 {
+			e.qp[ev] = m.Values[id].QP
 		}
 	}
-	// Activation fusion: a conv/dense whose only consumer is an
-	// element-wise activation emits the activation's codes directly —
-	// the activation becomes one extra table lookup inside the
-	// requantization loop instead of a separate pass over the tensor.
-	// The intermediate pre-activation value never materializes.
-	consumers := g.Consumers()
-	isOutput := make(map[string]bool, len(g.Outputs))
-	for _, name := range g.Outputs {
-		isOutput[name] = true
-	}
-	fusedAway := make(map[string]bool)
-	for _, n := range order {
-		if n.Op == nn.OpInput || fusedAway[n.Name] {
+	for _, op := range m.Ops {
+		if op.Kind == nn.OpInput {
 			continue
 		}
-		ins := make([]int, len(n.Inputs))
-		inPer := make([]tensor.Shape, len(n.Inputs))
-		inQ := make([]tensor.QuantParams, len(n.Inputs))
-		for i, in := range n.Inputs {
-			ins[i] = id[in]
-			inPer[i] = e.vals[id[in]].per
-			inQ[i] = e.qp[id[in]]
+		ins, inPer := opOperands(&sc, op)
+		inQ := make([]tensor.QuantParams, len(ins))
+		for i, in := range ins {
+			inQ[i] = e.qp[in]
 		}
-		outV := id[n.Name]
-		var post *[256]int8
-		if fusableProducer(n.Op) && !isOutput[n.Name] {
-			if cs := consumers[n.Name]; len(cs) == 1 {
-				if act := g.Node(cs[0]); act != nil && !isOutput[n.Name] {
-					if f, _, aerr := activationFn(act); aerr == nil {
-						// Compose: requantize to the pre-activation
-						// mapping, then recode through the activation.
-						post = buildLUT(e.qp[outV], e.qp[id[act.Name]], f)
-						outV = id[act.Name]
-						fusedAway[act.Name] = true
-					}
-				}
+		n := nodeFromOp(op)
+		out := sc.valOf[op.Out]
+		var kern qkernelFunc
+		var err error
+		if !op.Island {
+			// The producer requantizes to its own (pre-epilogue)
+			// mapping; a fused chain recodes from there through the
+			// composed per-channel lookup tables — the same tables the
+			// standalone stages would apply one by one.
+			outQ := e.qp[out]
+			post, perr := buildEpilogueLUTs(m, op, channelCount(e.vals[out].per))
+			if perr != nil {
+				return nil, compileError(op, true, perr)
 			}
+			if post != nil {
+				outQ = m.Values[op.Fused[0].Pre].QP
+			}
+			kern, err = bindQuantKernel(n, inPer, e.vals[out].per, inQ, outQ, post)
 		}
-		kern, err := bindQuantKernel(n, inPer, e.vals[outV].per, inQ, e.qp[id[n.Name]], post)
-		if errors.Is(err, errNoQuantKernel) {
+		if op.Island || errors.Is(err, errNoQuantKernel) {
 			// No integer lowering: run the FP32 kernel inside a
-			// dequantize/requantize island.
-			fk, ferr := bindKernel(n, inPer, e.vals[outV].per)
-			if ferr != nil {
-				return nil, fmt.Errorf("inference: compile quantized node %q (%s): %w", n.Name, n.Op, ferr)
+			// dequantize/requantize island. A fused op must never reach
+			// this path — the bare producer would silently skip its
+			// epilogue — so it is a compile error, not a fallback.
+			if len(op.Fused) > 0 {
+				return nil, compileError(op, true, fmt.Errorf("fused op has no integer lowering"))
 			}
-			kern = wrapFP32Fallback(fk, inPer, e.vals[outV].per, inQ, e.qp[outV])
+			fk, ferr := bindKernel(n, inPer, e.vals[out].per, nil)
+			if ferr != nil {
+				return nil, compileError(op, true, ferr)
+			}
+			kern = wrapFP32Fallback(fk, inPer, e.vals[out].per, inQ, e.qp[out])
 			e.fallbacks++
 			err = nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("inference: compile quantized node %q (%s): %w", n.Name, n.Op, err)
+			return nil, compileError(op, true, err)
 		}
-		e.steps = append(e.steps, qstep{name: n.Name, op: n.Op, out: outV, ins: ins, kern: kern})
+		e.steps = append(e.steps, qstep{name: op.Name, op: op.Kind, out: out, ins: ins, kern: kern})
 	}
 	steps := make([]planStep, len(e.steps))
 	for i, st := range e.steps {
@@ -353,9 +322,9 @@ func (e *QuantEngine) Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.
 			})
 			result[e.outputNames[i]] = t
 		case locInput:
-			// A graph output that is an input node passes through
-			// unquantized, as in the FP32 engine.
-			result[e.outputNames[i]] = inputs[e.outputNames[i]]
+			// A graph output that resolves to an input value passes
+			// through unquantized, as in the FP32 engine.
+			result[e.outputNames[i]] = inputs[e.inputNames[loc.idx]]
 		}
 	}
 	putBuf(&e.arenas, arena)

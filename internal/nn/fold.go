@@ -1,0 +1,39 @@
+package nn
+
+// FoldBatchNormStats precomputes inference-mode batch normalization as
+// one per-channel affine y = scale*x + shift from the four statistic
+// tensors. It is the single source of this arithmetic: the reference
+// interpreter, the compiled engines' kernel binders and the lowering
+// IR's constant-folding pass all call it, so folding at compile time is
+// bitwise identical to folding at run time.
+func FoldBatchNormStats(gamma, beta, mean, variance []float32, eps float32) (scale, shift []float32) {
+	if eps == 0 {
+		eps = 1e-5
+	}
+	scale = make([]float32, len(gamma))
+	shift = make([]float32, len(gamma))
+	for i := range gamma {
+		inv := 1 / sqrt32(variance[i]+eps)
+		scale[i] = gamma[i] * inv
+		shift[i] = beta[i] - mean[i]*scale[i]
+	}
+	return scale, shift
+}
+
+// sqrt32 is a pure-float32 Newton square root, kept independent of
+// math.Sqrt's float64 rounding so folded batch-norm results are exactly
+// reproducible.
+func sqrt32(v float32) float32 {
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	for i := 0; i < 32; i++ {
+		nx := 0.5 * (x + v/x)
+		if nx == x {
+			break
+		}
+		x = nx
+	}
+	return x
+}

@@ -273,6 +273,13 @@ func (g *Graph) Validate() error {
 
 // TopoSort returns the nodes in a topological order (inputs before
 // consumers) or an error if the graph has a cycle.
+//
+// The order is fully deterministic and depends only on the graph's
+// structure, not on node insertion order: nodes are sorted by longest
+// path from the graph's entries, with ties broken by node name. An edge
+// u→v implies depth(v) > depth(u), so the sort is a valid topological
+// order — and the same graph always lowers to the same IR dump, step
+// list and arena layout, byte for byte.
 func (g *Graph) TopoSort() ([]*Node, error) {
 	const (
 		white = 0
@@ -280,7 +287,7 @@ func (g *Graph) TopoSort() ([]*Node, error) {
 		black = 2
 	)
 	state := make(map[string]int, len(g.Nodes))
-	order := make([]*Node, 0, len(g.Nodes))
+	depth := make(map[string]int, len(g.Nodes))
 	var visit func(n *Node) error
 	visit = func(n *Node) error {
 		switch state[n.Name] {
@@ -290,6 +297,7 @@ func (g *Graph) TopoSort() ([]*Node, error) {
 			return nil
 		}
 		state[n.Name] = gray
+		d := 0
 		for _, in := range n.Inputs {
 			dep := g.byName[in]
 			if dep == nil {
@@ -298,9 +306,12 @@ func (g *Graph) TopoSort() ([]*Node, error) {
 			if err := visit(dep); err != nil {
 				return err
 			}
+			if dd := depth[dep.Name] + 1; dd > d {
+				d = dd
+			}
 		}
 		state[n.Name] = black
-		order = append(order, n)
+		depth[n.Name] = d
 		return nil
 	}
 	for _, n := range g.Nodes {
@@ -308,6 +319,14 @@ func (g *Graph) TopoSort() ([]*Node, error) {
 			return nil, err
 		}
 	}
+	order := append([]*Node(nil), g.Nodes...)
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := depth[order[i].Name], depth[order[j].Name]
+		if di != dj {
+			return di < dj
+		}
+		return order[i].Name < order[j].Name
+	})
 	return order, nil
 }
 

@@ -50,8 +50,10 @@ func (s *QuantSchema) Set(name string, q tensor.QuantParams) {
 
 // Covers reports whether the schema has a usable (positive-scale)
 // mapping for every value of g, returning the first gap otherwise. The
-// quantized compiler requires full coverage; partial schemas fall back
-// to FP32 execution.
+// quantized compiler checks coverage over the values that survive
+// lowering (values eliminated by rewrites need no mapping); Covers
+// remains the conservative whole-graph check for callers validating a
+// calibration artifact on its own.
 func (s *QuantSchema) Covers(g *Graph) error {
 	if s == nil {
 		return fmt.Errorf("nn: nil quant schema")

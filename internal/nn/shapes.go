@@ -26,6 +26,33 @@ func (g *Graph) InferShapes(batch int) error {
 	return nil
 }
 
+func (g *Graph) inferNode(n *Node, batch int) (tensor.Shape, error) {
+	if n.Op == OpInput {
+		if len(n.Attrs.Shape) == 0 {
+			return nil, fmt.Errorf("input node needs Attrs.Shape")
+		}
+		s := append(tensor.Shape{batch}, n.Attrs.Shape...)
+		if !s.Valid() {
+			return nil, fmt.Errorf("invalid input shape %v", s)
+		}
+		return s, nil
+	}
+	ins := make([]tensor.Shape, len(n.Inputs))
+	for i, name := range n.Inputs {
+		in := g.byName[name]
+		if in == nil {
+			return nil, fmt.Errorf("unknown input %q", name)
+		}
+		if len(in.OutShape) == 0 {
+			return nil, fmt.Errorf("input %q has no inferred shape", in.Name)
+		}
+		ins[i] = in.OutShape
+	}
+	return InferShape(n.Op, n.Attrs, n.Weights, ins)
+}
+
+// inShape returns the inferred shape of node input i (stats accounting
+// reads input geometry after InferShapes).
 func (g *Graph) inShape(n *Node, i int) (tensor.Shape, error) {
 	if i >= len(n.Inputs) {
 		return nil, fmt.Errorf("missing input %d", i)
@@ -44,21 +71,31 @@ func convOut(in, k, pad, stride int) int {
 	return (in+2*pad-k)/stride + 1
 }
 
-func (g *Graph) inferNode(n *Node, batch int) (tensor.Shape, error) {
-	a := n.Attrs
-	switch n.Op {
+// InferShape computes the output shape of one operator application from
+// its input shapes (batch dimension included) and attributes, validating
+// weight shapes when weights are materialized. It is the single shape
+// rule shared by Graph.InferShapes and the lowering IR's shape-inference
+// pass, which runs it over per-sample shapes without mutating any graph.
+// OpInput has no input shapes and is handled by the callers.
+func InferShape(op OpType, a Attrs, weights map[string]*tensor.Tensor, ins []tensor.Shape) (tensor.Shape, error) {
+	in0 := func() (tensor.Shape, error) {
+		if len(ins) == 0 {
+			return nil, fmt.Errorf("missing input 0")
+		}
+		return ins[0], nil
+	}
+	weight := func(key string) *tensor.Tensor {
+		if weights == nil {
+			return nil
+		}
+		return weights[key]
+	}
+	switch op {
 	case OpInput:
-		if len(a.Shape) == 0 {
-			return nil, fmt.Errorf("input node needs Attrs.Shape")
-		}
-		s := append(tensor.Shape{batch}, a.Shape...)
-		if !s.Valid() {
-			return nil, fmt.Errorf("invalid input shape %v", s)
-		}
-		return s, nil
+		return nil, fmt.Errorf("input node shape comes from Attrs.Shape, not InferShape")
 
 	case OpConv, OpDepthwiseConv:
-		in, err := g.inShape(n, 0)
+		in, err := in0()
 		if err != nil {
 			return nil, err
 		}
@@ -70,7 +107,7 @@ func (g *Graph) inferNode(n *Node, batch int) (tensor.Shape, error) {
 			groups = 1
 		}
 		outC := a.OutC
-		if n.Op == OpDepthwiseConv {
+		if op == OpDepthwiseConv {
 			groups = in[1]
 			if outC == 0 {
 				outC = in[1]
@@ -90,7 +127,7 @@ func (g *Graph) inferNode(n *Node, batch int) (tensor.Shape, error) {
 		if oh <= 0 || ow <= 0 {
 			return nil, fmt.Errorf("conv output collapses to %dx%d", oh, ow)
 		}
-		if w := n.Weight(WeightKey); w != nil {
+		if w := weight(WeightKey); w != nil {
 			want := tensor.Shape{outC, in[1] / groups, a.KernelH, a.KernelW}
 			if !w.Shape.Equal(want) {
 				return nil, fmt.Errorf("weight shape %v, want %v", w.Shape, want)
@@ -99,7 +136,7 @@ func (g *Graph) inferNode(n *Node, batch int) (tensor.Shape, error) {
 		return tensor.Shape{in[0], outC, oh, ow}, nil
 
 	case OpDense:
-		in, err := g.inShape(n, 0)
+		in, err := in0()
 		if err != nil {
 			return nil, err
 		}
@@ -109,7 +146,7 @@ func (g *Graph) inferNode(n *Node, batch int) (tensor.Shape, error) {
 		if a.OutC <= 0 {
 			return nil, fmt.Errorf("dense needs OutC")
 		}
-		if w := n.Weight(WeightKey); w != nil {
+		if w := weight(WeightKey); w != nil {
 			want := tensor.Shape{a.OutC, in[1]}
 			if !w.Shape.Equal(want) {
 				return nil, fmt.Errorf("weight shape %v, want %v", w.Shape, want)
@@ -118,7 +155,7 @@ func (g *Graph) inferNode(n *Node, batch int) (tensor.Shape, error) {
 		return tensor.Shape{in[0], a.OutC}, nil
 
 	case OpBatchNorm:
-		in, err := g.inShape(n, 0)
+		in, err := in0()
 		if err != nil {
 			return nil, err
 		}
@@ -128,14 +165,14 @@ func (g *Graph) inferNode(n *Node, batch int) (tensor.Shape, error) {
 		return in.Clone(), nil
 
 	case OpReLU, OpReLU6, OpLeakyReLU, OpSigmoid, OpTanh, OpHSwish, OpHSigmoid, OpMish, OpSoftmax, OpIdentity:
-		in, err := g.inShape(n, 0)
+		in, err := in0()
 		if err != nil {
 			return nil, err
 		}
 		return in.Clone(), nil
 
 	case OpMaxPool, OpAvgPool:
-		in, err := g.inShape(n, 0)
+		in, err := in0()
 		if err != nil {
 			return nil, err
 		}
@@ -153,7 +190,7 @@ func (g *Graph) inferNode(n *Node, batch int) (tensor.Shape, error) {
 		return tensor.Shape{in[0], in[1], oh, ow}, nil
 
 	case OpGlobalAvgPool:
-		in, err := g.inShape(n, 0)
+		in, err := in0()
 		if err != nil {
 			return nil, err
 		}
@@ -163,41 +200,28 @@ func (g *Graph) inferNode(n *Node, batch int) (tensor.Shape, error) {
 		return tensor.Shape{in[0], in[1], 1, 1}, nil
 
 	case OpAdd, OpMul:
-		if len(n.Inputs) < 2 {
-			return nil, fmt.Errorf("%s wants >=2 inputs", n.Op)
+		if len(ins) < 2 {
+			return nil, fmt.Errorf("%s wants >=2 inputs", op)
 		}
-		first, err := g.inShape(n, 0)
-		if err != nil {
-			return nil, err
-		}
-		for i := 1; i < len(n.Inputs); i++ {
-			s, err := g.inShape(n, i)
-			if err != nil {
-				return nil, err
-			}
-			if !s.Equal(first) && !broadcastableChannel(first, s) {
-				return nil, fmt.Errorf("input %d shape %v incompatible with %v", i, s, first)
+		first := ins[0]
+		for i := 1; i < len(ins); i++ {
+			if !ins[i].Equal(first) && !broadcastableChannel(first, ins[i]) {
+				return nil, fmt.Errorf("input %d shape %v incompatible with %v", i, ins[i], first)
 			}
 		}
 		return first.Clone(), nil
 
 	case OpConcat:
-		if len(n.Inputs) < 2 {
+		if len(ins) < 2 {
 			return nil, fmt.Errorf("concat wants >=2 inputs")
 		}
-		first, err := g.inShape(n, 0)
-		if err != nil {
-			return nil, err
-		}
+		first := ins[0]
 		if len(first) != 4 {
 			return nil, fmt.Errorf("concat wants NCHW, got %v", first)
 		}
 		out := first.Clone()
-		for i := 1; i < len(n.Inputs); i++ {
-			s, err := g.inShape(n, i)
-			if err != nil {
-				return nil, err
-			}
+		for i := 1; i < len(ins); i++ {
+			s := ins[i]
 			if len(s) != 4 || s[0] != first[0] || s[2] != first[2] || s[3] != first[3] {
 				return nil, fmt.Errorf("concat input %d shape %v incompatible with %v", i, s, first)
 			}
@@ -206,7 +230,7 @@ func (g *Graph) inferNode(n *Node, batch int) (tensor.Shape, error) {
 		return out, nil
 
 	case OpUpsample:
-		in, err := g.inShape(n, 0)
+		in, err := in0()
 		if err != nil {
 			return nil, err
 		}
@@ -219,7 +243,7 @@ func (g *Graph) inferNode(n *Node, batch int) (tensor.Shape, error) {
 		return tensor.Shape{in[0], in[1], in[2] * a.Scale, in[3] * a.Scale}, nil
 
 	case OpFlatten:
-		in, err := g.inShape(n, 0)
+		in, err := in0()
 		if err != nil {
 			return nil, err
 		}
@@ -229,7 +253,7 @@ func (g *Graph) inferNode(n *Node, batch int) (tensor.Shape, error) {
 		}
 		return tensor.Shape{in[0], feat}, nil
 	}
-	return nil, fmt.Errorf("unhandled op %s", n.Op)
+	return nil, fmt.Errorf("unhandled op %s", op)
 }
 
 // broadcastableChannel reports whether b can broadcast onto a as a

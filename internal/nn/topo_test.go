@@ -1,0 +1,90 @@
+package nn
+
+import (
+	"strings"
+	"testing"
+)
+
+// diamondNodes builds the node set of a diamond-with-branches graph:
+// input → two parallel conv branches → add → output, plus a third
+// branch joining late. Returned as a flat slice so tests can insert the
+// same nodes in different orders.
+func diamondNodes() []*Node {
+	return []*Node{
+		{Name: "input", Op: OpInput, Attrs: Attrs{Shape: []int{3, 8, 8}}},
+		{Name: "left", Op: OpReLU, Inputs: []string{"input"}},
+		{Name: "right", Op: OpSigmoid, Inputs: []string{"input"}},
+		{Name: "mid", Op: OpTanh, Inputs: []string{"input"}},
+		{Name: "join", Op: OpAdd, Inputs: []string{"left", "right", "mid"}},
+		{Name: "out", Op: OpReLU, Inputs: []string{"join"}},
+	}
+}
+
+// TestTopoSortDeterministicAcrossInsertionOrders pins the determinism
+// contract: the topological order depends only on graph structure
+// (longest-path depth, then name), never on the order nodes were added.
+// IR dumps and arena layouts are byte-stable because of this.
+func TestTopoSortDeterministicAcrossInsertionOrders(t *testing.T) {
+	orders := [][]int{
+		{0, 1, 2, 3, 4, 5},
+		{5, 4, 3, 2, 1, 0},
+		{3, 0, 5, 2, 4, 1},
+		{2, 4, 0, 1, 5, 3},
+	}
+	var want string
+	for i, perm := range orders {
+		g := NewGraph("diamond")
+		nodes := diamondNodes()
+		for _, idx := range perm {
+			n := nodes[idx]
+			g.MustAdd(&Node{Name: n.Name, Op: n.Op, Inputs: n.Inputs, Attrs: n.Attrs})
+		}
+		g.Outputs = []string{"out"}
+		order, err := g.TopoSort()
+		if err != nil {
+			t.Fatalf("perm %d: %v", i, err)
+		}
+		names := make([]string, len(order))
+		for j, n := range order {
+			names[j] = n.Name
+		}
+		got := strings.Join(names, ",")
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("perm %d: order %q differs from %q", i, got, want)
+		}
+	}
+	// Equal-depth nodes (the three parallel branches) must appear in
+	// name order.
+	if !strings.Contains(want, "left,mid,right") {
+		t.Errorf("equal-depth tie-break not name-ordered: %q", want)
+	}
+}
+
+// TestTopoSortDepthRespectsEdges checks the order is still topological:
+// every node appears after all of its inputs.
+func TestTopoSortDepthRespectsEdges(t *testing.T) {
+	g := NewGraph("edges")
+	for _, n := range diamondNodes() {
+		g.MustAdd(n)
+	}
+	g.Outputs = []string{"out"}
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[string]int, len(order))
+	for i, n := range order {
+		pos[n.Name] = i
+	}
+	for _, n := range order {
+		for _, in := range n.Inputs {
+			if pos[in] > pos[n.Name] {
+				t.Errorf("node %q at %d precedes its input %q at %d", n.Name, pos[n.Name], in, pos[in])
+			}
+		}
+	}
+}
