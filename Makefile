@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-full test-race bench bench-json bench-gate serve-demo ci
+.PHONY: all build vet test test-full test-race bench bench-json bench-gate serve-demo docs pack-demo ci
 
 all: ci
 
@@ -45,4 +45,24 @@ serve-demo:
 		-modules "SMARC ARM,Jetson Xavier NX" \
 		-model mirror-face -requests 120 -rate 400
 
-ci: vet build test test-race bench-gate
+# pack-demo smoke-checks the artifact path: pack a calibrated model,
+# verify it, and fleet-serve it through the plan cache.
+pack-demo:
+	$(GO) run ./cmd/vedliot-pack pack -model mirror-face -int8 -o mirror-face.vedz
+	$(GO) run ./cmd/vedliot-pack verify mirror-face.vedz
+	$(GO) run ./cmd/vedliot-serve -chassis urecs \
+		-modules "SMARC ARM,SMARC ARM" \
+		-model mirror-face.vedz -requests 120 -rate 400
+	rm -f mirror-face.vedz
+
+# docs gates the documentation front door: formatting, examples build,
+# exported-identifier doc coverage, and the committed golden artifact —
+# exactly what the CI docs job runs.
+docs:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) build ./examples/...
+	$(GO) run ./cmd/docs-check . ./internal/* ./internal/inference/ir
+	$(GO) run ./cmd/vedliot-pack verify internal/artifact/testdata/golden.vedz
+
+ci: vet build docs test test-race bench-gate

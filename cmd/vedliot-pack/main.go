@@ -1,0 +1,169 @@
+// Command vedliot-pack packages, inspects and verifies .vedz
+// deployment artifacts — the toolchain's "optimize once, deploy
+// everywhere" unit (internal/artifact).
+//
+// Usage:
+//
+//	vedliot-pack pack -model mirror-face -o mirror-face.vedz
+//	vedliot-pack pack -model motor -int8 -quantize -o motor.vedz
+//	vedliot-pack inspect mirror-face.vedz
+//	vedliot-pack verify mirror-face.vedz
+//	vedliot-pack list
+//
+// pack builds a zoo model, optionally runs the optimization pipeline
+// (INT8 weight quantization, activation calibration, pruning) and
+// writes the artifact; inspect prints the section table, content
+// digest, provenance and quantization-schema summary; verify re-checks
+// every integrity property (CRCs, canonical byte form, graph validity,
+// schema coverage) and exits non-zero on any failure — the command CI
+// runs over the committed golden artifact.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vedliot/internal/artifact"
+	"vedliot/internal/kenning"
+	"vedliot/internal/nn"
+	"vedliot/internal/optimize"
+	"vedliot/internal/zoo"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "pack":
+		pack(os.Args[2:])
+	case "inspect":
+		inspect(os.Args[2:])
+	case "verify":
+		verify(os.Args[2:])
+	case "list":
+		list()
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: vedliot-pack <pack|inspect|verify|list> [args]
+  pack    -model <zoo entry> -o <file.vedz> [-quantize] [-prune 0.x] [-int8] [-calib n]
+  inspect <file.vedz>
+  verify  <file.vedz>
+  list    (print zoo entries)`)
+	os.Exit(2)
+}
+
+// pack builds the model, runs the selected optimization steps and
+// writes the artifact, printing its digest and section sizes.
+func pack(args []string) {
+	fs := flag.NewFlagSet("pack", flag.ExitOnError)
+	model := fs.String("model", "", "zoo entry to package (see `vedliot-pack list`)")
+	out := fs.String("o", "", "output .vedz path (default <model>.vedz)")
+	quantize := fs.Bool("quantize", false, "post-training INT8 weight quantization (per-channel)")
+	prune := fs.Float64("prune", 0, "magnitude-pruning sparsity (0..1)")
+	int8Schema := fs.Bool("int8", false, "calibrate activations and embed the INT8 schema (native quantized serving)")
+	calib := fs.Int("calib", 4, "calibration batches for -int8")
+	fs.Parse(args)
+	if *model == "" {
+		fatal(fmt.Errorf("pack: -model is required"))
+	}
+	entry, err := zoo.Find(*model)
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = *model + ".vedz"
+	}
+
+	g := entry.Build()
+	cfg := kenning.PipelineConfig{Prune: *prune}
+	if *quantize {
+		cfg.Quantize = true
+		cfg.Granularity = optimize.PerChannel
+	}
+	if *int8Schema {
+		samples, err := nn.SyntheticCalibration(g, *calib)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.CalibrationSamples = samples
+	}
+	rep, err := kenning.RunPipeline(g, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	prov := artifact.Provenance{
+		Tool:           "vedliot-pack",
+		Passes:         rep.AppliedPasses,
+		PrunedSparsity: *prune,
+	}
+	if rep.QuantReport != nil {
+		prov.Quantized = rep.QuantReport.Granularity.String()
+	}
+	m := &artifact.Model{Graph: g, Schema: rep.Schema, Prov: prov}
+	if err := artifact.Save(path, m); err != nil {
+		fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	info, err := artifact.Inspect(data)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("packed %s -> %s (%d bytes)\n", g.Name, path, len(data))
+	fmt.Print(info)
+}
+
+// inspect prints the artifact summary.
+func inspect(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	info, err := artifact.Inspect(data)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(info)
+}
+
+// verify re-checks every integrity property and exits non-zero on any
+// failure.
+func verify(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	m, err := artifact.Verify(data)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("OK %s: %s (%d bytes, model %s, %d nodes)\n",
+		args[0], m.Digest, len(data), m.Graph.Name, len(m.Graph.Nodes))
+}
+
+// list prints the zoo entries pack accepts.
+func list() {
+	for _, e := range zoo.Entries() {
+		fmt.Printf("%-16s %s\n", e.Name, e.About)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vedliot-pack:", err)
+	os.Exit(1)
+}

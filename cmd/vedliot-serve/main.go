@@ -1,15 +1,24 @@
 // Command vedliot-serve drives the fleet-serving layer end to end: it
-// assembles a RECS chassis, deploys a model-zoo entry onto every
-// mounted compute module through the cluster scheduler, replays a
-// synthetic open-loop request trace against the fleet in real time and
-// reports latency, throughput, cost-aware routing and the chassis
-// power view. The same trace is also replayed through the analytic
-// fleet simulation for a modeled-vs-measured comparison.
+// assembles a RECS chassis, deploys a model onto every mounted compute
+// module through the cluster scheduler, replays a synthetic open-loop
+// request trace against the fleet in real time and reports latency,
+// throughput, cost-aware routing and the chassis power view. The same
+// trace is also replayed through the analytic fleet simulation for a
+// modeled-vs-measured comparison.
+//
+// The model is either a zoo entry built in process, or — the
+// production-shaped path — a .vedz deployment artifact packed by
+// vedliot-pack/kenning: the file is loaded into the cluster model
+// registry and replicas deploy through the fleet-wide compiled-plan
+// cache (replica cold-start is load + bind, not calibrate + lower),
+// with the artifact's embedded calibration schema driving INT8-capable
+// modules.
 //
 // Usage:
 //
 //	vedliot-serve -chassis urecs -modules "SMARC ARM,Jetson Xavier NX" \
 //	    -model mirror-face -requests 120 -rate 400
+//	vedliot-serve -model mirror-face.vedz -requests 120
 //	vedliot-serve -list-models
 package main
 
@@ -17,39 +26,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 	"time"
 
+	"vedliot/internal/artifact"
 	"vedliot/internal/cluster"
 	"vedliot/internal/microserver"
 	"vedliot/internal/nn"
 	"vedliot/internal/optimize"
 	"vedliot/internal/tensor"
+	"vedliot/internal/zoo"
 )
-
-// zoo maps servable model-zoo entries (1-in/1-out serving shape) to
-// their constructors; sizes follow the use-case experiments.
-var zoo = map[string]struct {
-	About string
-	Build func() *nn.Graph
-}{
-	"mirror-face": {"smart-mirror face detector (Fig. 5 stage 1)",
-		func() *nn.Graph { return nn.FaceDetectNet(32, nn.BuildOptions{Weights: true, Seed: 91}) }},
-	"mirror-gesture": {"smart-mirror gesture classifier",
-		func() *nn.Graph { return nn.GestureNet(16, 4, nn.BuildOptions{Weights: true, Seed: 77}) }},
-	"mirror-embed": {"smart-mirror face embedding (FaceNet stand-in)",
-		func() *nn.Graph { return nn.FaceEmbedNet(32, 64, nn.BuildOptions{Weights: true, Seed: 23}) }},
-	"motor": {"motor-condition classifier (§V-B)",
-		func() *nn.Graph { return nn.MotorNet(256, 3, nn.BuildOptions{Weights: true, Seed: 31}) }},
-	"arc": {"DC-arc detector (§V-B)",
-		func() *nn.Graph { return nn.ArcNet(256, nn.BuildOptions{Weights: true, Seed: 37}) }},
-}
 
 func main() {
 	chassisName := flag.String("chassis", "urecs", "chassis: urecs, trecs, recsbox")
 	modules := flag.String("modules", "SMARC ARM,Jetson Xavier NX", "comma-separated module names (slot order)")
-	model := flag.String("model", "mirror-face", "model-zoo entry to deploy")
+	model := flag.String("model", "mirror-face", "model-zoo entry or .vedz artifact file to deploy")
 	listModels := flag.Bool("list-models", false, "list servable model-zoo entries")
 	requests := flag.Int("requests", 120, "trace length")
 	rate := flag.Float64("rate", 400, "open-loop arrival rate (req/s)")
@@ -60,20 +52,31 @@ func main() {
 	flag.Parse()
 
 	if *listModels {
-		names := make([]string, 0, len(zoo))
-		for n := range zoo {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
-			fmt.Printf("%-16s %s\n", n, zoo[n].About)
+		for _, e := range zoo.Entries() {
+			fmt.Printf("%-16s %s\n", e.Name, e.About)
 		}
 		return
 	}
 
-	entry, ok := zoo[*model]
-	if !ok {
-		fatal(fmt.Errorf("unknown model %q (see -list-models)", *model))
+	// Resolve the model: a .vedz deployment artifact, or a zoo entry
+	// built in process.
+	var art *artifact.Model
+	var build func() *nn.Graph
+	about := ""
+	if strings.HasSuffix(*model, ".vedz") {
+		m, err := artifact.Load(*model)
+		if err != nil {
+			fatal(err)
+		}
+		art = m
+		about = fmt.Sprintf("artifact %s, %s", *model, m.Digest)
+	} else {
+		entry, err := zoo.Find(*model)
+		if err != nil {
+			fatal(err)
+		}
+		build = entry.Build
+		about = entry.About
 	}
 
 	// Assemble the platform.
@@ -91,11 +94,20 @@ func main() {
 	fmt.Printf("%s (%s tier), %d slots, baseboard %.1f W\n",
 		chassis.Name, chassis.Tier, len(chassis.Slots), chassis.BaseboardW)
 
-	// Build the model first: INT8 serving calibrates it before the
-	// fleet compiles per-module executables.
-	g := entry.Build()
+	// Resolve the model graph and calibration schema first: INT8
+	// serving calibrates (or reuses the artifact's embedded schema)
+	// before the fleet compiles per-module executables.
+	var g *nn.Graph
 	var schema *nn.QuantSchema
-	if *int8Serve {
+	if art != nil {
+		g, schema = art.Graph, art.Schema
+		if schema != nil {
+			fmt.Printf("artifact embeds %d calibrated activation ranges\n", len(schema.Activations))
+		}
+	} else {
+		g = build()
+	}
+	if *int8Serve && schema == nil {
 		var err error
 		if schema, err = calibrate(g); err != nil {
 			fatal(err)
@@ -126,19 +138,38 @@ func main() {
 		slot++
 	}
 
-	// Deploy the fleet.
-	sched := cluster.NewScheduler(chassis, cluster.Config{QueueDepth: *queue, EmulateLatency: *emulate, Schema: schema})
+	// Deploy the fleet: artifacts go through the model registry and
+	// the fleet-wide compiled-plan cache, zoo builds compile per slot.
+	ccfg := cluster.Config{QueueDepth: *queue, EmulateLatency: *emulate, Schema: schema}
+	if art != nil {
+		ccfg.Registry = cluster.NewRegistry()
+		if err := ccfg.Registry.Add(art); err != nil {
+			fatal(err)
+		}
+	}
+	sched := cluster.NewScheduler(chassis, ccfg)
 	defer sched.Close()
-	dep, err := sched.Deploy(g)
+	var dep *cluster.Deployment
+	var err error
+	if art != nil {
+		dep, err = sched.DeployArtifact(g.Name)
+	} else {
+		dep, err = sched.Deploy(g)
+	}
 	if err != nil {
 		fatal(err)
 	}
-	if err := g.InferShapes(1); err != nil {
-		fatal(err)
-	}
-	inShape := g.Node(g.Inputs[0]).OutShape
+	// Input shape from the input node's declared Attrs.Shape — the
+	// artifact graph is registry-shared and read-only, so no
+	// InferShapes (which would write OutShape on every node).
+	inShape := append(tensor.Shape{1}, g.Node(g.Inputs[0]).Attrs.Shape...)
 	fmt.Printf("\ndeployed %s (%s) on %d replicas, input %v\n",
-		g.Name, entry.About, len(dep.Replicas()), inShape)
+		g.Name, about, len(dep.Replicas()), inShape)
+	if art != nil {
+		ps := ccfg.Registry.Plans().Stats()
+		fmt.Printf("plan cache: %d plan(s) compiled for %d replicas (%d cache hit(s))\n",
+			ps.Entries, len(dep.Replicas()), ps.Hits)
+	}
 
 	// Replay the open-loop trace in real time.
 	trace := cluster.OpenLoopTrace(*requests, *rate, *seed)

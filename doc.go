@@ -18,9 +18,20 @@
 // deterministic pass-by-pass textual dumps (kenning -dump-ir,
 // vedliot-bench -dump-ir) pinned by golden tests.
 //
-// See DESIGN.md for the system inventory, the Backend/Engine execution
-// architecture, the lowering IR and pass manager, the
-// quantized-execution path and the per-experiment index;
-// cmd/vedliot-bench regenerates every table and figure, and
-// cmd/bench-gate enforces the committed perf baseline in CI.
+// Deployment is artifact-driven: internal/artifact packages a model
+// (graph, weights, calibrated schema, provenance) into a versioned,
+// CRC-checked, content-digested .vedz file with zero-copy weight
+// loading, and internal/cluster deploys fleets from a model registry
+// through a fleet-wide compiled-plan cache (inference.PlanCache) — a
+// replica cold-start is load + bind, never calibrate + lower.
+// cmd/vedliot-pack packs, inspects and verifies artifacts;
+// cmd/vedliot-serve serves them across heterogeneous chassis.
+//
+// See README.md for the map of the repository and DESIGN.md for the
+// system inventory, the Backend/Engine execution architecture, the
+// lowering IR and pass manager, the quantized-execution path, the
+// artifact wire format and plan-cache invariants, and the
+// per-experiment index; cmd/vedliot-bench regenerates every table and
+// figure, and cmd/bench-gate enforces the committed perf baseline in
+// CI.
 package vedliot

@@ -1,0 +1,339 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+	"unsafe"
+
+	"vedliot/internal/inference"
+	"vedliot/internal/nn"
+	"vedliot/internal/optimize"
+	"vedliot/internal/tensor"
+)
+
+// testModel builds a small weighted CNN with a calibrated schema.
+func testModel(t *testing.T) *Model {
+	t.Helper()
+	g := nn.GestureNet(16, 4, nn.BuildOptions{Weights: true, Seed: 77})
+	samples, err := nn.SyntheticCalibration(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := optimize.Calibrate(g, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Model{
+		Graph:  g,
+		Schema: schema,
+		Prov:   Provenance{Tool: "test", Passes: []string{"fold-batchnorm"}},
+	}
+}
+
+func TestRoundTripDeterministic(t *testing.T) {
+	m := testModel(t)
+	data1, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Digest == "" {
+		t.Fatal("Encode left Digest empty")
+	}
+
+	// Re-encode of the same model is byte-stable.
+	data2, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data1, data2) {
+		t.Fatal("two encodes of the same model differ")
+	}
+
+	// Decode and re-save: byte-stable through a load/save cycle.
+	loaded, err := Decode(data1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Digest != m.Digest {
+		t.Fatalf("digest drifted through decode: %s vs %s", loaded.Digest, m.Digest)
+	}
+	resaved, err := loaded.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data1, resaved) {
+		t.Fatal("re-save of loaded artifact is not byte-identical")
+	}
+
+	// An independently built identical model produces the same digest.
+	again := testModel(t)
+	data3, err := again.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Digest != m.Digest {
+		t.Fatalf("independent builds disagree on digest: %s vs %s", again.Digest, m.Digest)
+	}
+	if !bytes.Equal(data1, data3) {
+		t.Fatal("independent builds encode differently")
+	}
+}
+
+func TestRoundTripPreservesModel(t *testing.T) {
+	m := testModel(t)
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Graph.Name != m.Graph.Name || len(loaded.Graph.Nodes) != len(m.Graph.Nodes) {
+		t.Fatalf("graph shape drifted: %s/%d vs %s/%d",
+			loaded.Graph.Name, len(loaded.Graph.Nodes), m.Graph.Name, len(m.Graph.Nodes))
+	}
+	for i, n := range m.Graph.Nodes {
+		ln := loaded.Graph.Nodes[i]
+		if ln.Name != n.Name || ln.Op != n.Op {
+			t.Fatalf("node %d drifted: %s/%s vs %s/%s", i, ln.Name, ln.Op, n.Name, n.Op)
+		}
+		for _, key := range n.WeightKeys() {
+			w, lw := n.Weight(key), ln.Weight(key)
+			if lw == nil {
+				t.Fatalf("node %s lost weight %s", n.Name, key)
+			}
+			if !lw.Shape.Equal(w.Shape) || lw.DType != w.DType {
+				t.Fatalf("node %s weight %s shape/dtype drifted", n.Name, key)
+			}
+			// Bitwise-identical payloads.
+			for j := range w.F32 {
+				if lw.F32[j] != w.F32[j] {
+					t.Fatalf("node %s weight %s element %d drifted", n.Name, key, j)
+				}
+			}
+		}
+	}
+	if len(loaded.Schema.Activations) != len(m.Schema.Activations) {
+		t.Fatalf("schema drifted: %d vs %d values", len(loaded.Schema.Activations), len(m.Schema.Activations))
+	}
+	for name, q := range m.Schema.Activations {
+		if loaded.Schema.Activations[name] != q {
+			t.Fatalf("schema value %q drifted", name)
+		}
+	}
+	if loaded.Prov.Tool != "test" || len(loaded.Prov.Passes) != 1 {
+		t.Fatalf("provenance drifted: %+v", loaded.Prov)
+	}
+}
+
+// TestLoadedModelCompilesBitwiseIdentical is the deployment contract:
+// an engine compiled from the reloaded artifact produces bitwise the
+// outputs of an engine compiled from the in-process graph — for both
+// the FP32 and the native INT8 plan.
+func TestLoadedModelCompilesBitwiseIdentical(t *testing.T) {
+	m := testModel(t)
+	path := filepath.Join(t.TempDir(), "m.vedz")
+	if err := Save(path, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := nn.SyntheticInput(m.Graph, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, a, b inference.Executable) {
+		t.Helper()
+		wantOuts, err := a.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotOuts, err := b.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for o, want := range wantOuts {
+			if d, _ := tensor.MaxAbsDiff(want, gotOuts[o]); d != 0 {
+				t.Fatalf("%s: output %q differs by %g", name, o, d)
+			}
+		}
+	}
+	srcFP, err := inference.Compile(m.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	artFP, err := inference.Compile(loaded.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("fp32", srcFP, artFP)
+
+	srcQ, err := inference.CompileQuantized(m.Graph, m.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	artQ, err := inference.CompileQuantized(loaded.Graph, loaded.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("int8", srcQ, artQ)
+}
+
+func TestWeightAlignmentAndZeroCopy(t *testing.T) {
+	m := testModel(t)
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs, err := parseSections(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := secs[TagWeights].payload
+	// The weights payload starts at a WeightAlign boundary in the file
+	// image (parseSections returns views, so pointer arithmetic gives
+	// the file offset).
+	start := uintptr(unsafe.Pointer(&data[0]))
+	off := uintptr(unsafe.Pointer(&blob[0])) - start
+	if off%WeightAlign != 0 {
+		t.Fatalf("weights section starts at file offset %d, want %d-aligned", off, WeightAlign)
+	}
+	// On little-endian hosts every weight view aliases the decoded
+	// image — zero-copy loading.
+	if !hostLittleEndian {
+		t.Skip("zero-copy views require a little-endian host")
+	}
+	loaded, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := start + uintptr(len(data))
+	for _, n := range loaded.Graph.Nodes {
+		for _, key := range n.WeightKeys() {
+			w := n.Weight(key)
+			if w.DType != tensor.FP32 || w.NumElements() == 0 {
+				continue
+			}
+			p := uintptr(unsafe.Pointer(&w.F32[0]))
+			if p < start || p >= end {
+				t.Fatalf("node %s weight %s is a copy, want a view into the file image", n.Name, key)
+			}
+			if p%4 != 0 {
+				t.Fatalf("node %s weight %s view misaligned", n.Name, key)
+			}
+		}
+	}
+}
+
+func TestRejectsCorruption(t *testing.T) {
+	m := testModel(t)
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string]func([]byte) []byte{
+		"bad magic": func(b []byte) []byte {
+			b[0] = 'X'
+			return b
+		},
+		"bad version": func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:], 99)
+			return b
+		},
+		"flipped meta byte": func(b []byte) []byte {
+			// First section payload begins after the 12-byte file header
+			// and the 20-byte section header.
+			b[34] ^= 0xff
+			return b
+		},
+		"flipped weight byte": func(b []byte) []byte {
+			b[len(b)-1] ^= 0xff
+			return b
+		},
+		"truncated": func(b []byte) []byte {
+			return b[:len(b)/2]
+		},
+		"truncated header": func(b []byte) []byte {
+			return b[:8]
+		},
+		"trailing garbage": func(b []byte) []byte {
+			return append(b, 0xde, 0xad)
+		},
+	}
+	for name, corrupt := range cases {
+		mutated := corrupt(append([]byte(nil), data...))
+		if _, err := Decode(mutated); err == nil {
+			t.Errorf("%s: Decode accepted corrupted artifact", name)
+		}
+	}
+}
+
+func TestVerifyCanonicalForm(t *testing.T) {
+	m := testModel(t)
+	path := filepath.Join(t.TempDir(), "m.vedz")
+	if err := Save(path, m); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(data); err != nil {
+		t.Fatalf("Verify rejected a freshly saved artifact: %v", err)
+	}
+}
+
+func TestInspect(t *testing.T) {
+	m := testModel(t)
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Inspect(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Digest != m.Digest {
+		t.Fatalf("inspect digest %s, want %s", info.Digest, m.Digest)
+	}
+	if info.Model != m.Graph.Name || info.Nodes != len(m.Graph.Nodes) {
+		t.Fatalf("inspect model summary drifted: %+v", info)
+	}
+	if info.SchemaValues != len(m.Schema.Activations) {
+		t.Fatalf("inspect schema values %d, want %d", info.SchemaValues, len(m.Schema.Activations))
+	}
+	tags := make([]string, len(info.Sections))
+	for i, s := range info.Sections {
+		tags[i] = s.Tag
+	}
+	want := []string{TagMeta, TagGraph, TagSchema, TagWeights}
+	if len(tags) != len(want) {
+		t.Fatalf("sections %v, want %v", tags, want)
+	}
+	for i := range want {
+		if tags[i] != want[i] {
+			t.Fatalf("sections %v, want %v", tags, want)
+		}
+	}
+	if info.String() == "" {
+		t.Fatal("empty info rendering")
+	}
+}
+
+func TestEncodeRejectsInvalidGraph(t *testing.T) {
+	g := nn.NewGraph("broken")
+	m := &Model{Graph: g}
+	if _, err := m.Encode(); err == nil {
+		t.Fatal("Encode accepted an invalid graph")
+	}
+	if _, err := (&Model{}).Encode(); err == nil {
+		t.Fatal("Encode accepted a nil graph")
+	}
+}

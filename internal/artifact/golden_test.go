@@ -1,0 +1,62 @@
+package artifact
+
+import (
+	"os"
+	"testing"
+
+	"vedliot/internal/inference"
+	"vedliot/internal/nn"
+	"vedliot/internal/tensor"
+)
+
+// goldenDigest pins the committed golden artifact
+// (testdata/golden.vedz, produced by
+// `vedliot-pack pack -model tiny -o ...`). Any byte-level drift of the
+// encoder — section order, alignment, weight layout, provenance JSON —
+// changes this digest and fails here by name; bump Version and this
+// constant together when the format deliberately evolves.
+const goldenDigest = "sha256:c67f70728c7dc47e5ecf98180299c9c9028500ac0b7b02613a406ea9ca9194ec"
+
+func TestGoldenArtifact(t *testing.T) {
+	data, err := os.ReadFile("testdata/golden.vedz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Verify(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Digest != goldenDigest {
+		t.Fatalf("golden artifact digest drifted:\n  got  %s\n  want %s\n(format change? bump Version and re-pin)", m.Digest, goldenDigest)
+	}
+	if m.Graph.Name != "tiny" || len(m.Graph.Nodes) != 5 {
+		t.Fatalf("golden model drifted: %s, %d nodes", m.Graph.Name, len(m.Graph.Nodes))
+	}
+	if m.Prov.Tool != "vedliot-pack" {
+		t.Fatalf("golden provenance tool %q", m.Prov.Tool)
+	}
+	// The golden model still compiles and runs.
+	eng, err := inference.Compile(m.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(tensor.FP32, 1, 16)
+	for i := range in.F32 {
+		in.F32[i] = float32(i)/16 - 0.5
+	}
+	if _, err := eng.RunSingle(in); err != nil {
+		t.Fatal(err)
+	}
+	// And an independently rebuilt "tiny" packs to the same digest —
+	// the cross-run determinism the plan cache keys on.
+	rebuilt := &Model{
+		Graph: nn.MLP("tiny", []int{16, 8, 4}, nn.BuildOptions{Weights: true, Seed: 7}),
+		Prov:  m.Prov,
+	}
+	if _, err := rebuilt.Encode(); err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Digest != goldenDigest {
+		t.Fatalf("rebuilt tiny digests to %s, want golden %s", rebuilt.Digest, goldenDigest)
+	}
+}

@@ -1,0 +1,110 @@
+package artifact
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SectionInfo describes one container section as found in the file.
+type SectionInfo struct {
+	// Tag is the 4-byte section tag (TagMeta, TagGraph, ...).
+	Tag string
+	// Bytes is the payload length.
+	Bytes int64
+	// CRC is the stored CRC32-IEEE of the payload.
+	CRC uint32
+}
+
+// Info is the inspection summary of a .vedz file — everything
+// `vedliot-pack inspect` prints.
+type Info struct {
+	// Version is the container format version.
+	Version int
+	// Digest is the whole-file content digest.
+	Digest string
+	// Sections lists the container sections in file order.
+	Sections []SectionInfo
+	// Prov is the decoded provenance section.
+	Prov Provenance
+	// Model is the graph name.
+	Model string
+	// Nodes is the operator count.
+	Nodes int
+	// Params is the total weight element count.
+	Params int64
+	// WeightBytes is the total weight payload size at stored precision.
+	WeightBytes int64
+	// SchemaValues is the number of calibrated activation mappings (0
+	// when the artifact carries no schema).
+	SchemaValues int
+}
+
+// Inspect decodes artifact bytes and summarizes the container: the
+// section table, digest, provenance and model statistics. The bytes
+// are fully verified (magic, version, CRCs, graph validity) in the
+// process — parsed once, with the section table reused for both the
+// model decode and the summary.
+func Inspect(data []byte) (*Info, error) {
+	secs, err := parseSections(data)
+	if err != nil {
+		return nil, err
+	}
+	m, err := decodeSections(secs, DigestBytes(data))
+	if err != nil {
+		return nil, err
+	}
+	info := &Info{
+		Version:     Version,
+		Digest:      m.Digest,
+		Prov:        m.Prov,
+		Model:       m.Graph.Name,
+		Nodes:       len(m.Graph.Nodes),
+		Params:      m.Graph.NumParams(),
+		WeightBytes: m.Graph.WeightBytes(),
+	}
+	if m.Schema != nil {
+		info.SchemaValues = len(m.Schema.Activations)
+	}
+	for _, tag := range []string{TagMeta, TagGraph, TagSchema, TagWeights} {
+		if s, ok := secs[tag]; ok {
+			info.Sections = append(info.Sections, SectionInfo{
+				Tag:   s.tag,
+				Bytes: int64(len(s.payload)),
+				CRC:   s.crc,
+			})
+		}
+	}
+	return info, nil
+}
+
+// String renders the inspection summary as the aligned text block the
+// vedliot-pack CLI prints.
+func (i *Info) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "vedz v%d  %s\n", i.Version, i.Digest)
+	fmt.Fprintf(&b, "model    %s: %d nodes, %d params, %d weight bytes\n",
+		i.Model, i.Nodes, i.Params, i.WeightBytes)
+	if i.Prov.Tool != "" {
+		fmt.Fprintf(&b, "packed   by %s", i.Prov.Tool)
+		if len(i.Prov.Passes) > 0 {
+			fmt.Fprintf(&b, ", passes %v", i.Prov.Passes)
+		}
+		b.WriteByte('\n')
+	}
+	if i.Prov.Quantized != "" {
+		fmt.Fprintf(&b, "weights  INT8 quantized (%s)\n", i.Prov.Quantized)
+	}
+	if i.Prov.PrunedSparsity > 0 {
+		fmt.Fprintf(&b, "pruned   %.1f%% sparsity\n", i.Prov.PrunedSparsity*100)
+	}
+	if i.SchemaValues > 0 {
+		fmt.Fprintf(&b, "schema   %d calibrated activation ranges (native INT8 servable)\n", i.SchemaValues)
+	} else {
+		fmt.Fprintf(&b, "schema   none (FP32 serving)\n")
+	}
+	fmt.Fprintf(&b, "%-8s %12s %10s\n", "section", "bytes", "crc32")
+	for _, s := range i.Sections {
+		fmt.Fprintf(&b, "%-8s %12d   %08x\n", s.Tag, s.Bytes, s.CRC)
+	}
+	return b.String()
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"vedliot/internal/accel"
+	"vedliot/internal/artifact"
 	"vedliot/internal/inference"
 	"vedliot/internal/microserver"
 	"vedliot/internal/nn"
@@ -57,6 +58,10 @@ type Config struct {
 	// quantized engine instead of the FP32 one. Nil keeps every replica
 	// on the FP32 functional path (bit-exact across the fleet).
 	Schema *nn.QuantSchema
+	// Registry supplies deployment artifacts and the fleet-wide
+	// compiled-plan cache for DeployArtifact. Nil schedulers can still
+	// Deploy in-process graphs; artifact deployment requires one.
+	Registry *Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -110,13 +115,47 @@ func BackendForModule(m *microserver.Module, schema *nn.QuantSchema) (inference.
 
 // Deploy places the model on every powered slot of the chassis.
 func (s *Scheduler) Deploy(g *nn.Graph) (*Deployment, error) {
+	return s.DeployOn(g, s.poweredSlots()...)
+}
+
+// DeployArtifact places a registered deployment artifact on every
+// powered slot of the chassis. Unlike Deploy, replicas share compiled
+// plans through the registry's fleet-wide cache keyed by the
+// artifact's content digest: each distinct (digest, backend, schema)
+// lowers once, every further replica binds the cached plan. The
+// artifact's embedded calibration schema drives INT8-capable modules;
+// Config.Schema is the fallback for artifacts without one.
+func (s *Scheduler) DeployArtifact(name string) (*Deployment, error) {
+	return s.DeployArtifactOn(name, s.poweredSlots()...)
+}
+
+// DeployArtifactOn is DeployArtifact restricted to the given chassis
+// slots.
+func (s *Scheduler) DeployArtifactOn(name string, slots ...int) (*Deployment, error) {
+	reg := s.cfg.Registry
+	if reg == nil {
+		return nil, fmt.Errorf("cluster: deploy artifact %q: scheduler has no registry", name)
+	}
+	m, err := reg.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	schema := m.Schema
+	if schema == nil {
+		schema = s.cfg.Schema
+	}
+	return s.deploy(m.Graph, schema, reg.Plans(), m.Digest, artifact.SchemaDigest(schema), slots)
+}
+
+// poweredSlots lists the chassis slots currently powered on.
+func (s *Scheduler) poweredSlots() []int {
 	var slots []int
 	for _, slot := range s.chassis.Slots {
 		if slot.Powered() {
 			slots = append(slots, slot.Index)
 		}
 	}
-	return s.DeployOn(g, slots...)
+	return slots
 }
 
 // DeployOn places the model on the given chassis slots, compiling it
@@ -124,6 +163,14 @@ func (s *Scheduler) Deploy(g *nn.Graph) (*Deployment, error) {
 // Every replica is probed with one warm-up inference, which verifies
 // the backend end to end and seeds the observed-latency estimate.
 func (s *Scheduler) DeployOn(g *nn.Graph, slots ...int) (*Deployment, error) {
+	return s.deploy(g, s.cfg.Schema, nil, "", "", slots)
+}
+
+// deploy is the shared placement path: one replica server per slot,
+// each compiled for its module's backend — directly for in-process
+// graphs, or through the fleet-wide plan cache when deploying an
+// artifact (plans non-nil, digest set).
+func (s *Scheduler) deploy(g *nn.Graph, schema *nn.QuantSchema, plans *inference.PlanCache, digest, schemaDigest string, slots []int) (*Deployment, error) {
 	if len(slots) == 0 {
 		return nil, fmt.Errorf("cluster: deploy %q: no slots", g.Name)
 	}
@@ -157,12 +204,22 @@ func (s *Scheduler) DeployOn(g *nn.Graph, slots ...int) (*Deployment, error) {
 			d.closeReplicas()
 			return nil, fmt.Errorf("cluster: slot %d has no powered module", idx)
 		}
-		backend, err := BackendForModule(mod, s.cfg.Schema)
+		backend, err := BackendForModule(mod, schema)
 		if err != nil {
 			d.closeReplicas()
 			return nil, err
 		}
-		srv, err := microserver.ServeBackend(g, backend, s.cfg.Serve)
+		var srv *microserver.Server
+		if plans != nil {
+			exe, _, cerr := plans.Compile(planKey(digest, backend, schemaDigest), backend, g, s.cfg.Serve.EngineOptions...)
+			if cerr == nil {
+				srv, err = microserver.ServeCompiled(g, exe, backend.Name(), s.cfg.Serve)
+			} else {
+				err = cerr
+			}
+		} else {
+			srv, err = microserver.ServeBackend(g, backend, s.cfg.Serve)
+		}
 		if err != nil {
 			d.closeReplicas()
 			return nil, fmt.Errorf("cluster: slot %d (%s): %w", idx, mod.Name, err)
@@ -320,18 +377,23 @@ func (d *Deployment) Model() string { return d.model }
 func (d *Deployment) Replicas() []*Replica { return d.replicas }
 
 // warmup probes every replica with one zero-input request, verifying
-// the backend end to end and seeding the observed-latency EWMA.
+// the backend end to end and seeding the observed-latency EWMA. Input
+// shapes are read from the input nodes' declared Attrs.Shape — never
+// via InferShapes, which would write OutShape on every node of a graph
+// that, on the DeployArtifact path, is registry-shared across
+// schedulers (and read-only by the artifact contract).
 func (d *Deployment) warmup(g *nn.Graph) error {
-	if err := g.InferShapes(1); err != nil {
-		return err
-	}
 	inputs := make(map[string]*tensor.Tensor, len(d.inputNames))
 	for _, name := range d.inputNames {
 		n := g.Node(name)
 		if n == nil {
 			return fmt.Errorf("cluster: graph %q missing input node %q", g.Name, name)
 		}
-		inputs[name] = tensor.New(tensor.FP32, n.OutShape...)
+		per := n.Attrs.Shape
+		if len(per) == 0 {
+			return fmt.Errorf("cluster: graph %q input %q declares no shape", g.Name, name)
+		}
+		inputs[name] = tensor.New(tensor.FP32, append(tensor.Shape{1}, per...)...)
 	}
 	for _, r := range d.replicas {
 		start := time.Now()

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"vedliot/internal/accel"
+	"vedliot/internal/artifact"
+	"vedliot/internal/inference"
+)
+
+// Registry is the fleet's model registry: deployment artifacts
+// (.vedz models) by name, plus the fleet-wide compiled-plan cache they
+// share. A scheduler with a registry deploys replicas from artifacts —
+// cold-start per replica is load + bind instead of calibrate + lower,
+// because every (artifact digest, backend, schema) triple lowers at
+// most once no matter how many replicas, chassis or schedulers point
+// at the registry.
+type Registry struct {
+	mu     sync.Mutex
+	models map[string]*artifact.Model
+	plans  *inference.PlanCache
+}
+
+// NewRegistry creates an empty registry with a fresh plan cache.
+func NewRegistry() *Registry {
+	return &Registry{models: make(map[string]*artifact.Model), plans: inference.NewPlanCache()}
+}
+
+// Add registers a loaded artifact under its model name. The model must
+// carry a digest (i.e. come from artifact.Load/Decode or a Save) —
+// the digest is the plan-cache identity.
+func (r *Registry) Add(m *artifact.Model) error {
+	if m == nil || m.Graph == nil {
+		return fmt.Errorf("cluster: registry: nil model")
+	}
+	if m.Digest == "" {
+		return fmt.Errorf("cluster: registry: model %q has no content digest (use artifact.Load or Save first)", m.Graph.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.models[m.Graph.Name]; dup {
+		return fmt.Errorf("cluster: registry: model %q already registered", m.Graph.Name)
+	}
+	r.models[m.Graph.Name] = m
+	return nil
+}
+
+// LoadFile loads a .vedz artifact from disk and registers it.
+func (r *Registry) LoadFile(path string) (*artifact.Model, error) {
+	m, err := artifact.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Add(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Get returns the registered model by name.
+func (r *Registry) Get(name string) (*artifact.Model, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.models[name]
+	if !ok {
+		return nil, fmt.Errorf("cluster: registry: model %q not registered", name)
+	}
+	return m, nil
+}
+
+// Names lists the registered model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.models))
+	for n := range r.models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Plans exposes the registry's fleet-wide plan cache (telemetry,
+// direct compilation against registry-managed keys).
+func (r *Registry) Plans() *inference.PlanCache {
+	return r.plans
+}
+
+// planKey builds the compiled-plan identity for deploying one artifact
+// on one backend: the artifact content digest (which covers graph,
+// weights and embedded schema), the backend name, the backend's
+// precision when it is an accelerator (one device model can in
+// principle run at several precisions), and the digest of the
+// activation schema actually used (which can differ from the embedded
+// one when the scheduler's Config overrides it). Everything that
+// changes the lowered plan is in the key — the cache-invalidation
+// invariant DESIGN.md documents.
+func planKey(digest string, b inference.Backend, schemaDigest string) string {
+	key := digest + "|" + b.Name()
+	if ab, ok := b.(*accel.Backend); ok {
+		key += "|" + ab.Precision.String()
+	}
+	if schemaDigest != "" {
+		key += "|" + schemaDigest
+	}
+	return key
+}

@@ -34,6 +34,11 @@ type Requirements struct {
 	Precision tensor.DType
 	// Quantize runs PTQ when the precision is INT8.
 	Quantize bool
+	// CalibrationSamples are inputs run through the optimized graph to
+	// derive the activation QuantSchema (Deployment.Pipeline.Schema) —
+	// the artifact the native INT8 runtime and .vedz deployment
+	// packages consume. Empty skips calibration.
+	CalibrationSamples []map[string]*tensor.Tensor
 	// Prune applies magnitude pruning at this sparsity when > 0.
 	Prune float64
 }
@@ -77,7 +82,7 @@ func PlanDeployment(uc UseCase) (Deployment, error) {
 	}
 
 	// Toolchain (§III): graph surgery, optional pruning + quantization.
-	pcfg := kenning.PipelineConfig{Prune: req.Prune}
+	pcfg := kenning.PipelineConfig{Prune: req.Prune, CalibrationSamples: req.CalibrationSamples}
 	if req.Quantize && req.Precision == tensor.INT8 {
 		pcfg.Quantize = true
 		pcfg.Granularity = optimize.PerChannel

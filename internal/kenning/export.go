@@ -1,0 +1,91 @@
+package kenning
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"vedliot/internal/artifact"
+	"vedliot/internal/inference"
+	"vedliot/internal/nn"
+	"vedliot/internal/tensor"
+)
+
+// ExportTarget is the deployment pipeline's packaging step: Deploy
+// writes the optimized model to a .vedz deployment artifact, reloads
+// it (verifying the round trip end to end) and serves inference from
+// the reloaded copy — so the latency and outputs it reports are those
+// of the artifact a fleet would actually load, not of the in-process
+// graph. With a calibration Schema the artifact embeds the activation
+// ranges and Infer runs on the native INT8 engine.
+type ExportTarget struct {
+	// Path is the .vedz destination file.
+	Path string
+	// Schema is the calibrated activation schema to embed (nil for
+	// FP32-only artifacts).
+	Schema *nn.QuantSchema
+	// Prov seeds the artifact provenance; the model name is always
+	// overwritten from the graph and Tool defaults to "kenning".
+	Prov artifact.Provenance
+	// Options configure compilation of the serving engine.
+	Options []inference.Option
+
+	model *artifact.Model
+	exe   singleRunner
+}
+
+// Name implements Target.
+func (t *ExportTarget) Name() string { return "vedz:" + filepath.Base(t.Path) }
+
+// Deploy implements Target: save, reload, compile the reloaded model.
+func (t *ExportTarget) Deploy(g *nn.Graph) error {
+	if t.Path == "" {
+		return fmt.Errorf("kenning: export target has no path")
+	}
+	prov := t.Prov
+	if prov.Tool == "" {
+		prov.Tool = "kenning"
+	}
+	m := &artifact.Model{Graph: g, Schema: t.Schema, Prov: prov}
+	if err := artifact.Save(t.Path, m); err != nil {
+		return err
+	}
+	loaded, err := artifact.Load(t.Path)
+	if err != nil {
+		return fmt.Errorf("kenning: reload exported artifact: %w", err)
+	}
+	if loaded.Digest != m.Digest {
+		return fmt.Errorf("kenning: exported artifact digest drifted (%s -> %s)", m.Digest, loaded.Digest)
+	}
+	var backend inference.Backend = inference.CPUBackend{}
+	if loaded.Schema != nil {
+		backend = inference.QuantizedBackend{Schema: loaded.Schema}
+	}
+	exe, err := backend.Compile(loaded.Graph, t.Options...)
+	if err != nil {
+		return err
+	}
+	sr, ok := exe.(singleRunner)
+	if !ok {
+		return fmt.Errorf("kenning: backend %s produced an executable without RunSingle", backend.Name())
+	}
+	t.exe = sr
+	t.model = loaded
+	return nil
+}
+
+// Infer implements Target: one inference through the reloaded
+// artifact, measured in wall time.
+func (t *ExportTarget) Infer(in *tensor.Tensor) (*tensor.Tensor, time.Duration, error) {
+	if t.exe == nil {
+		return nil, 0, fmt.Errorf("kenning: target not deployed")
+	}
+	start := time.Now()
+	out, err := t.exe.RunSingle(in)
+	return out, time.Since(start), err
+}
+
+// Model returns the reloaded artifact (digest set), nil before Deploy.
+func (t *ExportTarget) Model() *artifact.Model { return t.model }
+
+var _ Target = (*ExportTarget)(nil)

@@ -1,0 +1,106 @@
+package kenning
+
+import (
+	"path/filepath"
+	"testing"
+
+	"vedliot/internal/inference"
+	"vedliot/internal/nn"
+	"vedliot/internal/optimize"
+	"vedliot/internal/tensor"
+)
+
+func TestExportTargetRoundTrip(t *testing.T) {
+	g := nn.GestureNet(16, 4, nn.BuildOptions{Weights: true, Seed: 77})
+	path := filepath.Join(t.TempDir(), "gesture.vedz")
+	target := &ExportTarget{Path: path}
+	if _, _, err := target.Infer(tensor.New(tensor.FP32, 1, 1, 16, 16)); err == nil {
+		t.Fatal("Infer before Deploy succeeded")
+	}
+	if err := target.Deploy(g); err != nil {
+		t.Fatal(err)
+	}
+	m := target.Model()
+	if m == nil || m.Digest == "" {
+		t.Fatal("export target did not surface the reloaded artifact")
+	}
+	if m.Prov.Tool != "kenning" {
+		t.Fatalf("provenance tool %q, want kenning default", m.Prov.Tool)
+	}
+
+	// Inference through the reloaded artifact is bitwise the in-process
+	// engine's result.
+	eng, err := inference.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(tensor.FP32, 1, 1, 16, 16)
+	for i := range in.F32 {
+		in.F32[i] = float32(i%11)/11 - 0.5
+	}
+	want, err := eng.RunSingle(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, lat, err := target.Infer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= 0 {
+		t.Fatal("no latency measured")
+	}
+	if d, _ := tensor.MaxAbsDiff(want, got); d != 0 {
+		t.Fatalf("artifact-served output differs by %g", d)
+	}
+}
+
+func TestExportTargetQuantized(t *testing.T) {
+	g := nn.GestureNet(16, 4, nn.BuildOptions{Weights: true, Seed: 77})
+	samples, err := nn.SyntheticCalibration(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := optimize.Calibrate(g, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "gesture-int8.vedz")
+	target := &ExportTarget{Path: path, Schema: schema}
+	if err := target.Deploy(g); err != nil {
+		t.Fatal(err)
+	}
+	if target.Model().Schema == nil {
+		t.Fatal("exported artifact lost its schema")
+	}
+	// The serving engine is the native quantized plan: bitwise parity
+	// with CompileQuantized of the source graph.
+	q, err := inference.CompileQuantized(g, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(tensor.FP32, 1, 1, 16, 16)
+	for i := range in.F32 {
+		in.F32[i] = float32(i%7)/7 - 0.5
+	}
+	want, err := q.RunSingle(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := target.Infer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := tensor.MaxAbsDiff(want, got); d != 0 {
+		t.Fatalf("quantized artifact output differs by %g", d)
+	}
+}
+
+func TestExportTargetName(t *testing.T) {
+	target := &ExportTarget{Path: "/some/dir/model.vedz"}
+	if target.Name() != "vedz:model.vedz" {
+		t.Fatalf("Name = %q", target.Name())
+	}
+	if err := (&ExportTarget{}).Deploy(nn.GestureNet(16, 4, nn.BuildOptions{Weights: true, Seed: 1})); err == nil {
+		t.Fatal("Deploy without path succeeded")
+	}
+}

@@ -123,9 +123,28 @@ func ServeBackend(g *nn.Graph, b inference.Backend, cfg ServeConfig) (*Server, e
 	if err != nil {
 		return nil, fmt.Errorf("microserver: compile %q for %s: %w", g.Name, b.Name(), err)
 	}
+	return ServeCompiled(g, exe, b.Name(), cfg)
+}
+
+// ServeCompiled starts the dispatcher over an already-compiled
+// executable — the plan-cache deployment path (inference.PlanCache):
+// when several replicas of one artifact share a backend, the fleet
+// layer compiles once and binds every server to the shared plan, so a
+// replica cold-start skips lowering entirely. The executable must be
+// safe for concurrent Run (both host engines and accel programs are);
+// Close releases only the server, never the shared plan.
+func ServeCompiled(g *nn.Graph, exe inference.Executable, backendName string, cfg ServeConfig) (*Server, error) {
+	if exe == nil {
+		return nil, fmt.Errorf("microserver: nil executable")
+	}
+	if len(g.Inputs) == 0 || len(g.Outputs) == 0 {
+		return nil, fmt.Errorf("microserver: graph %q has %d inputs/%d outputs, need at least 1/1",
+			g.Name, len(g.Inputs), len(g.Outputs))
+	}
+	cfg = cfg.withDefaults()
 	s := &Server{
 		exe:         exe,
-		backendName: b.Name(),
+		backendName: backendName,
 		graphName:   g.Name,
 		inputNames:  append([]string(nil), g.Inputs...),
 		outputNames: append([]string(nil), g.Outputs...),

@@ -420,3 +420,56 @@ func TestServeFusedBatchFailureIsolation(t *testing.T) {
 		t.Errorf("fused batch size %d, want 3", st.MaxBatch)
 	}
 }
+
+func TestServeCompiledSharesOnePlan(t *testing.T) {
+	g := nn.GestureNet(16, 4, nn.BuildOptions{Weights: true, Seed: 77})
+	exe, err := inference.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two servers over one shared compiled plan — the plan-cache
+	// deployment shape.
+	a, err := ServeCompiled(g, exe, "cpu-engine", ServeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ServeCompiled(g, exe, "cpu-engine", ServeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if a.Executable() != b.Executable() {
+		t.Fatal("servers do not share the executable")
+	}
+	if a.Backend() != "cpu-engine" {
+		t.Fatalf("backend name %q", a.Backend())
+	}
+	in := gestureInput(3)
+	want, err := exe.RunSingle(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*Server{a, b} {
+		got, err := s.Infer(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d, _ := tensor.MaxAbsDiff(want, got); d != 0 {
+			t.Fatalf("served output differs from shared plan by %g", d)
+		}
+	}
+	// Closing one server must not break the other (the plan is shared,
+	// never owned).
+	a.Close()
+	if _, err := b.Infer(in); err != nil {
+		t.Fatalf("second server failed after first closed: %v", err)
+	}
+}
+
+func TestServeCompiledValidates(t *testing.T) {
+	g := nn.GestureNet(16, 4, nn.BuildOptions{Weights: true, Seed: 77})
+	if _, err := ServeCompiled(g, nil, "cpu-engine", ServeConfig{}); err == nil {
+		t.Fatal("nil executable accepted")
+	}
+}
