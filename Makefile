@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-full test-race bench bench-json bench-gate serve-demo docs pack-demo ci
+.PHONY: all build vet test test-full test-race test-portable bench bench-json bench-gate serve-demo docs pack-demo ci
 
 all: ci
 
@@ -21,6 +21,15 @@ test-full:
 # test-race runs the concurrent packages under the race detector.
 test-race:
 	$(GO) test -short -race ./internal/inference/... ./internal/microserver/... ./internal/cluster/...
+
+# test-portable exercises the pure-Go micro-kernel fallbacks (noasm /
+# purego build tags) and the narrowed runtime dispatch tiers — the same
+# matrix as the CI portable job.
+test-portable:
+	$(GO) test -tags noasm ./internal/tensor/... ./internal/inference/...
+	$(GO) test -tags purego ./internal/tensor/... ./internal/inference/...
+	VEDLIOT_CPU=sse2 $(GO) test ./internal/tensor/... ./internal/inference/...
+	VEDLIOT_CPU=generic $(GO) test ./internal/tensor/... ./internal/inference/...
 
 # bench tracks the inference-runtime perf trajectory.
 bench:
@@ -65,4 +74,4 @@ docs:
 	$(GO) run ./cmd/docs-check . ./internal/* ./internal/inference/ir
 	$(GO) run ./cmd/vedliot-pack verify internal/artifact/testdata/golden.vedz
 
-ci: vet build docs test test-race bench-gate
+ci: vet build docs test test-race test-portable bench-gate

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"vedliot/internal/bench"
 )
@@ -30,6 +32,25 @@ func main() {
 	artifacts, err := bench.LoadArtifacts(*dir)
 	if err != nil {
 		fatal(err)
+	}
+	// Report the kernel tier that produced each artifact, so a gate
+	// verdict is always interpretable: a "regression" measured by a
+	// narrower kernel tier than the baseline's is a machine difference,
+	// not a code change.
+	kernels := map[string][]string{}
+	for id, a := range artifacts {
+		if a.Kernel != "" {
+			kernels[a.Kernel] = append(kernels[a.Kernel], id)
+		}
+	}
+	kernelLines := make([]string, 0, len(kernels))
+	for k, ids := range kernels {
+		sort.Strings(ids)
+		kernelLines = append(kernelLines, fmt.Sprintf("bench-gate: artifacts [%s] produced with %s", strings.Join(ids, " "), k))
+	}
+	sort.Strings(kernelLines)
+	for _, l := range kernelLines {
+		fmt.Println(l)
 	}
 	results := baseline.Check(artifacts)
 	if len(results) == 0 {

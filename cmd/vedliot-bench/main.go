@@ -25,6 +25,7 @@ import (
 	"vedliot/internal/inference/ir"
 	"vedliot/internal/nn"
 	"vedliot/internal/optimize"
+	"vedliot/internal/tensor/cpu"
 )
 
 func main() {
@@ -51,10 +52,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		fmt.Println("host:", cpu.Summary())
 		if err := execute(e, *jsonOut, *outdir); err != nil {
 			fatal(err)
 		}
 	case *all:
+		fmt.Println("host:", cpu.Summary())
 		failures := 0
 		for _, e := range bench.Registry() {
 			if err := execute(e, *jsonOut, *outdir); err != nil {

@@ -18,6 +18,17 @@
 // deterministic pass-by-pass textual dumps (kenning -dump-ir,
 // vedliot-bench -dump-ir) pinned by golden tests.
 //
+// Both engines lower channel-heavy convolutions and batched dense
+// layers onto packed, register-blocked GEMM micro-kernels
+// (internal/tensor): weights are packed once at bind time, activation
+// tiles are packed fused with the im2col gather, and the widest
+// micro-kernel variant the host supports — portable Go, SSE2, or AVX2
+// (6x16 FP32 / 4x16 INT8 PMADDWD tiles) — is selected at runtime by
+// internal/tensor/cpu (VEDLIOT_CPU narrows, noasm/purego build tags
+// force the portable path). All variants are exact: FP32 results are
+// bitwise identical to the reference interpreter, INT8 accumulation is
+// associative int32.
+//
 // Deployment is artifact-driven: internal/artifact packages a model
 // (graph, weights, calibrated schema, provenance) into a versioned,
 // CRC-checked, content-digested .vedz file with zero-copy weight

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"vedliot/internal/tensor/cpu"
 )
 
 // Experiment is one registered paper artifact.
@@ -64,15 +66,19 @@ func (r *Report) metric(name, unit string, value float64) {
 // the bench trajectory (`vedliot-bench -json` writes one
 // BENCH_<id>.json per experiment).
 type Artifact struct {
-	ID      string          `json:"id"`
-	Title   string          `json:"title"`
-	Checks  map[string]bool `json:"checks"`
-	Metrics []Metric        `json:"metrics,omitempty"`
+	ID     string          `json:"id"`
+	Title  string          `json:"title"`
+	Checks map[string]bool `json:"checks"`
+	// Kernel records the micro-kernel tier and CPU capability set of
+	// the producing host (cpu.Summary), so a perf number can always be
+	// traced back to the code path that generated it.
+	Kernel  string   `json:"kernel,omitempty"`
+	Metrics []Metric `json:"metrics,omitempty"`
 }
 
 // Artifact packages the report for machine consumption.
 func (r *Report) Artifact(id string) Artifact {
-	return Artifact{ID: id, Title: r.Title, Checks: r.Checks, Metrics: r.Metrics}
+	return Artifact{ID: id, Title: r.Title, Checks: r.Checks, Kernel: cpu.Summary(), Metrics: r.Metrics}
 }
 
 // Failed returns the names of failed checks, sorted.

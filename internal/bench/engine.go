@@ -150,6 +150,14 @@ func EngineStudy() (*Report, error) {
 	r.metric("lowering_ops_eliminated", "ops", float64(eliminated))
 	r.metric("lowering_fused_chains", "ops", float64(fusedChains))
 	r.metric("lowering_time_us", "us", float64(lowerTotal.Microseconds()))
+
+	kern := tensor.PickGemmF32()
+	peakGF, convGF := gemmRoofline(iters)
+	attain := convGF / peakGF
+	r.linef("gemm micro-kernel: %dx%d fp32 (tier %s) — hot tile %.2f GFLOP/s, conv-shaped %.2f GFLOP/s (%.0f%% attainment)",
+		kern.MR, kern.NR, kern.Tier, peakGF, convGF, attain*100)
+	r.metric("gemm_kernel_peak_gflops", "gflops", peakGF)
+	r.metric("gemm_roofline_attainment", "ratio", attain)
 	r.linef("output parity |engine - interpreter|: %g", parity)
 
 	r.check("engine output matches interpreter (<= 1e-5)", parity <= 1e-5)
@@ -158,7 +166,71 @@ func EngineStudy() (*Report, error) {
 	r.check("engine not slower than interpreter at batch 8", speedup8 >= 0.9)
 	r.check("planner reuses activation memory", eng.ArenaFloatsPerSample() < unplannedFloats(g))
 	r.check("lowering fuses the conv epilogues", fusedChains >= 4 && eliminated >= 8)
+	r.check("packed gemm attains >= 25% of hot-tile peak", attain >= 0.25)
 	return r, nil
+}
+
+// gemmRoofline times the selected FP32 micro-kernel at two operating
+// points: a hot MRxNR tile whose packed operands stay cache-resident
+// (the practical peak of the register-blocked inner loop) and a
+// convolution-shaped full GEMM through the packed Compute path. The
+// ratio of the two rates — roofline attainment — measures how much of
+// the inner loop's peak survives B packing, partial tiles and memory
+// traffic at a real layer shape, which is the number the micro-kernel
+// refactor is supposed to move.
+func gemmRoofline(iters int) (peakGF, convGF float64) {
+	kern := tensor.PickGemmF32()
+	mr, nr := kern.MR, kern.NR
+	const kHot = 256
+	apanel := make([]float32, kern.PackedASize(mr, kHot))
+	bpack := make([]float32, kHot*nr)
+	bias := make([]float32, mr)
+	ctile := make([]float32, mr*nr)
+	for i := range apanel {
+		apanel[i] = float32(i%7)*0.25 - 0.5
+	}
+	for i := range bpack {
+		bpack[i] = float32(i%5)*0.5 - 1
+	}
+	const hotCalls = 512
+	var bestHot time.Duration
+	for it := 0; it <= iters; it++ { // iteration 0 is warm-up
+		start := time.Now()
+		for c := 0; c < hotCalls; c++ {
+			kern.Run(apanel, bpack, nr, kHot, bias, ctile, nr)
+		}
+		if d := time.Since(start); it > 0 && (bestHot == 0 || d < bestHot) {
+			bestHot = d
+		}
+	}
+	peakGF = 2 * float64(mr) * float64(nr) * kHot * hotCalls / bestHot.Seconds() / 1e9
+
+	// Conv-shaped problem: 128 output channels over 32x32 pixels with
+	// 32-channel 3x3 taps — the mid-network GEMM both engines lower to.
+	m, n, k := 128, 32*32, 32*9
+	a := make([]float32, m*k)
+	for i := range a {
+		a[i] = float32(i%11)*0.1 - 0.5
+	}
+	apack := make([]float32, kern.PackedASize(m, k))
+	kern.PackA(apack, a, k, m, k)
+	bfull := make([]float32, k*n)
+	for i := range bfull {
+		bfull[i] = float32(i%13)*0.1 - 0.6
+	}
+	biasFull := kern.PackBias(make([]float32, m), m)
+	cfull := make([]float32, m*n)
+	bscratch := make([]float32, k*nr)
+	var bestConv time.Duration
+	for it := 0; it <= iters; it++ {
+		start := time.Now()
+		kern.Compute(m, n, k, apack, biasFull, bfull, n, cfull, n, bscratch, ctile)
+		if d := time.Since(start); it > 0 && (bestConv == 0 || d < bestConv) {
+			bestConv = d
+		}
+	}
+	convGF = 2 * float64(m) * float64(n) * float64(k) / bestConv.Seconds() / 1e9
+	return peakGF, convGF
 }
 
 // unplannedFloats sums all intermediate activation sizes for batch 1 —

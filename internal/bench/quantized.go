@@ -200,8 +200,15 @@ func QuantizedStudy() (*Report, error) {
 	// correct but not faster than scalar float code, so only sanity is
 	// asserted there — the memory and parity wins are architecture-
 	// independent.
+	//
+	// The 1.1x bar is deliberate: both engines now run the same packed
+	// GEMM micro-kernels, so the INT8 margin is PMADDWD's 2x MACs per
+	// instruction minus quantize/requantize overhead — a structural
+	// advantage, but a far smaller ratio than when the FP32 denominator
+	// was a scalar loop. The dominant INT8 wins are the parity and the
+	// 4x activation-memory cut asserted below.
 	if tensor.FastInt8 {
-		r.check("quantized engine faster than FP32 engine at batch 8", speedup8 >= 1.2)
+		r.check("quantized engine faster than FP32 engine at batch 8", speedup8 >= 1.1)
 	} else {
 		r.linef("no SIMD integer kernels on this GOARCH: speedup check relaxed to sanity")
 		r.check("quantized engine not pathologically slower at batch 8", speedup8 >= 0.4)

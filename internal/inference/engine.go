@@ -143,6 +143,15 @@ type Engine struct {
 	slotSize       []int
 	arenaPerSample int
 
+	// scratch is the element-wise maximum of every bound kernel's
+	// transient-buffer spec (GEMM pack tiles, accumulator tiles),
+	// computed at compile time; scratchPool recycles the per-Run
+	// allocations sized from it. Scratch is tracked separately from the
+	// activation arena, so ArenaFloatsPerSample stays the activation
+	// working set alone.
+	scratch     scratchSpec
+	scratchPool sync.Pool // *scratchBufs
+
 	cfg    config
 	arenas sync.Pool // *[]float32
 }
@@ -217,10 +226,11 @@ func newEngine(m *ir.Module, cfg config) (*Engine, error) {
 		if err != nil {
 			return nil, compileError(op, false, err)
 		}
-		kern, err := bindKernel(n, inPer, e.vals[out].per, ep)
+		kern, spec, err := bindKernel(n, inPer, e.vals[out].per, ep)
 		if err != nil {
 			return nil, compileError(op, false, err)
 		}
+		e.scratch.grow(spec)
 		st := step{name: op.Name, op: op.Kind, out: out, ins: ins, kern: kern}
 		e.steps = append(e.steps, st)
 		if len(op.Fused) == 0 {
@@ -232,18 +242,20 @@ func newEngine(m *ir.Module, cfg config) (*Engine, error) {
 		// step — the exact plan the fused step collapses.
 		fused = true
 		pre := sc.valOf[op.Fused[0].Pre]
-		preKern, err := bindKernel(n, inPer, e.vals[pre].per, nil)
+		preKern, preSpec, err := bindKernel(n, inPer, e.vals[pre].per, nil)
 		if err != nil {
 			return nil, compileError(op, false, err)
 		}
+		e.scratch.grow(preSpec)
 		e.fullSteps = append(e.fullSteps, step{name: op.Name, op: op.Kind, out: pre, ins: ins, kern: preKern})
 		for i := range op.Fused {
 			f := &op.Fused[i]
 			fOut := sc.valOf[op.FusedOut(i)]
-			fKern, err := bindKernel(nodeFromFused(f), []tensor.Shape{e.vals[pre].per}, e.vals[fOut].per, nil)
+			fKern, fSpec, err := bindKernel(nodeFromFused(f), []tensor.Shape{e.vals[pre].per}, e.vals[fOut].per, nil)
 			if err != nil {
 				return nil, compileError(op, false, err)
 			}
+			e.scratch.grow(fSpec)
 			e.fullSteps = append(e.fullSteps, step{name: f.Name, op: f.Kind, out: fOut, ins: []int{pre}, kern: fKern})
 			pre = fOut
 		}
@@ -358,7 +370,8 @@ func (e *Engine) Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tenso
 		}
 		return nil
 	}
-	rc := runCtx{batch: batch, workers: e.cfg.workers, threshold: e.cfg.threshold}
+	sb := getScratch(&e.scratchPool, e.scratch, batch, e.cfg.workers)
+	rc := runCtx{batch: batch, workers: e.cfg.workers, threshold: e.cfg.threshold, spec: e.scratch, scratch: sb}
 	srcs := make([][]float32, 0, 4)
 	for si := range e.steps {
 		st := &e.steps[si]
@@ -367,10 +380,12 @@ func (e *Engine) Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tenso
 			srcs = append(srcs, resolve(in))
 		}
 		if err := st.kern(&rc, resolve(st.out), srcs); err != nil {
+			putScratch(&e.scratchPool, sb)
 			e.putArena(arena)
 			return nil, fmt.Errorf("inference: node %q (%s): %w", st.name, st.op, err)
 		}
 	}
+	putScratch(&e.scratchPool, sb)
 	e.putArena(arena)
 	result := make(map[string]*tensor.Tensor, len(e.outputVals))
 	for i, v := range e.outputVals {
@@ -411,7 +426,9 @@ func (e *Engine) RunAll(inputs map[string]*tensor.Tensor) (map[string]*tensor.Te
 		}
 		return acts[v].F32
 	}
-	rc := runCtx{batch: batch, workers: e.cfg.workers, threshold: e.cfg.threshold}
+	sb := getScratch(&e.scratchPool, e.scratch, batch, e.cfg.workers)
+	defer putScratch(&e.scratchPool, sb)
+	rc := runCtx{batch: batch, workers: e.cfg.workers, threshold: e.cfg.threshold, spec: e.scratch, scratch: sb}
 	srcs := make([][]float32, 0, 4)
 	for si := range e.fullSteps {
 		st := &e.fullSteps[si]

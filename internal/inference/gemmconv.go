@@ -1,0 +1,401 @@
+package inference
+
+import (
+	"vedliot/internal/tensor"
+)
+
+// GEMM lowering of convolution and dense layers.
+//
+// Channel-heavy convolutions become C = A·B with M = output channels,
+// N = output pixels and K = taps: A is the weight matrix packed once at
+// bind time into register-panel layout, and B is built one NR-wide tile
+// at a time with the im2col gather fused into the pack — no full patch
+// matrix ever materializes, so the working set per worker is one B tile
+// plus one C tile regardless of layer size. Pointwise convolutions skip
+// the pack entirely on full tiles: their natural NCHW layout already is
+// the B matrix (row stride = the pixel count), which the micro-kernel
+// consumes directly through its ldb argument.
+//
+// Work splits over (sample, group, N-tile) items so one sample still
+// fans out across the worker pool; each item packs its B tile once and
+// sweeps all A panels over it while the tile is cache-hot. Per-worker
+// pack and C-tile scratch comes from the engine's planned scratch
+// allocation (scratch.go), claimed by worker ordinal without locking.
+//
+// FP32 results stay bitwise identical to the interpreter: the kernels
+// initialize accumulators with the bias and add one separate-rounded
+// product per tap in (ic, ky, kx) order (see tensor/gemm.go). The
+// quantized path accumulates in int32, which is associative, so it is
+// exact regardless of variant.
+
+// gemmMinTaps is the K depth below which a convolution stays on the
+// direct kernel-outer path: a too-short reduction cannot amortize the
+// B-tile pack, and the stem/depthwise layers it covers stream the input
+// exactly once there.
+const gemmMinTaps = 16
+
+// convGemmEligible reports whether a convolution routes onto the packed
+// GEMM path: a real channel reduction (not depthwise) that is deep
+// enough to amortize the per-tile pack. Shared by the FP32 and
+// quantized binders so both engines make the same routing decision.
+func convGemmEligible(g convGeom) bool {
+	return g.icPerG > 1 && g.icPerG*g.kh*g.kw >= gemmMinTaps
+}
+
+// fillConvRowF32 writes one K-row of a B tile: the values output pixels
+// j0..j0+jw-1 read from input plane xBase at kernel offset (ky, kx),
+// with out-of-bounds taps as 0 and columns past jw zero-padded. Pixels
+// are walked in output-row runs so the stride-1 interior reduces to
+// copies.
+func fillConvRowF32(row []float32, xv []float32, g *convGeom, xBase, ky, kx, j0, jw int) {
+	j := 0
+	for j < jw {
+		p := j0 + j
+		oy := p / g.outW
+		ox0 := p % g.outW
+		run := g.outW - ox0
+		if run > jw-j {
+			run = jw - j
+		}
+		seg := row[j : j+run]
+		iy := oy*g.sh - g.ph + ky
+		switch {
+		case iy < 0 || iy >= g.inH:
+			for i := range seg {
+				seg[i] = 0
+			}
+		case g.sw == 1:
+			ix0 := ox0 - g.pw + kx
+			lo := 0
+			if ix0 < 0 {
+				lo = -ix0
+				if lo > run {
+					lo = run
+				}
+			}
+			hi := run
+			if over := ix0 + run - g.inW; over > 0 {
+				hi = run - over
+				if hi < lo {
+					hi = lo
+				}
+			}
+			for i := 0; i < lo; i++ {
+				seg[i] = 0
+			}
+			if hi > lo {
+				copy(seg[lo:hi], xv[xBase+iy*g.inW+ix0+lo:xBase+iy*g.inW+ix0+hi])
+			}
+			for i := hi; i < run; i++ {
+				seg[i] = 0
+			}
+		default:
+			xRow := xv[xBase+iy*g.inW : xBase+(iy+1)*g.inW]
+			ix := ox0*g.sw - g.pw + kx
+			for i := range seg {
+				if ix >= 0 && ix < g.inW {
+					seg[i] = xRow[ix]
+				} else {
+					seg[i] = 0
+				}
+				ix += g.sw
+			}
+		}
+		j += run
+	}
+	for ; j < len(row); j++ {
+		row[j] = 0
+	}
+}
+
+// packConvTileF32 packs one NR-wide B tile for (sample b, group grp),
+// fusing the im2col gather: row kk holds tap kk of output pixels
+// j0..j0+jw-1 in the interpreter's (ic, ky, kx) tap order.
+func packConvTileF32(bpack, xv []float32, g *convGeom, nr, b, grp, j0, jw int) {
+	kk := 0
+	for ic := 0; ic < g.icPerG; ic++ {
+		xBase := (b*g.inC + grp*g.icPerG + ic) * g.inH * g.inW
+		for ky := 0; ky < g.kh; ky++ {
+			for kx := 0; kx < g.kw; kx++ {
+				fillConvRowF32(bpack[kk*nr:(kk+1)*nr], xv, g, xBase, ky, kx, j0, jw)
+				kk++
+			}
+		}
+	}
+}
+
+// bindConvGemm lowers one FP32 convolution onto the packed GEMM
+// micro-kernels. Weights and bias are packed per group at bind time;
+// the returned kernel streams B tiles through planned worker scratch.
+func bindConvGemm(g convGeom, wv, bias []float32, ep *epilogue) (kernelFunc, scratchSpec) {
+	kern := tensor.PickGemmF32()
+	mr, nr := kern.MR, kern.NR
+	taps := g.icPerG * g.kh * g.kw
+	px := g.outH * g.outW
+	groups := g.inC / g.icPerG
+	panels := (g.ocPerG + mr - 1) / mr
+	apg := kern.PackedASize(g.ocPerG, taps) // packed-A floats per group
+	bpg := panels * mr                      // padded bias entries per group
+	apack := make([]float32, groups*apg)
+	biasAll := make([]float32, groups*bpg)
+	for grp := 0; grp < groups; grp++ {
+		kern.PackA(apack[grp*apg:(grp+1)*apg], wv[grp*g.ocPerG*taps:], taps, g.ocPerG, taps)
+		if bias != nil {
+			copy(biasAll[grp*bpg:], bias[grp*g.ocPerG:(grp+1)*g.ocPerG])
+		}
+	}
+	pointwise := g.kh == 1 && g.kw == 1 && g.sh == 1 && g.sw == 1 && g.ph == 0 && g.pw == 0
+	nt := (px + nr - 1) / nr
+	scratch := taps*nr + mr*nr
+	itemCost := int64(taps) * int64(nr) * int64(2*g.ocPerG+1)
+	kfn := func(rc *runCtx, dst []float32, srcs [][]float32) error {
+		xv := srcs[0]
+		rc.parallelForWorker(rc.batch*groups*nt, itemCost, func(worker, lo, hi int) {
+			ws := rc.f32Worker(worker, scratch)
+			bpack := ws[:taps*nr]
+			ctile := ws[taps*nr:]
+			for it := lo; it < hi; it++ {
+				b := it / (groups * nt)
+				rem := it % (groups * nt)
+				grp := rem / nt
+				j0 := (rem % nt) * nr
+				jw := px - j0
+				if jw > nr {
+					jw = nr
+				}
+				bt, ldb := bpack, nr
+				if pointwise && jw == nr {
+					// The input planes of this group are the B matrix already.
+					bt, ldb = xv[(b*g.inC+grp*g.icPerG)*px+j0:], px
+				} else {
+					packConvTileF32(bpack, xv, &g, nr, b, grp, j0, jw)
+				}
+				for p := 0; p < panels; p++ {
+					oc0 := grp*g.ocPerG + p*mr
+					mh := g.ocPerG - p*mr
+					if mh > mr {
+						mh = mr
+					}
+					ap := apack[grp*apg+p*mr*taps : grp*apg+(p+1)*mr*taps]
+					bp := biasAll[grp*bpg+p*mr : grp*bpg+(p+1)*mr]
+					if mh == mr && jw == nr {
+						kern.Run(ap, bt, ldb, taps, bp, dst[(b*g.outC+oc0)*px+j0:], px)
+					} else {
+						kern.Run(ap, bt, ldb, taps, bp, ctile, nr)
+						for i := 0; i < mh; i++ {
+							off := (b*g.outC+oc0+i)*px + j0
+							copy(dst[off:off+jw], ctile[i*nr:i*nr+jw])
+						}
+					}
+					if ep != nil {
+						for i := 0; i < mh; i++ {
+							off := (b*g.outC+oc0+i)*px + j0
+							ep.apply(dst[off:off+jw], oc0+i)
+						}
+					}
+				}
+			}
+		})
+		return nil
+	}
+	return kfn, scratchSpec{f32PerWorker: scratch}
+}
+
+// packDenseTileF32 packs an NR-wide tile of the dense B matrix: B is
+// the transposed input batch (K = in features, N = samples), gathered
+// column-by-column from the row-major activation rows.
+func packDenseTileF32(bpack, xv []float32, inF, nr, j0, jw int) {
+	for j := 0; j < jw; j++ {
+		row := xv[(j0+j)*inF : (j0+j+1)*inF]
+		for kk, v := range row {
+			bpack[kk*nr+j] = v
+		}
+	}
+	if jw < nr {
+		for kk := 0; kk < inF; kk++ {
+			out := bpack[kk*nr : kk*nr+nr]
+			for j := jw; j < nr; j++ {
+				out[j] = 0
+			}
+		}
+	}
+}
+
+// fillQConvRow is the quantized analogue of fillConvRowF32: it writes
+// tap kk's zero-point-shifted int16 values for output pixels
+// j0..j0+jw-1 into the even (or odd, per the caller's base offset)
+// lanes of a pair-interleaved B tile row, stride 2.
+func fillQConvRow(out []int16, xv []int8, g *convGeom, xBase, ky, kx, j0, jw, nr int, zp int32) {
+	j := 0
+	for j < jw {
+		p := j0 + j
+		oy := p / g.outW
+		ox0 := p % g.outW
+		run := g.outW - ox0
+		if run > jw-j {
+			run = jw - j
+		}
+		iy := oy*g.sh - g.ph + ky
+		if iy < 0 || iy >= g.inH {
+			for i := 0; i < run; i++ {
+				out[2*(j+i)] = 0
+			}
+		} else {
+			xRow := xv[xBase+iy*g.inW : xBase+(iy+1)*g.inW]
+			ix := ox0*g.sw - g.pw + kx
+			for i := 0; i < run; i++ {
+				if ix >= 0 && ix < g.inW {
+					out[2*(j+i)] = int16(int32(xRow[ix]) - zp)
+				} else {
+					out[2*(j+i)] = 0
+				}
+				ix += g.sw
+			}
+		}
+		j += run
+	}
+	for ; j < nr; j++ {
+		out[2*j] = 0
+	}
+}
+
+// packQConvTile packs one pair-interleaved int16 B tile for (sample b,
+// group grp), fusing the im2col gather with the zero-point shift.
+// Odd tap counts zero-fill the dangling half of the last pair.
+func packQConvTile(bpack []int16, xv []int8, g *convGeom, nr, b, grp, j0, jw int, zp int32) {
+	kk := 0
+	for ic := 0; ic < g.icPerG; ic++ {
+		xBase := (b*g.inC + grp*g.icPerG + ic) * g.inH * g.inW
+		for ky := 0; ky < g.kh; ky++ {
+			for kx := 0; kx < g.kw; kx++ {
+				fillQConvRow(bpack[(kk/2)*2*nr+kk%2:], xv, g, xBase, ky, kx, j0, jw, nr, zp)
+				kk++
+			}
+		}
+	}
+	if kk%2 == 1 {
+		out := bpack[(kk/2)*2*nr+1:]
+		for j := 0; j < nr; j++ {
+			out[2*j] = 0
+		}
+	}
+}
+
+// packQPointwiseTile packs a pair-interleaved B tile for a 1×1 stride-1
+// unpadded convolution, where tap k's values are just the contiguous
+// pixels j0..j0+jw-1 of input plane k: the general gather collapses to a
+// two-stream interleave with the zero-point shift fused, no per-element
+// geometry. base indexes the first plane of the (sample, group) item.
+func packQPointwiseTile(bpack []int16, xv []int8, base, px, taps, nr, j0, jw int, zp int32) {
+	kp := tensor.KPairs(taps)
+	for pair := 0; pair < kp; pair++ {
+		out := bpack[pair*2*nr : (pair+1)*2*nr]
+		k0 := 2 * pair
+		r0 := xv[base+k0*px+j0 : base+k0*px+j0+jw]
+		if k1 := k0 + 1; k1 < taps {
+			r1 := xv[base+k1*px+j0 : base+k1*px+j0+jw]
+			tensor.PackPairShiftInt8(out, r0, r1, int16(zp))
+		} else {
+			for j, v := range r0 {
+				out[2*j] = int16(int32(v) - zp)
+				out[2*j+1] = 0
+			}
+		}
+		for j := jw; j < nr; j++ {
+			out[2*j] = 0
+			out[2*j+1] = 0
+		}
+	}
+}
+
+// bindQuantConvGemm lowers one integer convolution onto the int16
+// PMADDWD-shaped micro-kernels: widened weight codes pack per group at
+// bind time, B tiles pack per item with the zero-point shift fused, and
+// every tile requantizes straight out of the int32 C tile while it is
+// register/L1-hot.
+func bindQuantConvGemm(p *qconv) (qkernelFunc, scratchSpec) {
+	g := p.g
+	kern := tensor.PickGemmI16()
+	mr, nr := kern.MR, kern.NR
+	taps := g.icPerG * g.kh * g.kw
+	kp := tensor.KPairs(taps)
+	px := g.outH * g.outW
+	groups := g.inC / g.icPerG
+	panels := (g.ocPerG + mr - 1) / mr
+	apg := kern.PackedASize(g.ocPerG, taps)
+	bpg := panels * mr
+	apack := make([]int16, groups*apg)
+	biasAll := make([]int32, groups*bpg)
+	for grp := 0; grp < groups; grp++ {
+		kern.PackA(apack[grp*apg:(grp+1)*apg], p.w16[grp*g.ocPerG*taps:], taps, g.ocPerG, taps)
+		copy(biasAll[grp*bpg:], p.bias32[grp*g.ocPerG:(grp+1)*g.ocPerG])
+	}
+	pointwise := g.kh == 1 && g.kw == 1 && g.sh == 1 && g.sw == 1 && g.ph == 0 && g.pw == 0
+	nt := (px + nr - 1) / nr
+	i16Need := kp * 2 * nr
+	i32Need := mr * nr
+	itemCost := int64(taps) * int64(nr) * int64(2*g.ocPerG+1)
+	kfn := func(rc *runCtx, dst []int8, srcs [][]int8) error {
+		xv := srcs[0]
+		rc.parallelForWorker(rc.batch*groups*nt, itemCost, func(worker, lo, hi int) {
+			bpack := rc.i16Worker(worker, i16Need)
+			ctile := rc.i32Worker(worker, i32Need)
+			for it := lo; it < hi; it++ {
+				b := it / (groups * nt)
+				rem := it % (groups * nt)
+				grp := rem / nt
+				j0 := (rem % nt) * nr
+				jw := px - j0
+				if jw > nr {
+					jw = nr
+				}
+				if pointwise {
+					packQPointwiseTile(bpack, xv, (b*g.inC+grp*g.icPerG)*px, px, taps, nr, j0, jw, p.zpIn)
+				} else {
+					packQConvTile(bpack, xv, &g, nr, b, grp, j0, jw, p.zpIn)
+				}
+				for pi := 0; pi < panels; pi++ {
+					oc0 := grp*g.ocPerG + pi*mr
+					mh := g.ocPerG - pi*mr
+					if mh > mr {
+						mh = mr
+					}
+					kern.Run(apack[grp*apg+pi*mr*2*kp:grp*apg+(pi+1)*mr*2*kp], bpack, 2*nr, kp,
+						biasAll[grp*bpg+pi*mr:grp*bpg+(pi+1)*mr], ctile, nr)
+					for i := 0; i < mh; i++ {
+						oc := oc0 + i
+						off := (b*g.outC+oc)*px + j0
+						requantRow(dst[off:off+jw], ctile[i*nr:i*nr+jw], p.req[oc], p.zpOut, p.postFor(oc))
+					}
+				}
+			}
+		})
+		return nil
+	}
+	return kfn, scratchSpec{i16PerWorker: i16Need, i32PerWorker: i32Need}
+}
+
+// packQDenseTile packs an NR-wide pair-interleaved tile of the
+// quantized dense B matrix (K = in features, N = samples), fusing the
+// zero-point shift with the transposed gather.
+func packQDenseTile(bpack []int16, xv []int8, inF, nr, j0, jw int, zp int32) {
+	kp := tensor.KPairs(inF)
+	for pair := 0; pair < kp; pair++ {
+		out := bpack[pair*2*nr : (pair+1)*2*nr]
+		k0 := 2 * pair
+		k1 := k0 + 1
+		for j := 0; j < jw; j++ {
+			row := xv[(j0+j)*inF:]
+			out[2*j] = int16(int32(row[k0]) - zp)
+			if k1 < inF {
+				out[2*j+1] = int16(int32(row[k1]) - zp)
+			} else {
+				out[2*j+1] = 0
+			}
+		}
+		for j := jw; j < nr; j++ {
+			out[2*j] = 0
+			out[2*j+1] = 0
+		}
+	}
+}

@@ -3,7 +3,6 @@ package inference
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"vedliot/internal/inference/ir"
 	"vedliot/internal/nn"
@@ -477,41 +476,51 @@ func (ep *epilogue) scalar(ch int) func(float32) float32 {
 }
 
 // bindKernel resolves a node to an executable kernel closure given the
-// per-sample shapes of its inputs and output. ep, when non-nil, is the
+// per-sample shapes of its inputs and output, plus the kernel's planned
+// scratch requirement (zero for most ops; the GEMM-lowered conv/dense
+// kernels declare pack and tile buffers). ep, when non-nil, is the
 // fused epilogue the lowering pipeline absorbed into the producer
 // (conv/dense/batch-norm), applied while the output is cache-hot.
-func bindKernel(n *nn.Node, ins []tensor.Shape, out tensor.Shape, ep *epilogue) (kernelFunc, error) {
+func bindKernel(n *nn.Node, ins []tensor.Shape, out tensor.Shape, ep *epilogue) (kernelFunc, scratchSpec, error) {
 	if ep != nil && !fusesActivation(n.Op) {
-		return nil, fmt.Errorf("op %s cannot absorb a fused epilogue", n.Op)
+		return nil, scratchSpec{}, fmt.Errorf("op %s cannot absorb a fused epilogue", n.Op)
 	}
 	switch n.Op {
 	case nn.OpConv, nn.OpDepthwiseConv:
 		return bindConv(n, ins[0], out, ep)
 	case nn.OpDense:
 		return bindDense(n, ins[0], out, ep)
+	}
+	var (
+		kern kernelFunc
+		err  error
+	)
+	switch n.Op {
 	case nn.OpBatchNorm:
-		return bindBatchNorm(n, ins[0], ep)
+		kern, err = bindBatchNorm(n, ins[0], ep)
 	case nn.OpReLU, nn.OpReLU6, nn.OpLeakyReLU, nn.OpSigmoid, nn.OpTanh,
 		nn.OpHSwish, nn.OpHSigmoid, nn.OpMish:
-		return bindActivation(n)
+		kern, err = bindActivation(n)
 	case nn.OpMaxPool:
-		return bindPool(n, ins[0], out, true)
+		kern, err = bindPool(n, ins[0], out, true)
 	case nn.OpAvgPool:
-		return bindPool(n, ins[0], out, false)
+		kern, err = bindPool(n, ins[0], out, false)
 	case nn.OpGlobalAvgPool:
-		return bindGlobalAvgPool(ins[0])
+		kern, err = bindGlobalAvgPool(ins[0])
 	case nn.OpAdd, nn.OpMul:
-		return bindAccumulate(n, ins, out)
+		kern, err = bindAccumulate(n, ins, out)
 	case nn.OpConcat:
-		return bindConcat(ins, out)
+		kern, err = bindConcat(ins, out)
 	case nn.OpUpsample:
-		return bindUpsample(n, ins[0], out)
+		kern, err = bindUpsample(n, ins[0], out)
 	case nn.OpSoftmax:
-		return bindSoftmax(ins[0])
+		kern, err = bindSoftmax(ins[0])
 	case nn.OpFlatten, nn.OpIdentity:
-		return bindCopy(), nil
+		kern = bindCopy()
+	default:
+		err = fmt.Errorf("unsupported op %s", n.Op)
 	}
-	return nil, fmt.Errorf("unsupported op %s", n.Op)
+	return kern, scratchSpec{}, err
 }
 
 // fusesActivation reports the ops whose FP32 binders accept a fused
@@ -574,77 +583,28 @@ func convGeometry(n *nn.Node, in, out tensor.Shape) (convGeom, *tensor.Tensor, e
 	}, w, nil
 }
 
-func bindConv(n *nn.Node, in, out tensor.Shape, ep *epilogue) (kernelFunc, error) {
+func bindConv(n *nn.Node, in, out tensor.Shape, ep *epilogue) (kernelFunc, scratchSpec, error) {
 	g, w, err := convGeometry(n, in, out)
 	if err != nil {
-		return nil, err
+		return nil, scratchSpec{}, err
 	}
 	wv := w.Float32s() // dequantized once, at compile time
 	var bias []float32
 	if bt := n.Weight(nn.BiasKey); bt != nil {
 		bias = bt.Float32s()
 	}
+	// Convolutions with a real channel reduction lower onto the packed
+	// GEMM micro-kernels (gemmconv.go): register-blocked tiles with the
+	// im2col gather fused into the per-tile B pack. Shallow reductions
+	// (depthwise, stem layers) keep the direct kernel-outer form, which
+	// streams the input exactly once.
+	if convGemmEligible(g) {
+		kern, spec := bindConvGemm(g, wv, bias, ep)
+		return kern, spec, nil
+	}
 	pointwise := g.kh == 1 && g.kw == 1 && g.sh == 1 && g.sw == 1 && g.ph == 0 && g.pw == 0
 	planeCost := int64(g.outH*g.outW) * int64(g.icPerG*g.kh*g.kw) * 2
 	px := g.outH * g.outW
-	// Channel-heavy convolutions go through an im2col patch matrix: the
-	// per-pixel reduction becomes one long contiguous dot, which the
-	// scalar loop executes far faster than strided row walks. Gathering
-	// pays one extra pass over the patches, so shallow reductions
-	// (depthwise, stem layers) keep the direct kernel-outer form.
-	const im2colMinTaps = 32
-	taps := g.icPerG * g.kh * g.kw
-	if !pointwise && taps >= im2colMinTaps {
-		groups := g.inC / g.icPerG
-		// Output channels are processed in blocks of up to four per patch
-		// pass: the four accumulators form independent dependency chains
-		// (each element still accumulates in the interpreter's tap order,
-		// so results stay bitwise identical) that overlap the float-add
-		// latency the single serial chain is bound by, and each gathered
-		// patch row is read once per block instead of once per channel.
-		// Blocks never cross group boundaries, so one patch region serves
-		// the whole block.
-		type ocRange struct{ lo, hi int }
-		var blocks []ocRange
-		for grp := 0; grp < groups; grp++ {
-			for oc := grp * g.ocPerG; oc < (grp+1)*g.ocPerG; oc += 4 {
-				hi := oc + 4
-				if hi > (grp+1)*g.ocPerG {
-					hi = (grp + 1) * g.ocPerG
-				}
-				blocks = append(blocks, ocRange{oc, hi})
-			}
-		}
-		var pool sync.Pool
-		return func(rc *runCtx, dst []float32, srcs [][]float32) error {
-			xv := srcs[0]
-			need := rc.batch * groups * px * taps
-			var cols []float32
-			if p, ok := pool.Get().(*[]float32); ok && cap(*p) >= need {
-				cols = (*p)[:need]
-			} else {
-				cols = make([]float32, need)
-			}
-			rc.parallelFor(rc.batch*groups, int64(px*taps), func(lo, hi int) {
-				for p := lo; p < hi; p++ {
-					convGather(cols, xv, &g, p/groups, p%groups, px, taps)
-				}
-			})
-			rc.parallelFor(rc.batch*len(blocks), planeCost*4, func(lo, hi int) {
-				for p := lo; p < hi; p++ {
-					b, blk := p/len(blocks), blocks[p%len(blocks)]
-					convDotPatchesBlock(dst, cols, wv, bias, &g, b, blk.lo, blk.hi, groups, px, taps)
-					if ep != nil {
-						for oc := blk.lo; oc < blk.hi; oc++ {
-							ep.apply(dst[(b*g.outC+oc)*px:(b*g.outC+oc+1)*px], oc)
-						}
-					}
-				}
-			})
-			pool.Put(&cols)
-			return nil
-		}, nil
-	}
 	return func(rc *runCtx, dst []float32, srcs [][]float32) error {
 		xv := srcs[0]
 		rc.parallelFor(rc.batch*g.outC, planeCost, func(lo, hi int) {
@@ -661,119 +621,7 @@ func bindConv(n *nn.Node, in, out tensor.Shape, ep *epilogue) (kernelFunc, error
 			}
 		})
 		return nil
-	}, nil
-}
-
-// convGather fills one (batch, group) patch matrix: row j holds the
-// receptive field of output pixel j in (ic, ky, kx) tap order — the same
-// order the weights are stored in, and the same accumulation order the
-// interpreter uses. Out-of-bounds taps store 0, which contributes
-// nothing to the dot where the interpreter skips the term.
-func convGather(cols, xv []float32, g *convGeom, b, grp, px, taps int) {
-	base := (b*(g.inC/g.icPerG) + grp) * px * taps
-	for oy := 0; oy < g.outH; oy++ {
-		iy0 := oy*g.sh - g.ph
-		for ox := 0; ox < g.outW; ox++ {
-			ix0 := ox*g.sw - g.pw
-			kxLo := 0
-			if ix0 < 0 {
-				kxLo = -ix0
-			}
-			kxHi := g.kw
-			if ix0+g.kw > g.inW {
-				kxHi = g.inW - ix0
-			}
-			at := base + (oy*g.outW+ox)*taps
-			for ic := 0; ic < g.icPerG; ic++ {
-				xBase := (b*g.inC + grp*g.icPerG + ic) * g.inH * g.inW
-				for ky := 0; ky < g.kh; ky++ {
-					row := cols[at : at+g.kw]
-					at += g.kw
-					iy := iy0 + ky
-					if iy < 0 || iy >= g.inH || kxLo >= kxHi {
-						for i := range row {
-							row[i] = 0
-						}
-						continue
-					}
-					for i := 0; i < kxLo; i++ {
-						row[i] = 0
-					}
-					copy(row[kxLo:kxHi], xv[xBase+iy*g.inW+ix0+kxLo:xBase+iy*g.inW+ix0+kxHi])
-					for i := kxHi; i < g.kw; i++ {
-						row[i] = 0
-					}
-				}
-			}
-		}
-	}
-}
-
-// convDotPatches computes one (batch, output-channel) plane as px dots
-// of length taps between the weight row and the gathered patch rows.
-func convDotPatches(dst, cols, wv, bias []float32, g *convGeom, b, oc, groups, px, taps int) {
-	grp := oc / g.ocPerG
-	colBase := (b*groups + grp) * px * taps
-	wRow := wv[oc*taps : (oc+1)*taps]
-	var b0 float32
-	if bias != nil {
-		b0 = bias[oc]
-	}
-	outPlane := dst[(b*g.outC+oc)*px : (b*g.outC+oc+1)*px]
-	for j := range outPlane {
-		col := cols[colBase+j*taps : colBase+(j+1)*taps]
-		col = col[:len(wRow)]
-		acc := b0
-		for i, wk := range wRow {
-			acc += col[i] * wk
-		}
-		outPlane[j] = acc
-	}
-}
-
-// convDotPatchesBlock computes up to four (batch, output-channel)
-// planes of one group in a single pass over the patch matrix. The
-// accumulators are independent — each output element still receives its
-// taps in the interpreter's (ic, ky, kx) order, so every plane is
-// bitwise identical to the single-channel form — but their add chains
-// interleave, hiding the float-add latency a lone serial chain stalls
-// on, and each patch row is loaded once for the whole block.
-func convDotPatchesBlock(dst, cols, wv, bias []float32, g *convGeom, b, oc0, oc1, groups, px, taps int) {
-	if oc1-oc0 < 4 {
-		for oc := oc0; oc < oc1; oc++ {
-			convDotPatches(dst, cols, wv, bias, g, b, oc, groups, px, taps)
-		}
-		return
-	}
-	grp := oc0 / g.ocPerG
-	colBase := (b*groups + grp) * px * taps
-	w0 := wv[(oc0+0)*taps : (oc0+1)*taps]
-	w1 := wv[(oc0+1)*taps : (oc0+2)*taps]
-	w2 := wv[(oc0+2)*taps : (oc0+3)*taps]
-	w3 := wv[(oc0+3)*taps : (oc0+4)*taps]
-	var b0, b1, b2, b3 float32
-	if bias != nil {
-		b0, b1, b2, b3 = bias[oc0], bias[oc0+1], bias[oc0+2], bias[oc0+3]
-	}
-	out0 := dst[(b*g.outC+oc0)*px : (b*g.outC+oc0+1)*px]
-	out1 := dst[(b*g.outC+oc0+1)*px : (b*g.outC+oc0+2)*px]
-	out2 := dst[(b*g.outC+oc0+2)*px : (b*g.outC+oc0+3)*px]
-	out3 := dst[(b*g.outC+oc0+3)*px : (b*g.outC+oc0+4)*px]
-	for j := 0; j < px; j++ {
-		col := cols[colBase+j*taps : colBase+(j+1)*taps]
-		a0, a1, a2, a3 := b0, b1, b2, b3
-		x0 := w0[:len(col)]
-		x1 := w1[:len(col)]
-		x2 := w2[:len(col)]
-		x3 := w3[:len(col)]
-		for i, c := range col {
-			a0 += c * x0[i]
-			a1 += c * x1[i]
-			a2 += c * x2[i]
-			a3 += c * x3[i]
-		}
-		out0[j], out1[j], out2[j], out3[j] = a0, a1, a2, a3
-	}
+	}, scratchSpec{}, nil
 }
 
 // convPlane computes one (batch, output-channel) plane in kernel-outer
@@ -871,18 +719,25 @@ func convPlanePointwise(dst, xv, wv, bias []float32, g *convGeom, b, oc int) {
 	}
 }
 
-func bindDense(n *nn.Node, in, out tensor.Shape, ep *epilogue) (kernelFunc, error) {
+// denseGemmMinBatch is the batch size from which a dense layer runs
+// through the GEMM micro-kernels (N = samples): below it the partially
+// filled tile cannot beat the scalar dot, above it the register-blocked
+// tile reuses each weight panel across the whole batch. Both paths are
+// bitwise identical, so the cutover is invisible.
+const denseGemmMinBatch = 4
+
+func bindDense(n *nn.Node, in, out tensor.Shape, ep *epilogue) (kernelFunc, scratchSpec, error) {
 	if len(in) != 1 {
-		return nil, fmt.Errorf("dense wants [N,features], got per-sample %v", in)
+		return nil, scratchSpec{}, fmt.Errorf("dense wants [N,features], got per-sample %v", in)
 	}
 	w := n.Weight(nn.WeightKey)
 	if w == nil {
-		return nil, fmt.Errorf("dense has no weights")
+		return nil, scratchSpec{}, fmt.Errorf("dense has no weights")
 	}
 	inF, outF := in[0], out[0]
 	want := tensor.Shape{outF, inF}
 	if !w.Shape.Equal(want) {
-		return nil, fmt.Errorf("weight shape %v, want %v", w.Shape, want)
+		return nil, scratchSpec{}, fmt.Errorf("weight shape %v, want %v", w.Shape, want)
 	}
 	wv := w.Float32s()
 	var bias []float32
@@ -898,9 +753,58 @@ func bindDense(n *nn.Node, in, out tensor.Shape, ep *epilogue) (kernelFunc, erro
 			fs[o] = ep.scalar(o)
 		}
 	}
+	// GEMM lowering: M = out features, N = samples, K = in features.
+	// The weight matrix packs once at bind time; the per-tile B pack
+	// transposes the activation rows. C comes out sample-major per tile
+	// and is scattered back with the epilogue applied in the same pass.
+	kern := tensor.PickGemmF32()
+	mr, nr := kern.MR, kern.NR
+	panels := (outF + mr - 1) / mr
+	apack := make([]float32, kern.PackedASize(outF, inF))
+	kern.PackA(apack, wv, inF, outF, inF)
+	biasPad := make([]float32, panels*mr)
+	if bias != nil {
+		copy(biasPad, bias[:outF])
+	}
+	scratch := inF*nr + mr*nr
 	unitCost := int64(inF) * 2
 	return func(rc *runCtx, dst []float32, srcs [][]float32) error {
 		xv := srcs[0]
+		if rc.batch >= denseGemmMinBatch {
+			nt := (rc.batch + nr - 1) / nr
+			rc.parallelForWorker(nt, unitCost*int64(nr)*int64(outF), func(worker, lo, hi int) {
+				ws := rc.f32Worker(worker, scratch)
+				bpack := ws[:inF*nr]
+				ctile := ws[inF*nr:]
+				for t := lo; t < hi; t++ {
+					j0 := t * nr
+					jw := rc.batch - j0
+					if jw > nr {
+						jw = nr
+					}
+					packDenseTileF32(bpack, xv, inF, nr, j0, jw)
+					for p := 0; p < panels; p++ {
+						o0 := p * mr
+						mh := outF - o0
+						if mh > mr {
+							mh = mr
+						}
+						kern.Run(apack[p*mr*inF:(p+1)*mr*inF], bpack, nr, inF, biasPad[o0:o0+mr], ctile, nr)
+						for i := 0; i < mh; i++ {
+							o := o0 + i
+							for j := 0; j < jw; j++ {
+								v := ctile[i*nr+j]
+								if fs != nil {
+									v = fs[o](v)
+								}
+								dst[(j0+j)*outF+o] = v
+							}
+						}
+					}
+				}
+			})
+			return nil
+		}
 		// One unit = one output scalar; chunks span (batch, out-feature)
 		// pairs so a single sample still fans out across the pool.
 		rc.parallelFor(rc.batch*outF, unitCost, func(lo, hi int) {
@@ -923,7 +827,7 @@ func bindDense(n *nn.Node, in, out tensor.Shape, ep *epilogue) (kernelFunc, erro
 			}
 		})
 		return nil
-	}, nil
+	}, scratchSpec{f32PerWorker: scratch}, nil
 }
 
 // bnScaleShift resolves a batch-norm node's per-channel affine. The

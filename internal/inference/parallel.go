@@ -6,11 +6,14 @@ import (
 )
 
 // runCtx carries the per-call execution state kernels need: the dynamic
-// batch size and the worker-pool bounds chosen at compile time.
+// batch size, the worker-pool bounds chosen at compile time, and the
+// planned scratch allocation for this call (see scratch.go).
 type runCtx struct {
 	batch     int
 	workers   int
 	threshold int64
+	spec      scratchSpec
+	scratch   *scratchBufs
 }
 
 // parallelFor executes fn over the index range [0, n), splitting it into
@@ -26,6 +29,16 @@ type runCtx struct {
 // disjoint ranges, so kernels keep their per-element accumulation order
 // and produce bitwise-identical results at any worker count.
 func (rc *runCtx) parallelFor(n int, unitCost int64, fn func(lo, hi int)) {
+	rc.parallelForWorker(n, unitCost, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// parallelForWorker is parallelFor with a worker ordinal: fn also
+// receives the index of the pool goroutine running the chunk, always in
+// [0, rc.workers), stable for the goroutine's lifetime. Kernels use it
+// to claim a private region of the planned scratch (rc.f32Worker and
+// friends) without locking. The calling goroutine is worker 0; the
+// inline small-range path therefore always reports worker 0.
+func (rc *runCtx) parallelForWorker(n int, unitCost int64, fn func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -34,7 +47,7 @@ func (rc *runCtx) parallelFor(n int, unitCost int64, fn func(lo, hi int)) {
 		w = n
 	}
 	if w <= 1 || int64(n)*unitCost < rc.threshold {
-		fn(0, n)
+		fn(0, 0, n)
 		return
 	}
 	// More chunks than workers smooths imbalance; chunk count is capped
@@ -45,7 +58,7 @@ func (rc *runCtx) parallelFor(n int, unitCost int64, fn func(lo, hi int)) {
 	}
 	size := (n + chunks - 1) / chunks
 	var cursor int64
-	work := func() {
+	work := func(worker int) {
 		for {
 			i := int(atomic.AddInt64(&cursor, 1)) - 1
 			lo := i * size
@@ -56,17 +69,17 @@ func (rc *runCtx) parallelFor(n int, unitCost int64, fn func(lo, hi int)) {
 			if hi > n {
 				hi = n
 			}
-			fn(lo, hi)
+			fn(worker, lo, hi)
 		}
 	}
 	var wg sync.WaitGroup
 	wg.Add(w - 1)
-	for i := 0; i < w-1; i++ {
-		go func() {
+	for i := 1; i < w; i++ {
+		go func(worker int) {
 			defer wg.Done()
-			work()
-		}()
+			work(worker)
+		}(i)
 	}
-	work()
+	work(0)
 	wg.Wait()
 }

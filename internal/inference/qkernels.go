@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sync"
 
 	"vedliot/internal/nn"
 	"vedliot/internal/tensor"
@@ -57,35 +56,43 @@ func hasIntLowering(op nn.OpType, arity int) bool {
 // into the per-channel tables (batch-norm) — exactly the table the
 // standalone activation step would apply, so fusion is bitwise
 // invisible.
-func bindQuantKernel(n *nn.Node, ins []tensor.Shape, out tensor.Shape, inQ []tensor.QuantParams, outQ tensor.QuantParams, post []*[256]int8) (qkernelFunc, error) {
+func bindQuantKernel(n *nn.Node, ins []tensor.Shape, out tensor.Shape, inQ []tensor.QuantParams, outQ tensor.QuantParams, post []*[256]int8) (qkernelFunc, scratchSpec, error) {
 	switch n.Op {
 	case nn.OpConv, nn.OpDepthwiseConv:
 		return bindQuantConv(n, ins[0], out, inQ[0], outQ, post)
 	case nn.OpDense:
 		return bindQuantDense(n, ins[0], out, inQ[0], outQ, post)
+	}
+	var (
+		kern qkernelFunc
+		err  error
+	)
+	switch n.Op {
 	case nn.OpBatchNorm:
-		return bindQuantBatchNorm(n, ins[0], inQ[0], outQ, post)
+		kern, err = bindQuantBatchNorm(n, ins[0], inQ[0], outQ, post)
 	case nn.OpReLU, nn.OpReLU6, nn.OpLeakyReLU, nn.OpSigmoid, nn.OpTanh,
 		nn.OpHSwish, nn.OpHSigmoid, nn.OpMish:
-		return bindQuantActivation(n, inQ[0], outQ)
+		kern, err = bindQuantActivation(n, inQ[0], outQ)
 	case nn.OpMaxPool:
-		return bindQuantMaxPool(n, ins[0], out, inQ[0], outQ)
+		kern, err = bindQuantMaxPool(n, ins[0], out, inQ[0], outQ)
 	case nn.OpAvgPool:
-		return bindQuantAvgPool(n, ins[0], out, inQ[0], outQ)
+		kern, err = bindQuantAvgPool(n, ins[0], out, inQ[0], outQ)
 	case nn.OpGlobalAvgPool:
-		return bindQuantGlobalAvgPool(ins[0], inQ[0], outQ)
+		kern, err = bindQuantGlobalAvgPool(ins[0], inQ[0], outQ)
 	case nn.OpAdd:
-		return bindQuantAdd(ins, out, inQ, outQ)
+		kern, err = bindQuantAdd(ins, out, inQ, outQ)
 	case nn.OpMul:
-		return bindQuantMul(ins, out, inQ, outQ)
+		kern, err = bindQuantMul(ins, out, inQ, outQ)
 	case nn.OpConcat:
-		return bindQuantConcat(ins, out, inQ, outQ)
+		kern, err = bindQuantConcat(ins, out, inQ, outQ)
 	case nn.OpUpsample:
-		return bindQuantUpsample(n, ins[0], out, inQ[0], outQ)
+		kern, err = bindQuantUpsample(n, ins[0], out, inQ[0], outQ)
 	case nn.OpFlatten, nn.OpIdentity:
-		return bindQuantRecode(inQ[0], outQ), nil
+		kern = bindQuantRecode(inQ[0], outQ)
+	default:
+		err = errNoQuantKernel
 	}
-	return nil, errNoQuantKernel
+	return kern, scratchSpec{}, err
 }
 
 // buildLUT tabulates code → code for a scalar real function under the
@@ -190,24 +197,24 @@ func widenCodes(codes []int8) []int16 {
 }
 
 // requantRow requantizes one int32 accumulator row into int8 codes,
-// applying the fused activation recode when present.
+// applying the fused activation recode when present. The requantize +
+// clamp runs through the SIMD-dispatched tensor.RequantInt8; the recode
+// is a separate pass over the produced codes, which composes to the
+// same result as recoding inline.
 func requantRow(out []int8, acc []int32, req tensor.Requant, zpOut int32, post *[256]int8) {
 	out = out[:len(acc)]
+	tensor.RequantInt8(out, acc, req, zpOut)
 	if post != nil {
-		for i, v := range acc {
-			out[i] = post[int(tensor.ClampInt8(zpOut+req.Apply(v)))+128]
+		for i, c := range out {
+			out[i] = post[int(c)+128]
 		}
-		return
-	}
-	for i, v := range acc {
-		out[i] = tensor.ClampInt8(zpOut + req.Apply(v))
 	}
 }
 
-func bindQuantConv(n *nn.Node, in, out tensor.Shape, inQ, outQ tensor.QuantParams, post []*[256]int8) (qkernelFunc, error) {
+func bindQuantConv(n *nn.Node, in, out tensor.Shape, inQ, outQ tensor.QuantParams, post []*[256]int8) (qkernelFunc, scratchSpec, error) {
 	g, w, err := convGeometry(n, in, out)
 	if err != nil {
-		return nil, err
+		return nil, scratchSpec{}, err
 	}
 	codes, wScales := quantizeFilter(w, g.outC)
 	bias32, req := foldBias(n.Weight(nn.BiasKey), wScales, inQ, outQ)
@@ -215,74 +222,33 @@ func bindQuantConv(n *nn.Node, in, out tensor.Shape, inQ, outQ tensor.QuantParam
 	taps := g.icPerG * g.kh * g.kw
 	planeCost := int64(g.outH*g.outW) * int64(taps) * 2
 
-	// Routing: pointwise and depthwise convolutions accumulate int32
-	// planes through the SIMD axpy (whole contiguous planes for 1x1,
-	// plane-wide taps with edge fixup for stride-1 depthwise) — no
-	// patch gather, so the input streams once per output channel.
-	// Spatial convolutions with a real channel reduction (the stems)
-	// gather a zero-point-shifted int16 patch matrix instead and run
-	// one contiguous SIMD dot per output pixel; padded taps are plain
-	// zeros there.
-	const qim2colMinTaps = 16
-	pointwise := g.kh == 1 && g.kw == 1 && g.sh == 1 && g.sw == 1 && g.ph == 0 && g.pw == 0
-	if !pointwise && g.icPerG > 1 && taps >= qim2colMinTaps {
-		groups := g.inC / g.icPerG
-		px := g.outH * g.outW
-		var pool sync.Pool
-		return func(rc *runCtx, dst []int8, srcs [][]int8) error {
-			xv := srcs[0]
-			need := rc.batch * groups * px * taps
-			var cols []int16
-			if bp, ok := pool.Get().(*[]int16); ok && cap(*bp) >= need {
-				cols = (*bp)[:need]
-			} else {
-				cols = make([]int16, need)
-			}
-			rc.parallelFor(rc.batch*groups, int64(px*taps), func(lo, hi int) {
-				for pi := lo; pi < hi; pi++ {
-					qconvGather(cols, xv, &p.g, pi/groups, pi%groups, px, taps, p.zpIn)
-				}
-			})
-			rc.parallelFor(rc.batch*p.g.outC, planeCost, func(lo, hi int) {
-				for pi := lo; pi < hi; pi++ {
-					qconvDotPatches(dst, cols, p, pi/p.g.outC, pi%p.g.outC, groups, px, taps)
-				}
-			})
-			pool.Put(&cols)
-			return nil
-		}, nil
+	// Routing mirrors the FP32 binder: convolutions with a real channel
+	// reduction (stems and pointwise projections) run the int16 GEMM
+	// micro-kernels with the zero-point shift fused into the per-tile B
+	// pack. Depthwise and other shallow reductions accumulate int32
+	// planes through the SIMD axpy instead — no gather, so the input
+	// streams once per output channel.
+	if convGemmEligible(g) {
+		kern, spec := bindQuantConvGemm(p)
+		return kern, spec, nil
 	}
+	pointwise := g.kh == 1 && g.kw == 1 && g.sh == 1 && g.sw == 1 && g.ph == 0 && g.pw == 0
 	hwIn := g.inH * g.inW
 	px := g.outH * g.outW
-	var x16Pool, accPool sync.Pool
+	spec := scratchSpec{i16PerSample: g.inC * hwIn, i32PerWorker: px}
 	return func(rc *runCtx, dst []int8, srcs [][]int8) error {
 		xv := srcs[0]
 		// Shift the whole input by the zero point once: padded (skipped)
 		// taps then contribute exactly 0 to the linear term, so the
 		// kernel-outer accumulation needs no padding-aware bookkeeping.
 		need := rc.batch * p.g.inC * hwIn
-		var x16 []int16
-		if bp, ok := x16Pool.Get().(*[]int16); ok && cap(*bp) >= need {
-			x16 = (*bp)[:need]
-		} else {
-			x16 = make([]int16, need)
-		}
-		zp := p.zpIn
+		x16 := rc.i16Sample(p.g.inC * hwIn)
+		zp := int16(p.zpIn)
 		rc.parallelFor(need, 2, func(lo, hi int) {
-			x := xv[lo:hi]
-			out := x16[lo:hi]
-			out = out[:len(x)]
-			for i, v := range x {
-				out[i] = int16(int32(v) - zp)
-			}
+			tensor.WidenShiftInt8(x16[lo:hi], xv[lo:hi], zp)
 		})
-		rc.parallelFor(rc.batch*p.g.outC, planeCost, func(lo, hi int) {
-			var acc []int32
-			if bp, ok := accPool.Get().(*[]int32); ok && cap(*bp) >= px {
-				acc = (*bp)[:px]
-			} else {
-				acc = make([]int32, px)
-			}
+		rc.parallelForWorker(rc.batch*p.g.outC, planeCost, func(worker, lo, hi int) {
+			acc := rc.i32Worker(worker, px)
 			for pi := lo; pi < hi; pi++ {
 				if pointwise {
 					qconvPlanePointwise(dst, x16, p, acc, pi/p.g.outC, pi%p.g.outC)
@@ -290,87 +256,9 @@ func bindQuantConv(n *nn.Node, in, out tensor.Shape, inQ, outQ tensor.QuantParam
 					qconvPlane(dst, x16, p, acc, pi/p.g.outC, pi%p.g.outC)
 				}
 			}
-			accPool.Put(&acc)
 		})
-		x16Pool.Put(&x16)
 		return nil
-	}, nil
-}
-
-// qconvGather fills one (batch, group) patch matrix with zero-point-
-// shifted int16 values in (ic, ky, kx) tap order; out-of-bounds taps
-// store 0, which is exactly what the padding value real 0 contributes
-// after the shift.
-func qconvGather(cols []int16, xv []int8, g *convGeom, b, grp, px, taps int, zp int32) {
-	base := (b*(g.inC/g.icPerG) + grp) * px * taps
-	for oy := 0; oy < g.outH; oy++ {
-		iy0 := oy*g.sh - g.ph
-		for ox := 0; ox < g.outW; ox++ {
-			ix0 := ox*g.sw - g.pw
-			kxLo := 0
-			if ix0 < 0 {
-				kxLo = -ix0
-			}
-			kxHi := g.kw
-			if ix0+g.kw > g.inW {
-				kxHi = g.inW - ix0
-			}
-			at := base + (oy*g.outW+ox)*taps
-			for ic := 0; ic < g.icPerG; ic++ {
-				xBase := (b*g.inC + grp*g.icPerG + ic) * g.inH * g.inW
-				for ky := 0; ky < g.kh; ky++ {
-					row := cols[at : at+g.kw]
-					at += g.kw
-					iy := iy0 + ky
-					if iy < 0 || iy >= g.inH || kxLo >= kxHi {
-						for i := range row {
-							row[i] = 0
-						}
-						continue
-					}
-					for i := 0; i < kxLo; i++ {
-						row[i] = 0
-					}
-					src := xv[xBase+iy*g.inW+ix0+kxLo : xBase+iy*g.inW+ix0+kxHi]
-					seg := row[kxLo:kxHi]
-					seg = seg[:len(src)]
-					for i, v := range src {
-						seg[i] = int16(int32(v) - zp)
-					}
-					for i := kxHi; i < g.kw; i++ {
-						row[i] = 0
-					}
-				}
-			}
-		}
-	}
-}
-
-// qconvDotPatches computes one (batch, output-channel) plane as px SIMD
-// dots of length taps, then applies the folded bias and the fixed-point
-// requantization (the zero-point correction is already baked into the
-// shifted patches).
-func qconvDotPatches(dst []int8, cols []int16, p *qconv, b, oc, groups, px, taps int) {
-	g := &p.g
-	grp := oc / g.ocPerG
-	colBase := (b*groups + grp) * px * taps
-	wRow := p.w16[oc*taps : (oc+1)*taps]
-	bias := p.bias32[oc]
-	req := p.req[oc]
-	zpOut := p.zpOut
-	var post *[256]int8
-	if p.post != nil {
-		post = p.post[oc]
-	}
-	outPlane := dst[(b*g.outC+oc)*px : (b*g.outC+oc+1)*px]
-	for j := range outPlane {
-		col := cols[colBase+j*taps : colBase+(j+1)*taps]
-		code := tensor.ClampInt8(zpOut + req.Apply(tensor.DotInt16(col, wRow)+bias))
-		if post != nil {
-			code = post[int(code)+128]
-		}
-		outPlane[j] = code
-	}
+	}, spec, nil
 }
 
 // qconvPlane computes one (batch, output-channel) plane of a shallow
@@ -426,12 +314,15 @@ func qconvPlane(dst []int8, x16 []int16, p *qconv, acc []int32, b, oc int) {
 					}
 					xRow := x16[xBase+iy*g.inW : xBase+(iy+1)*g.inW]
 					oRow := plane[oy*g.outW : (oy+1)*g.outW]
-					if g.sw == 1 {
+					switch g.sw {
+					case 1:
 						o := oRow[oxLo:oxHi]
 						x := xRow[oxLo-g.pw+kx:]
 						x = x[:len(o)]
 						tensor.AxpyInt16(o, x, w)
-					} else {
+					case 2:
+						tensor.AxpyInt16Stride2(oRow[oxLo:oxHi], xRow[oxLo*2-g.pw+kx:], w)
+					default:
 						wv := int32(w)
 						ix := oxLo*g.sw - g.pw + kx
 						for ox := oxLo; ox < oxHi; ox++ {
@@ -526,43 +417,81 @@ func qconvPlanePointwise(dst []int8, x16 []int16, p *qconv, acc []int32, b, oc i
 	requantRow(dst[(b*g.outC+oc)*hw:(b*g.outC+oc+1)*hw], plane, p.req[oc], p.zpOut, p.postFor(oc))
 }
 
-func bindQuantDense(n *nn.Node, in, out tensor.Shape, inQ, outQ tensor.QuantParams, post []*[256]int8) (qkernelFunc, error) {
+func bindQuantDense(n *nn.Node, in, out tensor.Shape, inQ, outQ tensor.QuantParams, post []*[256]int8) (qkernelFunc, scratchSpec, error) {
 	if len(in) != 1 {
-		return nil, fmt.Errorf("dense wants [N,features], got per-sample %v", in)
+		return nil, scratchSpec{}, fmt.Errorf("dense wants [N,features], got per-sample %v", in)
 	}
 	w := n.Weight(nn.WeightKey)
 	if w == nil {
-		return nil, fmt.Errorf("dense has no weights")
+		return nil, scratchSpec{}, fmt.Errorf("dense has no weights")
 	}
 	inF, outF := in[0], out[0]
 	want := tensor.Shape{outF, inF}
 	if !w.Shape.Equal(want) {
-		return nil, fmt.Errorf("weight shape %v, want %v", w.Shape, want)
+		return nil, scratchSpec{}, fmt.Errorf("weight shape %v, want %v", w.Shape, want)
 	}
 	codes, wScales := quantizeFilter(w, outF)
 	bias32, req := foldBias(n.Weight(nn.BiasKey), wScales, inQ, outQ)
 	w16 := widenCodes(codes)
 	zpIn, zpOut := inQ.Zero, outQ.Zero
 	unitCost := int64(inF) * 2
-	var x16Pool sync.Pool
+	// GEMM lowering for batched calls (M = out features, N = samples):
+	// the widened weight codes pack once at bind time, the per-tile B
+	// pack fuses the zero-point shift with the transposed gather, and
+	// each int32 C tile requantizes straight into the sample-major
+	// output. Integer accumulation is associative, so the scalar-dot
+	// path below produces identical codes.
+	kern := tensor.PickGemmI16()
+	mr, nr := kern.MR, kern.NR
+	kp := tensor.KPairs(inF)
+	panels := (outF + mr - 1) / mr
+	apack := make([]int16, kern.PackedASize(outF, inF))
+	kern.PackA(apack, w16, inF, outF, inF)
+	biasPad := make([]int32, panels*mr)
+	copy(biasPad, bias32[:outF])
+	spec := scratchSpec{i16PerSample: inF, i16PerWorker: kp * 2 * nr, i32PerWorker: mr * nr}
 	return func(rc *runCtx, dst []int8, srcs [][]int8) error {
 		xv := srcs[0]
+		if rc.batch >= denseGemmMinBatch {
+			nt := (rc.batch + nr - 1) / nr
+			rc.parallelForWorker(nt, unitCost*int64(nr)*int64(outF), func(worker, lo, hi int) {
+				bpack := rc.i16Worker(worker, kp*2*nr)
+				ctile := rc.i32Worker(worker, mr*nr)
+				for t := lo; t < hi; t++ {
+					j0 := t * nr
+					jw := rc.batch - j0
+					if jw > nr {
+						jw = nr
+					}
+					packQDenseTile(bpack, xv, inF, nr, j0, jw, zpIn)
+					for p := 0; p < panels; p++ {
+						o0 := p * mr
+						mh := outF - o0
+						if mh > mr {
+							mh = mr
+						}
+						kern.Run(apack[p*mr*2*kp:(p+1)*mr*2*kp], bpack, 2*nr, kp, biasPad[o0:o0+mr], ctile, nr)
+						for i := 0; i < mh; i++ {
+							o := o0 + i
+							for j := 0; j < jw; j++ {
+								code := tensor.ClampInt8(zpOut + req[o].Apply(ctile[i*nr+j]))
+								if post != nil {
+									code = post[o][int(code)+128]
+								}
+								dst[(j0+j)*outF+o] = code
+							}
+						}
+					}
+				}
+			})
+			return nil
+		}
 		// Zero-point-shift the input rows once so the SIMD dot needs no
 		// correction term.
 		need := rc.batch * inF
-		var x16 []int16
-		if bp, ok := x16Pool.Get().(*[]int16); ok && cap(*bp) >= need {
-			x16 = (*bp)[:need]
-		} else {
-			x16 = make([]int16, need)
-		}
+		x16 := rc.i16Sample(inF)
 		rc.parallelFor(need, 2, func(lo, hi int) {
-			x := xv[lo:hi]
-			out := x16[lo:hi]
-			out = out[:len(x)]
-			for i, v := range x {
-				out[i] = int16(int32(v) - zpIn)
-			}
+			tensor.WidenShiftInt8(x16[lo:hi], xv[lo:hi], int16(zpIn))
 		})
 		rc.parallelFor(rc.batch*outF, unitCost, func(lo, hi int) {
 			for r := lo; r < hi; r++ {
@@ -577,9 +506,8 @@ func bindQuantDense(n *nn.Node, in, out tensor.Shape, inQ, outQ tensor.QuantPara
 				dst[r] = code
 			}
 		})
-		x16Pool.Put(&x16)
 		return nil
-	}, nil
+	}, spec, nil
 }
 
 // bindQuantBatchNorm lowers inference-mode normalization to one lookup
@@ -1004,11 +932,13 @@ func bindQuantUpsample(n *nn.Node, in, out tensor.Shape, inQ, outQ tensor.QuantP
 }
 
 // wrapFP32Fallback runs an op without an integer lowering as an FP32
-// island: dequantize its int8 inputs into pooled scratch, execute the
+// island: dequantize its int8 inputs into planned scratch, execute the
 // bound FP32 kernel, quantize the result back. Coverage stays total
 // while the cost is confined to the wrapped step (softmax heads and
-// other non-linear reductions).
-func wrapFP32Fallback(kern kernelFunc, ins []tensor.Shape, out tensor.Shape, inQ []tensor.QuantParams, outQ tensor.QuantParams) qkernelFunc {
+// other non-linear reductions). The returned spec declares the island's
+// per-sample staging (inputs plus output); island ops never carry their
+// own FP32 kernel scratch, so the region is exclusively the wrapper's.
+func wrapFP32Fallback(kern kernelFunc, ins []tensor.Shape, out tensor.Shape, inQ []tensor.QuantParams, outQ tensor.QuantParams) (qkernelFunc, scratchSpec) {
 	inElems := make([]int, len(ins))
 	total := out.NumElements()
 	outElems := total
@@ -1016,15 +946,8 @@ func wrapFP32Fallback(kern kernelFunc, ins []tensor.Shape, out tensor.Shape, inQ
 		inElems[i] = s.NumElements()
 		total += inElems[i]
 	}
-	var pool sync.Pool
-	return func(rc *runCtx, dst []int8, srcs [][]int8) error {
-		need := total * rc.batch
-		var scratch []float32
-		if p, ok := pool.Get().(*[]float32); ok && cap(*p) >= need {
-			scratch = (*p)[:need]
-		} else {
-			scratch = make([]float32, need)
-		}
+	qfn := func(rc *runCtx, dst []int8, srcs [][]int8) error {
+		scratch := rc.f32Sample(total)
 		off := 0
 		fsrcs := make([][]float32, len(srcs))
 		for i, src := range srcs {
@@ -1036,11 +959,10 @@ func wrapFP32Fallback(kern kernelFunc, ins []tensor.Shape, out tensor.Shape, inQ
 		}
 		fdst := scratch[off : off+outElems*rc.batch]
 		if err := kern(rc, fdst, fsrcs); err != nil {
-			pool.Put(&scratch)
 			return err
 		}
 		tensor.QuantizeSlice(dst, fdst, outQ)
-		pool.Put(&scratch)
 		return nil
 	}
+	return qfn, scratchSpec{f32PerSample: total}
 }

@@ -51,6 +51,12 @@ type QuantEngine struct {
 	// kernel→requantize wrapper (ops without an integer lowering).
 	fallbacks int
 
+	// scratch is the element-wise maximum of every bound kernel's
+	// transient-buffer spec (GEMM pack tiles, shifted-input staging,
+	// island buffers); scratchPool recycles the per-Run allocations.
+	scratch     scratchSpec
+	scratchPool sync.Pool // *scratchBufs
+
 	cfg    config
 	arenas sync.Pool // *[]int8
 	inbufs sync.Pool // *[]int8, entry-quantized inputs
@@ -176,6 +182,7 @@ func newQuantEngine(m *ir.Module, cfg config) (*QuantEngine, error) {
 		n := nodeFromOp(op)
 		out := sc.valOf[op.Out]
 		var kern qkernelFunc
+		var spec scratchSpec
 		var err error
 		if !op.Island {
 			// The producer requantizes to its own (pre-epilogue)
@@ -190,7 +197,7 @@ func newQuantEngine(m *ir.Module, cfg config) (*QuantEngine, error) {
 			if post != nil {
 				outQ = m.Values[op.Fused[0].Pre].QP
 			}
-			kern, err = bindQuantKernel(n, inPer, e.vals[out].per, inQ, outQ, post)
+			kern, spec, err = bindQuantKernel(n, inPer, e.vals[out].per, inQ, outQ, post)
 		}
 		if op.Island || errors.Is(err, errNoQuantKernel) {
 			// No integer lowering: run the FP32 kernel inside a
@@ -200,17 +207,21 @@ func newQuantEngine(m *ir.Module, cfg config) (*QuantEngine, error) {
 			if len(op.Fused) > 0 {
 				return nil, compileError(op, true, fmt.Errorf("fused op has no integer lowering"))
 			}
-			fk, ferr := bindKernel(n, inPer, e.vals[out].per, nil)
+			fk, fkSpec, ferr := bindKernel(n, inPer, e.vals[out].per, nil)
 			if ferr != nil {
 				return nil, compileError(op, true, ferr)
 			}
-			kern = wrapFP32Fallback(fk, inPer, e.vals[out].per, inQ, e.qp[out])
+			var wrapSpec scratchSpec
+			kern, wrapSpec = wrapFP32Fallback(fk, inPer, e.vals[out].per, inQ, e.qp[out])
+			spec = fkSpec
+			spec.grow(wrapSpec)
 			e.fallbacks++
 			err = nil
 		}
 		if err != nil {
 			return nil, compileError(op, true, err)
 		}
+		e.scratch.grow(spec)
 		e.steps = append(e.steps, qstep{name: op.Name, op: op.Kind, out: out, ins: ins, kern: kern})
 	}
 	steps := make([]planStep, len(e.steps))
@@ -246,7 +257,9 @@ func (e *QuantEngine) Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.
 	if err != nil {
 		return nil, err
 	}
-	rc := runCtx{batch: batch, workers: e.cfg.workers, threshold: e.cfg.threshold}
+	sb := getScratch(&e.scratchPool, e.scratch, batch, e.cfg.workers)
+	defer putScratch(&e.scratchPool, sb)
+	rc := runCtx{batch: batch, workers: e.cfg.workers, threshold: e.cfg.threshold, spec: e.scratch, scratch: sb}
 
 	// Quantize every input once at graph entry.
 	inElems := 0

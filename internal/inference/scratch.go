@@ -1,0 +1,133 @@
+package inference
+
+import "sync"
+
+// Planned kernel scratch.
+//
+// GEMM pack buffers, zero-point-shifted input copies and FP32-island
+// staging used to come from per-kernel sync.Pools, which hid their
+// footprint from the memory plan and re-grew on every first call. Each
+// binder now declares its transient needs as a scratchSpec; the engine
+// takes the element-wise maximum over all bound steps at compile time
+// and provisions one pooled allocation per Run, sized for the call's
+// batch and the compiled worker bound. Per-worker regions are disjoint
+// per goroutine ordinal (parallelForWorker), so kernels share scratch
+// without synchronization.
+
+// scratchSpec declares one bound kernel's transient buffer needs in
+// elements. PerSample fields scale with the call's batch size (whole-
+// input staging); PerWorker fields are private to one pool worker
+// (pack tiles, accumulator tiles) and scale with the worker bound.
+type scratchSpec struct {
+	f32PerSample int
+	f32PerWorker int
+	i16PerSample int
+	i16PerWorker int
+	i32PerWorker int
+}
+
+// grow raises s to the element-wise maximum of s and o — the engine's
+// fold over its steps.
+func (s *scratchSpec) grow(o scratchSpec) {
+	if o.f32PerSample > s.f32PerSample {
+		s.f32PerSample = o.f32PerSample
+	}
+	if o.f32PerWorker > s.f32PerWorker {
+		s.f32PerWorker = o.f32PerWorker
+	}
+	if o.i16PerSample > s.i16PerSample {
+		s.i16PerSample = o.i16PerSample
+	}
+	if o.i16PerWorker > s.i16PerWorker {
+		s.i16PerWorker = o.i16PerWorker
+	}
+	if o.i32PerWorker > s.i32PerWorker {
+		s.i32PerWorker = o.i32PerWorker
+	}
+}
+
+// isZero reports an empty spec, letting Run skip scratch setup.
+func (s scratchSpec) isZero() bool {
+	return s == scratchSpec{}
+}
+
+// scratchBufs is one pooled allocation of an engine's scratch regions.
+type scratchBufs struct {
+	f32 []float32
+	i16 []int16
+	i32 []int32
+}
+
+// ensure grows the regions to the spec's requirement for this call's
+// batch and worker bound. Contents are never assumed zero — kernels
+// fully overwrite what they read.
+func (b *scratchBufs) ensure(spec scratchSpec, batch, workers int) {
+	if n := spec.f32PerSample*batch + spec.f32PerWorker*workers; cap(b.f32) < n {
+		b.f32 = make([]float32, n)
+	} else {
+		b.f32 = b.f32[:n]
+	}
+	if n := spec.i16PerSample*batch + spec.i16PerWorker*workers; cap(b.i16) < n {
+		b.i16 = make([]int16, n)
+	} else {
+		b.i16 = b.i16[:n]
+	}
+	if n := spec.i32PerWorker * workers; cap(b.i32) < n {
+		b.i32 = make([]int32, n)
+	} else {
+		b.i32 = b.i32[:n]
+	}
+}
+
+// getScratch draws a scratch allocation from an engine's pool, grown
+// to the compiled spec at this call's batch and worker bound. A zero
+// spec returns nil: kernels that declared scratch are then never bound,
+// so nothing dereferences it.
+func getScratch(pool *sync.Pool, spec scratchSpec, batch, workers int) *scratchBufs {
+	if spec.isZero() {
+		return nil
+	}
+	sb, _ := pool.Get().(*scratchBufs)
+	if sb == nil {
+		sb = &scratchBufs{}
+	}
+	sb.ensure(spec, batch, workers)
+	return sb
+}
+
+// putScratch returns a getScratch allocation to its pool.
+func putScratch(pool *sync.Pool, sb *scratchBufs) {
+	if sb != nil {
+		pool.Put(sb)
+	}
+}
+
+// f32Sample returns the batch-scaled float32 region, n elements per
+// sample (n must not exceed the bound spec's f32PerSample).
+func (rc *runCtx) f32Sample(n int) []float32 {
+	return rc.scratch.f32[:n*rc.batch]
+}
+
+// f32Worker returns worker w's private float32 region of n elements.
+func (rc *runCtx) f32Worker(w, n int) []float32 {
+	off := rc.spec.f32PerSample*rc.batch + w*rc.spec.f32PerWorker
+	return rc.scratch.f32[off : off+n]
+}
+
+// i16Sample returns the batch-scaled int16 region, n elements per
+// sample.
+func (rc *runCtx) i16Sample(n int) []int16 {
+	return rc.scratch.i16[:n*rc.batch]
+}
+
+// i16Worker returns worker w's private int16 region of n elements.
+func (rc *runCtx) i16Worker(w, n int) []int16 {
+	off := rc.spec.i16PerSample*rc.batch + w*rc.spec.i16PerWorker
+	return rc.scratch.i16[off : off+n]
+}
+
+// i32Worker returns worker w's private int32 region of n elements.
+func (rc *runCtx) i32Worker(w, n int) []int32 {
+	off := w * rc.spec.i32PerWorker
+	return rc.scratch.i32[off : off+n]
+}

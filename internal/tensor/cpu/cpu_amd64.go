@@ -1,0 +1,63 @@
+//go:build amd64 && !purego && !noasm
+
+package cpu
+
+// Runtime feature probe for amd64: CPUID enumerates the ISA extensions
+// and XGETBV confirms the OS context-switches the wider register files
+// (a hypervisor or minimal kernel can expose AVX in CPUID while never
+// saving YMM state — executing VEX code there corrupts registers).
+
+// cpuid executes the CPUID instruction with the given EAX/ECX inputs.
+// Implemented in cpu_amd64.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0), which reports the
+// state components the OS has enabled. Implemented in cpu_amd64.s.
+func xgetbv() (eax, edx uint32)
+
+const (
+	// CPUID.1:ECX bits.
+	bitSSE41   = 1 << 19
+	bitOSXSAVE = 1 << 27
+	bitAVX     = 1 << 28
+	bitFMA     = 1 << 12
+	// CPUID.7.0:EBX bits.
+	bitAVX2     = 1 << 5
+	bitAVX512F  = 1 << 16
+	bitAVX512BW = 1 << 30
+	bitAVX512VL = 1 << 31
+	// XCR0 bits: SSE+YMM state for AVX, plus opmask/ZMM hi for AVX-512.
+	xcr0AVX    = 0x6
+	xcr0AVX512 = 0xe6
+)
+
+func detect() Features {
+	f := Features{SSE2: true} // architectural baseline on amd64
+
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 1 {
+		return f
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	f.SSE41 = ecx1&bitSSE41 != 0
+
+	osxsave := ecx1&bitOSXSAVE != 0
+	var xcr0 uint64
+	if osxsave {
+		lo, hi := xgetbv()
+		xcr0 = uint64(hi)<<32 | uint64(lo)
+	}
+	ymmOK := osxsave && xcr0&xcr0AVX == xcr0AVX
+	zmmOK := osxsave && xcr0&xcr0AVX512 == xcr0AVX512
+
+	f.AVX = ecx1&bitAVX != 0 && ymmOK
+	f.FMA = ecx1&bitFMA != 0 && ymmOK
+
+	if maxLeaf >= 7 {
+		_, ebx7, _, _ := cpuid(7, 0)
+		f.AVX2 = f.AVX && ebx7&bitAVX2 != 0
+		const avx512Bits = bitAVX512F | bitAVX512BW | bitAVX512VL
+		f.AVX512 = zmmOK && ebx7&avx512Bits == avx512Bits
+	}
+	return f
+}

@@ -1,0 +1,99 @@
+package cpu
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestTierString(t *testing.T) {
+	cases := map[Tier]string{
+		TierGeneric: "generic",
+		TierSSE2:    "sse2",
+		TierAVX2:    "avx2",
+		TierNEON:    "neon",
+		Tier(99):    "tier(99)",
+	}
+	for tier, want := range cases {
+		if got := tier.String(); got != want {
+			t.Errorf("Tier(%d).String() = %q, want %q", int(tier), got, want)
+		}
+	}
+}
+
+func TestParseTier(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Tier
+	}{
+		{"generic", TierGeneric},
+		{"purego", TierGeneric},
+		{"noasm", TierGeneric},
+		{"sse2", TierSSE2},
+		{"AVX2", TierAVX2},
+		{" avx2 ", TierAVX2},
+		{"neon", TierNEON},
+	} {
+		got, err := ParseTier(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseTier(%q) = %v, %v; want %v, nil", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseTier("avx9000"); err == nil {
+		t.Error("ParseTier(avx9000) should fail")
+	}
+}
+
+func TestTierOrdering(t *testing.T) {
+	if !(TierGeneric < TierSSE2 && TierSSE2 < TierAVX2) {
+		t.Fatal("tiers must be ordered generic < sse2 < avx2 for the override clamp")
+	}
+}
+
+func TestDetectConsistency(t *testing.T) {
+	f := Detect()
+	if f.AVX2 && !f.AVX {
+		t.Error("AVX2 implies AVX")
+	}
+	if f.AVX && !f.SSE2 {
+		t.Error("AVX on amd64 implies SSE2")
+	}
+	if runtime.GOARCH == "amd64" && f.NEON {
+		t.Error("NEON reported on amd64")
+	}
+}
+
+func TestMaxSupported(t *testing.T) {
+	for _, tc := range []struct {
+		f    Features
+		want Tier
+	}{
+		{Features{}, TierGeneric},
+		{Features{NEON: true}, TierGeneric}, // no NEON kernels yet
+		{Features{SSE2: true}, TierSSE2},
+		{Features{SSE2: true, AVX: true, AVX2: true}, TierAVX2},
+		{Features{SSE2: true, AVX: true, AVX2: true, AVX512: true}, TierAVX2}, // AVX-512 slot reserved
+	} {
+		if got := maxSupported(tc.f); got != tc.want {
+			t.Errorf("maxSupported(%+v) = %v, want %v", tc.f, got, tc.want)
+		}
+	}
+}
+
+func TestBestWithinSupport(t *testing.T) {
+	// Best honors VEDLIOT_CPU only downward, so the result can never
+	// exceed what the host supports.
+	if best, max := Best(), maxSupported(Detect()); best > max {
+		t.Errorf("Best() = %v exceeds host support %v", best, max)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := Summary()
+	if !strings.HasPrefix(s, "tier "+Best().String()) {
+		t.Errorf("Summary() = %q, want prefix %q", s, "tier "+Best().String())
+	}
+	if runtime.GOARCH == "amd64" && Best() >= TierSSE2 && !strings.Contains(s, "sse2") {
+		t.Errorf("Summary() = %q should list sse2 on amd64", s)
+	}
+}

@@ -1,0 +1,42 @@
+//go:build amd64 && !purego && !noasm
+
+package tensor
+
+// amd64 micro-kernel registration. SSE2 is baseline so its kernels are
+// always available; the AVX2 kernels register only when the detector
+// confirms both the ISA and OS YMM state support.
+
+import "vedliot/internal/tensor/cpu"
+
+// gemmF32SSE2 computes a 6x8 FP32 tile with MULPS+ADDPS (no FMA).
+//
+//go:noescape
+func gemmF32SSE2(a []float32, b []float32, ldb, k int, bias []float32, c []float32, ldc int)
+
+// gemmF32AVX2 computes a 6x16 FP32 tile with VMULPS+VADDPS (no FMA).
+//
+//go:noescape
+func gemmF32AVX2(a []float32, b []float32, ldb, k int, bias []float32, c []float32, ldc int)
+
+// gemmI16SSE2 computes a 4x8 quantized tile with PMADDWD.
+//
+//go:noescape
+func gemmI16SSE2(a []int16, b []int16, ldb, kPairs int, bias []int32, c []int32, ldc int)
+
+// gemmI16AVX2 computes a 4x16 quantized tile with VPMADDWD.
+//
+//go:noescape
+func gemmI16AVX2(a []int16, b []int16, ldb, kPairs int, bias []int32, c []int32, ldc int)
+
+func init() {
+	gemmF32Kernels = append(gemmF32Kernels,
+		GemmKernelF32{MR: 6, NR: 8, Tier: cpu.TierSSE2, Run: gemmF32SSE2})
+	gemmI16Kernels = append(gemmI16Kernels,
+		GemmKernelI16{MR: 4, NR: 8, Tier: cpu.TierSSE2, Run: gemmI16SSE2})
+	if cpu.Detect().AVX2 {
+		gemmF32Kernels = append(gemmF32Kernels,
+			GemmKernelF32{MR: 6, NR: 16, Tier: cpu.TierAVX2, Run: gemmF32AVX2})
+		gemmI16Kernels = append(gemmI16Kernels,
+			GemmKernelI16{MR: 4, NR: 16, Tier: cpu.TierAVX2, Run: gemmI16AVX2})
+	}
+}

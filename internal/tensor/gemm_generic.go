@@ -1,0 +1,64 @@
+package tensor
+
+// Portable micro-kernels, compiled on every GOARCH. They share the
+// AVX2 tile shapes (6x16 FP32, 4x16 INT16) so the generic tier packs
+// operands identically to the widest SIMD tier.
+//
+// The FP32 inner statement is written `acc += a*b` — the same shape as
+// the scalar interpreter loop — so on architectures where the Go
+// compiler fuses multiply-add (arm64), kernel and interpreter fuse
+// identically and bitwise parity still holds; on amd64 neither fuses.
+
+import "vedliot/internal/tensor/cpu"
+
+var genericGemmF32 = GemmKernelF32{MR: 6, NR: 16, Tier: cpu.TierGeneric, Run: gemmF32Generic}
+var genericGemmI16 = GemmKernelI16{MR: 4, NR: 16, Tier: cpu.TierGeneric, Run: gemmI16Generic}
+
+func gemmF32Generic(a []float32, b []float32, ldb, k int, bias []float32, c []float32, ldc int) {
+	var acc [6][16]float32
+	for i := 0; i < 6; i++ {
+		bi := bias[i]
+		for j := 0; j < 16; j++ {
+			acc[i][j] = bi
+		}
+	}
+	for kk := 0; kk < k; kk++ {
+		ap := a[kk*6 : kk*6+6 : kk*6+6]
+		bp := b[kk*ldb : kk*ldb+16 : kk*ldb+16]
+		for i := 0; i < 6; i++ {
+			av := ap[i]
+			ai := &acc[i]
+			for j := 0; j < 16; j++ {
+				ai[j] += av * bp[j]
+			}
+		}
+	}
+	for i := 0; i < 6; i++ {
+		copy(c[i*ldc:i*ldc+16], acc[i][:])
+	}
+}
+
+func gemmI16Generic(a []int16, b []int16, ldb, kPairs int, bias []int32, c []int32, ldc int) {
+	var acc [4][16]int32
+	for i := 0; i < 4; i++ {
+		bi := bias[i]
+		for j := 0; j < 16; j++ {
+			acc[i][j] = bi
+		}
+	}
+	for kp := 0; kp < kPairs; kp++ {
+		ap := a[kp*8 : kp*8+8 : kp*8+8]
+		bp := b[kp*ldb : kp*ldb+32 : kp*ldb+32]
+		for i := 0; i < 4; i++ {
+			a0 := int32(ap[i*2])
+			a1 := int32(ap[i*2+1])
+			ai := &acc[i]
+			for j := 0; j < 16; j++ {
+				ai[j] += a0*int32(bp[j*2]) + a1*int32(bp[j*2+1])
+			}
+		}
+	}
+	for i := 0; i < 4; i++ {
+		copy(c[i*ldc:i*ldc+16], acc[i][:])
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !amd64 || purego || noasm
+
+package tensor
+
+// No SIMD micro-kernels in this build: the generic kernels registered
+// in gemm_generic.go are the only variants, so PickGemmF32/PickGemmI16
+// resolve to the portable tier regardless of what the host supports.

@@ -1,0 +1,15 @@
+package tensor
+
+// RequantInt8 requantizes an int32 accumulator row into int8 codes:
+// out[i] = ClampInt8(zp + r.Apply(acc[i])). This is the epilogue of
+// every quantized convolution output, so amd64 builds dispatch the bulk
+// of the row to an AVX2 kernel that reproduces the scalar fixed-point
+// arithmetic bit-for-bit (see requant_amd64.s); the scalar loop covers
+// the tail and every host without the kernel.
+func RequantInt8(out []int8, acc []int32, r Requant, zp int32) {
+	out = out[:len(acc)]
+	i := requantInt8Accel(out, acc, r, zp)
+	for ; i < len(acc); i++ {
+		out[i] = ClampInt8(zp + r.Apply(acc[i]))
+	}
+}

@@ -1,0 +1,25 @@
+//go:build amd64 && !purego && !noasm
+
+package tensor
+
+import "vedliot/internal/tensor/cpu"
+
+// requantInt8Accel requantizes a 16-aligned prefix of acc with the AVX2
+// kernel and returns how many elements it handled. The kernel needs the
+// mantissa in 32 bits and a shift below 64 (both true for every real
+// layer-scale ratio; NewRequant's robustness paths can exceed them), and
+// it honors the VEDLIOT_CPU tier clamp like the GEMM dispatch.
+func requantInt8Accel(out []int8, acc []int32, r Requant, zp int32) int {
+	n := len(acc) &^ 15
+	if n == 0 || r.mult >= 1<<31 || r.shift > 63 || cpu.Best() < cpu.TierAVX2 {
+		return 0
+	}
+	requantInt8AVX2(&out[0], &acc[0], n, r.mult, r.round, uint64(r.shift), zp)
+	return n
+}
+
+// requantInt8AVX2 computes out[i] = sat8(zp + int32((acc[i]*mult +
+// round) >> shift)) for i < n; n must be a multiple of 16.
+//
+//go:noescape
+func requantInt8AVX2(out *int8, acc *int32, n int, mult, round int64, shift uint64, zp int32)

@@ -1,0 +1,97 @@
+//go:build amd64 && !purego && !noasm
+
+#include "textflag.h"
+
+// func requantInt8AVX2(out *int8, acc *int32, n int, mult, round int64, shift uint64, zp int32)
+//
+// Vector form of Requant.Apply + ClampInt8 over 16 accumulators per
+// iteration, bit-identical to the scalar loop:
+//
+//	out[i] = sat8(zp + int32((int64(acc[i])*mult + round) >> shift))
+//
+// VPMULDQ gives the exact signed 32x32->64 products (mult is a 31-bit
+// mantissa, so it fits the low dword). The 64-bit arithmetic right
+// shift AVX2 lacks is synthesized in the unsigned domain: flip the sign
+// bit, shift logically, subtract 1<<(63-shift). Taking the low dword of
+// each product then matches the scalar int32 truncation, and the
+// saturating packs VPACKSSDW+VPACKSSWB compose to exactly ClampInt8.
+//
+// Every vector instruction here, including the GPR->XMM staging moves,
+// must use a VEX encoding (VMOVQ/VMOVD, not MOVQ/MOVL): a legacy SSE
+// write to an XMM register while the YMM uppers are dirty triggers a
+// per-instruction state-transition penalty that once cost this kernel
+// ~450ns of fixed overhead per call.
+TEXT ·requantInt8AVX2(SB), NOSPLIT, $0-52
+	MOVQ out+0(FP), DI
+	MOVQ acc+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ mult+24(FP), AX
+	VMOVQ AX, X8
+	VPBROADCASTQ X8, Y8 // mult in every qword
+	MOVQ round+32(FP), AX
+	VMOVQ AX, X9
+	VPBROADCASTQ X9, Y9 // round in every qword
+	MOVQ shift+40(FP), AX
+	VMOVQ AX, X10                // shift count for VPSRLQ
+	MOVQ $0x8000000000000000, AX
+	VMOVQ AX, X11
+	VPBROADCASTQ X11, Y11 // sign-bit bias
+	VPSRLQ X10, Y11, Y12  // 1 << (63-shift): unbias after the shift
+	MOVL zp+48(FP), AX
+	VMOVD AX, X13
+	VPBROADCASTD X13, Y13 // zp in every dword
+
+loop16:
+	CMPQ CX, $16
+	JLT  done
+	VMOVDQU (SI), Y0   // acc[0:8]
+	VMOVDQU 32(SI), Y1 // acc[8:16]
+
+	// Y0 -> Y2: eight requantized int32 lanes.
+	VPMULDQ Y8, Y0, Y2 // products of even dwords
+	VPSRLQ  $32, Y0, Y3
+	VPMULDQ Y8, Y3, Y3 // products of odd dwords
+	VPADDQ  Y9, Y2, Y2
+	VPADDQ  Y9, Y3, Y3
+	VPXOR   Y11, Y2, Y2
+	VPXOR   Y11, Y3, Y3
+	VPSRLQ  X10, Y2, Y2
+	VPSRLQ  X10, Y3, Y3
+	VPSUBQ  Y12, Y2, Y2
+	VPSUBQ  Y12, Y3, Y3
+	VPSLLQ  $32, Y3, Y3
+	VPBLENDD $0xAA, Y3, Y2, Y2 // reinterleave even/odd results
+	VPADDD  Y13, Y2, Y2
+
+	// Y1 -> Y4, same steps.
+	VPMULDQ Y8, Y1, Y4
+	VPSRLQ  $32, Y1, Y5
+	VPMULDQ Y8, Y5, Y5
+	VPADDQ  Y9, Y4, Y4
+	VPADDQ  Y9, Y5, Y5
+	VPXOR   Y11, Y4, Y4
+	VPXOR   Y11, Y5, Y5
+	VPSRLQ  X10, Y4, Y4
+	VPSRLQ  X10, Y5, Y5
+	VPSUBQ  Y12, Y4, Y4
+	VPSUBQ  Y12, Y5, Y5
+	VPSLLQ  $32, Y5, Y5
+	VPBLENDD $0xAA, Y5, Y4, Y4
+	VPADDD  Y13, Y4, Y4
+
+	// Saturating narrow 16 x int32 -> 16 x int8, restoring linear order
+	// around VPACKSSDW's per-lane interleave.
+	VPACKSSDW Y4, Y2, Y2
+	VPERMQ    $0xD8, Y2, Y2
+	VEXTRACTI128 $1, Y2, X3
+	VPACKSSWB X3, X2, X2
+	VMOVDQU   X2, (DI)
+
+	ADDQ $64, SI
+	ADDQ $16, DI
+	SUBQ $16, CX
+	JMP  loop16
+
+done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,9 @@
+//go:build !amd64 || purego || noasm
+
+package tensor
+
+// requantInt8Accel has no accelerated form on this build; the scalar
+// loop in RequantInt8 handles the whole row.
+func requantInt8Accel(out []int8, acc []int32, r Requant, zp int32) int {
+	return 0
+}

@@ -1,0 +1,82 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refRequantInt8 is the scalar definition the accelerated path must
+// reproduce bit-for-bit.
+func refRequantInt8(out []int8, acc []int32, r Requant, zp int32) {
+	for i, v := range acc {
+		out[i] = ClampInt8(zp + r.Apply(v))
+	}
+}
+
+// TestRequantInt8MatchesScalar drives RequantInt8 across multiplier
+// magnitudes, zero points, extreme accumulators and every tail length,
+// demanding exact equality with the scalar definition regardless of
+// which variant the build dispatches to.
+func TestRequantInt8MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	mults := []float64{1, 0.5, 0.25, 1.7e-3, 3.33e-2, 0.9999, 2.5, 1024,
+		7.8e-9, 4.2e9, math.SmallestNonzeroFloat64, 0, math.Inf(1)}
+	zps := []int32{0, -128, 127, 5, -7}
+	for _, m := range mults {
+		r := NewRequant(m)
+		for _, zp := range zps {
+			for _, n := range []int{0, 1, 15, 16, 17, 31, 32, 33, 64, 100} {
+				acc := make([]int32, n)
+				for i := range acc {
+					switch i % 5 {
+					case 0:
+						acc[i] = rng.Int31() - 1<<30
+					case 1:
+						acc[i] = math.MaxInt32
+					case 2:
+						acc[i] = math.MinInt32
+					default:
+						acc[i] = int32(rng.Intn(65536) - 32768)
+					}
+				}
+				got := make([]int8, n)
+				want := make([]int8, n)
+				RequantInt8(got, acc, r, zp)
+				refRequantInt8(want, acc, r, zp)
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("m=%g zp=%d n=%d: out[%d] = %d, scalar %d (acc %d)",
+							m, zp, n, i, got[i], want[i], acc[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// FuzzRequantInt8 cross-checks the dispatched requantizer against the
+// scalar definition on arbitrary accumulator bytes and multipliers.
+func FuzzRequantInt8(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 255, 0, 0, 0}, 0.031, int32(3))
+	f.Add(make([]byte, 64), 1.0, int32(-128))
+	f.Fuzz(func(t *testing.T, raw []byte, m float64, zp int32) {
+		n := len(raw) / 4
+		acc := make([]int32, n)
+		for i := range acc {
+			acc[i] = int32(raw[4*i]) | int32(raw[4*i+1])<<8 |
+				int32(raw[4*i+2])<<16 | int32(raw[4*i+3])<<24
+		}
+		r := NewRequant(m)
+		got := make([]int8, n)
+		want := make([]int8, n)
+		RequantInt8(got, acc, r, zp)
+		refRequantInt8(want, acc, r, zp)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("m=%g zp=%d: out[%d] = %d, scalar %d (acc %d)",
+					m, zp, i, got[i], want[i], acc[i])
+			}
+		}
+	})
+}

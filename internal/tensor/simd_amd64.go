@@ -1,4 +1,4 @@
-//go:build amd64 && !purego
+//go:build amd64 && !purego && !noasm
 
 package tensor
 
@@ -35,3 +35,67 @@ func DotInt16(a, b []int16) int32
 //
 //go:noescape
 func AxpyInt16(dst []int32, x []int16, w int16)
+
+// AxpyInt16Stride2 computes dst[i] += int32(w) * int32(x[2*i]) over
+// min(len(dst), ceil(len(x)/2)) elements — the accumulation step of a
+// stride-2 convolution row. PMADDWD against the pair pattern (w, 0)
+// multiplies the even element by w and annihilates its odd partner, so
+// the strided gather costs nothing over the dense form.
+func AxpyInt16Stride2(dst []int32, x []int16, w int16) {
+	n := len(dst)
+	if m := (len(x) + 1) / 2; n > m {
+		n = m
+	}
+	if n == 0 {
+		return
+	}
+	// The vector body loads whole pairs; when the final element's odd
+	// partner is past the end of x, finish that element in Go.
+	if len(x) >= 2*n {
+		axpyInt16Stride2(dst[:n], x, w)
+		return
+	}
+	axpyInt16Stride2(dst[:n-1], x, w)
+	dst[n-1] += int32(w) * int32(x[2*(n-1)])
+}
+
+// axpyInt16Stride2 is the SSE2 body of AxpyInt16Stride2; it requires
+// len(x) >= 2*len(dst).
+//
+//go:noescape
+func axpyInt16Stride2(dst []int32, x []int16, w int16)
+
+// WidenShiftInt8 computes dst[i] = int16(src[i]) - zp over
+// min(len(dst), len(src)) elements — the zero-point shift that turns
+// stored int8 activation codes into the int16 operand form of the
+// integer kernels.
+func WidenShiftInt8(dst []int16, src []int8, zp int16) {
+	n := len(src)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	widenShiftInt8(dst[:n], src[:n], zp)
+}
+
+// widenShiftInt8 is the SSE2 body of WidenShiftInt8; equal lengths.
+//
+//go:noescape
+func widenShiftInt8(dst []int16, src []int8, zp int16)
+
+// PackPairShiftInt8 interleaves two zero-point-shifted int8 rows into
+// the pair layout of the PMADDWD micro-kernels: out[2i] = int16(r0[i]) -
+// zp, out[2i+1] = int16(r1[i]) - zp, over n = min(len(r0), len(r1))
+// elements. out must hold at least 2n entries.
+func PackPairShiftInt8(out []int16, r0, r1 []int8, zp int16) {
+	n := len(r0)
+	if len(r1) < n {
+		n = len(r1)
+	}
+	packPairShiftInt8(out[:2*n], r0[:n], r1[:n], zp)
+}
+
+// packPairShiftInt8 is the SSE2 body of PackPairShiftInt8; it requires
+// len(r0) == len(r1) and len(out) == 2*len(r0).
+//
+//go:noescape
+func packPairShiftInt8(out []int16, r0, r1 []int8, zp int16)

@@ -1,4 +1,4 @@
-//go:build !amd64 || purego
+//go:build !amd64 || purego || noasm
 
 package tensor
 
@@ -45,5 +45,48 @@ func AxpyInt16(dst []int32, x []int16, w int16) {
 	wv := int32(w)
 	for i, xi := range x {
 		dst[i] += wv * int32(xi)
+	}
+}
+
+// WidenShiftInt8 computes dst[i] = int16(src[i]) - zp over
+// min(len(dst), len(src)) elements — the zero-point shift that turns
+// stored int8 activation codes into the int16 operand form of the
+// integer kernels.
+func WidenShiftInt8(dst []int16, src []int8, zp int16) {
+	n := len(src)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = int16(src[i]) - zp
+	}
+}
+
+// PackPairShiftInt8 interleaves two zero-point-shifted int8 rows into
+// the pair layout of the PMADDWD micro-kernels: out[2i] = int16(r0[i]) -
+// zp, out[2i+1] = int16(r1[i]) - zp, over n = min(len(r0), len(r1))
+// elements. out must hold at least 2n entries.
+func PackPairShiftInt8(out []int16, r0, r1 []int8, zp int16) {
+	n := len(r0)
+	if len(r1) < n {
+		n = len(r1)
+	}
+	for i := 0; i < n; i++ {
+		out[2*i] = int16(r0[i]) - zp
+		out[2*i+1] = int16(r1[i]) - zp
+	}
+}
+
+// AxpyInt16Stride2 computes dst[i] += int32(w) * int32(x[2*i]) over
+// min(len(dst), ceil(len(x)/2)) elements — the accumulation step of a
+// stride-2 convolution row.
+func AxpyInt16Stride2(dst []int32, x []int16, w int16) {
+	n := len(dst)
+	if m := (len(x) + 1) / 2; n > m {
+		n = m
+	}
+	wv := int32(w)
+	for i := 0; i < n; i++ {
+		dst[i] += wv * int32(x[2*i])
 	}
 }
