@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-full test-race test-portable bench bench-json bench-gate serve-demo docs pack-demo ci
+.PHONY: all build vet test test-full test-race test-portable bench bench-json bench-gate serve-demo load-smoke docs pack-demo ci
 
 all: ci
 
@@ -20,7 +20,7 @@ test-full:
 
 # test-race runs the concurrent packages under the race detector.
 test-race:
-	$(GO) test -short -race ./internal/inference/... ./internal/microserver/... ./internal/cluster/...
+	$(GO) test -short -race ./internal/inference/... ./internal/microserver/... ./internal/cluster/... ./internal/serve/...
 
 # test-portable exercises the pure-Go micro-kernel fallbacks (noasm /
 # purego build tags) and the narrowed runtime dispatch tiers — the same
@@ -41,6 +41,7 @@ bench-json:
 	$(GO) run ./cmd/vedliot-bench -run engine -json -outdir .
 	$(GO) run ./cmd/vedliot-bench -run quantized -json -outdir .
 	$(GO) run ./cmd/vedliot-bench -run cluster -json -outdir .
+	$(GO) run ./cmd/vedliot-bench -run serve -json -outdir .
 
 # bench-gate checks the artifacts against the committed baseline —
 # local runs match CI exactly.
@@ -53,6 +54,15 @@ serve-demo:
 	$(GO) run ./cmd/vedliot-serve -chassis urecs \
 		-modules "SMARC ARM,Jetson Xavier NX" \
 		-model mirror-face -requests 120 -rate 400
+
+# load-smoke drives a short closed-loop load through the framed-TCP
+# front door over a real localhost socket — server and clients in one
+# process — and fails unless every request is accounted for with zero
+# hard failures and the adaptive batcher actually coalesced.
+load-smoke:
+	$(GO) run ./cmd/vedliot-serve -load-smoke -model tiny \
+		-modules "SMARC ARM,SMARC ARM" \
+		-clients 400 -requests-per-client 5 -think 2ms
 
 # pack-demo smoke-checks the artifact path: pack a calibrated model,
 # verify it, and fleet-serve it through the plan cache.
@@ -74,4 +84,4 @@ docs:
 	$(GO) run ./cmd/docs-check . ./internal/* ./internal/inference/ir
 	$(GO) run ./cmd/vedliot-pack verify internal/artifact/testdata/golden.vedz
 
-ci: vet build docs test test-race test-portable bench-gate
+ci: vet build docs test test-race test-portable load-smoke bench-gate

@@ -114,6 +114,12 @@ func BenchmarkAblationEcallBatching(b *testing.B) { benchExperiment(b, "ablation
 // the heterogeneous uRECS fleet on the real serving path.
 func BenchmarkClusterServing(b *testing.B) { benchExperiment(b, "cluster") }
 
+// BenchmarkServeFrontDoor regenerates the network front-door study:
+// the million-client closed-loop simulation plus the framed-TCP load
+// run comparing adaptive socket-boundary batching with batch-size-1
+// passthrough.
+func BenchmarkServeFrontDoor(b *testing.B) { benchExperiment(b, "serve") }
+
 // BenchmarkClusterSubmit measures the real serving path end to end:
 // async Submit/Wait through the scheduler, its admission queue and a
 // heterogeneous fleet's batching servers.

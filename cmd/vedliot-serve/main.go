@@ -14,18 +14,31 @@
 // with the artifact's embedded calibration schema driving INT8-capable
 // modules.
 //
+// Beyond the trace replay, the command is also the network front door:
+// -listen exposes the deployed fleet over the framed-TCP protocol
+// (plus an optional -http JSON adapter) with per-tenant API keys and
+// socket-boundary adaptive batching, -load turns the binary into a
+// closed-loop load generator driving a remote front door, and
+// -load-smoke runs both ends in one process over a real localhost
+// socket and fails unless the run is clean and requests coalesced.
+//
 // Usage:
 //
 //	vedliot-serve -chassis urecs -modules "SMARC ARM,Jetson Xavier NX" \
 //	    -model mirror-face -requests 120 -rate 400
 //	vedliot-serve -model mirror-face.vedz -requests 120
+//	vedliot-serve -model tiny -listen :9090 -http :9091 -keys edge=tenant-a
+//	vedliot-serve -load 127.0.0.1:9090 -model tiny -clients 2000 -key edge
+//	vedliot-serve -load-smoke -model tiny
 //	vedliot-serve -list-models
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -34,6 +47,7 @@ import (
 	"vedliot/internal/microserver"
 	"vedliot/internal/nn"
 	"vedliot/internal/optimize"
+	"vedliot/internal/serve"
 	"vedliot/internal/tensor"
 	"vedliot/internal/zoo"
 )
@@ -49,11 +63,38 @@ func main() {
 	queue := flag.Int("queue", 256, "admission queue depth")
 	emulate := flag.Bool("emulate", true, "stretch accelerator requests to modeled latency")
 	int8Serve := flag.Bool("int8", false, "calibrate the model and serve INT8-capable accelerator replicas on the native quantized engine")
+	listen := flag.String("listen", "", "serve the fleet over framed TCP on this address instead of replaying a trace")
+	httpAddr := flag.String("http", "", "with -listen: also serve the HTTP/JSON adapter on this address")
+	keys := flag.String("keys", "", "comma-separated key=tenant API keys for -listen (empty = open mode)")
+	maxBatch := flag.Int("max-batch", 32, "front-door coalescing cap in rows (1 = passthrough)")
+	maxDelay := flag.Duration("max-delay", time.Millisecond, "front-door max coalescing delay")
+	loadAddr := flag.String("load", "", "run as a closed-loop load generator against this front-door address")
+	clients := flag.Int("clients", 1000, "load generator: concurrent closed-loop clients")
+	perClient := flag.Int("requests-per-client", 4, "load generator: requests per client")
+	think := flag.Duration("think", 10*time.Millisecond, "load generator: mean think time between requests")
+	slo := flag.Duration("slo", 100*time.Millisecond, "load generator: per-request latency objective")
+	conns := flag.Int("conns", 8, "load generator: pooled connections")
+	key := flag.String("key", "", "load generator: API key")
+	loadSmoke := flag.Bool("load-smoke", false, "serve and load the fleet in-process over a localhost socket; exit non-zero unless the run is clean and requests coalesced")
 	flag.Parse()
 
 	if *listModels {
 		for _, e := range zoo.Entries() {
 			fmt.Printf("%-16s %s\n", e.Name, e.About)
+		}
+		return
+	}
+
+	if *loadAddr != "" {
+		if err := runLoad(*loadAddr, *model, *key, *conns, serve.LoadConfig{
+			Clients:           *clients,
+			RequestsPerClient: *perClient,
+			Think:             *think,
+			SLO:               *slo,
+			Retry:             true,
+			Seed:              *seed,
+		}); err != nil {
+			fatal(err)
 		}
 		return
 	}
@@ -171,6 +212,20 @@ func main() {
 			ps.Entries, len(dep.Replicas()), ps.Hits)
 	}
 
+	policy := serve.BatchPolicy{MaxBatch: *maxBatch, MaxDelay: *maxDelay}
+	if *loadSmoke {
+		if err := runSmoke(sched, g, inShape, policy, *clients, *perClient, *think, *slo, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *listen != "" {
+		if err := runListen(sched, *listen, *httpAddr, parseKeys(*keys), policy); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	// Replay the open-loop trace in real time.
 	trace := cluster.OpenLoopTrace(*requests, *rate, *seed)
 	fmt.Printf("replaying %d requests at %.0f req/s (span %v)...\n",
@@ -233,6 +288,165 @@ func main() {
 	}
 	fmt.Printf("\nanalytic replay of the same trace: %.0f req/s, p95 %v, %.1f J\n",
 		sim.Throughput, sim.Latency.P95.Round(time.Microsecond), sim.EnergyJ)
+}
+
+// parseKeys turns "key=tenant,key2=tenant2" into the server key map
+// (nil for an empty spec: open mode).
+func parseKeys(spec string) map[string]string {
+	if strings.TrimSpace(spec) == "" {
+		return nil
+	}
+	m := make(map[string]string)
+	for _, pair := range strings.Split(spec, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		k, tenant, ok := strings.Cut(pair, "=")
+		if !ok {
+			tenant = k
+		}
+		m[k] = tenant
+	}
+	return m
+}
+
+// fleetInput builds a deterministic single-sample request for the
+// model's declared input shape.
+func fleetInput(g *nn.Graph, inShape tensor.Shape) map[string]*tensor.Tensor {
+	input := tensor.New(tensor.FP32, inShape...)
+	for i := range input.F32 {
+		input.F32[i] = float32(i%13)/13 - 0.5
+	}
+	return map[string]*tensor.Tensor{g.Inputs[0]: input}
+}
+
+// runListen exposes the deployed fleet over the framed protocol (and
+// optionally HTTP) until interrupted, then prints ingestion telemetry.
+func runListen(sched *cluster.Scheduler, addr, httpAddr string, keys map[string]string, policy serve.BatchPolicy) error {
+	srv, err := serve.Listen(addr, sched, serve.Config{Keys: keys, Batch: policy})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	mode := "open mode"
+	if keys != nil {
+		mode = fmt.Sprintf("%d API key(s)", len(keys))
+	}
+	fmt.Printf("\nframed TCP front door on %s (%s, max batch %d, max delay %v)\n",
+		srv.Addr(), mode, policy.MaxBatch, policy.MaxDelay)
+	var hsrv *http.Server
+	if httpAddr != "" {
+		hsrv = &http.Server{Addr: httpAddr, Handler: srv.Handler()}
+		go func() {
+			if err := hsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "vedliot-serve: http:", err)
+			}
+		}()
+		fmt.Printf("HTTP/JSON adapter on %s (POST /v1/infer, GET /v1/models, GET /v1/stats)\n", httpAddr)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	if hsrv != nil {
+		hsrv.Close()
+	}
+	st := srv.Stats()
+	fmt.Printf("\n%d conns accepted, %d requests: %d overloaded, %d unauthorized, %d bad, %d errors\n",
+		st.Accepted, st.Requests, st.Overloaded, st.Unauthorized, st.BadRequest, st.Errors)
+	fmt.Printf("coalescing: %d rows over %d submissions (%.1f rows/batch)\n",
+		st.BatchedRows, st.Batches, st.MeanBatch)
+	return nil
+}
+
+// runLoad drives a closed-loop client population against a remote
+// front door. The model must be a zoo entry so the generator can shape
+// the request tensors locally.
+func runLoad(addr, model, key string, conns int, cfg serve.LoadConfig) error {
+	entry, err := zoo.Find(model)
+	if err != nil {
+		return err
+	}
+	g := entry.Build()
+	if err := g.InferShapes(1); err != nil {
+		return err
+	}
+	ins := fleetInput(g, g.Node(g.Inputs[0]).OutShape)
+	cfg.Model = g.Name
+	cfg.Inputs = func(int) map[string]*tensor.Tensor { return ins }
+	pool, err := serve.DialPool(addr, key, conns)
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+	fmt.Printf("closed loop against %s: %d clients x %d requests of %s over %d conns (think %v, SLO %v)\n",
+		addr, cfg.Clients, cfg.RequestsPerClient, g.Name, conns, cfg.Think, cfg.SLO)
+	res, err := serve.RunClosedLoop(pool, cfg)
+	if err != nil {
+		return err
+	}
+	printLoad(res)
+	return nil
+}
+
+// runSmoke serves the already-deployed fleet on a localhost socket,
+// drives a short closed-loop load through real frames and fails unless
+// the run is clean (no hard failures, every request accounted for) and
+// the front door actually coalesced.
+func runSmoke(sched *cluster.Scheduler, g *nn.Graph, inShape tensor.Shape, policy serve.BatchPolicy,
+	clients, perClient int, think, slo time.Duration, seed int64) error {
+	srv, err := serve.Listen("127.0.0.1:0", sched, serve.Config{Batch: policy})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	pool, err := serve.DialPool(srv.Addr(), "", 4)
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+	ins := fleetInput(g, inShape)
+	fmt.Printf("\nload-smoke on %s: %d clients x %d requests (think %v, max batch %d)\n",
+		srv.Addr(), clients, perClient, think, policy.MaxBatch)
+	res, err := serve.RunClosedLoop(pool, serve.LoadConfig{
+		Model:             g.Name,
+		Clients:           clients,
+		RequestsPerClient: perClient,
+		Think:             think,
+		SLO:               slo,
+		Retry:             true,
+		Inputs:            func(int) map[string]*tensor.Tensor { return ins },
+		Seed:              seed,
+	})
+	if err != nil {
+		return err
+	}
+	printLoad(res)
+	st := srv.Stats()
+	fmt.Printf("coalescing: %d rows over %d submissions (%.1f rows/batch)\n",
+		st.BatchedRows, st.Batches, st.MeanBatch)
+	if res.Failed > 0 {
+		return fmt.Errorf("load-smoke: %d hard failures", res.Failed)
+	}
+	if got := res.Completed + res.Shed; got != res.Requests {
+		return fmt.Errorf("load-smoke: %d of %d requests unaccounted for", res.Requests-got, res.Requests)
+	}
+	if st.MeanBatch <= 1 {
+		return fmt.Errorf("load-smoke: no coalescing (%.2f rows/batch)", st.MeanBatch)
+	}
+	fmt.Println("load-smoke ok")
+	return nil
+}
+
+// printLoad renders one load-run result.
+func printLoad(res serve.LoadResult) {
+	fmt.Printf("completed %d/%d (shed %d, failed %d, %d retries) in %v -> %.0f req/s\n",
+		res.Completed, res.Requests, res.Shed, res.Failed, res.Retries,
+		res.Elapsed.Round(time.Millisecond), res.Throughput)
+	fmt.Printf("latency: p50 %v  p99 %v  p999 %v  max %v; SLO violations %d (%.2f%%)\n",
+		res.Latency.P50.Round(time.Microsecond), res.Latency.P99.Round(time.Microsecond),
+		res.Latency.P999.Round(time.Microsecond), res.Latency.Max.Round(time.Microsecond),
+		res.SLOViolations, 100*res.SLOViolationRate)
 }
 
 // calibrate derives the activation schema from deterministic

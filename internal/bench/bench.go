@@ -134,6 +134,7 @@ func Registry() []Experiment {
 		{ID: "engine", Paper: "toolchain: compiled engine vs interpreter", Run: EngineStudy},
 		{ID: "quantized", Paper: "toolchain: native INT8 engine vs FP32 engine", Run: QuantizedStudy},
 		{ID: "cluster", Paper: "platform: heterogeneous fleet serving", Run: ClusterStudy},
+		{ID: "serve", Paper: "platform: network front door, adaptive batching", Run: ServeStudy},
 		{ID: "twine", Paper: "§IV-C: SQLite in SGX via WASM [17]", Run: Twine},
 		{ID: "pmp", Paper: "§IV-C: VexRiscv PMP unit", Run: PMPBench},
 		{ID: "cfu", Paper: "§II-B: Renode CFU simulation", Run: CFUBench},

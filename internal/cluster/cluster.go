@@ -17,8 +17,10 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -280,14 +282,33 @@ func (s *Scheduler) Deployment(model string) (*Deployment, error) {
 	return d, nil
 }
 
+// Models lists the deployed model names, sorted.
+func (s *Scheduler) Models() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.deployments))
+	for name := range s.deployments {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Infer routes one request for the named model and blocks for the
 // result.
 func (s *Scheduler) Infer(model string, inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	return s.InferCtx(context.Background(), model, inputs)
+}
+
+// InferCtx is Infer bound to a caller context: the wait aborts when the
+// context ends, and a request cancelled while still queued is dropped
+// before it reaches a replica.
+func (s *Scheduler) InferCtx(ctx context.Context, model string, inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
 	d, err := s.Deployment(model)
 	if err != nil {
 		return nil, err
 	}
-	return d.Infer(inputs)
+	return d.InferCtx(ctx, inputs)
 }
 
 // InferSingle is the single-tensor shortcut for 1-in/1-out models.
@@ -301,11 +322,16 @@ func (s *Scheduler) InferSingle(model string, in *tensor.Tensor) (*tensor.Tensor
 
 // Submit asynchronously admits one request for the named model.
 func (s *Scheduler) Submit(model string, inputs map[string]*tensor.Tensor) (*Ticket, error) {
+	return s.SubmitCtx(context.Background(), model, inputs)
+}
+
+// SubmitCtx is Submit bound to a caller context; see Deployment.SubmitCtx.
+func (s *Scheduler) SubmitCtx(ctx context.Context, model string, inputs map[string]*tensor.Tensor) (*Ticket, error) {
 	d, err := s.Deployment(model)
 	if err != nil {
 		return nil, err
 	}
-	return d.Submit(inputs)
+	return d.SubmitCtx(ctx, inputs)
 }
 
 // PowerW snapshots the chassis power draw implied by the fleet's
@@ -368,6 +394,7 @@ type Deployment struct {
 	submitted atomic.Int64
 	completed atomic.Int64
 	rejected  atomic.Int64
+	cancelled atomic.Int64
 }
 
 // Model returns the deployed model's name.
@@ -375,6 +402,12 @@ func (d *Deployment) Model() string { return d.model }
 
 // Replicas returns the fleet members in slot order.
 func (d *Deployment) Replicas() []*Replica { return d.replicas }
+
+// InputNames returns the model's input-node names (a copy).
+func (d *Deployment) InputNames() []string { return append([]string(nil), d.inputNames...) }
+
+// OutputNames returns the model's output-node names (a copy).
+func (d *Deployment) OutputNames() []string { return append([]string(nil), d.outputNames...) }
 
 // warmup probes every replica with one zero-input request, verifying
 // the backend end to end and seeding the observed-latency EWMA. Input
@@ -409,12 +442,25 @@ func (d *Deployment) warmup(g *nn.Graph) error {
 // returned Ticket resolves through Wait. A full admission queue sheds
 // the request with ErrOverloaded.
 func (d *Deployment) Submit(inputs map[string]*tensor.Tensor) (*Ticket, error) {
+	return d.SubmitCtx(context.Background(), inputs)
+}
+
+// SubmitCtx is Submit with the caller's context attached to the ticket:
+// if the context ends while the request is still queued — in the
+// admission queue or a replica's batch queue — the request resolves
+// with the context error without consuming replica time. A request
+// already running on an engine completes normally (dispatches are not
+// preemptible); its result is simply discarded by the caller.
+func (d *Deployment) SubmitCtx(ctx context.Context, inputs map[string]*tensor.Tensor) (*Ticket, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	d.lifeMu.RLock()
 	defer d.lifeMu.RUnlock()
 	if d.closed {
 		return nil, ErrClosed
 	}
-	tk := &Ticket{ins: inputs, done: make(chan struct{}), start: time.Now()}
+	tk := &Ticket{ctx: ctx, ins: inputs, done: make(chan struct{}), start: time.Now()}
 	select {
 	case d.queue <- tk:
 		d.submitted.Add(1)
@@ -432,6 +478,15 @@ func (d *Deployment) Infer(inputs map[string]*tensor.Tensor) (map[string]*tensor
 		return nil, err
 	}
 	return tk.Wait()
+}
+
+// InferCtx is Infer bound to a caller context.
+func (d *Deployment) InferCtx(ctx context.Context, inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	tk, err := d.SubmitCtx(ctx, inputs)
+	if err != nil {
+		return nil, err
+	}
+	return tk.WaitCtx(ctx)
 }
 
 // InferSingle is the single-tensor shortcut for 1-in/1-out models.
@@ -491,13 +546,26 @@ func (d *Deployment) drain() {
 // saturated — node-level backpressure that in turn fills the admission
 // queue and sheds load), then asynchronous completion.
 func (d *Deployment) dispatch(tk *Ticket) {
+	// A caller that vanished while the ticket sat in the admission
+	// queue is dropped here, before it costs a replica anything.
+	if err := tk.ctx.Err(); err != nil {
+		tk.err = err
+		d.cancelled.Add(1)
+		d.completed.Add(1)
+		close(tk.done)
+		return
+	}
 	r := d.pick()
 	depth := r.inflight.Add(1)
+	rows := batchRows(tk.ins, d.inputNames)
 	start := time.Now()
-	pending, err := r.server.SubmitMap(tk.ins)
+	pending, err := r.server.SubmitMapCtx(tk.ctx, tk.ins)
 	if err != nil {
 		r.inflight.Add(-1)
 		r.observe(0, err)
+		if tk.ctx.Err() != nil {
+			d.cancelled.Add(1)
+		}
 		tk.err = err
 		tk.replica = r
 		d.completed.Add(1)
@@ -514,19 +582,46 @@ func (d *Deployment) dispatch(tk *Ticket) {
 			wall = r.modeled
 		}
 		r.inflight.Add(-1)
-		// Normalize the observation by the queue depth at submission:
-		// wall time ≈ depth × service when requests ahead serialize, so
-		// the EWMA tracks per-request service time rather than
-		// congestion — congestion is already priced into the routing
-		// cost via the inflight factor, and an idle replica must not
-		// keep a backlog-inflated estimate.
-		r.observe(wall/time.Duration(depth), err)
+		// Normalize the observation to per-sample service time: wall
+		// time ≈ depth × service when requests ahead serialize, and a
+		// coalesced ticket carries `rows` samples in one dispatch, so
+		// the EWMA tracks per-sample service rather than congestion or
+		// batch size — congestion is already priced into the routing
+		// cost via the inflight factor, and the front door's adaptive
+		// batching must not read as a slower replica.
+		r.observe(perSampleWall(wall, depth, rows), err)
+		if err != nil && tk.ctx.Err() != nil {
+			d.cancelled.Add(1)
+		}
 		tk.outs, tk.err = outs, err
 		tk.replica = r
 		tk.latency = time.Since(tk.start)
 		d.completed.Add(1)
 		close(tk.done)
 	}()
+}
+
+// batchRows reads the number of coalesced samples a request carries:
+// the leading (batch) dimension of its first declared input.
+func batchRows(ins map[string]*tensor.Tensor, inputNames []string) int64 {
+	if len(inputNames) > 0 {
+		if t := ins[inputNames[0]]; t != nil && len(t.Shape) > 0 && t.Shape[0] > 1 {
+			return int64(t.Shape[0])
+		}
+	}
+	return 1
+}
+
+// perSampleWall normalizes an observed wall time by the replica queue
+// depth at submission and the number of samples the ticket carried.
+func perSampleWall(wall time.Duration, depth, rows int64) time.Duration {
+	if depth < 1 {
+		depth = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return wall / time.Duration(depth*rows)
 }
 
 // pick returns the replica with the lowest estimated completion cost:
@@ -577,6 +672,7 @@ func (d *Deployment) Stats() Stats {
 		Submitted: d.submitted.Load(),
 		Completed: d.completed.Load(),
 		Rejected:  d.rejected.Load(),
+		Cancelled: d.cancelled.Load(),
 	}
 	for _, r := range d.replicas {
 		st.Replicas = append(st.Replicas, r.Stats())
@@ -590,6 +686,10 @@ type Stats struct {
 	Submitted int64
 	Completed int64
 	Rejected  int64
+	// Cancelled counts admitted tickets whose caller context ended
+	// before a replica ran them; they are a subset of Completed, so the
+	// invariant Submitted == Completed + Rejected still holds.
+	Cancelled int64
 	Replicas  []ReplicaStats
 }
 
@@ -608,6 +708,7 @@ func (s Stats) ReplicaTable() []string {
 
 // Ticket is one admitted request; Wait blocks for its result.
 type Ticket struct {
+	ctx     context.Context
 	ins     map[string]*tensor.Tensor
 	outs    map[string]*tensor.Tensor
 	err     error
@@ -621,6 +722,19 @@ type Ticket struct {
 func (t *Ticket) Wait() (map[string]*tensor.Tensor, error) {
 	<-t.done
 	return t.outs, t.err
+}
+
+// WaitCtx is Wait that also aborts when the given context ends. An
+// abort does not invalidate the ticket: if the request was submitted
+// with a different (still-live) context it keeps its place in the
+// queue, and a later Wait can still collect the result.
+func (t *Ticket) WaitCtx(ctx context.Context) (map[string]*tensor.Tensor, error) {
+	select {
+	case <-t.done:
+		return t.outs, t.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // Latency returns the admission-to-completion latency; valid after
@@ -653,7 +767,11 @@ type Replica struct {
 	inflight atomic.Int64
 	served   atomic.Int64
 	failed   atomic.Int64
-	// ewmaNS is the observed per-request latency EWMA in nanoseconds.
+	shed     atomic.Int64
+	// ewmaNS is the observed per-sample service-time EWMA in
+	// nanoseconds. Only genuinely served requests feed it: shed and
+	// cancelled requests carry queueing (not service) time and would
+	// skew routing toward or away from a replica for the wrong reason.
 	ewmaNS atomic.Int64
 }
 
@@ -689,9 +807,28 @@ func (r *Replica) ServiceEstimate() time.Duration {
 	return time.Millisecond
 }
 
+// isShed reports whether an error is load shedding or caller
+// disappearance rather than a replica fault: such requests never ran,
+// so they must stay out of both the failure count and the service-time
+// EWMA the router weighs.
+func isShed(err error) bool {
+	return errors.Is(err, ErrOverloaded) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
 // observe folds one completed request into the replica's telemetry.
+// Only served requests update the EWMA: a shed or cancelled request
+// measured queueing time, not service time, and folding it in would
+// skew the routing estimate (the admission-accounting bug this guards
+// against).
 func (r *Replica) observe(wall time.Duration, err error) {
-	if err != nil {
+	switch {
+	case err == nil:
+	case isShed(err):
+		r.shed.Add(1)
+		return
+	default:
 		r.failed.Add(1)
 		return
 	}
@@ -717,6 +854,7 @@ func (r *Replica) Stats() ReplicaStats {
 		Backend:  r.Backend(),
 		Served:   r.served.Load(),
 		Failed:   r.failed.Load(),
+		Shed:     r.shed.Load(),
 		Inflight: r.inflight.Load(),
 		Modeled:  r.modeled,
 		Observed: time.Duration(r.ewmaNS.Load()),
@@ -726,12 +864,15 @@ func (r *Replica) Stats() ReplicaStats {
 
 // ReplicaStats is one replica's telemetry snapshot.
 type ReplicaStats struct {
-	ID       int
-	Slot     int
-	Module   string
-	Backend  string
-	Served   int64
-	Failed   int64
+	ID      int
+	Slot    int
+	Module  string
+	Backend string
+	Served  int64
+	Failed  int64
+	// Shed counts requests that reached this replica but were shed or
+	// cancelled before running; excluded from Failed and from the EWMA.
+	Shed     int64
 	Inflight int64
 	// Modeled is the roofline-predicted batch-1 latency (zero without a
 	// device model); Observed is the measured per-request EWMA.

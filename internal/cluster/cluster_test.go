@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -315,5 +316,160 @@ func TestDeployErrors(t *testing.T) {
 	}
 	if _, err := sched2.Deployment("nope"); err == nil {
 		t.Error("Deployment resolved an unknown model")
+	}
+}
+
+// TestObserveShedExcludedFromEWMA pins the admission-accounting fix:
+// shed and cancelled completions must never feed the service-time EWMA
+// or the failure count — they measured queueing, not service.
+func TestObserveShedExcludedFromEWMA(t *testing.T) {
+	r := &Replica{}
+	r.observe(time.Millisecond, nil)
+	base := r.ewmaNS.Load()
+	if base != int64(time.Millisecond) {
+		t.Fatalf("first served observation set EWMA to %d, want %d", base, time.Millisecond)
+	}
+	for _, err := range []error{ErrOverloaded, context.Canceled, context.DeadlineExceeded} {
+		r.observe(time.Hour, err)
+	}
+	if got := r.ewmaNS.Load(); got != base {
+		t.Errorf("shed observations moved EWMA %d -> %d; want unchanged", base, got)
+	}
+	if got := r.shed.Load(); got != 3 {
+		t.Errorf("shed count %d, want 3", got)
+	}
+	if got := r.failed.Load(); got != 0 {
+		t.Errorf("shed observations counted as failed (%d)", got)
+	}
+	// A genuine engine fault still counts as failed, still skips the EWMA.
+	r.observe(time.Hour, errors.New("engine fault"))
+	if got := r.failed.Load(); got != 1 {
+		t.Errorf("failed count %d, want 1", got)
+	}
+	if got := r.ewmaNS.Load(); got != base {
+		t.Errorf("failed observation moved EWMA %d -> %d; want unchanged", base, got)
+	}
+	if got := r.served.Load(); got != 1 {
+		t.Errorf("served count %d, want 1", got)
+	}
+}
+
+// TestPerSampleWall pins the EWMA normalization: queue depth and
+// coalesced batch rows divide out of the observed wall time so the
+// routing estimate tracks per-sample service time.
+func TestPerSampleWall(t *testing.T) {
+	cases := []struct {
+		wall        time.Duration
+		depth, rows int64
+		want        time.Duration
+	}{
+		{8 * time.Millisecond, 1, 1, 8 * time.Millisecond},
+		{8 * time.Millisecond, 4, 1, 2 * time.Millisecond},
+		{8 * time.Millisecond, 1, 8, time.Millisecond},
+		{8 * time.Millisecond, 2, 4, time.Millisecond},
+		{8 * time.Millisecond, 0, -3, 8 * time.Millisecond}, // clamped
+	}
+	for _, c := range cases {
+		if got := perSampleWall(c.wall, c.depth, c.rows); got != c.want {
+			t.Errorf("perSampleWall(%v, %d, %d) = %v, want %v", c.wall, c.depth, c.rows, got, c.want)
+		}
+	}
+}
+
+func TestBatchRows(t *testing.T) {
+	names := []string{"in"}
+	if got := batchRows(map[string]*tensor.Tensor{"in": tensor.New(tensor.FP32, 6, 3)}, names); got != 6 {
+		t.Errorf("batch-6 input read as %d rows", got)
+	}
+	if got := batchRows(map[string]*tensor.Tensor{"in": tensor.New(tensor.FP32, 1, 3)}, names); got != 1 {
+		t.Errorf("batch-1 input read as %d rows", got)
+	}
+	if got := batchRows(map[string]*tensor.Tensor{}, names); got != 1 {
+		t.Errorf("missing input read as %d rows, want 1", got)
+	}
+	if got := batchRows(nil, nil); got != 1 {
+		t.Errorf("nil inputs read as %d rows, want 1", got)
+	}
+}
+
+// TestSubmitCtxCancelPropagation drives the context satellite end to
+// end: a dead context is refused at admission, a cancelled queued
+// ticket resolves with the context error and counts in Stats.Cancelled,
+// and WaitCtx unblocks a caller whose own context expires first.
+func TestSubmitCtxCancelPropagation(t *testing.T) {
+	c := microserver.NewURECS()
+	m, err := microserver.FindModule("SMARC ARM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(0, m); err != nil {
+		t.Fatal(err)
+	}
+	sched := NewScheduler(c, Config{
+		QueueDepth: 64,
+		Serve:      microserver.ServeConfig{MaxBatch: 1, QueueDepth: 1, MaxWait: time.Nanosecond},
+	})
+	defer sched.Close()
+	g := gestureModel()
+	dep, err := sched.Deploy(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := map[string]*tensor.Tensor{g.Inputs[0]: gestureInput(3)}
+
+	// Dead context: refused before admission, no ticket minted.
+	dead, cancelDead := context.WithCancel(context.Background())
+	cancelDead()
+	if _, err := dep.SubmitCtx(dead, ins); !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead-context submit returned %v, want context.Canceled", err)
+	}
+
+	// Pile live work onto the single slow replica, then queue a ticket
+	// whose caller vanishes while it waits. It must resolve with the
+	// context error and never as a silent success-after-cancel.
+	var live []*Ticket
+	for i := 0; i < 8; i++ {
+		tk, err := dep.Submit(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, tk)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	doomed, err := dep.SubmitCtx(ctx, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := doomed.Wait(); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled ticket resolved with %v, want context.Canceled", err)
+	}
+	for i, tk := range live {
+		if _, err := tk.Wait(); err != nil {
+			t.Errorf("live ticket %d failed: %v", i, err)
+		}
+	}
+	st := dep.Stats()
+	if st.Cancelled != 1 {
+		t.Errorf("stats recorded %d cancelled, want 1", st.Cancelled)
+	}
+	if st.Submitted != st.Completed+st.Rejected {
+		t.Errorf("stats invariant broken: submitted %d != completed %d + rejected %d",
+			st.Submitted, st.Completed, st.Rejected)
+	}
+
+	// WaitCtx: the waiting caller's own deadline unblocks the wait even
+	// though the ticket itself still completes normally.
+	tk, err := dep.Submit(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expired, cancelExpired := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancelExpired()
+	if _, err := tk.WaitCtx(expired); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("WaitCtx with expired context returned %v, want deadline exceeded", err)
+	}
+	if _, err := tk.Wait(); err != nil {
+		t.Errorf("ticket abandoned by WaitCtx failed to complete: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package microserver
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -46,6 +47,12 @@ type ServeStats struct {
 	Batches  int64
 	// MaxBatch is the largest batch actually dispatched.
 	MaxBatch int
+	// Cancelled counts requests whose context was cancelled while they
+	// were still queued: they are completed with the context error
+	// without ever reaching the engine, so a disconnected client stops
+	// consuming replica time. Cancelled requests are not counted in
+	// Requests.
+	Cancelled int64
 }
 
 // MeanBatch returns the average number of requests fused per dispatch.
@@ -92,6 +99,7 @@ type Server struct {
 }
 
 type request struct {
+	ctx  context.Context
 	ins  map[string]*tensor.Tensor
 	outs map[string]*tensor.Tensor
 	err  error
@@ -210,15 +218,33 @@ func (s *Server) InferMap(inputs map[string]*tensor.Tensor) (map[string]*tensor.
 // blocks while the queue is full, which is the node-level backpressure
 // the fleet router leans on.
 func (s *Server) SubmitMap(inputs map[string]*tensor.Tensor) (*Pending, error) {
+	return s.SubmitMapCtx(context.Background(), inputs)
+}
+
+// SubmitMapCtx is SubmitMap bound to a caller context: the blocking
+// enqueue aborts when the context ends, and a request whose context is
+// cancelled while it is still queued is completed with the context
+// error instead of being dispatched — a disconnected client stops
+// consuming replica time. A request already handed to the engine runs
+// to completion (engine dispatches are not preemptible).
+func (s *Server) SubmitMapCtx(ctx context.Context, inputs map[string]*tensor.Tensor) (*Pending, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.lifeMu.RLock()
 	if s.closed {
 		s.lifeMu.RUnlock()
 		return nil, fmt.Errorf("microserver: server closed")
 	}
-	r := &request{ins: inputs, done: make(chan struct{})}
-	s.reqs <- r
-	s.lifeMu.RUnlock()
-	return &Pending{r: r}, nil
+	r := &request{ctx: ctx, ins: inputs, done: make(chan struct{})}
+	select {
+	case s.reqs <- r:
+		s.lifeMu.RUnlock()
+		return &Pending{r: r}, nil
+	case <-ctx.Done():
+		s.lifeMu.RUnlock()
+		return nil, ctx.Err()
+	}
 }
 
 // Pending is a request accepted into the batching queue.
@@ -302,6 +328,30 @@ func (s *Server) drain() {
 }
 
 func (s *Server) runBatch(pending []*request) {
+	// Drop requests whose caller vanished while they were queued: they
+	// complete with the context error and never reach the engine.
+	live := pending[:0]
+	cancelled := 0
+	for _, r := range pending {
+		if r.ctx != nil {
+			if err := r.ctx.Err(); err != nil {
+				r.err = err
+				close(r.done)
+				cancelled++
+				continue
+			}
+		}
+		live = append(live, r)
+	}
+	pending = live
+	if cancelled > 0 {
+		s.statsMu.Lock()
+		s.stats.Cancelled += int64(cancelled)
+		s.statsMu.Unlock()
+	}
+	if len(pending) == 0 {
+		return
+	}
 	batches := make([]map[string]*tensor.Tensor, len(pending))
 	for i, r := range pending {
 		batches[i] = r.ins

@@ -1,6 +1,8 @@
 package microserver
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -471,5 +473,48 @@ func TestServeCompiledValidates(t *testing.T) {
 	g := nn.GestureNet(16, 4, nn.BuildOptions{Weights: true, Seed: 77})
 	if _, err := ServeCompiled(g, nil, "cpu-engine", ServeConfig{}); err == nil {
 		t.Fatal("nil executable accepted")
+	}
+}
+
+// TestSubmitMapCtxCancelledBeforeDispatch pins the context path through
+// the batch queue: a request whose context dies while it is still
+// queued must resolve with the context error without ever reaching the
+// engine, and must not count as a served request.
+func TestSubmitMapCtxCancelledBeforeDispatch(t *testing.T) {
+	s, g := servedModel(t, ServeConfig{MaxBatch: 4, MaxWait: 40 * time.Millisecond})
+	defer s.Close()
+	ins := map[string]*tensor.Tensor{g.Inputs[0]: gestureInput(1)}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	doomed, err := s.SubmitMapCtx(ctx, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dispatcher is now inside its 40ms collect window. Cancel the
+	// first request and add a live one; both land in the same dispatch.
+	cancel()
+	live, err := s.SubmitMapCtx(context.Background(), ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doomed.Wait(); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled request resolved with %v, want context.Canceled", err)
+	}
+	if _, err := live.Wait(); err != nil {
+		t.Errorf("live request failed: %v", err)
+	}
+	st := s.Stats()
+	if st.Cancelled != 1 {
+		t.Errorf("stats recorded %d cancelled, want 1", st.Cancelled)
+	}
+	if st.Requests != 1 {
+		t.Errorf("stats recorded %d dispatched requests, want 1 (cancelled must not count)", st.Requests)
+	}
+
+	// An already-dead context is refused at submission.
+	dead, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := s.SubmitMapCtx(dead, ins); !errors.Is(err, context.Canceled) {
+		t.Errorf("submit on dead context returned %v, want context.Canceled", err)
 	}
 }

@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"vedliot/internal/cluster"
+	"vedliot/internal/tensor"
+)
+
+// Transport is anything the load generator can drive: a framed Client,
+// a connection Pool, or the in-process SchedulerTransport.
+type Transport interface {
+	// InferCtx routes one request and blocks for its result.
+	InferCtx(ctx context.Context, model string, ins map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error)
+}
+
+// SchedulerTransport drives a scheduler directly, bypassing sockets —
+// the baseline that isolates network + framing overhead in comparisons.
+type SchedulerTransport struct {
+	// Sched is the in-process fleet.
+	Sched *cluster.Scheduler
+}
+
+// InferCtx implements Transport.
+func (t SchedulerTransport) InferCtx(ctx context.Context, model string, ins map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	return t.Sched.InferCtx(ctx, model, ins)
+}
+
+// LoadConfig shapes a closed-loop load run.
+type LoadConfig struct {
+	// Model names the target deployment.
+	Model string
+	// Clients is the concurrent simulated-client population.
+	Clients int
+	// RequestsPerClient is each client's request budget.
+	RequestsPerClient int
+	// Think is the mean think time between a client's response and its
+	// next request (exponential, seeded). Zero means no think time.
+	Think time.Duration
+	// SLO is the per-request latency objective; slower responses and
+	// all sheds count as violations. Zero disables the latency check.
+	SLO time.Duration
+	// Retry makes clients honor retry-after hints instead of counting
+	// the request as lost, up to MaxRetries attempts.
+	Retry bool
+	// MaxRetries bounds retries per request when Retry is set.
+	// Default 3.
+	MaxRetries int
+	// Inputs supplies the request tensors for client i. Required.
+	Inputs func(i int) map[string]*tensor.Tensor
+	// Seed drives think-time draws.
+	Seed int64
+}
+
+// LoadResult is the outcome of one load run.
+type LoadResult struct {
+	// Requests counts completed request attempts (excluding retried
+	// sheds when Retry is set).
+	Requests int
+	// Completed counts successful responses.
+	Completed int
+	// Shed counts requests that ended shed (after retries, if any).
+	Shed int
+	// Failed counts hard failures — anything but success or shed.
+	Failed int
+	// Retries counts shed responses that were retried.
+	Retries int
+	// Elapsed is the wall time of the whole run.
+	Elapsed time.Duration
+	// Throughput is Completed per second of Elapsed.
+	Throughput float64
+	// Latency summarizes successful responses.
+	Latency cluster.LatencySummary
+	// SLOViolations counts slow successes plus terminal sheds and
+	// failures.
+	SLOViolations int
+	// SLOViolationRate is SLOViolations / Requests.
+	SLOViolationRate float64
+}
+
+// RunClosedLoop drives a closed-loop client population over the
+// transport: each client waits for its response (or terminal shed),
+// thinks, then issues its next request. Real goroutines, real sockets
+// when the transport is a Client/Pool — wall-clock results, not virtual
+// time.
+func RunClosedLoop(tr Transport, cfg LoadConfig) (LoadResult, error) {
+	if tr == nil {
+		return LoadResult{}, errors.New("serve: load: nil transport")
+	}
+	if cfg.Clients <= 0 || cfg.RequestsPerClient <= 0 {
+		return LoadResult{}, errors.New("serve: load: need clients and requests per client")
+	}
+	if cfg.Inputs == nil {
+		return LoadResult{}, errors.New("serve: load: need an input generator")
+	}
+	maxRetries := cfg.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = 3
+	}
+
+	type clientTally struct {
+		lats                           []time.Duration
+		completed, shed, failed, retry int
+		violations                     int
+	}
+	tallies := make([]clientTally, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
+			ins := cfg.Inputs(i)
+			ta := &tallies[i]
+			// Stagger start over one think interval to avoid a
+			// synchronized spike.
+			if cfg.Think > 0 {
+				time.Sleep(time.Duration(rng.Float64() * float64(cfg.Think)))
+			}
+			for r := 0; r < cfg.RequestsPerClient; r++ {
+				t0 := time.Now()
+				var err error
+				for attempt := 0; ; attempt++ {
+					_, err = tr.InferCtx(context.Background(), cfg.Model, ins)
+					var ra *RetryAfterError
+					if cfg.Retry && errors.As(err, &ra) && attempt < maxRetries {
+						ta.retry++
+						time.Sleep(ra.After)
+						continue
+					}
+					break
+				}
+				lat := time.Since(t0)
+				var ra *RetryAfterError
+				switch {
+				case err == nil:
+					ta.completed++
+					ta.lats = append(ta.lats, lat)
+					if cfg.SLO > 0 && lat > cfg.SLO {
+						ta.violations++
+					}
+				case errors.As(err, &ra) || errors.Is(err, cluster.ErrOverloaded):
+					ta.shed++
+					ta.violations++
+				default:
+					ta.failed++
+					ta.violations++
+				}
+				if cfg.Think > 0 {
+					time.Sleep(time.Duration(rng.ExpFloat64() * float64(cfg.Think)))
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	res := LoadResult{Elapsed: time.Since(start)}
+	var lats []time.Duration
+	for i := range tallies {
+		ta := &tallies[i]
+		res.Completed += ta.completed
+		res.Shed += ta.shed
+		res.Failed += ta.failed
+		res.Retries += ta.retry
+		res.SLOViolations += ta.violations
+		lats = append(lats, ta.lats...)
+	}
+	res.Requests = cfg.Clients * cfg.RequestsPerClient
+	res.Latency = cluster.Summarize(lats)
+	if res.Elapsed > 0 {
+		res.Throughput = float64(res.Completed) / res.Elapsed.Seconds()
+	}
+	if res.Requests > 0 {
+		res.SLOViolationRate = float64(res.SLOViolations) / float64(res.Requests)
+	}
+	return res, nil
+}
+
+// ReplayOpenLoop fires the trace's arrivals at the transport without
+// waiting for completions — the bursty, non-self-throttling regime that
+// exercises shedding. Arrival offsets are compressed by speedup (2 =
+// twice as fast as recorded).
+func ReplayOpenLoop(tr Transport, trace cluster.Trace, cfg LoadConfig, speedup float64) (LoadResult, error) {
+	if tr == nil {
+		return LoadResult{}, errors.New("serve: load: nil transport")
+	}
+	if cfg.Inputs == nil {
+		return LoadResult{}, errors.New("serve: load: need an input generator")
+	}
+	if len(trace.Arrivals) == 0 {
+		return LoadResult{}, errors.New("serve: load: empty trace")
+	}
+	if speedup <= 0 {
+		speedup = 1
+	}
+	var (
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		lats       []time.Duration
+		res        LoadResult
+		violations int
+	)
+	start := time.Now()
+	for i, at := range trace.Arrivals {
+		at = time.Duration(float64(at) / speedup)
+		if wait := at - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t0 := time.Now()
+			_, err := tr.InferCtx(context.Background(), cfg.Model, cfg.Inputs(i))
+			lat := time.Since(t0)
+			var ra *RetryAfterError
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				res.Completed++
+				lats = append(lats, lat)
+				if cfg.SLO > 0 && lat > cfg.SLO {
+					violations++
+				}
+			case errors.As(err, &ra) || errors.Is(err, cluster.ErrOverloaded):
+				res.Shed++
+				violations++
+			default:
+				res.Failed++
+				violations++
+			}
+		}(i)
+	}
+	wg.Wait()
+	res.Requests = len(trace.Arrivals)
+	res.Elapsed = time.Since(start)
+	res.Latency = cluster.Summarize(lats)
+	res.SLOViolations = violations
+	if res.Elapsed > 0 {
+		res.Throughput = float64(res.Completed) / res.Elapsed.Seconds()
+	}
+	if res.Requests > 0 {
+		res.SLOViolationRate = float64(res.SLOViolations) / float64(res.Requests)
+	}
+	return res, nil
+}
