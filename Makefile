@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-full test-race test-portable bench bench-json bench-gate serve-demo load-smoke docs pack-demo ci
+.PHONY: all build vet test test-full test-race test-portable bench bench-json bench-gate serve-demo load-smoke docs pack-demo release-demo release-verify ci
 
 all: ci
 
@@ -74,6 +74,37 @@ pack-demo:
 		-model mirror-face.vedz -requests 120 -rate 400
 	rm -f mirror-face.vedz
 
+# release-demo walks the signed release channel end to end: provision
+# keys, pack an artifact, sign it into the transparency log, witness the
+# checkpoint, verify under the policy, then deploy through the
+# policy-gated registry — printing the per-replica attestation table
+# that binds each running replica to the authorized digest.
+release-demo:
+	rm -rf release-demo.tmp && mkdir -p release-demo.tmp
+	$(GO) run ./cmd/vedliot-pack keygen -o release-demo.tmp/keys
+	$(GO) run ./cmd/vedliot-pack pack -model mirror-face -o release-demo.tmp/mirror-face.vedz
+	$(GO) run ./cmd/vedliot-pack sign -keys release-demo.tmp/keys \
+		-log release-demo.tmp/log.json \
+		-o release-demo.tmp/mirror-face.bundle.json release-demo.tmp/mirror-face.vedz
+	$(GO) run ./cmd/vedliot-pack witness -keys release-demo.tmp/keys \
+		-log release-demo.tmp/log.json -state release-demo.tmp/witness.json \
+		-bundle release-demo.tmp/mirror-face.bundle.json
+	$(GO) run ./cmd/vedliot-pack verify -policy release-demo.tmp/keys \
+		-bundle release-demo.tmp/mirror-face.bundle.json release-demo.tmp/mirror-face.vedz
+	$(GO) run ./cmd/vedliot-serve -chassis urecs \
+		-modules "SMARC ARM,Jetson Xavier NX" \
+		-model release-demo.tmp/mirror-face.vedz \
+		-policy release-demo.tmp/keys \
+		-bundle release-demo.tmp/mirror-face.bundle.json \
+		-requests 120 -rate 400
+	rm -rf release-demo.tmp
+
+# release-verify runs the CI release-channel gate locally: positive
+# sign/log/witness/verify flow plus the three mandated refusals
+# (bit-flipped artifact, unlogged bundle, forked log).
+release-verify:
+	./scripts/release_verify.sh
+
 # docs gates the documentation front door: formatting, examples build,
 # exported-identifier doc coverage, and the committed golden artifact —
 # exactly what the CI docs job runs.
@@ -84,4 +115,4 @@ docs:
 	$(GO) run ./cmd/docs-check . ./internal/* ./internal/inference/ir
 	$(GO) run ./cmd/vedliot-pack verify internal/artifact/testdata/golden.vedz
 
-ci: vet build docs test test-race test-portable load-smoke bench-gate
+ci: vet build docs test test-race test-portable load-smoke release-verify bench-gate

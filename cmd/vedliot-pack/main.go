@@ -9,6 +9,10 @@
 //	vedliot-pack inspect mirror-face.vedz
 //	vedliot-pack verify mirror-face.vedz
 //	vedliot-pack list
+//	vedliot-pack keygen -o keys/
+//	vedliot-pack sign -keys keys/ -log log.json -o m.bundle.json m.vedz
+//	vedliot-pack witness -keys keys/ -log log.json -state w.json -bundle m.bundle.json
+//	vedliot-pack verify -policy keys/ -bundle m.bundle.json m.vedz
 //
 // pack builds a zoo model, optionally runs the optimization pipeline
 // (INT8 weight quantization, activation calibration, pruning) and
@@ -17,17 +21,28 @@
 // every integrity property (CRCs, canonical byte form, graph validity,
 // schema coverage) and exits non-zero on any failure — the command CI
 // runs over the committed golden artifact.
+//
+// The release subcommands implement the signed, witnessed release
+// channel (internal/release): keygen provisions signer, log and
+// witness key pairs; sign wraps an artifact in a signed envelope,
+// appends it to the transparency log and emits the release bundle;
+// witness checks the log's append-only growth against its remembered
+// tree head and countersigns the bundle's checkpoint; verify -policy
+// enforces the full deploy gate — signature, log inclusion and witness
+// quorum — and exits non-zero when any of them fails.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"vedliot/internal/artifact"
 	"vedliot/internal/kenning"
 	"vedliot/internal/nn"
 	"vedliot/internal/optimize"
+	"vedliot/internal/release"
 	"vedliot/internal/zoo"
 )
 
@@ -44,17 +59,26 @@ func main() {
 		verify(os.Args[2:])
 	case "list":
 		list()
+	case "keygen":
+		keygen(os.Args[2:])
+	case "sign":
+		sign(os.Args[2:])
+	case "witness":
+		witness(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: vedliot-pack <pack|inspect|verify|list> [args]
+	fmt.Fprintln(os.Stderr, `usage: vedliot-pack <pack|inspect|verify|list|keygen|sign|witness> [args]
   pack    -model <zoo entry> -o <file.vedz> [-quantize] [-prune 0.x] [-int8] [-calib n]
   inspect <file.vedz>
-  verify  <file.vedz>
-  list    (print zoo entries)`)
+  verify  [-policy <keydir> -bundle <bundle.json> [-min-witnesses n]] <file.vedz>
+  list    (print zoo entries)
+  keygen  -o <keydir>  (provision signer/log/witness key pairs)
+  sign    -keys <keydir> -log <log.json> -o <bundle.json> [-origin name] [-skip-log] <file.vedz>
+  witness -keys <keydir> -log <log.json> -state <state.json> -bundle <bundle.json> [-name id]`)
 	os.Exit(2)
 }
 
@@ -139,12 +163,21 @@ func inspect(args []string) {
 }
 
 // verify re-checks every integrity property and exits non-zero on any
-// failure.
+// failure. With -policy it additionally enforces the release gate:
+// the bundle must carry a valid signer envelope for these exact bytes,
+// a transparency-log inclusion proof, and a checkpoint countersigned
+// by the witness quorum.
 func verify(args []string) {
-	if len(args) != 1 {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	policyDir := fs.String("policy", "", "key directory with signer.pub/log.pub/witness.pub (enables the release gate)")
+	bundlePath := fs.String("bundle", "", "release bundle to verify against (required with -policy)")
+	minWitnesses := fs.Int("min-witnesses", 1, "witness countersignatures required by -policy")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
 		usage()
 	}
-	data, err := os.ReadFile(args[0])
+	path := fs.Arg(0)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
 	}
@@ -152,8 +185,192 @@ func verify(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	if *policyDir != "" {
+		if *bundlePath == "" {
+			fatal(fmt.Errorf("verify: -policy requires -bundle"))
+		}
+		policy, err := release.LoadPolicyDir(*policyDir, *minWitnesses)
+		if err != nil {
+			fatal(err)
+		}
+		b, err := release.LoadBundle(*bundlePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := policy.VerifyArtifact(data, b); err != nil {
+			fatal(err)
+		}
+		cp := b.Checkpoint
+		fmt.Printf("OK %s: %s (%d bytes, model %s, %d nodes)\n",
+			path, m.Digest, len(data), m.Graph.Name, len(m.Graph.Nodes))
+		fmt.Printf("release: signer %s, log %s leaf %d of %d, %d witness countersignature(s)\n",
+			b.Envelope.SignerID, cp.Origin, b.LeafIndex, cp.Size, len(cp.Witness))
+		return
+	}
 	fmt.Printf("OK %s: %s (%d bytes, model %s, %d nodes)\n",
-		args[0], m.Digest, len(data), m.Graph.Name, len(m.Graph.Nodes))
+		path, m.Digest, len(data), m.Graph.Name, len(m.Graph.Nodes))
+}
+
+// keygen provisions the three release key pairs (signer, log, witness)
+// into a directory: hex seed in <name>.key (0600), hex public half in
+// <name>.pub.
+func keygen(args []string) {
+	fs := flag.NewFlagSet("keygen", flag.ExitOnError)
+	out := fs.String("o", "", "output key directory")
+	fs.Parse(args)
+	if *out == "" || fs.NArg() != 0 {
+		usage()
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	if err := release.GenerateKeyDir(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("generated signer/log/witness key pairs in %s\n", *out)
+}
+
+// sign wraps an artifact in a signed release envelope, appends the
+// envelope to the transparency log (creating the log file on first
+// use) and writes the release bundle: envelope + inclusion proof +
+// freshly signed checkpoint, ready for witness countersignatures.
+// -skip-log produces a signed-but-unlogged bundle — CI uses it to
+// prove the policy gate refuses exactly that.
+func sign(args []string) {
+	fs := flag.NewFlagSet("sign", flag.ExitOnError)
+	keys := fs.String("keys", "", "key directory from keygen")
+	logPath := fs.String("log", "", "transparency log file (created if missing)")
+	out := fs.String("o", "", "output bundle path (default <file>.bundle.json)")
+	origin := fs.String("origin", "vedliot/releases", "log origin name")
+	skipLog := fs.Bool("skip-log", false, "sign without logging (negative-test bundles)")
+	fs.Parse(args)
+	if *keys == "" || fs.NArg() != 1 {
+		usage()
+	}
+	path := fs.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	// Never sign bytes that fail the artifact's own integrity checks.
+	m, err := artifact.Verify(data)
+	if err != nil {
+		fatal(fmt.Errorf("sign: refusing to sign a broken artifact: %w", err))
+	}
+	signerKey, err := release.LoadPrivateKey(filepath.Join(*keys, release.SignerKeyName+".key"))
+	if err != nil {
+		fatal(err)
+	}
+	signer, err := release.NewSignerFromKey(signerKey)
+	if err != nil {
+		fatal(err)
+	}
+	env := signer.SignBytes(data, m.Graph.Name, "vedliot-pack")
+
+	bundlePath := *out
+	if bundlePath == "" {
+		bundlePath = path + ".bundle.json"
+	}
+	if *skipLog {
+		if err := release.SaveBundle(bundlePath, &release.Bundle{Envelope: env}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("signed %s (%s) UNLOGGED -> %s\n", path, m.Digest, bundlePath)
+		return
+	}
+	if *logPath == "" {
+		fatal(fmt.Errorf("sign: -log is required (or pass -skip-log)"))
+	}
+	logKey, err := release.LoadPrivateKey(filepath.Join(*keys, release.LogKeyName+".key"))
+	if err != nil {
+		fatal(err)
+	}
+	log, err := release.OpenLogFile(*logPath, *origin, logKey)
+	if err != nil {
+		fatal(err)
+	}
+	idx := log.Append(env.Encode())
+	cp, err := log.Checkpoint()
+	if err != nil {
+		fatal(err)
+	}
+	proof, err := log.Inclusion(idx, cp.Size)
+	if err != nil {
+		fatal(err)
+	}
+	if err := release.SaveLogFile(*logPath, log); err != nil {
+		fatal(err)
+	}
+	b := &release.Bundle{Envelope: env, LeafIndex: idx, InclusionProof: proof, Checkpoint: &cp}
+	if err := release.SaveBundle(bundlePath, b); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("signed %s (%s) -> %s, log %s leaf %d of %d\n",
+		path, m.Digest, bundlePath, cp.Origin, idx, cp.Size)
+}
+
+// witness verifies the bundle checkpoint's append-only consistency
+// against the witness's remembered tree head (trust-on-first-use for a
+// log it has never seen), countersigns it, and persists both the
+// updated bundle and the advanced witness state. A shrinking, forked
+// or foreign-keyed checkpoint is refused and the state stays put.
+func witness(args []string) {
+	fs := flag.NewFlagSet("witness", flag.ExitOnError)
+	keys := fs.String("keys", "", "key directory from keygen")
+	logPath := fs.String("log", "", "transparency log file (consistency-proof source)")
+	statePath := fs.String("state", "", "witness state file (remembered tree heads)")
+	bundlePath := fs.String("bundle", "", "release bundle to countersign")
+	name := fs.String("name", "w0", "witness identity")
+	fs.Parse(args)
+	if *keys == "" || *logPath == "" || *statePath == "" || *bundlePath == "" || fs.NArg() != 0 {
+		usage()
+	}
+	witnessKey, err := release.LoadPrivateKey(filepath.Join(*keys, release.WitnessKeyName+".key"))
+	if err != nil {
+		fatal(err)
+	}
+	logPub, err := release.LoadPublicKey(filepath.Join(*keys, release.LogKeyName+".pub"))
+	if err != nil {
+		fatal(err)
+	}
+	w, err := release.NewWitness(*name, witnessKey, logPub)
+	if err != nil {
+		fatal(err)
+	}
+	if err := release.LoadWitnessState(*statePath, w); err != nil {
+		fatal(err)
+	}
+	b, err := release.LoadBundle(*bundlePath)
+	if err != nil {
+		fatal(err)
+	}
+	if b.Checkpoint == nil {
+		fatal(fmt.Errorf("witness: bundle has no checkpoint (signed but never logged)"))
+	}
+	log, err := release.OpenLogFile(*logPath, b.Checkpoint.Origin, nil)
+	if err != nil {
+		fatal(err)
+	}
+	var proof []release.Hash
+	if th, ok := w.Seen(b.Checkpoint.Origin); ok && th.Size > 0 && th.Size < b.Checkpoint.Size {
+		proof, err = log.Consistency(th.Size, b.Checkpoint.Size)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	ws, err := w.Observe(*b.Checkpoint, proof)
+	if err != nil {
+		fatal(err)
+	}
+	b.Checkpoint.Witness = append(b.Checkpoint.Witness, ws)
+	if err := release.SaveBundle(*bundlePath, b); err != nil {
+		fatal(err)
+	}
+	if err := release.SaveWitnessState(*statePath, w); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("witness %s countersigned %s at size %d (%d countersignature(s) total)\n",
+		*name, b.Checkpoint.Origin, b.Checkpoint.Size, len(b.Checkpoint.Witness))
 }
 
 // list prints the zoo entries pack accepts.

@@ -12,7 +12,11 @@
 // registry and replicas deploy through the fleet-wide compiled-plan
 // cache (replica cold-start is load + bind, not calibrate + lower),
 // with the artifact's embedded calibration schema driving INT8-capable
-// modules.
+// modules. With -policy the registry becomes a gated release channel:
+// the artifact deploys only with a bundle proving a trusted signature,
+// transparency-log inclusion and a witnessed checkpoint, and every
+// replica then proves via enclave attestation that it runs exactly the
+// authorized digest.
 //
 // Beyond the trace replay, the command is also the network front door:
 // -listen exposes the deployed fleet over the framed-TCP protocol
@@ -27,6 +31,7 @@
 //	vedliot-serve -chassis urecs -modules "SMARC ARM,Jetson Xavier NX" \
 //	    -model mirror-face -requests 120 -rate 400
 //	vedliot-serve -model mirror-face.vedz -requests 120
+//	vedliot-serve -model mirror-face.vedz -policy keys/ -bundle mirror-face.vedz.bundle.json
 //	vedliot-serve -model tiny -listen :9090 -http :9091 -keys edge=tenant-a
 //	vedliot-serve -load 127.0.0.1:9090 -model tiny -clients 2000 -key edge
 //	vedliot-serve -load-smoke -model tiny
@@ -34,6 +39,8 @@
 package main
 
 import (
+	"crypto/ed25519"
+	"crypto/rand"
 	"flag"
 	"fmt"
 	"net/http"
@@ -47,6 +54,7 @@ import (
 	"vedliot/internal/microserver"
 	"vedliot/internal/nn"
 	"vedliot/internal/optimize"
+	"vedliot/internal/release"
 	"vedliot/internal/serve"
 	"vedliot/internal/tensor"
 	"vedliot/internal/zoo"
@@ -76,6 +84,9 @@ func main() {
 	conns := flag.Int("conns", 8, "load generator: pooled connections")
 	key := flag.String("key", "", "load generator: API key")
 	loadSmoke := flag.Bool("load-smoke", false, "serve and load the fleet in-process over a localhost socket; exit non-zero unless the run is clean and requests coalesced")
+	policyDir := flag.String("policy", "", "release key directory (vedliot-pack keygen): gate artifact deployment on the signed, witnessed release bundle")
+	bundlePath := flag.String("bundle", "", "release bundle for the .vedz artifact (required with -policy)")
+	minWitnesses := flag.Int("min-witnesses", 1, "witness countersignatures -policy requires")
 	flag.Parse()
 
 	if *listModels {
@@ -184,9 +195,33 @@ func main() {
 	ccfg := cluster.Config{QueueDepth: *queue, EmulateLatency: *emulate, Schema: schema}
 	if art != nil {
 		ccfg.Registry = cluster.NewRegistry()
-		if err := ccfg.Registry.Add(art); err != nil {
+		if *policyDir != "" {
+			// Policy-gated release channel: the registry refuses the
+			// artifact unless the bundle proves signature, transparency-log
+			// inclusion and the witness quorum; DeployArtifact re-verifies.
+			if *bundlePath == "" {
+				fatal(fmt.Errorf("-policy requires -bundle"))
+			}
+			pol, err := release.LoadPolicyDir(*policyDir, *minWitnesses)
+			if err != nil {
+				fatal(err)
+			}
+			ccfg.Registry.SetPolicy(pol)
+			b, err := release.LoadBundle(*bundlePath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := ccfg.Registry.AddRelease(art, b); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("release gate: signer %s, log %s leaf %d of %d, %d witness countersignature(s) (quorum %d)\n",
+				b.Envelope.SignerID, b.Checkpoint.Origin, b.LeafIndex, b.Checkpoint.Size,
+				len(b.Checkpoint.Witness), *minWitnesses)
+		} else if err := ccfg.Registry.Add(art); err != nil {
 			fatal(err)
 		}
+	} else if *policyDir != "" {
+		fatal(fmt.Errorf("-policy applies to .vedz artifact deployments only"))
 	}
 	sched := cluster.NewScheduler(chassis, ccfg)
 	defer sched.Close()
@@ -210,6 +245,9 @@ func main() {
 		ps := ccfg.Registry.Plans().Stats()
 		fmt.Printf("plan cache: %d plan(s) compiled for %d replicas (%d cache hit(s))\n",
 			ps.Entries, len(dep.Replicas()), ps.Hits)
+		if err := printAttestation(dep); err != nil {
+			fatal(err)
+		}
 	}
 
 	policy := serve.BatchPolicy{MaxBatch: *maxBatch, MaxDelay: *maxDelay}
@@ -288,6 +326,37 @@ func main() {
 	}
 	fmt.Printf("\nanalytic replay of the same trace: %.0f req/s, p95 %v, %.1f J\n",
 		sim.Throughput, sim.Latency.P95.Round(time.Microsecond), sim.EnergyJ)
+}
+
+// printAttestation challenges every replica of an artifact deployment
+// with a fresh nonce under an ephemeral platform key and prints the
+// verified identity table: each replica proves its enclave measurement
+// binds the exact artifact digest the release policy authorized to the
+// backend and module it runs on.
+func printAttestation(dep *cluster.Deployment) error {
+	platformPub, platformKey, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return err
+	}
+	nonce := make([]byte, 16)
+	if _, err := rand.Read(nonce); err != nil {
+		return err
+	}
+	atts, err := dep.Attest(nonce, platformKey)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replica attestation (digest %s):\n", dep.ArtifactDigest())
+	for _, a := range atts {
+		status := "VERIFIED"
+		if err := cluster.VerifyReplicaAttestation(a, platformPub, dep.ArtifactDigest(), nonce); err != nil {
+			status = "FAILED: " + err.Error()
+		}
+		fmt.Printf("  replica %d slot %d %-18s %-20s measurement %x... ecall overhead %v  %s\n",
+			a.Replica, a.Slot, a.Module, a.Backend, a.Quote.Measurement[:6],
+			time.Duration(a.EcallOverheadNS), status)
+	}
+	return nil
 }
 
 // parseKeys turns "key=tenant,key2=tenant2" into the server key map

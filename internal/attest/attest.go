@@ -8,6 +8,7 @@ package attest
 
 import (
 	"bufio"
+	"context"
 	"crypto/ed25519"
 	"crypto/rand"
 	"crypto/sha256"
@@ -16,6 +17,11 @@ import (
 	"net"
 	"time"
 )
+
+// HandshakeTimeout bounds one attestation exchange on the prover side.
+// Without it an accepted connection that never sends a challenge (a
+// half-dead verifier, a port scanner) would pin a goroutine forever.
+const HandshakeTimeout = 10 * time.Second
 
 // BootStage is one measured stage of the boot chain.
 type BootStage struct {
@@ -186,6 +192,7 @@ func Serve(l net.Listener, d *Device) {
 		}
 		go func(c net.Conn) {
 			defer c.Close()
+			_ = c.SetDeadline(time.Now().Add(HandshakeTimeout))
 			var ch challenge
 			r := bufio.NewReader(c)
 			line, err := r.ReadBytes('\n')
@@ -209,17 +216,34 @@ func Serve(l net.Listener, d *Device) {
 // Attest runs the verifier side against addr: it sends a fresh nonce,
 // reads the evidence, verifies it, and returns the round-trip latency.
 func (v *Verifier) Attest(addr string, timeout time.Duration) (Evidence, time.Duration, error) {
+	return v.AttestCtx(context.Background(), addr, timeout)
+}
+
+// AttestCtx is Attest bound to a caller context. The timeout caps the
+// whole exchange (dial included) as a connection deadline, so a device
+// that accepts but never responds fails the attestation instead of
+// hanging a deployment; cancelling the context aborts the exchange
+// immediately by forcing the deadline into the past.
+func (v *Verifier) AttestCtx(ctx context.Context, addr string, timeout time.Duration) (Evidence, time.Duration, error) {
+	if err := ctx.Err(); err != nil {
+		return Evidence{}, 0, err
+	}
 	nonce := make([]byte, 32)
 	if _, err := rand.Read(nonce); err != nil {
 		return Evidence{}, 0, err
 	}
 	start := time.Now()
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return Evidence{}, 0, err
 	}
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(timeout))
+	stop := context.AfterFunc(ctx, func() {
+		_ = conn.SetDeadline(time.Unix(1, 0))
+	})
+	defer stop()
 
 	out, err := json.Marshal(challenge{Nonce: nonce})
 	if err != nil {
@@ -227,11 +251,11 @@ func (v *Verifier) Attest(addr string, timeout time.Duration) (Evidence, time.Du
 	}
 	out = append(out, '\n')
 	if _, err := conn.Write(out); err != nil {
-		return Evidence{}, 0, err
+		return Evidence{}, 0, ctxOr(ctx, err)
 	}
 	line, err := bufio.NewReader(conn).ReadBytes('\n')
 	if err != nil {
-		return Evidence{}, 0, err
+		return Evidence{}, 0, ctxOr(ctx, err)
 	}
 	var ev Evidence
 	if err := json.Unmarshal(line, &ev); err != nil {
@@ -242,4 +266,14 @@ func (v *Verifier) Attest(addr string, timeout time.Duration) (Evidence, time.Du
 		return ev, rtt, err
 	}
 	return ev, rtt, nil
+}
+
+// ctxOr prefers the context's error over a transport error it caused:
+// a cancelled exchange reports context.Canceled, not the synthetic
+// deadline the cancellation forced onto the connection.
+func ctxOr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
 }

@@ -1,6 +1,8 @@
 package attest
 
 import (
+	"context"
+	"errors"
 	"net"
 	"testing"
 	"time"
@@ -134,5 +136,80 @@ func TestEndToEndOverTCP(t *testing.T) {
 	strict := NewVerifier(root.Public(), other)
 	if _, _, err := strict.Attest(l.Addr().String(), 5*time.Second); err == nil {
 		t.Error("out-of-policy measurement attested")
+	}
+}
+
+func TestAttestDeadDeviceTimesOut(t *testing.T) {
+	root, err := NewRootOfTrust()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A listener that accepts and then goes silent — the failure mode a
+	// crashed prover or a firewalled half-open connection produces.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback networking: %v", err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold open, never respond
+		}
+	}()
+
+	v := NewVerifier(root.Public())
+	start := time.Now()
+	if _, _, err := v.Attest(l.Addr().String(), 200*time.Millisecond); err == nil {
+		t.Fatal("attesting a dead device succeeded")
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("dead device held the verifier for %v", waited)
+	}
+}
+
+func TestAttestCtxCancelAborts(t *testing.T) {
+	root, err := NewRootOfTrust()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback networking: %v", err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // silent prover again
+		}
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	v := NewVerifier(root.Public())
+	go func() {
+		_, _, err := v.AttestCtx(ctx, l.Addr().String(), time.Hour)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled attest returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel did not abort the attestation")
+	}
+	// An already-cancelled context short-circuits before dialing.
+	if _, _, err := v.AttestCtx(ctx, l.Addr().String(), time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled attest returned %v", err)
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"vedliot/internal/inference"
 	"vedliot/internal/microserver"
 	"vedliot/internal/nn"
+	"vedliot/internal/tee"
 	"vedliot/internal/tensor"
 )
 
@@ -132,7 +133,10 @@ func (s *Scheduler) DeployArtifact(name string) (*Deployment, error) {
 }
 
 // DeployArtifactOn is DeployArtifact restricted to the given chassis
-// slots.
+// slots. When the registry carries a non-empty release policy the
+// artifact's release bundle is re-verified here, at deploy time — a
+// policy installed or tightened after registration still keeps an
+// unsigned, unlogged or unwitnessed artifact off every replica.
 func (s *Scheduler) DeployArtifactOn(name string, slots ...int) (*Deployment, error) {
 	reg := s.cfg.Registry
 	if reg == nil {
@@ -141,6 +145,9 @@ func (s *Scheduler) DeployArtifactOn(name string, slots ...int) (*Deployment, er
 	m, err := reg.Get(name)
 	if err != nil {
 		return nil, err
+	}
+	if err := reg.Authorize(m.Digest); err != nil {
+		return nil, fmt.Errorf("cluster: deploy artifact %q: %w", name, err)
 	}
 	schema := m.Schema
 	if schema == nil {
@@ -189,6 +196,7 @@ func (s *Scheduler) deploy(g *nn.Graph, schema *nn.QuantSchema, plans *inference
 
 	d := &Deployment{
 		model:       g.Name,
+		digest:      digest,
 		inputNames:  append([]string(nil), g.Inputs...),
 		outputNames: append([]string(nil), g.Outputs...),
 		queue:       make(chan *Ticket, s.cfg.QueueDepth),
@@ -233,6 +241,13 @@ func (s *Scheduler) deploy(g *nn.Graph, schema *nn.QuantSchema, plans *inference
 			server: srv,
 			idleW:  mod.IdleW,
 			maxW:   mod.MaxW,
+		}
+		if digest != "" {
+			// Artifact deployments run inside a modeled enclave whose
+			// measurement binds the replica's identity to the exact plan
+			// it executes: artifact digest, backend, hosting module. The
+			// attestation path (Deployment.Attest) quotes it.
+			r.enclave = tee.NewEnclave(ReplicaImage(digest, backend.Name(), mod.Name), tee.SGXCosts())
 		}
 		if p, ok := srv.Executable().(*accel.Program); ok {
 			if lat, err := p.PredictLatency(1); err == nil {
@@ -373,7 +388,11 @@ func (s *Scheduler) Close() {
 // Deployment is one model's fleet: its replicas, admission queue and
 // router.
 type Deployment struct {
-	model       string
+	model string
+	// digest is the content digest of the artifact the fleet runs, empty
+	// for in-process Deploy graphs. It is the identity replica
+	// attestation binds to the enclave measurement.
+	digest      string
 	inputNames  []string
 	outputNames []string
 	replicas    []*Replica
@@ -399,6 +418,10 @@ type Deployment struct {
 
 // Model returns the deployed model's name.
 func (d *Deployment) Model() string { return d.model }
+
+// ArtifactDigest returns the content digest of the artifact the fleet
+// runs, empty for in-process Deploy graphs.
+func (d *Deployment) ArtifactDigest() string { return d.digest }
 
 // Replicas returns the fleet members in slot order.
 func (d *Deployment) Replicas() []*Replica { return d.replicas }
@@ -763,6 +786,10 @@ type Replica struct {
 	modeled time.Duration
 	idleW   float64
 	maxW    float64
+	// enclave is the replica's modeled trusted execution context, set
+	// only on artifact deployments (its measurement binds the artifact
+	// digest); nil for in-process Deploy graphs.
+	enclave *tee.Enclave
 
 	inflight atomic.Int64
 	served   atomic.Int64
@@ -789,6 +816,10 @@ func (r *Replica) Backend() string { return r.server.Backend() }
 
 // Server exposes the replica's batching server.
 func (r *Replica) Server() *microserver.Server { return r.server }
+
+// Enclave exposes the replica's modeled trusted execution context, nil
+// for in-process Deploy graphs (only artifact deployments attest).
+func (r *Replica) Enclave() *tee.Enclave { return r.enclave }
 
 // ModeledLatency returns the roofline-predicted batch-1 latency, zero
 // for backends without a device model.

@@ -8,6 +8,7 @@ import (
 	"vedliot/internal/accel"
 	"vedliot/internal/artifact"
 	"vedliot/internal/inference"
+	"vedliot/internal/release"
 )
 
 // Registry is the fleet's model registry: deployment artifacts
@@ -17,21 +18,61 @@ import (
 // because every (artifact digest, backend, schema) triple lowers at
 // most once no matter how many replicas, chassis or schedulers point
 // at the registry.
+//
+// A registry with a non-empty release.Policy is a gated release
+// channel: models enter only through AddRelease with a bundle the
+// policy verifies (signer, transparency-log inclusion, witnessed
+// checkpoint), and the scheduler re-verifies at every DeployArtifact —
+// an artifact that merely parses never reaches a replica.
 type Registry struct {
-	mu     sync.Mutex
-	models map[string]*artifact.Model
-	plans  *inference.PlanCache
+	mu      sync.Mutex
+	models  map[string]*artifact.Model
+	bundles map[string]*release.Bundle // by artifact digest
+	policy  *release.Policy
+	plans   *inference.PlanCache
 }
 
-// NewRegistry creates an empty registry with a fresh plan cache.
+// NewRegistry creates an empty, ungated registry with a fresh plan
+// cache.
 func NewRegistry() *Registry {
-	return &Registry{models: make(map[string]*artifact.Model), plans: inference.NewPlanCache()}
+	return &Registry{
+		models:  make(map[string]*artifact.Model),
+		bundles: make(map[string]*release.Bundle),
+		plans:   inference.NewPlanCache(),
+	}
+}
+
+// SetPolicy installs the registry's release policy. A non-empty policy
+// gates every later Add/AddRelease and every DeployArtifact; models
+// already registered are not re-checked until deployment, where the
+// gate catches them.
+func (r *Registry) SetPolicy(p *release.Policy) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.policy = p
+}
+
+// Policy returns the registry's release policy (nil when ungated).
+func (r *Registry) Policy() *release.Policy {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.policy
 }
 
 // Add registers a loaded artifact under its model name. The model must
 // carry a digest (i.e. come from artifact.Load/Decode or a Save) —
-// the digest is the plan-cache identity.
+// the digest is the plan-cache identity. A registry with a non-empty
+// policy refuses Add outright: gated models enter through AddRelease.
 func (r *Registry) Add(m *artifact.Model) error {
+	return r.AddRelease(m, nil)
+}
+
+// AddRelease registers an artifact together with its release bundle.
+// When the registry has a non-empty policy the bundle must satisfy it
+// (valid signer envelope for this digest, transparency-log inclusion
+// proof, witnessed checkpoint); without a policy the bundle is merely
+// retained for later gating.
+func (r *Registry) AddRelease(m *artifact.Model, b *release.Bundle) error {
 	if m == nil || m.Graph == nil {
 		return fmt.Errorf("cluster: registry: nil model")
 	}
@@ -40,20 +81,67 @@ func (r *Registry) Add(m *artifact.Model) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if !r.policy.Empty() {
+		if err := r.policy.Verify(m.Digest, b); err != nil {
+			return fmt.Errorf("cluster: registry: refusing model %q: %w", m.Graph.Name, err)
+		}
+	}
 	if _, dup := r.models[m.Graph.Name]; dup {
 		return fmt.Errorf("cluster: registry: model %q already registered", m.Graph.Name)
 	}
 	r.models[m.Graph.Name] = m
+	if b != nil {
+		r.bundles[m.Digest] = b
+	}
 	return nil
 }
 
-// LoadFile loads a .vedz artifact from disk and registers it.
+// Bundle returns the release bundle registered for an artifact digest,
+// nil when none was provided.
+func (r *Registry) Bundle(digest string) *release.Bundle {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bundles[digest]
+}
+
+// Authorize re-verifies the release policy for a registered digest —
+// the deploy-time gate. It exists separately from AddRelease so a
+// policy installed (or tightened) after registration still bites
+// before any replica runs the artifact.
+func (r *Registry) Authorize(digest string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.policy.Empty() {
+		return nil
+	}
+	return r.policy.Verify(digest, r.bundles[digest])
+}
+
+// LoadFile loads a .vedz artifact from disk and registers it (ungated
+// registries only; gated ones need LoadReleaseFile).
 func (r *Registry) LoadFile(path string) (*artifact.Model, error) {
 	m, err := artifact.Load(path)
 	if err != nil {
 		return nil, err
 	}
 	if err := r.Add(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LoadReleaseFile loads a .vedz artifact and its release bundle from
+// disk and registers them through the policy gate.
+func (r *Registry) LoadReleaseFile(vedzPath, bundlePath string) (*artifact.Model, error) {
+	m, err := artifact.Load(vedzPath)
+	if err != nil {
+		return nil, err
+	}
+	b, err := release.LoadBundle(bundlePath)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.AddRelease(m, b); err != nil {
 		return nil, err
 	}
 	return m, nil

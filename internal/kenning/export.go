@@ -2,12 +2,14 @@ package kenning
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"time"
 
 	"vedliot/internal/artifact"
 	"vedliot/internal/inference"
 	"vedliot/internal/nn"
+	"vedliot/internal/release"
 	"vedliot/internal/tensor"
 )
 
@@ -29,9 +31,16 @@ type ExportTarget struct {
 	Prov artifact.Provenance
 	// Options configure compilation of the serving engine.
 	Options []inference.Option
+	// Publisher, when set, turns the export into a signed release: after
+	// the reload round trip verifies, the artifact bytes are signed,
+	// appended to the transparency log and countersigned by the
+	// publisher's witnesses. The resulting bundle (Bundle) is what a
+	// policy-gated registry demands at deploy time.
+	Publisher *release.Publisher
 
-	model *artifact.Model
-	exe   singleRunner
+	model  *artifact.Model
+	bundle *release.Bundle
+	exe    singleRunner
 }
 
 // Name implements Target.
@@ -69,6 +78,19 @@ func (t *ExportTarget) Deploy(g *nn.Graph) error {
 	if !ok {
 		return fmt.Errorf("kenning: backend %s produced an executable without RunSingle", backend.Name())
 	}
+	if t.Publisher != nil {
+		// Publish the exact bytes a fleet will load — the file just
+		// written and re-verified, not the in-memory encoding.
+		data, err := os.ReadFile(t.Path)
+		if err != nil {
+			return fmt.Errorf("kenning: read exported artifact for release: %w", err)
+		}
+		b, err := t.Publisher.Publish(data, g.Name)
+		if err != nil {
+			return fmt.Errorf("kenning: publish release: %w", err)
+		}
+		t.bundle = b
+	}
 	t.exe = sr
 	t.model = loaded
 	return nil
@@ -87,5 +109,9 @@ func (t *ExportTarget) Infer(in *tensor.Tensor) (*tensor.Tensor, time.Duration, 
 
 // Model returns the reloaded artifact (digest set), nil before Deploy.
 func (t *ExportTarget) Model() *artifact.Model { return t.model }
+
+// Bundle returns the release bundle produced by a Publisher-equipped
+// Deploy, nil before Deploy or without a Publisher.
+func (t *ExportTarget) Bundle() *release.Bundle { return t.bundle }
 
 var _ Target = (*ExportTarget)(nil)

@@ -1,12 +1,15 @@
 package kenning
 
 import (
+	"crypto/ed25519"
+	"os"
 	"path/filepath"
 	"testing"
 
 	"vedliot/internal/inference"
 	"vedliot/internal/nn"
 	"vedliot/internal/optimize"
+	"vedliot/internal/release"
 	"vedliot/internal/tensor"
 )
 
@@ -102,5 +105,57 @@ func TestExportTargetName(t *testing.T) {
 	}
 	if err := (&ExportTarget{}).Deploy(nn.GestureNet(16, 4, nn.BuildOptions{Weights: true, Seed: 1})); err == nil {
 		t.Fatal("Deploy without path succeeded")
+	}
+}
+
+func TestExportTargetPublishesRelease(t *testing.T) {
+	s, err := release.NewSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, logKey, err := release.GenerateLogKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := release.NewLog("test/kenning", logKey)
+	w, err := release.GenerateWitness("w0", log.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := &release.Publisher{Signer: s, Log: log, Witnesses: []*release.Witness{w}, Tool: "kenning"}
+
+	g := nn.GestureNet(16, 4, nn.BuildOptions{Weights: true, Seed: 77})
+	path := filepath.Join(t.TempDir(), "gesture.vedz")
+	target := &ExportTarget{Path: path, Publisher: pub}
+	if target.Bundle() != nil {
+		t.Fatal("bundle exists before Deploy")
+	}
+	if err := target.Deploy(g); err != nil {
+		t.Fatal(err)
+	}
+	b := target.Bundle()
+	if b == nil {
+		t.Fatal("publisher-equipped deploy produced no bundle")
+	}
+	if log.Size() != 1 {
+		t.Fatalf("log has %d entries after one export", log.Size())
+	}
+	// The bundle verifies the on-disk artifact bytes under a policy
+	// trusting exactly this channel.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := &release.Policy{
+		Signers:      []ed25519.PublicKey{s.Public()},
+		LogPub:       log.Public(),
+		Witnesses:    []ed25519.PublicKey{w.Public()},
+		MinWitnesses: 1,
+	}
+	if err := policy.VerifyArtifact(data, b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Envelope.ArtifactDigest != target.Model().Digest {
+		t.Fatalf("envelope digest %s, model digest %s", b.Envelope.ArtifactDigest, target.Model().Digest)
 	}
 }

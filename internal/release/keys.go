@@ -1,0 +1,118 @@
+package release
+
+import (
+	"crypto/ed25519"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// keys.go is the file-based key plumbing the CLIs share: ed25519 key
+// pairs stored as hex text files (<name>.key holds the 32-byte private
+// seed, <name>.pub the public key), and the conventional key-directory
+// layout — signer, log, witness — that LoadPolicyDir turns into a
+// deploy Policy.
+
+// Key-file basenames of the conventional release key directory.
+const (
+	// SignerKeyName is the release signing key pair basename.
+	SignerKeyName = "signer"
+	// LogKeyName is the checkpoint signing key pair basename.
+	LogKeyName = "log"
+	// WitnessKeyName is the witness countersigning key pair basename.
+	WitnessKeyName = "witness"
+)
+
+// SaveKeyPair writes priv's seed to dir/<name>.key (0600) and its
+// public key to dir/<name>.pub, creating dir if needed.
+func SaveKeyPair(dir, name string, priv ed25519.PrivateKey) error {
+	if len(priv) != ed25519.PrivateKeySize {
+		return fmt.Errorf("release: bad private key length %d", len(priv))
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("release: create key dir %s: %w", dir, err)
+	}
+	seed := hex.EncodeToString(priv.Seed()) + "\n"
+	if err := os.WriteFile(filepath.Join(dir, name+".key"), []byte(seed), 0o600); err != nil {
+		return fmt.Errorf("release: save private key: %w", err)
+	}
+	pub := hex.EncodeToString(priv.Public().(ed25519.PublicKey)) + "\n"
+	if err := os.WriteFile(filepath.Join(dir, name+".pub"), []byte(pub), 0o644); err != nil {
+		return fmt.Errorf("release: save public key: %w", err)
+	}
+	return nil
+}
+
+// LoadPrivateKey reads a hex seed file written by SaveKeyPair.
+func LoadPrivateKey(path string) (ed25519.PrivateKey, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("release: load private key %s: %w", path, err)
+	}
+	seed, err := hex.DecodeString(strings.TrimSpace(string(data)))
+	if err != nil {
+		return nil, fmt.Errorf("release: parse private key %s: %w", path, err)
+	}
+	if len(seed) != ed25519.SeedSize {
+		return nil, fmt.Errorf("release: private key %s is %d bytes, want %d", path, len(seed), ed25519.SeedSize)
+	}
+	return ed25519.NewKeyFromSeed(seed), nil
+}
+
+// LoadPublicKey reads a hex public-key file written by SaveKeyPair.
+func LoadPublicKey(path string) (ed25519.PublicKey, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("release: load public key %s: %w", path, err)
+	}
+	pub, err := hex.DecodeString(strings.TrimSpace(string(data)))
+	if err != nil {
+		return nil, fmt.Errorf("release: parse public key %s: %w", path, err)
+	}
+	if len(pub) != ed25519.PublicKeySize {
+		return nil, fmt.Errorf("release: public key %s is %d bytes, want %d", path, len(pub), ed25519.PublicKeySize)
+	}
+	return ed25519.PublicKey(pub), nil
+}
+
+// GenerateKeyDir creates the conventional key directory: fresh signer,
+// log and witness key pairs under dir.
+func GenerateKeyDir(dir string) error {
+	for _, name := range []string{SignerKeyName, LogKeyName, WitnessKeyName} {
+		_, priv, err := ed25519.GenerateKey(nil)
+		if err != nil {
+			return fmt.Errorf("release: generate %s key: %w", name, err)
+		}
+		if err := SaveKeyPair(dir, name, priv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadPolicyDir builds a deploy Policy from a conventional key
+// directory: signer.pub as the single required signer, log.pub as the
+// log key and witness.pub as the single trusted witness, requiring
+// minWitnesses countersignatures.
+func LoadPolicyDir(dir string, minWitnesses int) (*Policy, error) {
+	signer, err := LoadPublicKey(filepath.Join(dir, SignerKeyName+".pub"))
+	if err != nil {
+		return nil, err
+	}
+	logPub, err := LoadPublicKey(filepath.Join(dir, LogKeyName+".pub"))
+	if err != nil {
+		return nil, err
+	}
+	witness, err := LoadPublicKey(filepath.Join(dir, WitnessKeyName+".pub"))
+	if err != nil {
+		return nil, err
+	}
+	return &Policy{
+		Signers:      []ed25519.PublicKey{signer},
+		LogPub:       logPub,
+		Witnesses:    []ed25519.PublicKey{witness},
+		MinWitnesses: minWitnesses,
+	}, nil
+}

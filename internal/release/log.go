@@ -1,0 +1,257 @@
+package release
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// checkpointDomain separates tree-head signatures; cosignDomain
+// separates witness countersignatures from the log's own signature
+// over the same body.
+const (
+	checkpointDomain = "vedliot-log-checkpoint/v1"
+	cosignDomain     = "vedliot-witness-cosig/v1"
+)
+
+// Checkpoint is one signed tree head: the log's commitment that its
+// first Size entries hash to Root. Witness countersignatures accumulate
+// on it as witnesses verify consistency with what they saw before.
+type Checkpoint struct {
+	// Origin names the log instance the checkpoint belongs to.
+	Origin string `json:"origin"`
+	// Size is the number of entries the tree head covers.
+	Size uint64 `json:"size"`
+	// Root is the Merkle tree head over the first Size entries.
+	Root Hash `json:"root"`
+	// LogSig is the log key's signature over Body.
+	LogSig []byte `json:"log_sig"`
+	// Witness holds countersignatures from witnesses that verified this
+	// checkpoint extends their previously seen tree head append-only.
+	Witness []WitnessSig `json:"witness,omitempty"`
+}
+
+// WitnessSig is one witness countersignature over a checkpoint body.
+type WitnessSig struct {
+	// Name is the witness's human-readable identity.
+	Name string `json:"name"`
+	// KeyID identifies the witness public key (KeyID form).
+	KeyID string `json:"key_id"`
+	// Sig is the ed25519 signature over the cosign message.
+	Sig []byte `json:"sig"`
+}
+
+// Body returns the canonical signed text of the tree head — origin,
+// size and root hash, one per line — which both the log signature and
+// every witness countersignature cover. Signatures are over the body
+// only, so countersignatures from different witnesses commute.
+func (c Checkpoint) Body() []byte {
+	return []byte(fmt.Sprintf("%s\n%s\n%d\n%s\n", checkpointDomain, c.Origin, c.Size, c.Root))
+}
+
+// VerifyLogSig checks the tree-head signature against the log's public
+// key.
+func (c Checkpoint) VerifyLogSig(logPub ed25519.PublicKey) error {
+	if len(logPub) != ed25519.PublicKeySize {
+		return fmt.Errorf("release: bad log public key length %d", len(logPub))
+	}
+	if !ed25519.Verify(logPub, c.Body(), c.LogSig) {
+		return fmt.Errorf("release: bad checkpoint signature for log %q", c.Origin)
+	}
+	return nil
+}
+
+// cosignMessage is the byte string a witness signs: the cosign domain
+// prefix plus the checkpoint body.
+func cosignMessage(body []byte) []byte {
+	return append([]byte(cosignDomain+"\n"), body...)
+}
+
+// VerifyWitnessSig checks one countersignature over the checkpoint
+// against a candidate witness public key.
+func (c Checkpoint) VerifyWitnessSig(ws WitnessSig, pub ed25519.PublicKey) error {
+	if len(pub) != ed25519.PublicKeySize {
+		return fmt.Errorf("release: bad witness public key length %d", len(pub))
+	}
+	if !ed25519.Verify(pub, cosignMessage(c.Body()), ws.Sig) {
+		return fmt.Errorf("release: bad witness countersignature from %q", ws.Name)
+	}
+	return nil
+}
+
+// Log is the append-only transparency log of release envelopes: a
+// Merkle tree over canonical envelope encodings, with a signing key for
+// tree-head checkpoints. Entries are retained so the log can serve
+// inclusion and consistency proofs for any size up to the current one.
+type Log struct {
+	origin string
+	priv   ed25519.PrivateKey // nil for a read-only (proof-serving) log
+
+	mu      sync.Mutex
+	entries [][]byte
+	leaves  []Hash
+}
+
+// NewLog creates an empty log under the given origin name, signing
+// checkpoints with priv. A nil priv makes a read-only log that can
+// append and serve proofs but not sign checkpoints (the witness-side
+// view of a log file).
+func NewLog(origin string, priv ed25519.PrivateKey) *Log {
+	return &Log{origin: origin, priv: priv}
+}
+
+// Origin returns the log's instance name.
+func (l *Log) Origin() string { return l.origin }
+
+// Public returns the log's checkpoint verification key, nil for a
+// read-only log.
+func (l *Log) Public() ed25519.PublicKey {
+	if l.priv == nil {
+		return nil
+	}
+	return l.priv.Public().(ed25519.PublicKey)
+}
+
+// Size returns the current entry count.
+func (l *Log) Size() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return uint64(len(l.entries))
+}
+
+// Append adds one encoded envelope to the log and returns its leaf
+// index. The log never mutates or removes entries — append-only is the
+// invariant every proof hangs off.
+func (l *Log) Append(entry []byte) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cp := append([]byte(nil), entry...)
+	l.entries = append(l.entries, cp)
+	l.leaves = append(l.leaves, LeafHash(cp))
+	return uint64(len(l.entries) - 1)
+}
+
+// Entry returns the encoded envelope at index i (a copy).
+func (l *Log) Entry(i uint64) ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if i >= uint64(len(l.entries)) {
+		return nil, fmt.Errorf("release: log %q has no entry %d (size %d)", l.origin, i, len(l.entries))
+	}
+	return append([]byte(nil), l.entries[i]...), nil
+}
+
+// Root returns the tree head over the first size entries.
+func (l *Log) Root(size uint64) (Hash, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if size > uint64(len(l.leaves)) {
+		return Hash{}, fmt.Errorf("release: log %q has %d entries, no root at size %d", l.origin, len(l.leaves), size)
+	}
+	return rootOf(l.leaves[:size]), nil
+}
+
+// Checkpoint signs and returns the current tree head. The empty log
+// checkpoints too (size 0, RFC 6962 empty root): a witness can be
+// bootstrapped before the first release.
+func (l *Log) Checkpoint() (Checkpoint, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.priv == nil {
+		return Checkpoint{}, fmt.Errorf("release: log %q is read-only (no signing key)", l.origin)
+	}
+	c := Checkpoint{Origin: l.origin, Size: uint64(len(l.leaves)), Root: rootOf(l.leaves)}
+	c.LogSig = ed25519.Sign(l.priv, c.Body())
+	return c, nil
+}
+
+// Inclusion builds the proof that entry index is included in the tree
+// of the given size.
+func (l *Log) Inclusion(index, size uint64) ([]Hash, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if size > uint64(len(l.leaves)) {
+		return nil, fmt.Errorf("release: log %q has %d entries, no tree of size %d", l.origin, len(l.leaves), size)
+	}
+	if index >= size {
+		return nil, fmt.Errorf("release: entry %d outside tree of size %d", index, size)
+	}
+	return inclusionPath(l.leaves[:size], index), nil
+}
+
+// Consistency builds the proof that the tree of oldSize entries is a
+// prefix of the tree of newSize entries.
+func (l *Log) Consistency(oldSize, newSize uint64) ([]Hash, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if newSize > uint64(len(l.leaves)) {
+		return nil, fmt.Errorf("release: log %q has %d entries, no tree of size %d", l.origin, len(l.leaves), newSize)
+	}
+	if oldSize > newSize {
+		return nil, fmt.Errorf("release: inconsistent sizes %d -> %d", oldSize, newSize)
+	}
+	if oldSize == 0 || oldSize == newSize {
+		return nil, nil
+	}
+	return consistencyPath(l.leaves[:newSize], oldSize), nil
+}
+
+// logFile is the on-disk JSON form of a log: origin plus raw entries.
+// Leaf hashes are recomputed on load, so a tampered entry changes the
+// reconstructed roots and every previously issued proof stops
+// verifying — tamper detection falls out of the tree itself.
+type logFile struct {
+	Origin  string   `json:"origin"`
+	Entries [][]byte `json:"entries"`
+}
+
+// OpenLogFile loads a file-backed log, creating an empty one when the
+// file does not exist. priv may be nil for read-only use.
+func OpenLogFile(path, origin string, priv ed25519.PrivateKey) (*Log, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return NewLog(origin, priv), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("release: open log %s: %w", path, err)
+	}
+	var lf logFile
+	if err := json.Unmarshal(data, &lf); err != nil {
+		return nil, fmt.Errorf("release: parse log %s: %w", path, err)
+	}
+	if lf.Origin == "" {
+		return nil, fmt.Errorf("release: log %s has no origin", path)
+	}
+	l := NewLog(lf.Origin, priv)
+	for _, e := range lf.Entries {
+		l.Append(e)
+	}
+	return l, nil
+}
+
+// SaveLogFile writes the log's entries back to disk.
+func SaveLogFile(path string, l *Log) error {
+	l.mu.Lock()
+	lf := logFile{Origin: l.origin, Entries: l.entries}
+	data, err := json.MarshalIndent(lf, "", "  ")
+	l.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("release: encode log: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("release: save log %s: %w", path, err)
+	}
+	return nil
+}
+
+// GenerateLogKey creates a fresh checkpoint-signing key pair.
+func GenerateLogKey() (ed25519.PublicKey, ed25519.PrivateKey, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, nil, fmt.Errorf("release: generate log key: %w", err)
+	}
+	return pub, priv, nil
+}

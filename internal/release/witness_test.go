@@ -1,0 +1,169 @@
+package release
+
+import (
+	"crypto/ed25519"
+	"path/filepath"
+	"testing"
+)
+
+// grow appends n entries and returns the freshly signed checkpoint
+// plus the consistency proof from oldSize.
+func grow(t *testing.T, l *Log, n int, oldSize uint64) (Checkpoint, []Hash) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		l.Append([]byte{byte(l.Size())})
+	}
+	cp, err := l.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := l.Consistency(oldSize, cp.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp, proof
+}
+
+func TestWitnessFollowsHonestLog(t *testing.T) {
+	l := newTestLog(t, "test/honest")
+	w, err := GenerateWitness("w0", l.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First observation is trust-on-first-use; growth sizes cross
+	// non-power-of-two boundaries on purpose.
+	var seen uint64
+	for _, n := range []int{1, 2, 4, 3} {
+		cp, proof := grow(t, l, n, seen)
+		ws, err := w.Observe(cp, proof)
+		if err != nil {
+			t.Fatalf("honest growth to %d refused: %v", cp.Size, err)
+		}
+		if err := cp.VerifyWitnessSig(ws, w.Public()); err != nil {
+			t.Fatal(err)
+		}
+		seen = cp.Size
+	}
+	if th, ok := w.Seen("test/honest"); !ok || th.Size != 10 {
+		t.Fatalf("witness head = %+v, want size 10", th)
+	}
+}
+
+func TestWitnessRefusesNonAppendOnlyCheckpoint(t *testing.T) {
+	l := newTestLog(t, "test/fork")
+	w, err := GenerateWitness("w0", l.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, proof := grow(t, l, 3, 0)
+	if _, err := w.Observe(cp, proof); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fork: same signing key, same size, different entries. The
+	// consistency proof from the fork cannot reconstruct the witness's
+	// remembered root.
+	fork := NewLog("test/fork", nil)
+	fork.Append([]byte{0})
+	fork.Append([]byte{99}) // diverges here
+	fork.Append([]byte{2})
+	fork.Append([]byte{3})
+	forkRoot, err := fork.Root(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forkCP := Checkpoint{Origin: "test/fork", Size: 4, Root: forkRoot}
+	forkCP.LogSig = signCheckpoint(t, l, forkCP)
+	forkProof, err := fork.Consistency(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Observe(forkCP, forkProof); err == nil {
+		t.Fatal("witness countersigned a forked log")
+	}
+	// The refused checkpoint must not move the witness head.
+	if th, _ := w.Seen("test/fork"); th.Size != 3 {
+		t.Fatalf("refusal moved the witness head to %d", th.Size)
+	}
+
+	// A shrinking log is refused outright.
+	shrunk := Checkpoint{Origin: "test/fork", Size: 2, Root: forkRoot}
+	shrunk.LogSig = signCheckpoint(t, l, shrunk)
+	if _, err := w.Observe(shrunk, nil); err == nil {
+		t.Fatal("witness countersigned a shrinking log")
+	}
+
+	// An equal-size checkpoint with a diverged root is a fork too.
+	split := Checkpoint{Origin: "test/fork", Size: 3, Root: forkRoot}
+	split.LogSig = signCheckpoint(t, l, split)
+	if _, err := w.Observe(split, nil); err == nil {
+		t.Fatal("witness countersigned an equal-size fork")
+	}
+}
+
+// signCheckpoint signs an arbitrary (possibly dishonest) tree head with
+// the log's key — the attacker model where the log key itself colludes.
+func signCheckpoint(t *testing.T, l *Log, cp Checkpoint) []byte {
+	t.Helper()
+	if l.priv == nil {
+		t.Fatal("log has no signing key")
+	}
+	return ed25519.Sign(l.priv, cp.Body())
+}
+
+func TestWitnessRefusesForeignLogKey(t *testing.T) {
+	l := newTestLog(t, "test/key")
+	rogue := newTestLog(t, "test/key")
+	w, err := GenerateWitness("w0", l.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogue.Append([]byte("x"))
+	cp, err := rogue.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Observe(cp, nil); err == nil {
+		t.Fatal("witness accepted a checkpoint signed by a foreign key")
+	}
+}
+
+func TestWitnessStatePersistsAcrossRestarts(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, "witness.json")
+	l := newTestLog(t, "test/persist")
+	w, err := GenerateWitness("w0", l.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, proof := grow(t, l, 3, 0)
+	if _, err := w.Observe(cp, proof); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveWitnessState(state, w); err != nil {
+		t.Fatal(err)
+	}
+
+	// A restarted witness (fresh key is fine — the state is about tree
+	// heads, not identity) restores its memory and still detects forks.
+	w2, err := GenerateWitness("w0", l.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadWitnessState(state, w2); err != nil {
+		t.Fatal(err)
+	}
+	th, ok := w2.Seen("test/persist")
+	if !ok || th.Size != 3 {
+		t.Fatalf("restored head = %+v, want size 3", th)
+	}
+	fork := Checkpoint{Origin: "test/persist", Size: 3, Root: LeafHash([]byte("not the root"))}
+	fork.LogSig = signCheckpoint(t, l, fork)
+	if _, err := w2.Observe(fork, nil); err == nil {
+		t.Fatal("restored witness countersigned a fork")
+	}
+	// Missing state file is a fresh (TOFU) witness, not an error.
+	if err := LoadWitnessState(filepath.Join(dir, "absent.json"), w2); err != nil {
+		t.Fatal(err)
+	}
+}

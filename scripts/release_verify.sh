@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# release_verify.sh exercises the signed, witnessed release channel end
+# to end against the committed golden artifact — the CI release-verify
+# job. Positive flow: keygen -> sign + transparency-log append ->
+# witness countersignature -> policy-gated verify. Negative flow: the
+# policy gate must refuse a bit-flipped artifact, a valid-but-unlogged
+# bundle, and a witness must refuse a forked log.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/vedliot-pack" ./cmd/vedliot-pack
+pack="$workdir/vedliot-pack"
+golden=internal/artifact/testdata/golden.vedz
+
+# expect_fail runs a command that MUST exit non-zero; a success is a
+# hole in the release gate and fails the job.
+expect_fail() {
+  desc=$1; shift
+  if "$@" >"$workdir/out.log" 2>&1; then
+    echo "FAIL: $desc unexpectedly passed the gate"
+    cat "$workdir/out.log"
+    exit 1
+  fi
+  echo "ok (refused): $desc"
+}
+
+echo "== provision signer/log/witness keys =="
+"$pack" keygen -o "$workdir/keys"
+
+echo "== sign the golden artifact into the transparency log =="
+"$pack" sign -keys "$workdir/keys" -log "$workdir/log.json" \
+  -o "$workdir/golden.bundle.json" "$golden"
+
+echo "== witness verifies append-only growth and countersigns =="
+"$pack" witness -keys "$workdir/keys" -log "$workdir/log.json" \
+  -state "$workdir/witness.json" -bundle "$workdir/golden.bundle.json"
+
+echo "== policy-gated verify (signature + inclusion + witness quorum) =="
+"$pack" verify -policy "$workdir/keys" -bundle "$workdir/golden.bundle.json" "$golden"
+
+echo "== negative: bit-flipped artifact =="
+python3 - "$golden" "$workdir/flipped.vedz" <<'PY'
+import sys
+data = bytearray(open(sys.argv[1], 'rb').read())
+data[len(data) // 2] ^= 1
+open(sys.argv[2], 'wb').write(bytes(data))
+PY
+expect_fail "bit-flipped artifact under a valid bundle" \
+  "$pack" verify -policy "$workdir/keys" -bundle "$workdir/golden.bundle.json" "$workdir/flipped.vedz"
+
+echo "== negative: valid signature, never logged =="
+"$pack" sign -keys "$workdir/keys" -skip-log \
+  -o "$workdir/unlogged.bundle.json" "$golden"
+expect_fail "signed-but-unlogged bundle" \
+  "$pack" verify -policy "$workdir/keys" -bundle "$workdir/unlogged.bundle.json" "$golden"
+
+echo "== negative: forked transparency log =="
+# Fork the log at its current size, then let the real log and the fork
+# each grow by one different release. The witness follows the real log;
+# the fork's checkpoint (same signing key, diverged history) must be
+# refused, leaving split-view attacks detectable.
+cp "$workdir/log.json" "$workdir/fork.json"
+"$pack" pack -model tiny -o "$workdir/tiny.vedz" >/dev/null
+"$pack" sign -keys "$workdir/keys" -log "$workdir/log.json" \
+  -o "$workdir/tiny.bundle.json" "$workdir/tiny.vedz"
+"$pack" witness -keys "$workdir/keys" -log "$workdir/log.json" \
+  -state "$workdir/witness.json" -bundle "$workdir/tiny.bundle.json"
+"$pack" pack -model motor -o "$workdir/other.vedz" >/dev/null
+"$pack" sign -keys "$workdir/keys" -log "$workdir/fork.json" \
+  -o "$workdir/fork.bundle.json" "$workdir/other.vedz"
+expect_fail "forked-log checkpoint at the witness" \
+  "$pack" witness -keys "$workdir/keys" -log "$workdir/fork.json" \
+  -state "$workdir/witness.json" -bundle "$workdir/fork.bundle.json"
+
+echo "release-verify: positive flow verified, all three refusals hold"
