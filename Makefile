@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-full test-race test-portable bench bench-json bench-gate serve-demo load-smoke docs pack-demo release-demo release-verify ci
+.PHONY: all build vet test test-full test-race test-portable bench bench-kernels bench-json bench-gate serve-demo load-smoke docs pack-demo release-demo release-verify ci
 
 all: ci
 
@@ -30,10 +30,18 @@ test-portable:
 	$(GO) test -tags purego ./internal/tensor/... ./internal/inference/...
 	VEDLIOT_CPU=sse2 $(GO) test ./internal/tensor/... ./internal/inference/...
 	VEDLIOT_CPU=generic $(GO) test ./internal/tensor/... ./internal/inference/...
+	VEDLIOT_CPU=avx2 $(GO) test ./internal/tensor/... ./internal/inference/...
+	VEDLIOT_CPU=avx512 $(GO) test ./internal/tensor/... ./internal/inference/...
 
 # bench tracks the inference-runtime perf trajectory.
 bench:
 	$(GO) test -bench 'BenchmarkEngine|BenchmarkQuantized' -run '^$$' -benchmem .
+
+# bench-kernels sweeps every compiled-in GEMM micro-kernel tier the
+# host can run (generic / sse2 / avx2 / avx512) — the per-tier view
+# behind the gemm_roofline_attainment_<tier> artifact lines.
+bench-kernels:
+	$(GO) test -bench BenchmarkGemmTiers -run '^$$' -benchmem ./internal/tensor/
 
 # bench-json regenerates the gated perf artifacts (BENCH_<id>.json),
 # exactly what the CI bench-gate job runs.

@@ -53,6 +53,7 @@ type Option func(*config)
 type config struct {
 	workers   int
 	threshold int64
+	fp16      bool
 }
 
 // WithWorkers bounds the kernel worker pool. The default is
@@ -68,6 +69,20 @@ func WithParallelThreshold(ops int64) Option {
 	return func(c *config) { c.threshold = ops }
 }
 
+// PrecisionFP16Compute compiles the FP16-compute plan: intermediate
+// activations are stored as IEEE binary16 halfwords in a second arena,
+// and FP16-stored weights stay half-width in their packed GEMM panels
+// instead of being dequantized to FP32 at compile time. Both widen to
+// FP32 transiently on load (F16C-accelerated on hosts that have it),
+// so the arithmetic itself — and the model's inputs and outputs —
+// remain FP32; what halves is the resident width of the working set,
+// and with it the model's memory traffic. Outputs differ from the
+// plain FP32 engine only by the round-to-nearest-even rounding of each
+// intermediate activation through binary16.
+func PrecisionFP16Compute() Option {
+	return func(c *config) { c.fp16 = true }
+}
+
 // defaultParallelThreshold is the op count below which a kernel is not
 // worth splitting across goroutines.
 const defaultParallelThreshold = 1 << 15
@@ -80,6 +95,7 @@ const (
 	locInput              // caller-provided input tensor
 	locSlot               // arena slab, reused across liveness intervals
 	locOutput             // freshly allocated output tensor
+	locSlotH              // halfword arena slab (FP16-compute plans)
 )
 
 type location struct {
@@ -94,6 +110,10 @@ type value struct {
 	per   tensor.Shape
 	elems int
 	loc   location
+	// fp16 marks a value the lowering pipeline assigned FP16 storage:
+	// the planner parks it in the halfword arena and Run widens it to
+	// FP32 staging only while a step computes with it.
+	fp16 bool
 }
 
 // step is one bound kernel invocation.
@@ -143,6 +163,22 @@ type Engine struct {
 	slotSize       []int
 	arenaPerSample int
 
+	// FP16-compute plans add a second, halfword arena for FP16-stored
+	// activations plus an FP32 staging region Run widens operands into
+	// while a step computes with them. All three fields are zero for
+	// plain FP32 plans, and the extra pools then stay untouched.
+	slotOffH        []int
+	slotSizeH       []int
+	arenaHPerSample int
+	stagePerSample  int
+	arenasH         sync.Pool // *[]uint16
+	stages          sync.Pool // *[]float32
+
+	// trafficPerSample is the modeled per-sample memory traffic of one
+	// Run in bytes: every step streams its operands once at their
+	// stored width and its weights once at their resident width.
+	trafficPerSample int
+
 	// scratch is the element-wise maximum of every bound kernel's
 	// transient-buffer spec (GEMM pack tiles, accumulator tiles),
 	// computed at compile time; scratchPool recycles the per-Run
@@ -179,7 +215,17 @@ func (e *Engine) ArenaFloatsPerSample() int { return e.arenaPerSample }
 // Run accepts any batch size. Compile never mutates the source graph.
 func Compile(g *nn.Graph, opts ...Option) (*Engine, error) {
 	cfg := newConfig(opts)
-	m, _, err := Lower(g, nil, false)
+	var (
+		m   *ir.Module
+		err error
+	)
+	if cfg.fp16 {
+		// FP16-compute lowering: same pipeline, with the precision pass
+		// stamping intermediate activations FP16.
+		m, _, err = ir.Lower(g, ir.Config{FP16Compute: true}, false)
+	} else {
+		m, _, err = Lower(g, nil, false)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -215,6 +261,7 @@ func newEngine(m *ir.Module, cfg config) (*Engine, error) {
 		aliases:     sc.aliases,
 	}
 	fused := false
+	var stats bindStats
 	for _, op := range m.Ops {
 		if op.Kind == nn.OpInput {
 			continue
@@ -226,7 +273,7 @@ func newEngine(m *ir.Module, cfg config) (*Engine, error) {
 		if err != nil {
 			return nil, compileError(op, false, err)
 		}
-		kern, spec, err := bindKernel(n, inPer, e.vals[out].per, ep)
+		kern, spec, err := bindKernel(n, inPer, e.vals[out].per, ep, cfg.fp16, &stats)
 		if err != nil {
 			return nil, compileError(op, false, err)
 		}
@@ -239,10 +286,11 @@ func newEngine(m *ir.Module, cfg config) (*Engine, error) {
 		}
 		// Unfused expansion for RunAll: the producer writes its own
 		// (pre-epilogue) value, then each absorbed stage runs as its own
-		// step — the exact plan the fused step collapses.
+		// step — the exact plan the fused step collapses. Stats stay
+		// nil: the weights were already counted by the fused bind.
 		fused = true
 		pre := sc.valOf[op.Fused[0].Pre]
-		preKern, preSpec, err := bindKernel(n, inPer, e.vals[pre].per, nil)
+		preKern, preSpec, err := bindKernel(n, inPer, e.vals[pre].per, nil, cfg.fp16, nil)
 		if err != nil {
 			return nil, compileError(op, false, err)
 		}
@@ -251,7 +299,7 @@ func newEngine(m *ir.Module, cfg config) (*Engine, error) {
 		for i := range op.Fused {
 			f := &op.Fused[i]
 			fOut := sc.valOf[op.FusedOut(i)]
-			fKern, fSpec, err := bindKernel(nodeFromFused(f), []tensor.Shape{e.vals[pre].per}, e.vals[fOut].per, nil)
+			fKern, fSpec, err := bindKernel(nodeFromFused(f), []tensor.Shape{e.vals[pre].per}, e.vals[fOut].per, nil, cfg.fp16, nil)
 			if err != nil {
 				return nil, compileError(op, false, err)
 			}
@@ -264,9 +312,60 @@ func newEngine(m *ir.Module, cfg config) (*Engine, error) {
 		e.fullSteps = e.steps
 	}
 	e.planMemory()
+	e.planStaging()
+	e.trafficPerSample = e.modeledActivationTraffic() + stats.weightBytes
 	e.inPer, e.outPer = perShapes(e.vals, e.inputVals), perShapes(e.vals, e.outputVals)
 	return e, nil
 }
+
+// planStaging sizes the FP32 staging region of an FP16-compute plan:
+// the per-sample maximum, over the steps, of the halfword-resident
+// operands a step widens while it runs. Zero for plain FP32 plans.
+func (e *Engine) planStaging() {
+	for _, st := range e.steps {
+		need := 0
+		for _, in := range st.ins {
+			if e.vals[in].loc.kind == locSlotH {
+				need += e.vals[in].elems
+			}
+		}
+		if e.vals[st.out].loc.kind == locSlotH {
+			need += e.vals[st.out].elems
+		}
+		if need > e.stagePerSample {
+			e.stagePerSample = need
+		}
+	}
+}
+
+// modeledActivationTraffic models the per-sample activation bytes one
+// Run moves: every step reads each input and writes its output once at
+// the value's stored width (2 bytes for FP16-resident values, 4 for
+// FP32). Together with the resident weight bytes the binders report it
+// feeds ModeledTrafficBytesPerSample.
+func (e *Engine) modeledActivationTraffic() int {
+	width := func(v int) int {
+		if e.vals[v].fp16 {
+			return 2
+		}
+		return 4
+	}
+	traffic := 0
+	for _, st := range e.steps {
+		for _, in := range st.ins {
+			traffic += e.vals[in].elems * width(in)
+		}
+		traffic += e.vals[st.out].elems * width(st.out)
+	}
+	return traffic
+}
+
+// ModeledTrafficBytesPerSample returns the modeled per-sample memory
+// traffic of one Run in bytes: activations at their stored width plus
+// weights at their resident width. The FP16-compute plan halves both
+// for FP16-stored models, which is the bench harness's
+// fp16_mem_traffic_ratio numerator/denominator.
+func (e *Engine) ModeledTrafficBytesPerSample() int { return e.trafficPerSample }
 
 // perShapes collects the per-sample shape of each listed value.
 func perShapes(vals []value, ids []int) []tensor.Shape {
@@ -295,6 +394,50 @@ func (e *Engine) putArena(buf []float32) {
 		return
 	}
 	e.arenas.Put(&buf)
+}
+
+// getArenaH draws the halfword arena of an FP16-compute plan; nil for
+// plain FP32 plans.
+func (e *Engine) getArenaH(batch int) []uint16 {
+	need := e.arenaHPerSample * batch
+	if need == 0 {
+		return nil
+	}
+	if p, ok := e.arenasH.Get().(*[]uint16); ok {
+		if cap(*p) >= need {
+			return (*p)[:need]
+		}
+	}
+	return make([]uint16, need)
+}
+
+func (e *Engine) putArenaH(buf []uint16) {
+	if buf == nil {
+		return
+	}
+	e.arenasH.Put(&buf)
+}
+
+// getStage draws the FP32 staging region steps widen FP16-resident
+// operands into; nil for plain FP32 plans.
+func (e *Engine) getStage(batch int) []float32 {
+	need := e.stagePerSample * batch
+	if need == 0 {
+		return nil
+	}
+	if p, ok := e.stages.Get().(*[]float32); ok {
+		if cap(*p) >= need {
+			return (*p)[:need]
+		}
+	}
+	return make([]float32, need)
+}
+
+func (e *Engine) putStage(buf []float32) {
+	if buf == nil {
+		return
+	}
+	e.stages.Put(&buf)
 }
 
 // resolveInputs validates the provided inputs against the plan and
@@ -357,6 +500,7 @@ func (e *Engine) Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tenso
 		}
 	}
 	arena := e.getArena(batch)
+	arenaH, stage := e.getArenaH(batch), e.getStage(batch)
 	resolve := func(v int) []float32 {
 		val := &e.vals[v]
 		switch val.loc.kind {
@@ -370,23 +514,54 @@ func (e *Engine) Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tenso
 		}
 		return nil
 	}
+	// resolveH locates an FP16-resident value's halfword slab. Steps
+	// never compute on it directly: inputs widen into the staging
+	// region on load, outputs compute in staging and narrow on store.
+	resolveH := func(v int) []uint16 {
+		val := &e.vals[v]
+		off := e.slotOffH[val.loc.idx] * batch
+		return arenaH[off : off+val.elems*batch]
+	}
 	sb := getScratch(&e.scratchPool, e.scratch, batch, e.cfg.workers)
 	rc := runCtx{batch: batch, workers: e.cfg.workers, threshold: e.cfg.threshold, spec: e.scratch, scratch: sb}
 	srcs := make([][]float32, 0, 4)
 	for si := range e.steps {
 		st := &e.steps[si]
 		srcs = srcs[:0]
+		staged := 0
 		for _, in := range st.ins {
+			if e.vals[in].loc.kind == locSlotH {
+				n := e.vals[in].elems * batch
+				buf := stage[staged : staged+n]
+				staged += n
+				tensor.F16ToF32(buf, resolveH(in))
+				srcs = append(srcs, buf)
+				continue
+			}
 			srcs = append(srcs, resolve(in))
 		}
-		if err := st.kern(&rc, resolve(st.out), srcs); err != nil {
+		dst := resolve(st.out)
+		var dstH []uint16
+		if e.vals[st.out].loc.kind == locSlotH {
+			dstH = resolveH(st.out)
+			n := e.vals[st.out].elems * batch
+			dst = stage[staged : staged+n]
+		}
+		if err := st.kern(&rc, dst, srcs); err != nil {
 			putScratch(&e.scratchPool, sb)
 			e.putArena(arena)
+			e.putArenaH(arenaH)
+			e.putStage(stage)
 			return nil, fmt.Errorf("inference: node %q (%s): %w", st.name, st.op, err)
+		}
+		if dstH != nil {
+			tensor.F32ToF16(dstH, dst)
 		}
 	}
 	putScratch(&e.scratchPool, sb)
 	e.putArena(arena)
+	e.putArenaH(arenaH)
+	e.putStage(stage)
 	result := make(map[string]*tensor.Tensor, len(e.outputVals))
 	for i, v := range e.outputVals {
 		loc := e.vals[v].loc
@@ -409,7 +584,9 @@ func (e *Engine) Run(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tenso
 // materialize too, and values eliminated by lowering rewrites (identity
 // removal, CSE) are reported through their surviving alias.
 // Calibration uses this to observe every dynamic range the quantized
-// compiler needs.
+// compiler needs. RunAll materializes everything in FP32 and never
+// narrows through the halfword arena, so on an FP16-compute plan it is
+// the full-precision reference Run's rounded activations compare to.
 func (e *Engine) RunAll(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
 	inBufs, batch, err := e.resolveInputs(inputs)
 	if err != nil {

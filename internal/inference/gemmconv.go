@@ -35,11 +35,156 @@ import (
 const gemmMinTaps = 16
 
 // convGemmEligible reports whether a convolution routes onto the packed
-// GEMM path: a real channel reduction (not depthwise) that is deep
-// enough to amortize the per-tile pack. Shared by the FP32 and
-// quantized binders so both engines make the same routing decision.
+// GEMM path: a real channel reduction that is deep enough to amortize
+// the per-tile pack, or a single-input-channel stem (whose gather
+// vectorizes through the precomputed segment plans, so even a 9-tap
+// reduction beats the direct form). Depthwise layers (icPerG == 1 with
+// several groups) stay on the direct path: per-group GEMMs of M = 1
+// cannot use the register tiles. Shared by the FP32 and quantized
+// binders so both engines make the same routing decision.
 func convGemmEligible(g convGeom) bool {
+	if g.inC == 1 && g.kh*g.kw > 1 {
+		return true
+	}
 	return g.icPerG > 1 && g.icPerG*g.kh*g.kw >= gemmMinTaps
+}
+
+// Segment kinds of a precomputed im2col row plan. Every B-tile row is
+// described once at bind time as zero / contiguous-copy /
+// stride-2-gather segments, so the per-call fill does no index
+// arithmetic at all — the same plan serves every channel, group,
+// sample and call, shifted only by the channel plane base.
+const (
+	segZero = iota
+	segCopy
+	segGather2
+)
+
+// convSeg is one segment of a planned B-tile row: n elements at row
+// offset dst, sourced (for copy/gather) at plane-relative offset src.
+type convSeg struct {
+	dst, src, n int32
+	kind        uint8
+}
+
+// buildRowPlan returns the segment plan for one (ky, kx) tap row of
+// the B tile covering output pixels j0..j0+jw-1 (nr-wide row, columns
+// past jw zero-padded), or nil when the geometry needs a per-element
+// walk (stride > 2), in which case the caller falls back to
+// fillConvRowF32.
+func buildRowPlan(g *convGeom, ky, kx, j0, jw, nr int) []convSeg {
+	var segs []convSeg
+	emit := func(kind uint8, dst, src, n int) {
+		if n <= 0 {
+			return
+		}
+		if kind == segZero && len(segs) > 0 {
+			if last := &segs[len(segs)-1]; last.kind == segZero && int(last.dst+last.n) == dst {
+				last.n += int32(n)
+				return
+			}
+		}
+		segs = append(segs, convSeg{dst: int32(dst), src: int32(src), n: int32(n), kind: kind})
+	}
+	j := 0
+	for j < jw {
+		p := j0 + j
+		oy := p / g.outW
+		ox0 := p % g.outW
+		run := g.outW - ox0
+		if run > jw-j {
+			run = jw - j
+		}
+		iy := oy*g.sh - g.ph + ky
+		switch {
+		case iy < 0 || iy >= g.inH:
+			emit(segZero, j, 0, run)
+		case g.sw == 1:
+			ix0 := ox0 - g.pw + kx
+			lo := 0
+			if ix0 < 0 {
+				lo = min(-ix0, run)
+			}
+			hi := run
+			if over := ix0 + run - g.inW; over > 0 {
+				hi = max(run-over, lo)
+			}
+			emit(segZero, j, 0, lo)
+			emit(segCopy, j+lo, iy*g.inW+ix0+lo, hi-lo)
+			emit(segZero, j+hi, 0, run-hi)
+		case g.sw == 2:
+			ix0 := ox0*2 - g.pw + kx
+			lo := 0
+			if ix0 < 0 {
+				lo = min((-ix0+1)/2, run)
+			}
+			hi := run
+			if ix0 >= g.inW {
+				hi = lo
+			} else if maxI := (g.inW - 1 - ix0) / 2; maxI+1 < hi {
+				hi = max(maxI+1, lo)
+			}
+			emit(segZero, j, 0, lo)
+			emit(segGather2, j+lo, iy*g.inW+ix0+2*lo, hi-lo)
+			emit(segZero, j+hi, 0, run-hi)
+		default:
+			return nil
+		}
+		j += run
+	}
+	emit(segZero, jw, 0, nr-jw)
+	return segs
+}
+
+// buildConvPlans precomputes the B-tile row plans for every (tile,
+// tap) of a convolution, or returns nil when any row needs the
+// fallback walk.
+func buildConvPlans(g *convGeom, nr, nt, px int) [][]convSeg {
+	plans := make([][]convSeg, nt*g.kh*g.kw)
+	for t := 0; t < nt; t++ {
+		j0 := t * nr
+		jw := min(px-j0, nr)
+		for ky := 0; ky < g.kh; ky++ {
+			for kx := 0; kx < g.kw; kx++ {
+				plan := buildRowPlan(g, ky, kx, j0, jw, nr)
+				if plan == nil {
+					return nil
+				}
+				plans[(t*g.kh+ky)*g.kw+kx] = plan
+			}
+		}
+	}
+	return plans
+}
+
+// packConvTilePlanned packs one B tile by replaying the tile's segment
+// plans against each input-channel plane of (sample b, group grp).
+// Row order matches packConvTileF32: tap kk = (ic, ky, kx).
+func packConvTilePlanned(bpack, xv []float32, g *convGeom, nr, b, grp int, plans [][]convSeg) {
+	planeSize := g.inH * g.inW
+	taps := g.kh * g.kw
+	kk := 0
+	for ic := 0; ic < g.icPerG; ic++ {
+		plane := xv[(b*g.inC+grp*g.icPerG+ic)*planeSize:]
+		plane = plane[:planeSize]
+		for tap := 0; tap < taps; tap++ {
+			row := bpack[kk*nr : (kk+1)*nr]
+			for _, s := range plans[tap] {
+				switch s.kind {
+				case segZero:
+					z := row[s.dst : s.dst+s.n]
+					for i := range z {
+						z[i] = 0
+					}
+				case segCopy:
+					copy(row[s.dst:s.dst+s.n], plane[s.src:s.src+s.n])
+				default:
+					tensor.GatherStride2F32(row[s.dst:s.dst+s.n], plane[s.src:])
+				}
+			}
+			kk++
+		}
+	}
 }
 
 // fillConvRowF32 writes one K-row of a B tile: the values output pixels
@@ -89,6 +234,36 @@ func fillConvRowF32(row []float32, xv []float32, g *convGeom, xBase, ky, kx, j0,
 			for i := hi; i < run; i++ {
 				seg[i] = 0
 			}
+		case g.sw == 2:
+			// Clip to the in-bounds index run, then the strided gather
+			// vectorizes as an even-lane deinterleave.
+			xRow := xv[xBase+iy*g.inW : xBase+(iy+1)*g.inW]
+			ix0 := ox0*2 - g.pw + kx
+			lo := 0
+			if ix0 < 0 {
+				lo = (-ix0 + 1) / 2
+				if lo > run {
+					lo = run
+				}
+			}
+			hi := run
+			if ix0 >= g.inW {
+				hi = lo
+			} else if maxI := (g.inW - 1 - ix0) / 2; maxI+1 < hi {
+				hi = maxI + 1
+				if hi < lo {
+					hi = lo
+				}
+			}
+			for i := 0; i < lo; i++ {
+				seg[i] = 0
+			}
+			if hi > lo {
+				tensor.GatherStride2F32(seg[lo:hi], xRow[ix0+2*lo:])
+			}
+			for i := hi; i < run; i++ {
+				seg[i] = 0
+			}
 		default:
 			xRow := xv[xBase+iy*g.inW : xBase+(iy+1)*g.inW]
 			ix := ox0*g.sw - g.pw + kx
@@ -127,29 +302,55 @@ func packConvTileF32(bpack, xv []float32, g *convGeom, nr, b, grp, j0, jw int) {
 // bindConvGemm lowers one FP32 convolution onto the packed GEMM
 // micro-kernels. Weights and bias are packed per group at bind time;
 // the returned kernel streams B tiles through planned worker scratch.
-func bindConvGemm(g convGeom, wv, bias []float32, ep *epilogue) (kernelFunc, scratchSpec) {
-	kern := tensor.PickGemmF32()
-	mr, nr := kern.MR, kern.NR
+func bindConvGemm(g convGeom, w *tensor.Tensor, bias []float32, ep *epilogue, wf16 bool) (kernelFunc, scratchSpec) {
 	taps := g.icPerG * g.kh * g.kw
 	px := g.outH * g.outW
+	// N is the per-image pixel count: deep layers shrink to 4x4 = 16
+	// pixels, where a 48-wide ZMM tile would pack 2/3 zero padding.
+	kern := tensor.PickGemmF32MaxWidth(px)
+	mr, nr := kern.MR, kern.NR
 	groups := g.inC / g.icPerG
 	panels := (g.ocPerG + mr - 1) / mr
-	apg := kern.PackedASize(g.ocPerG, taps) // packed-A floats per group
+	apg := kern.PackedASize(g.ocPerG, taps) // packed-A elements per group
 	bpg := panels * mr                      // padded bias entries per group
-	apack := make([]float32, groups*apg)
+	// wf16 keeps the packed weight panels in their stored binary16
+	// form and widens them into call scratch at each dispatch — the
+	// FP16-compute "convert on load" of the A operand. The widened
+	// panel is bitwise identical to packing the dequantized matrix, so
+	// both residencies execute the same arithmetic.
+	var apack []float32
+	var apackH []uint16
+	if wf16 {
+		apackH = make([]uint16, groups*apg)
+		for grp := 0; grp < groups; grp++ {
+			kern.PackAF16(apackH[grp*apg:(grp+1)*apg], w.F16[grp*g.ocPerG*taps:], taps, g.ocPerG, taps)
+		}
+	} else {
+		wv := w.Float32s()
+		apack = make([]float32, groups*apg)
+		for grp := 0; grp < groups; grp++ {
+			kern.PackA(apack[grp*apg:(grp+1)*apg], wv[grp*g.ocPerG*taps:], taps, g.ocPerG, taps)
+		}
+	}
 	biasAll := make([]float32, groups*bpg)
-	for grp := 0; grp < groups; grp++ {
-		kern.PackA(apack[grp*apg:(grp+1)*apg], wv[grp*g.ocPerG*taps:], taps, g.ocPerG, taps)
-		if bias != nil {
+	if bias != nil {
+		for grp := 0; grp < groups; grp++ {
 			copy(biasAll[grp*bpg:], bias[grp*g.ocPerG:(grp+1)*g.ocPerG])
 		}
 	}
 	pointwise := g.kh == 1 && g.kw == 1 && g.sh == 1 && g.sw == 1 && g.ph == 0 && g.pw == 0
 	nt := (px + nr - 1) / nr
+	ktaps := g.kh * g.kw
+	plans := buildConvPlans(&g, nr, nt, px)
 	scratch := taps*nr + mr*nr
 	itemCost := int64(taps) * int64(nr) * int64(2*g.ocPerG+1)
 	kfn := func(rc *runCtx, dst []float32, srcs [][]float32) error {
 		xv := srcs[0]
+		apack := apack
+		if apackH != nil {
+			apack = rc.f32Call(len(apackH))
+			tensor.F16ToF32(apack, apackH)
+		}
 		rc.parallelForWorker(rc.batch*groups*nt, itemCost, func(worker, lo, hi int) {
 			ws := rc.f32Worker(worker, scratch)
 			bpack := ws[:taps*nr]
@@ -157,17 +358,21 @@ func bindConvGemm(g convGeom, wv, bias []float32, ep *epilogue) (kernelFunc, scr
 			for it := lo; it < hi; it++ {
 				b := it / (groups * nt)
 				rem := it % (groups * nt)
+				t := rem % nt
 				grp := rem / nt
-				j0 := (rem % nt) * nr
+				j0 := t * nr
 				jw := px - j0
 				if jw > nr {
 					jw = nr
 				}
 				bt, ldb := bpack, nr
-				if pointwise && jw == nr {
+				switch {
+				case pointwise && jw == nr:
 					// The input planes of this group are the B matrix already.
 					bt, ldb = xv[(b*g.inC+grp*g.icPerG)*px+j0:], px
-				} else {
+				case plans != nil:
+					packConvTilePlanned(bpack, xv, &g, nr, b, grp, plans[t*ktaps:(t+1)*ktaps])
+				default:
 					packConvTileF32(bpack, xv, &g, nr, b, grp, j0, jw)
 				}
 				for p := 0; p < panels; p++ {
@@ -198,7 +403,7 @@ func bindConvGemm(g convGeom, wv, bias []float32, ep *epilogue) (kernelFunc, scr
 		})
 		return nil
 	}
-	return kfn, scratchSpec{f32PerWorker: scratch}
+	return kfn, scratchSpec{f32PerWorker: scratch, f32PerCall: len(apackH)}
 }
 
 // packDenseTileF32 packs an NR-wide tile of the dense B matrix: B is
@@ -315,11 +520,12 @@ func packQPointwiseTile(bpack []int16, xv []int8, base, px, taps, nr, j0, jw int
 // register/L1-hot.
 func bindQuantConvGemm(p *qconv) (qkernelFunc, scratchSpec) {
 	g := p.g
-	kern := tensor.PickGemmI16()
-	mr, nr := kern.MR, kern.NR
 	taps := g.icPerG * g.kh * g.kw
 	kp := tensor.KPairs(taps)
 	px := g.outH * g.outW
+	// Same narrow-N tile cap as bindConvGemm.
+	kern := tensor.PickGemmI16MaxWidth(px)
+	mr, nr := kern.MR, kern.NR
 	groups := g.inC / g.icPerG
 	panels := (g.ocPerG + mr - 1) / mr
 	apg := kern.PackedASize(g.ocPerG, taps)

@@ -403,13 +403,7 @@ func (ep *epilogue) apply(span []float32, ch int) {
 		s, sh := ep.scale[ch], ep.shift[ch]
 		switch {
 		case ep.relu:
-			for i, v := range span {
-				v = v*s + sh
-				if v < 0 {
-					v = 0
-				}
-				span[i] = v
-			}
+			tensor.ScaleShiftReluF32(span, s, sh)
 		case ep.fn != nil:
 			f := ep.fn
 			for i, v := range span {
@@ -421,20 +415,13 @@ func (ep *epilogue) apply(span []float32, ch int) {
 				span[i] = f(v*s + sh)
 			}
 		default:
-			for i, v := range span {
-				span[i] = v*s + sh
-			}
+			tensor.ScaleShiftF32(span, s, sh)
 		}
 		return
 	}
 	switch {
 	case ep.relu:
-		for i, v := range span {
-			if v < 0 {
-				v = 0
-			}
-			span[i] = v
-		}
+		tensor.ReluF32(span)
 	case ep.fn != nil:
 		f := ep.fn
 		for i, v := range span {
@@ -475,21 +462,43 @@ func (ep *epilogue) scalar(ch int) func(float32) float32 {
 	return func(v float32) float32 { return tail(v*s + sh) }
 }
 
+// bindStats accumulates compile-time facts the engine reports after
+// binding: resident weight bytes feed the modeled-traffic metric. A
+// nil receiver skips accounting (re-binds of already-counted weights,
+// the RunAll expansion).
+type bindStats struct{ weightBytes int }
+
+// addWeightBytes records n resident weight bytes.
+func (s *bindStats) addWeightBytes(n int) {
+	if s != nil {
+		s.weightBytes += n
+	}
+}
+
 // bindKernel resolves a node to an executable kernel closure given the
 // per-sample shapes of its inputs and output, plus the kernel's planned
 // scratch requirement (zero for most ops; the GEMM-lowered conv/dense
 // kernels declare pack and tile buffers). ep, when non-nil, is the
 // fused epilogue the lowering pipeline absorbed into the producer
-// (conv/dense/batch-norm), applied while the output is cache-hot.
-func bindKernel(n *nn.Node, ins []tensor.Shape, out tensor.Shape, ep *epilogue) (kernelFunc, scratchSpec, error) {
+// (conv/dense/batch-norm), applied while the output is cache-hot. fp16
+// selects the FP16-compute binding: conv/dense weights stored FP16
+// stay half-width in their packed panels and widen on load instead of
+// dequantizing at compile time.
+func bindKernel(n *nn.Node, ins []tensor.Shape, out tensor.Shape, ep *epilogue, fp16 bool, stats *bindStats) (kernelFunc, scratchSpec, error) {
 	if ep != nil && !fusesActivation(n.Op) {
 		return nil, scratchSpec{}, fmt.Errorf("op %s cannot absorb a fused epilogue", n.Op)
 	}
 	switch n.Op {
 	case nn.OpConv, nn.OpDepthwiseConv:
-		return bindConv(n, ins[0], out, ep)
+		return bindConv(n, ins[0], out, ep, fp16, stats)
 	case nn.OpDense:
-		return bindDense(n, ins[0], out, ep)
+		return bindDense(n, ins[0], out, ep, fp16, stats)
+	}
+	// Every other op dequantizes its weights to FP32 at bind time (most
+	// have none; batch-norm keeps its folded affine), so they are
+	// FP32-resident regardless of stored precision.
+	for _, w := range n.Weights {
+		stats.addWeightBytes(w.NumElements() * 4)
 	}
 	var (
 		kern kernelFunc
@@ -583,15 +592,15 @@ func convGeometry(n *nn.Node, in, out tensor.Shape) (convGeom, *tensor.Tensor, e
 	}, w, nil
 }
 
-func bindConv(n *nn.Node, in, out tensor.Shape, ep *epilogue) (kernelFunc, scratchSpec, error) {
+func bindConv(n *nn.Node, in, out tensor.Shape, ep *epilogue, fp16 bool, stats *bindStats) (kernelFunc, scratchSpec, error) {
 	g, w, err := convGeometry(n, in, out)
 	if err != nil {
 		return nil, scratchSpec{}, err
 	}
-	wv := w.Float32s() // dequantized once, at compile time
 	var bias []float32
 	if bt := n.Weight(nn.BiasKey); bt != nil {
 		bias = bt.Float32s()
+		stats.addWeightBytes(len(bias) * 4)
 	}
 	// Convolutions with a real channel reduction lower onto the packed
 	// GEMM micro-kernels (gemmconv.go): register-blocked tiles with the
@@ -599,9 +608,19 @@ func bindConv(n *nn.Node, in, out tensor.Shape, ep *epilogue) (kernelFunc, scrat
 	// (depthwise, stem layers) keep the direct kernel-outer form, which
 	// streams the input exactly once.
 	if convGemmEligible(g) {
-		kern, spec := bindConvGemm(g, wv, bias, ep)
+		// Under FP16-compute, FP16-stored weights keep their half-width
+		// panels and widen on load (see bindConvGemm).
+		wf16 := fp16 && w.DType == tensor.FP16
+		if wf16 {
+			stats.addWeightBytes(w.NumElements() * 2)
+		} else {
+			stats.addWeightBytes(w.NumElements() * 4)
+		}
+		kern, spec := bindConvGemm(g, w, bias, ep, wf16)
 		return kern, spec, nil
 	}
+	wv := w.Float32s() // dequantized once, at compile time
+	stats.addWeightBytes(len(wv) * 4)
 	pointwise := g.kh == 1 && g.kw == 1 && g.sh == 1 && g.sw == 1 && g.ph == 0 && g.pw == 0
 	planeCost := int64(g.outH*g.outW) * int64(g.icPerG*g.kh*g.kw) * 2
 	px := g.outH * g.outW
@@ -673,14 +692,16 @@ func convPlane(dst, xv, wv, bias []float32, g *convGeom, b, oc int) {
 					}
 					xRow := xv[xBase+iy*g.inW : xBase+(iy+1)*g.inW]
 					oRow := plane[oy*g.outW : (oy+1)*g.outW]
-					if g.sw == 1 {
+					switch {
+					case g.sw == 1:
 						o := oRow[oxLo:oxHi]
 						x := xRow[oxLo-g.pw+kx:]
-						x = x[:len(o)]
-						for i, xi := range x {
-							o[i] += w * xi
-						}
-					} else {
+						tensor.AxpyF32(o, x, w)
+					case g.sw == 2:
+						o := oRow[oxLo:oxHi]
+						x := xRow[oxLo*2-g.pw+kx:]
+						tensor.AxpyStride2F32(o, x, w)
+					default:
 						ix := oxLo*g.sw - g.pw + kx
 						for ox := oxLo; ox < oxHi; ox++ {
 							oRow[ox] += w * xRow[ix]
@@ -712,10 +733,7 @@ func convPlanePointwise(dst, xv, wv, bias []float32, g *convGeom, b, oc int) {
 	for ic := 0; ic < g.icPerG; ic++ {
 		f := wv[oc*g.icPerG+ic]
 		xPlane := xv[(b*g.inC+icBase+ic)*hw : (b*g.inC+icBase+ic+1)*hw]
-		xPlane = xPlane[:len(out)]
-		for i, x := range xPlane {
-			out[i] += x * f
-		}
+		tensor.AxpyF32(out, xPlane, f)
 	}
 }
 
@@ -726,7 +744,7 @@ func convPlanePointwise(dst, xv, wv, bias []float32, g *convGeom, b, oc int) {
 // bitwise identical, so the cutover is invisible.
 const denseGemmMinBatch = 4
 
-func bindDense(n *nn.Node, in, out tensor.Shape, ep *epilogue) (kernelFunc, scratchSpec, error) {
+func bindDense(n *nn.Node, in, out tensor.Shape, ep *epilogue, fp16 bool, stats *bindStats) (kernelFunc, scratchSpec, error) {
 	if len(in) != 1 {
 		return nil, scratchSpec{}, fmt.Errorf("dense wants [N,features], got per-sample %v", in)
 	}
@@ -739,10 +757,26 @@ func bindDense(n *nn.Node, in, out tensor.Shape, ep *epilogue) (kernelFunc, scra
 	if !w.Shape.Equal(want) {
 		return nil, scratchSpec{}, fmt.Errorf("weight shape %v, want %v", w.Shape, want)
 	}
-	wv := w.Float32s()
+	// Under FP16-compute, FP16-stored weights stay half-width: the GEMM
+	// path packs the raw halfword codes and widens the panels on load;
+	// the small-batch scalar path converts each element as it is read.
+	// Either way every multiply sees the exact value FloatToFP16 round-
+	// tripped, so both paths stay bitwise identical to a bind-time
+	// dequantized plan.
+	wf16 := fp16 && w.DType == tensor.FP16
+	var wv []float32
+	var wh []uint16
+	if wf16 {
+		wh = w.F16
+		stats.addWeightBytes(len(wh) * 2)
+	} else {
+		wv = w.Float32s()
+		stats.addWeightBytes(len(wv) * 4)
+	}
 	var bias []float32
 	if bt := n.Weight(nn.BiasKey); bt != nil {
 		bias = bt.Float32s()
+		stats.addWeightBytes(len(bias) * 4)
 	}
 	// Fused epilogue, precomposed per output feature: one call per
 	// output scalar next to an inF-long dot is noise.
@@ -757,20 +791,38 @@ func bindDense(n *nn.Node, in, out tensor.Shape, ep *epilogue) (kernelFunc, scra
 	// The weight matrix packs once at bind time; the per-tile B pack
 	// transposes the activation rows. C comes out sample-major per tile
 	// and is scattered back with the epilogue applied in the same pass.
-	kern := tensor.PickGemmF32()
+	// N is the batch here — small by construction — so cap the tile
+	// width at 16: a 48-wide ZMM tile at batch 8 spends 5/6 of its
+	// lanes on padding and measures ~8x slower than a narrow tile.
+	kern := tensor.PickGemmF32MaxWidth(16)
 	mr, nr := kern.MR, kern.NR
 	panels := (outF + mr - 1) / mr
-	apack := make([]float32, kern.PackedASize(outF, inF))
-	kern.PackA(apack, wv, inF, outF, inF)
+	var apack []float32
+	var apackH []uint16
+	if wf16 {
+		apackH = make([]uint16, kern.PackedASize(outF, inF))
+		kern.PackAF16(apackH, wh, inF, outF, inF)
+	} else {
+		apack = make([]float32, kern.PackedASize(outF, inF))
+		kern.PackA(apack, wv, inF, outF, inF)
+	}
 	biasPad := make([]float32, panels*mr)
 	if bias != nil {
 		copy(biasPad, bias[:outF])
 	}
 	scratch := inF*nr + mr*nr
+	perCall := len(apackH)
 	unitCost := int64(inF) * 2
 	return func(rc *runCtx, dst []float32, srcs [][]float32) error {
 		xv := srcs[0]
 		if rc.batch >= denseGemmMinBatch {
+			apack := apack
+			if apackH != nil {
+				// Widen the half-width weight panels into call scratch —
+				// the FP16-compute "convert on load" of the A operand.
+				apack = rc.f32Call(len(apackH))
+				tensor.F16ToF32(apack, apackH)
+			}
 			nt := (rc.batch + nr - 1) / nr
 			rc.parallelForWorker(nt, unitCost*int64(nr)*int64(outF), func(worker, lo, hi int) {
 				ws := rc.f32Worker(worker, scratch)
@@ -811,14 +863,22 @@ func bindDense(n *nn.Node, in, out tensor.Shape, ep *epilogue) (kernelFunc, scra
 			for r := lo; r < hi; r++ {
 				b, o := r/outF, r%outF
 				xRow := xv[b*inF : (b+1)*inF]
-				wRow := wv[o*inF : (o+1)*inF]
-				wRow = wRow[:len(xRow)]
 				var acc float32
 				if bias != nil {
 					acc = bias[o]
 				}
-				for i, xi := range xRow {
-					acc += xi * wRow[i]
+				if wh != nil {
+					wRow := wh[o*inF : (o+1)*inF]
+					wRow = wRow[:len(xRow)]
+					for i, xi := range xRow {
+						acc += xi * tensor.FP16ToFloat(wRow[i])
+					}
+				} else {
+					wRow := wv[o*inF : (o+1)*inF]
+					wRow = wRow[:len(xRow)]
+					for i, xi := range xRow {
+						acc += xi * wRow[i]
+					}
 				}
 				if fs != nil {
 					acc = fs[o](acc)
@@ -827,7 +887,7 @@ func bindDense(n *nn.Node, in, out tensor.Shape, ep *epilogue) (kernelFunc, scra
 			}
 		})
 		return nil
-	}, scratchSpec{f32PerWorker: scratch}, nil
+	}, scratchSpec{f32PerWorker: scratch, f32PerCall: perCall}, nil
 }
 
 // bnScaleShift resolves a batch-norm node's per-channel affine. The

@@ -9,26 +9,35 @@ type planStep struct {
 }
 
 // planMemory assigns every intermediate activation to an arena slab
-// using liveness analysis over the compiled step order.
+// using liveness analysis over the compiled step order. FP16-compute
+// plans run the planner twice over the same step order: FP32 values
+// share the float32 arena, FP16 values share a disjoint halfword arena
+// (locSlotH). Each pass only assigns and recycles its own class, so
+// the two plans never alias.
 func (e *Engine) planMemory() {
 	steps := make([]planStep, len(e.steps))
 	for i, st := range e.steps {
 		steps[i] = planStep{out: st.out, ins: st.ins}
 	}
-	e.slotOff, e.slotSize, e.arenaPerSample = planArena(e.vals, steps)
+	e.slotOff, e.slotSize, e.arenaPerSample = planArena(e.vals, steps, locSlot,
+		func(v *value) bool { return !v.fp16 })
+	e.slotOffH, e.slotSizeH, e.arenaHPerSample = planArena(e.vals, steps, locSlotH,
+		func(v *value) bool { return v.fp16 })
 }
 
-// planArena assigns every unassigned value to an arena slab using
-// liveness analysis over the step order. Values flow through three
-// location kinds: inputs stay in the caller's tensors, declared outputs
-// get fresh per-call tensors (they outlive the call), and everything
-// else shares a small set of slots whose per-sample sizes are fixed at
-// compile time. A slot is recycled as soon as its last consumer has
-// executed, so the arena footprint is the peak working set of the graph
-// rather than the sum of all activations — the classic static memory
-// plan of deployment runtimes. Sizes are in elements; the caller scales
-// by its element width.
-func planArena(vals []value, steps []planStep) (slotOff, slotSize []int, perSample int) {
+// planArena assigns every unassigned value accepted by mine to an
+// arena slab of the given location kind using liveness analysis over
+// the step order. Values flow through three location kinds: inputs
+// stay in the caller's tensors, declared outputs get fresh per-call
+// tensors (they outlive the call), and everything else shares a small
+// set of slots whose per-sample sizes are fixed at compile time. A
+// slot is recycled as soon as its last consumer has executed, so the
+// arena footprint is the peak working set of the graph rather than the
+// sum of all activations — the classic static memory plan of
+// deployment runtimes. Sizes are in elements; the caller scales by its
+// element width. Only slots of this call's kind are recycled, so
+// repeated passes with disjoint classes build independent arenas.
+func planArena(vals []value, steps []planStep, kind locKind, mine func(v *value) bool) (slotOff, slotSize []int, perSample int) {
 	// lastUse[v] is the index of the last step consuming value v, or -1.
 	lastUse := make([]int, len(vals))
 	for i := range lastUse {
@@ -84,12 +93,12 @@ func planArena(vals []value, steps []planStep) (slotOff, slotSize []int, perSamp
 		// Assign the destination before releasing dying inputs: kernels
 		// are not in-place safe, so a step's output must never alias one
 		// of its own inputs.
-		if out.loc.kind == locUnassigned {
-			out.loc = location{locSlot, acquire(out.elems)}
+		if out.loc.kind == locUnassigned && mine(out) {
+			out.loc = location{kind, acquire(out.elems)}
 		}
 		for _, in := range st.ins {
 			if lastUse[in] == si {
-				if l := vals[in].loc; l.kind == locSlot {
+				if l := vals[in].loc; l.kind == kind {
 					slots[l.idx].free = true
 				}
 			}
@@ -97,7 +106,7 @@ func planArena(vals []value, steps []planStep) (slotOff, slotSize []int, perSamp
 		// A value nothing ever consumes (dead node kept for parity with
 		// the interpreter) releases its slot immediately after executing.
 		if lastUse[st.out] < si {
-			if l := out.loc; l.kind == locSlot {
+			if l := out.loc; l.kind == kind {
 				slots[l.idx].free = true
 			}
 		}

@@ -440,8 +440,9 @@ func bindQuantDense(n *nn.Node, in, out tensor.Shape, inQ, outQ tensor.QuantPara
 	// pack fuses the zero-point shift with the transposed gather, and
 	// each int32 C tile requantizes straight into the sample-major
 	// output. Integer accumulation is associative, so the scalar-dot
-	// path below produces identical codes.
-	kern := tensor.PickGemmI16()
+	// path below produces identical codes. N is the batch — small by
+	// construction — so cap the tile width at 16 (see bindDense).
+	kern := tensor.PickGemmI16MaxWidth(16)
 	mr, nr := kern.MR, kern.NR
 	kp := tensor.KPairs(inF)
 	panels := (outF + mr - 1) / mr

@@ -207,7 +207,7 @@ func newQuantEngine(m *ir.Module, cfg config) (*QuantEngine, error) {
 			if len(op.Fused) > 0 {
 				return nil, compileError(op, true, fmt.Errorf("fused op has no integer lowering"))
 			}
-			fk, fkSpec, ferr := bindKernel(n, inPer, e.vals[out].per, nil)
+			fk, fkSpec, ferr := bindKernel(n, inPer, e.vals[out].per, nil, false, nil)
 			if ferr != nil {
 				return nil, compileError(op, true, ferr)
 			}
@@ -228,7 +228,8 @@ func newQuantEngine(m *ir.Module, cfg config) (*QuantEngine, error) {
 	for i, st := range e.steps {
 		steps[i] = planStep{out: st.out, ins: st.ins}
 	}
-	e.slotOff, e.slotSize, e.arenaPerSample = planArena(e.vals, steps)
+	e.slotOff, e.slotSize, e.arenaPerSample = planArena(e.vals, steps, locSlot,
+		func(*value) bool { return true })
 	e.inPer, e.outPer = perShapes(e.vals, e.inputVals), perShapes(e.vals, e.outputVals)
 	return e, nil
 }

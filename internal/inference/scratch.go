@@ -15,10 +15,13 @@ import "sync"
 // without synchronization.
 
 // scratchSpec declares one bound kernel's transient buffer needs in
-// elements. PerSample fields scale with the call's batch size (whole-
-// input staging); PerWorker fields are private to one pool worker
-// (pack tiles, accumulator tiles) and scale with the worker bound.
+// elements. PerCall fields are batch-independent and shared by the
+// whole step (the FP16-compute widened weight panels); PerSample
+// fields scale with the call's batch size (whole-input staging);
+// PerWorker fields are private to one pool worker (pack tiles,
+// accumulator tiles) and scale with the worker bound.
 type scratchSpec struct {
+	f32PerCall   int
 	f32PerSample int
 	f32PerWorker int
 	i16PerSample int
@@ -29,6 +32,9 @@ type scratchSpec struct {
 // grow raises s to the element-wise maximum of s and o — the engine's
 // fold over its steps.
 func (s *scratchSpec) grow(o scratchSpec) {
+	if o.f32PerCall > s.f32PerCall {
+		s.f32PerCall = o.f32PerCall
+	}
 	if o.f32PerSample > s.f32PerSample {
 		s.f32PerSample = o.f32PerSample
 	}
@@ -62,7 +68,7 @@ type scratchBufs struct {
 // batch and worker bound. Contents are never assumed zero — kernels
 // fully overwrite what they read.
 func (b *scratchBufs) ensure(spec scratchSpec, batch, workers int) {
-	if n := spec.f32PerSample*batch + spec.f32PerWorker*workers; cap(b.f32) < n {
+	if n := spec.f32PerCall + spec.f32PerSample*batch + spec.f32PerWorker*workers; cap(b.f32) < n {
 		b.f32 = make([]float32, n)
 	} else {
 		b.f32 = b.f32[:n]
@@ -102,15 +108,22 @@ func putScratch(pool *sync.Pool, sb *scratchBufs) {
 	}
 }
 
+// f32Call returns the batch-independent per-call float32 region of n
+// elements (n must not exceed the bound spec's f32PerCall).
+func (rc *runCtx) f32Call(n int) []float32 {
+	return rc.scratch.f32[:n]
+}
+
 // f32Sample returns the batch-scaled float32 region, n elements per
 // sample (n must not exceed the bound spec's f32PerSample).
 func (rc *runCtx) f32Sample(n int) []float32 {
-	return rc.scratch.f32[:n*rc.batch]
+	off := rc.spec.f32PerCall
+	return rc.scratch.f32[off : off+n*rc.batch]
 }
 
 // f32Worker returns worker w's private float32 region of n elements.
 func (rc *runCtx) f32Worker(w, n int) []float32 {
-	off := rc.spec.f32PerSample*rc.batch + w*rc.spec.f32PerWorker
+	off := rc.spec.f32PerCall + rc.spec.f32PerSample*rc.batch + w*rc.spec.f32PerWorker
 	return rc.scratch.f32[off : off+n]
 }
 

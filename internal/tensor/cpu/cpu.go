@@ -2,19 +2,20 @@
 // them to the micro-kernel tiers the tensor package dispatches between.
 //
 // On amd64 the detector executes CPUID (and XGETBV, to confirm the OS
-// actually saves the wider register state) and reports SSE2, AVX2/FMA
-// and AVX-512; every other GOARCH — and amd64 built with the purego or
-// noasm tag — takes the portable fallback, which reports no SIMD and
-// pins execution to the generic tier. NEON on arm64 is detected (it is
-// part of the architectural baseline) but currently has no kernels
-// behind it: the Tier enum reserves a slot so an arm64 micro-kernel set
-// can slide into the dispatch table without touching callers.
+// actually saves the wider register state) and reports SSE2, AVX2/FMA,
+// F16C and the AVX-512 subsets the kernels require (F, BW, VL); every
+// other GOARCH — and amd64 built with the purego or noasm tag — takes
+// the portable fallback, which reports no SIMD and pins execution to
+// the generic tier. NEON on arm64 is detected (it is part of the
+// architectural baseline) but currently has no kernels behind it: the
+// Tier enum reserves a slot so an arm64 micro-kernel set can slide into
+// the dispatch table without touching callers.
 //
 // Selection policy: Best returns the widest tier that both the host
 // supports and the binary has kernels for. The VEDLIOT_CPU environment
-// variable forces a narrower tier ("generic", "sse2", "avx2") for
-// debugging and cross-variant parity testing; it can never force a
-// tier the host does not support.
+// variable forces a narrower tier ("generic", "sse2", "avx2",
+// "avx512") for debugging and cross-variant parity testing; it can
+// never force a tier the host does not support.
 package cpu
 
 import (
@@ -37,6 +38,10 @@ const (
 	TierSSE2
 	// TierAVX2 is the 256-bit kernel set (AVX2 integer + AVX float).
 	TierAVX2
+	// TierAVX512 is the 512-bit ZMM kernel set. It requires the F, BW
+	// and VL subsets plus OS opmask/ZMM state (XCR0), the baseline every
+	// AVX-512 server core since Skylake-SP provides.
+	TierAVX512
 	// TierNEON is reserved for an arm64 128-bit kernel set; no kernels
 	// are implemented behind it yet, so Best never returns it.
 	TierNEON
@@ -51,6 +56,8 @@ func (t Tier) String() string {
 		return "sse2"
 	case TierAVX2:
 		return "avx2"
+	case TierAVX512:
+		return "avx512"
 	case TierNEON:
 		return "neon"
 	}
@@ -67,6 +74,8 @@ func ParseTier(s string) (Tier, error) {
 		return TierSSE2, nil
 	case "avx2":
 		return TierAVX2, nil
+	case "avx512":
+		return TierAVX512, nil
 	case "neon":
 		return TierNEON, nil
 	}
@@ -74,8 +83,8 @@ func ParseTier(s string) (Tier, error) {
 }
 
 // Features is the raw capability set the detector observed. Fields
-// beyond what the current kernel tiers consume (FMA, AVX-512) are
-// reported so benchmarks and bug reports can name the host precisely.
+// beyond what the current kernel tiers consume (FMA) are reported so
+// benchmarks and bug reports can name the host precisely.
 type Features struct {
 	// SSE2 is true on every amd64 host (architectural baseline).
 	SSE2 bool
@@ -91,11 +100,19 @@ type Features struct {
 	// engine's bitwise-parity contract — but it is detected and
 	// reported for roofline modeling.
 	FMA bool
-	// AVX512 reports the AVX-512 F+BW+VL subset with OS ZMM state. The
-	// dispatch table reserves a slot but currently runs the AVX2-shaped
-	// kernels on such hosts: 256-bit tiles sidestep the
-	// frequency-licensing downclock 512-bit execution triggers on many
-	// cores, and the 6x16 tile already saturates the FP add/mul ports.
+	// F16C reports the VCVTPH2PS/VCVTPS2PH packed FP16<->FP32
+	// conversions (with OS YMM state), which the FP16-compute path's
+	// pack-time converters use.
+	F16C bool
+	// AVX512F, AVX512BW and AVX512VL report the individual AVX-512
+	// subsets probed, each gated on OS opmask/ZMM state (XGETBV). The
+	// ZMM kernels require all three; the split is reported so Summary
+	// can name exactly what a partial-AVX-512 host is missing.
+	AVX512F  bool
+	AVX512BW bool
+	AVX512VL bool
+	// AVX512 reports the full F+BW+VL subset the TierAVX512 kernels
+	// require, with OS ZMM state.
 	AVX512 bool
 	// NEON reports the arm64 Advanced SIMD baseline.
 	NEON bool
@@ -119,6 +136,8 @@ func Detect() Features {
 // for, ignoring the environment override.
 func maxSupported(f Features) Tier {
 	switch {
+	case f.AVX512:
+		return TierAVX512
 	case f.AVX2:
 		return TierAVX2
 	case f.SSE2:
@@ -145,9 +164,11 @@ func Best() Tier {
 }
 
 // Summary renders the detected capability set and the selected tier as
-// one line, e.g. "tier avx2 (sse2 sse4.1 avx avx2 fma)" — what
-// vedliot-bench prints so perf artifacts are interpretable across
-// machines.
+// one line, e.g. "tier avx512 (sse2 sse4.1 avx avx2 fma f16c avx512f
+// avx512bw avx512vl)" — what vedliot-bench prints so perf artifacts are
+// interpretable across machines. The AVX-512 subsets are listed
+// individually so a host that fails the F+BW+VL gate still names what
+// it does have.
 func Summary() string {
 	f := Detect()
 	var caps []string
@@ -161,7 +182,10 @@ func Summary() string {
 	add(f.AVX, "avx")
 	add(f.AVX2, "avx2")
 	add(f.FMA, "fma")
-	add(f.AVX512, "avx512")
+	add(f.F16C, "f16c")
+	add(f.AVX512F, "avx512f")
+	add(f.AVX512BW, "avx512bw")
+	add(f.AVX512VL, "avx512vl")
 	add(f.NEON, "neon")
 	if len(caps) == 0 {
 		caps = append(caps, "portable")

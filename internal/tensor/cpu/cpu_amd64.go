@@ -21,6 +21,7 @@ const (
 	bitOSXSAVE = 1 << 27
 	bitAVX     = 1 << 28
 	bitFMA     = 1 << 12
+	bitF16C    = 1 << 29
 	// CPUID.7.0:EBX bits.
 	bitAVX2     = 1 << 5
 	bitAVX512F  = 1 << 16
@@ -52,12 +53,15 @@ func detect() Features {
 
 	f.AVX = ecx1&bitAVX != 0 && ymmOK
 	f.FMA = ecx1&bitFMA != 0 && ymmOK
+	f.F16C = ecx1&bitF16C != 0 && ymmOK
 
 	if maxLeaf >= 7 {
 		_, ebx7, _, _ := cpuid(7, 0)
 		f.AVX2 = f.AVX && ebx7&bitAVX2 != 0
-		const avx512Bits = bitAVX512F | bitAVX512BW | bitAVX512VL
-		f.AVX512 = zmmOK && ebx7&avx512Bits == avx512Bits
+		f.AVX512F = zmmOK && ebx7&bitAVX512F != 0
+		f.AVX512BW = zmmOK && ebx7&bitAVX512BW != 0
+		f.AVX512VL = zmmOK && ebx7&bitAVX512VL != 0
+		f.AVX512 = f.AVX512F && f.AVX512BW && f.AVX512VL
 	}
 	return f
 }

@@ -11,6 +11,7 @@ func TestTierString(t *testing.T) {
 		TierGeneric: "generic",
 		TierSSE2:    "sse2",
 		TierAVX2:    "avx2",
+		TierAVX512:  "avx512",
 		TierNEON:    "neon",
 		Tier(99):    "tier(99)",
 	}
@@ -32,6 +33,8 @@ func TestParseTier(t *testing.T) {
 		{"sse2", TierSSE2},
 		{"AVX2", TierAVX2},
 		{" avx2 ", TierAVX2},
+		{"avx512", TierAVX512},
+		{"AVX512", TierAVX512},
 		{"neon", TierNEON},
 	} {
 		got, err := ParseTier(tc.in)
@@ -44,9 +47,21 @@ func TestParseTier(t *testing.T) {
 	}
 }
 
+// TestTierRoundTrip pins the String/ParseTier round trip for every
+// dispatchable tier, so bench artifacts and the VEDLIOT_CPU override
+// always agree on names.
+func TestTierRoundTrip(t *testing.T) {
+	for _, tier := range []Tier{TierGeneric, TierSSE2, TierAVX2, TierAVX512, TierNEON} {
+		got, err := ParseTier(tier.String())
+		if err != nil || got != tier {
+			t.Errorf("ParseTier(%q) = %v, %v; want %v, nil", tier.String(), got, err, tier)
+		}
+	}
+}
+
 func TestTierOrdering(t *testing.T) {
-	if !(TierGeneric < TierSSE2 && TierSSE2 < TierAVX2) {
-		t.Fatal("tiers must be ordered generic < sse2 < avx2 for the override clamp")
+	if !(TierGeneric < TierSSE2 && TierSSE2 < TierAVX2 && TierAVX2 < TierAVX512) {
+		t.Fatal("tiers must be ordered generic < sse2 < avx2 < avx512 for the override clamp")
 	}
 }
 
@@ -57,6 +72,9 @@ func TestDetectConsistency(t *testing.T) {
 	}
 	if f.AVX && !f.SSE2 {
 		t.Error("AVX on amd64 implies SSE2")
+	}
+	if f.AVX512 && !(f.AVX512F && f.AVX512BW && f.AVX512VL) {
+		t.Error("AVX512 composite requires the F, BW and VL subsets")
 	}
 	if runtime.GOARCH == "amd64" && f.NEON {
 		t.Error("NEON reported on amd64")
@@ -72,7 +90,10 @@ func TestMaxSupported(t *testing.T) {
 		{Features{NEON: true}, TierGeneric}, // no NEON kernels yet
 		{Features{SSE2: true}, TierSSE2},
 		{Features{SSE2: true, AVX: true, AVX2: true}, TierAVX2},
-		{Features{SSE2: true, AVX: true, AVX2: true, AVX512: true}, TierAVX2}, // AVX-512 slot reserved
+		// A host with only partial AVX-512 subsets stays on AVX2.
+		{Features{SSE2: true, AVX: true, AVX2: true, AVX512F: true}, TierAVX2},
+		{Features{SSE2: true, AVX: true, AVX2: true,
+			AVX512F: true, AVX512BW: true, AVX512VL: true, AVX512: true}, TierAVX512},
 	} {
 		if got := maxSupported(tc.f); got != tc.want {
 			t.Errorf("maxSupported(%+v) = %v, want %v", tc.f, got, tc.want)
@@ -95,5 +116,14 @@ func TestSummary(t *testing.T) {
 	}
 	if runtime.GOARCH == "amd64" && Best() >= TierSSE2 && !strings.Contains(s, "sse2") {
 		t.Errorf("Summary() = %q should list sse2 on amd64", s)
+	}
+	// Summary names the individual AVX-512 subsets, never the bare
+	// composite, so partial hosts are distinguishable in artifacts.
+	if Detect().AVX512 {
+		for _, sub := range []string{"avx512f", "avx512bw", "avx512vl"} {
+			if !strings.Contains(s, sub) {
+				t.Errorf("Summary() = %q should list %s", s, sub)
+			}
+		}
 	}
 }

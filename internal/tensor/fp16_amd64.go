@@ -1,0 +1,41 @@
+//go:build amd64 && !purego && !noasm
+
+package tensor
+
+import "vedliot/internal/tensor/cpu"
+
+// f16cOK is pinned at package init like the element-wise dispatch:
+// the packed converters need the F16C extension and an AVX-capable
+// tier (the kernels use VEX/YMM forms), and they respect the
+// VEDLIOT_CPU clamp so narrowed test runs exercise the scalar path.
+var f16cOK = cpu.Best() >= cpu.TierAVX2 && cpu.Detect().F16C
+
+func f16ToF32Accel(dst []float32, src []uint16) int {
+	n := len(dst) &^ 15
+	if n == 0 || !f16cOK {
+		return 0
+	}
+	f16ToF32F16C(&dst[0], &src[0], n)
+	return n
+}
+
+func f32ToF16Accel(dst []uint16, src []float32) int {
+	n := len(dst) &^ 15
+	if n == 0 || !f16cOK {
+		return 0
+	}
+	f32ToF16F16C(&dst[0], &src[0], n)
+	return n
+}
+
+// f16ToF32F16C converts n packed halves to floats with VCVTPH2PS; n
+// must be a multiple of 16.
+//
+//go:noescape
+func f16ToF32F16C(dst *float32, src *uint16, n int)
+
+// f32ToF16F16C converts n packed floats to halves with VCVTPS2PH
+// (round-to-nearest-even); n must be a multiple of 16.
+//
+//go:noescape
+func f32ToF16F16C(dst *uint16, src *float32, n int)

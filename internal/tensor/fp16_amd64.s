@@ -1,0 +1,47 @@
+//go:build amd64 && !purego && !noasm
+
+#include "textflag.h"
+
+// Packed FP16 <-> FP32 conversion via F16C. VCVTPH2PS is exact;
+// VCVTPS2PH with imm 0 rounds to nearest-even — both match the scalar
+// Go converters bit for bit, including subnormals (the F16C
+// instructions handle them natively, unaffected by MXCSR DAZ/FTZ) and
+// NaN payload quieting.
+
+// func f16ToF32F16C(dst *float32, src *uint16, n int)
+TEXT ·f16ToF32F16C(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+h2s_loop:
+	VCVTPH2PS (SI), Y0
+	VCVTPH2PS 16(SI), Y1
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	ADDQ $32, SI
+	ADDQ $64, DI
+	SUBQ $16, CX
+	JNZ  h2s_loop
+	VZEROUPPER
+	RET
+
+// func f32ToF16F16C(dst *uint16, src *float32, n int)
+TEXT ·f32ToF16F16C(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+s2h_loop:
+	VMOVUPS (SI), Y0
+	VMOVUPS 32(SI), Y1
+	VCVTPS2PH $0, Y0, X0 // imm 0 = round to nearest even
+	VCVTPS2PH $0, Y1, X1
+	VMOVUPS X0, (DI)
+	VMOVUPS X1, 16(DI)
+	ADDQ $64, SI
+	ADDQ $32, DI
+	SUBQ $16, CX
+	JNZ  s2h_loop
+	VZEROUPPER
+	RET

@@ -1,0 +1,8 @@
+//go:build !amd64 || purego || noasm
+
+package tensor
+
+// The portable build converts FP16 through the scalar routines only.
+
+func f16ToF32Accel(dst []float32, src []uint16) int { return 0 }
+func f32ToF16Accel(dst []uint16, src []float32) int { return 0 }

@@ -1,0 +1,124 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fp16EdgeFloats are FP32 inputs that stress every conversion branch:
+// NaN (with payload), infinities, overflow, FP16-subnormal range,
+// underflow, signed zero and round-to-nearest-even ties.
+func fp16EdgeFloats() []float32 {
+	vals := []float32{
+		0, float32(math.Copysign(0, -1)),
+		1, -1, 0.5, 65504, -65504, 65520, 65536, 1e10, -1e10,
+		float32(math.Inf(1)), float32(math.Inf(-1)),
+		float32(math.NaN()),
+		math.Float32frombits(0x7fc01234), // quiet NaN with payload
+		math.Float32frombits(0xffc7ffff), // negative NaN, payload straddling the truncation
+		math.Float32frombits(0x7f800001), // signaling NaN, minimal payload
+		6.1035156e-05,                    // smallest FP16 normal
+		6.0975552e-05,                    // just below: subnormal
+		5.9604645e-08,                    // smallest FP16 subnormal
+		5.96e-08, 2.98e-08, 2.9e-08,      // around the subnormal rounding threshold
+		1e-20, -1e-20, // underflow to signed zero
+		1.0009766, 1.0004883, 1.0014648, // RNE ties at the 10-bit boundary
+		2049.0 / 2048.0, 4097.0 / 4096.0,
+		3.14159265, -2.71828, 1e4, -1e-4,
+	}
+	return vals
+}
+
+// TestF16ToF32MatchesScalar checks the packed FP16->FP32 conversion
+// bitwise against the scalar converter over all 65536 halfword codes,
+// padded to exercise both the vector body and the scalar tail.
+func TestF16ToF32MatchesScalar(t *testing.T) {
+	src := make([]uint16, 1<<16)
+	for i := range src {
+		src[i] = uint16(i)
+	}
+	for _, n := range []int{len(src), 17, 16, 15, 1, 0} {
+		dst := make([]float32, n)
+		F16ToF32(dst, src)
+		for i := range dst {
+			want := FP16ToFloat(src[i])
+			if math.Float32bits(dst[i]) != math.Float32bits(want) {
+				t.Fatalf("code %#04x: packed %#08x, scalar %#08x",
+					src[i], math.Float32bits(dst[i]), math.Float32bits(want))
+			}
+		}
+	}
+}
+
+// TestF32ToF16MatchesScalar checks the packed FP32->FP16 conversion
+// bitwise against the scalar converter on edge cases and random
+// values, across tail lengths.
+func TestF32ToF16MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src := fp16EdgeFloats()
+	for len(src) < 1000 {
+		switch rng.Intn(3) {
+		case 0: // random bit pattern: hits NaN space, denormals, everything
+			src = append(src, math.Float32frombits(rng.Uint32()))
+		case 1: // FP16-representable magnitude range
+			src = append(src, (rng.Float32()*2-1)*65504)
+		default: // subnormal range
+			src = append(src, (rng.Float32()*2-1)*6e-5)
+		}
+	}
+	for _, n := range []int{len(src), 33, 32, 31, 16, 3, 0} {
+		dst := make([]uint16, n)
+		F32ToF16(dst, src)
+		for i := range dst {
+			if want := FloatToFP16(src[i]); dst[i] != want {
+				t.Fatalf("value %g (%#08x): packed %#04x, scalar %#04x",
+					src[i], math.Float32bits(src[i]), dst[i], want)
+			}
+		}
+	}
+}
+
+// TestFP16RoundTripExact checks that every FP16 code survives a
+// packed round trip through FP32 unchanged (conversion to FP32 is
+// exact, and back is lossless), modulo NaN quieting.
+func TestFP16RoundTripExact(t *testing.T) {
+	src := make([]uint16, 1<<16)
+	for i := range src {
+		src[i] = uint16(i)
+	}
+	wide := make([]float32, len(src))
+	back := make([]uint16, len(src))
+	F16ToF32(wide, src)
+	F32ToF16(back, wide)
+	for i, h := range src {
+		want := h
+		if h&0x7c00 == 0x7c00 && h&0x3ff != 0 {
+			want = h | 0x200 // NaN comes back quieted, payload kept
+		}
+		if back[i] != want {
+			t.Fatalf("code %#04x round-tripped to %#04x, want %#04x", h, back[i], want)
+		}
+	}
+}
+
+// FuzzF32ToF16Parity fuzzes scalar-vs-packed parity over arbitrary
+// FP32 bit patterns in a vector-sized batch.
+func FuzzF32ToF16Parity(f *testing.F) {
+	f.Add(uint32(0x7fc01234), uint32(0x00000001), uint32(0x38800000), uint32(0xb8000001))
+	f.Add(uint32(0x477fe000), uint32(0x477ff000), uint32(0x33000000), uint32(0x33800000))
+	f.Fuzz(func(t *testing.T, a, b, c, d uint32) {
+		src := make([]float32, 16)
+		for i := range src {
+			src[i] = math.Float32frombits([]uint32{a, b, c, d}[i%4] + uint32(i/4))
+		}
+		dst := make([]uint16, len(src))
+		F32ToF16(dst, src)
+		for i := range src {
+			if want := FloatToFP16(src[i]); dst[i] != want {
+				t.Fatalf("value %#08x: packed %#04x, scalar %#04x",
+					math.Float32bits(src[i]), dst[i], want)
+			}
+		}
+	})
+}

@@ -4,17 +4,25 @@ package tensor
 
 import "vedliot/internal/tensor/cpu"
 
-// requantInt8Accel requantizes a 16-aligned prefix of acc with the AVX2
-// kernel and returns how many elements it handled. The kernel needs the
-// mantissa in 32 bits and a shift below 64 (both true for every real
-// layer-scale ratio; NewRequant's robustness paths can exceed them), and
-// it honors the VEDLIOT_CPU tier clamp like the GEMM dispatch.
+// requantInt8Accel requantizes a 16-aligned prefix of acc with the
+// widest vector kernel the tier clamp allows and returns how many
+// elements it handled. The kernels need the mantissa in 32 bits and a
+// shift below 64 (both true for every real layer-scale ratio;
+// NewRequant's robustness paths can exceed them), and they honor the
+// VEDLIOT_CPU tier clamp like the GEMM dispatch.
 func requantInt8Accel(out []int8, acc []int32, r Requant, zp int32) int {
 	n := len(acc) &^ 15
-	if n == 0 || r.mult >= 1<<31 || r.shift > 63 || cpu.Best() < cpu.TierAVX2 {
+	if n == 0 || r.mult >= 1<<31 || r.shift > 63 {
 		return 0
 	}
-	requantInt8AVX2(&out[0], &acc[0], n, r.mult, r.round, uint64(r.shift), zp)
+	switch best := cpu.Best(); {
+	case best >= cpu.TierAVX512:
+		requantInt8AVX512(&out[0], &acc[0], n, r.mult, r.round, uint64(r.shift), zp)
+	case best >= cpu.TierAVX2:
+		requantInt8AVX2(&out[0], &acc[0], n, r.mult, r.round, uint64(r.shift), zp)
+	default:
+		return 0
+	}
 	return n
 }
 
@@ -23,3 +31,9 @@ func requantInt8Accel(out []int8, acc []int32, r Requant, zp int32) int {
 //
 //go:noescape
 func requantInt8AVX2(out *int8, acc *int32, n int, mult, round int64, shift uint64, zp int32)
+
+// requantInt8AVX512 is the 512-bit variant: native VPSRAQ for the
+// 64-bit arithmetic shift and VPMOVSDB for the saturating narrow.
+//
+//go:noescape
+func requantInt8AVX512(out *int8, acc *int32, n int, mult, round int64, shift uint64, zp int32)

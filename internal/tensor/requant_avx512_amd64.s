@@ -1,0 +1,61 @@
+//go:build amd64 && !purego && !noasm
+
+#include "textflag.h"
+
+// func requantInt8AVX512(out *int8, acc *int32, n int, mult, round int64, shift uint64, zp int32)
+//
+// 512-bit form of Requant.Apply + ClampInt8 over 16 accumulators per
+// iteration, bit-identical to the scalar loop and the AVX2 kernel:
+//
+//	out[i] = sat8(zp + int32((int64(acc[i])*mult + round) >> shift))
+//
+// Two AVX-512 instructions erase the AVX2 kernel's contortions: VPSRAQ
+// is the native 64-bit arithmetic right shift (no sign-bit bias
+// dance), and VPMOVSDB saturates sixteen int32 lanes straight to int8
+// in linear order (no VPACKSSDW/VPERMQ reinterleave). Odd-lane results
+// merge back between the even ones with a masked dword move under
+// K1 = 0xAAAA.
+TEXT ·requantInt8AVX512(SB), NOSPLIT, $0-52
+	MOVQ out+0(FP), DI
+	MOVQ acc+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ mult+24(FP), AX
+	VMOVQ AX, X8
+	VPBROADCASTQ X8, Z8 // mult in every qword
+	MOVQ round+32(FP), AX
+	VMOVQ AX, X9
+	VPBROADCASTQ X9, Z9 // round in every qword
+	MOVQ shift+40(FP), AX
+	VMOVQ AX, X10       // shift count for VPSRAQ
+	MOVL zp+48(FP), AX
+	VMOVD AX, X13
+	VPBROADCASTD X13, Z13 // zp in every dword
+	MOVL $0xAAAA, AX
+	KMOVW AX, K1 // odd dword lanes
+
+loop16:
+	CMPQ CX, $16
+	JLT  done
+	VMOVDQU32 (SI), Z0 // acc[0:16]
+
+	VPMULDQ Z8, Z0, Z2 // products of even dwords
+	VPSRLQ  $32, Z0, Z3
+	VPMULDQ Z8, Z3, Z3 // products of odd dwords
+	VPADDQ  Z9, Z2, Z2
+	VPADDQ  Z9, Z3, Z3
+	VPSRAQ  X10, Z2, Z2
+	VPSRAQ  X10, Z3, Z3
+	VPSLLQ  $32, Z3, Z3
+	VMOVDQU32 Z3, K1, Z2 // odd results into the odd dword lanes
+	VPADDD  Z13, Z2, Z2
+	VPMOVSDB Z2, X2 // saturating int32 -> int8, linear order
+	VMOVDQU X2, (DI)
+
+	ADDQ $64, SI
+	ADDQ $16, DI
+	SUBQ $16, CX
+	JMP  loop16
+
+done:
+	VZEROUPPER
+	RET

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"vedliot/internal/nn"
+	"vedliot/internal/tensor"
 )
 
 // Entry is one zoo model: a named deterministic constructor.
@@ -34,6 +35,10 @@ func register(e Entry) {
 func init() {
 	register(Entry{"mirror-face", "smart-mirror face detector (Fig. 5 stage 1)",
 		func() *nn.Graph { return nn.FaceDetectNet(32, nn.BuildOptions{Weights: true, Seed: 91}) }})
+	register(Entry{"mirror-face-fp16", "face detector, FP16-stored weights (FP16-compute path)",
+		func() *nn.Graph {
+			return WeightsToFP16(nn.FaceDetectNet(32, nn.BuildOptions{Weights: true, Seed: 91}))
+		}})
 	register(Entry{"mirror-gesture", "smart-mirror gesture classifier",
 		func() *nn.Graph { return nn.GestureNet(16, 4, nn.BuildOptions{Weights: true, Seed: 77}) }})
 	register(Entry{"mirror-embed", "smart-mirror face embedding (FaceNet stand-in)",
@@ -80,4 +85,20 @@ func names() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// WeightsToFP16 converts every node's main weight tensor (conv filters,
+// dense matrices — nn.WeightKey) to FP16 storage in place and returns
+// the graph. Biases and batch-norm statistics stay FP32, the standard
+// mixed-precision split. The plain FP32 engine dequantizes such weights
+// at compile time; compiled with inference.PrecisionFP16Compute they
+// stay half-width in the packed GEMM panels and widen on load, which is
+// what the FP16 zoo entries exist to exercise.
+func WeightsToFP16(g *nn.Graph) *nn.Graph {
+	for _, n := range g.Nodes {
+		if w, ok := n.Weights[nn.WeightKey]; ok && w != nil && w.DType == tensor.FP32 {
+			n.Weights[nn.WeightKey] = w.Convert(tensor.FP16)
+		}
+	}
+	return g
 }
