@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-full test-race test-portable bench bench-kernels bench-json bench-gate serve-demo load-smoke docs pack-demo release-demo release-verify ci
+.PHONY: all build vet test test-full test-race test-portable fuzz-smoke bench bench-kernels bench-json bench-gate serve-demo load-smoke docs pack-demo release-demo release-verify ci
 
 all: ci
 
@@ -20,7 +20,7 @@ test-full:
 
 # test-race runs the concurrent packages under the race detector.
 test-race:
-	$(GO) test -short -race ./internal/inference/... ./internal/microserver/... ./internal/cluster/... ./internal/serve/...
+	$(GO) test -short -race ./internal/inference/... ./internal/microserver/... ./internal/cluster/... ./internal/serve/... ./internal/rvbackend/... ./internal/riscv/... ./internal/soc/... ./internal/cfu/...
 
 # test-portable exercises the pure-Go micro-kernel fallbacks (noasm /
 # purego build tags) and the narrowed runtime dispatch tiers — the same
@@ -32,6 +32,16 @@ test-portable:
 	VEDLIOT_CPU=generic $(GO) test ./internal/tensor/... ./internal/inference/...
 	VEDLIOT_CPU=avx2 $(GO) test ./internal/tensor/... ./internal/inference/...
 	VEDLIOT_CPU=avx512 $(GO) test ./internal/tensor/... ./internal/inference/...
+	$(GO) test -tags noasm ./internal/rvbackend/... ./internal/riscv/... ./internal/soc/... ./internal/cfu/...
+
+# fuzz-smoke runs every fuzz target briefly — the CI smoke job that
+# keeps the targets compiling and the seed corpora passing.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzEncodeExecute -fuzztime 5s ./internal/riscv/
+	$(GO) test -fuzz FuzzLoadStoreRoundTrip -fuzztime 5s ./internal/riscv/
+	$(GO) test -fuzz FuzzDisassemble -fuzztime 5s ./internal/riscv/
+	$(GO) test -fuzz FuzzVectorMAC -fuzztime 5s ./internal/cfu/
+	$(GO) test -fuzz FuzzSatALU -fuzztime 5s ./internal/cfu/
 
 # bench tracks the inference-runtime perf trajectory.
 bench:
@@ -50,6 +60,7 @@ bench-json:
 	$(GO) run ./cmd/vedliot-bench -run quantized -json -outdir .
 	$(GO) run ./cmd/vedliot-bench -run cluster -json -outdir .
 	$(GO) run ./cmd/vedliot-bench -run serve -json -outdir .
+	$(GO) run ./cmd/vedliot-bench -run riscv -json -outdir .
 
 # bench-gate checks the artifacts against the committed baseline —
 # local runs match CI exactly.
@@ -123,4 +134,4 @@ docs:
 	$(GO) run ./cmd/docs-check . ./internal/* ./internal/inference/ir
 	$(GO) run ./cmd/vedliot-pack verify internal/artifact/testdata/golden.vedz
 
-ci: vet build docs test test-race test-portable load-smoke release-verify bench-gate
+ci: vet build docs test test-race test-portable fuzz-smoke load-smoke release-verify bench-gate

@@ -31,6 +31,7 @@
 //	vedliot-serve -chassis urecs -modules "SMARC ARM,Jetson Xavier NX" \
 //	    -model mirror-face -requests 120 -rate 400
 //	vedliot-serve -model mirror-face.vedz -requests 120
+//	vedliot-serve -model mirror-gesture -int8 -soc-tier -requests 60 -rate 50
 //	vedliot-serve -model mirror-face.vedz -policy keys/ -bundle mirror-face.vedz.bundle.json
 //	vedliot-serve -model tiny -listen :9090 -http :9091 -keys edge=tenant-a
 //	vedliot-serve -load 127.0.0.1:9090 -model tiny -clients 2000 -key edge
@@ -71,6 +72,7 @@ func main() {
 	queue := flag.Int("queue", 256, "admission queue depth")
 	emulate := flag.Bool("emulate", true, "stretch accelerator requests to modeled latency")
 	int8Serve := flag.Bool("int8", false, "calibrate the model and serve INT8-capable accelerator replicas on the native quantized engine")
+	socTier := flag.Bool("soc-tier", false, "also mount the RISC-V CFU SoM: a replica serving INT8 firmware on the emulated SoC (requires -int8 or an artifact with an embedded schema)")
 	listen := flag.String("listen", "", "serve the fleet over framed TCP on this address instead of replaying a trace")
 	httpAddr := flag.String("http", "", "with -listen: also serve the HTTP/JSON adapter on this address")
 	keys := flag.String("keys", "", "comma-separated key=tenant API keys for -listen (empty = open mode)")
@@ -168,8 +170,15 @@ func main() {
 			len(schema.Activations))
 	}
 
+	names := strings.Split(*modules, ",")
+	if *socTier {
+		if schema == nil {
+			fatal(fmt.Errorf("-soc-tier serves INT8 firmware only: pass -int8 or deploy an artifact with an embedded schema"))
+		}
+		names = append(names, "RISC-V CFU SoM")
+	}
 	slot := 0
-	for _, name := range strings.Split(*modules, ",") {
+	for _, name := range names {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue

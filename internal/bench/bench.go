@@ -148,6 +148,7 @@ func Registry() []Experiment {
 		{ID: "ablation-quant", Paper: "ablation: quantization granularity", Run: AblationQuantGranularity},
 		{ID: "ablation-prune", Paper: "ablation: structured vs unstructured pruning", Run: AblationPruning},
 		{ID: "ablation-ecall", Paper: "ablation: enclave call batching", Run: AblationEcallBatching},
+		{ID: "riscv", Paper: "§II-B: INT8 firmware on the RISC-V+CFU SoC", Run: RISCVBench},
 	}
 }
 

@@ -1,0 +1,110 @@
+package cfu
+
+import "testing"
+
+// FuzzVectorMAC replays a fuzz-chosen operation sequence against a
+// scalar Go model of the accumulator: each MacStep's dot4 contribution
+// is recomputed lane by lane, and the unit's returned value and Acc()
+// must track the model exactly, including int32 wrap-around.
+func FuzzVectorMAC(f *testing.F) {
+	f.Add([]byte{1, 0xff, 0x80, 1, 2, 0x7f, 0x7f, 0x7f, 0x7f, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		unit := &VectorMAC{}
+		var model int32
+		for len(data) >= 9 {
+			op := uint32(data[0]) % 3
+			rs1 := uint32(data[1]) | uint32(data[2])<<8 | uint32(data[3])<<16 | uint32(data[4])<<24
+			rs2 := uint32(data[5]) | uint32(data[6])<<8 | uint32(data[7])<<16 | uint32(data[8])<<24
+			data = data[9:]
+			got, err := unit.Execute(op, 0, rs1, rs2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch op {
+			case OpMacClear:
+				model = 0
+				if got != 0 {
+					t.Fatalf("clear returned %#x", got)
+				}
+			case OpMacStep:
+				for lane := 0; lane < 4; lane++ {
+					model += int32(int8(rs1>>(8*lane))) * int32(int8(rs2>>(8*lane)))
+				}
+				if got != uint32(model) {
+					t.Fatalf("step(%#x, %#x) returned %#x, model %#x", rs1, rs2, got, uint32(model))
+				}
+			case OpMacRead:
+				if got != uint32(model) {
+					t.Fatalf("read returned %#x, model %#x", got, uint32(model))
+				}
+			}
+			if unit.Acc() != model {
+				t.Fatalf("acc %#x diverged from model %#x", unit.Acc(), model)
+			}
+		}
+		// Unknown funct3 values must error, never corrupt the state.
+		if _, err := unit.Execute(7, 0, 1, 2); err == nil {
+			t.Fatal("funct3=7 did not error")
+		}
+		if unit.Acc() != model {
+			t.Fatalf("error path changed acc to %#x, model %#x", unit.Acc(), model)
+		}
+	})
+}
+
+// FuzzSatALU checks the saturating ALU against int64 reference
+// arithmetic: results must clamp to int32 range instead of wrapping,
+// and clip must bound the operand symmetrically.
+func FuzzSatALU(f *testing.F) {
+	f.Add(uint32(0x7fffffff), uint32(1))
+	f.Add(uint32(0x80000000), uint32(0x80000000))
+	f.Fuzz(func(t *testing.T, rs1, rs2 uint32) {
+		var unit SatALU
+		a, b := int64(int32(rs1)), int64(int32(rs2))
+
+		add, err := unit.Execute(OpSatAdd, 0, rs1, rs2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := satRef(a + b); int32(add) != want {
+			t.Fatalf("satadd(%d, %d) = %d, want %d", a, b, int32(add), want)
+		}
+
+		sub, err := unit.Execute(OpSatSub, 0, rs1, rs2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := satRef(a - b); int32(sub) != want {
+			t.Fatalf("satsub(%d, %d) = %d, want %d", a, b, int32(sub), want)
+		}
+
+		clip, err := unit.Execute(OpClip, 0, rs1, rs2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lim := b
+		if lim < 0 {
+			lim = -lim
+		}
+		want := a
+		if want > lim {
+			want = lim
+		}
+		if want < -lim {
+			want = -lim
+		}
+		if int64(int32(clip)) != want {
+			t.Fatalf("clip(%d, ±%d) = %d, want %d", a, lim, int32(clip), want)
+		}
+	})
+}
+
+func satRef(v int64) int32 {
+	if v > 0x7fffffff {
+		return 0x7fffffff
+	}
+	if v < -0x80000000 {
+		return -0x80000000
+	}
+	return int32(v)
+}

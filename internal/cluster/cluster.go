@@ -30,9 +30,17 @@ import (
 	"vedliot/internal/inference"
 	"vedliot/internal/microserver"
 	"vedliot/internal/nn"
+	"vedliot/internal/rvbackend"
 	"vedliot/internal/tee"
 	"vedliot/internal/tensor"
 )
+
+// latencyModel is the cost-signal contract executables may implement:
+// both accel.Program (roofline model) and rvbackend.Program (measured
+// cycles) satisfy it.
+type latencyModel interface {
+	PredictLatency(batch int) (time.Duration, error)
+}
 
 // Errors returned by the admission path.
 var (
@@ -97,11 +105,28 @@ func (s *Scheduler) Chassis() *microserver.Chassis { return s.chassis }
 
 // BackendForModule resolves the inference backend a module serves with:
 // the host CPU engine for plain compute modules, a Device-backed
-// accelerator backend when the module names an accel device model. A
-// non-nil schema puts INT8-precision accelerator modules on the native
-// quantized engine (the INT8-only EdgeTPU-class devices in particular),
-// mirroring how a real fleet deploys the calibrated model.
+// accelerator backend when the module names an accel device model, and
+// the cycle-accurate RISC-V SoC backend when the module names an
+// emulated SoC. A non-nil schema puts INT8-precision accelerator
+// modules on the native quantized engine (the INT8-only EdgeTPU-class
+// devices in particular), mirroring how a real fleet deploys the
+// calibrated model; SoC modules execute INT8 firmware only and refuse
+// to deploy without one.
 func BackendForModule(m *microserver.Module, schema *nn.QuantSchema) (inference.Backend, error) {
+	if m.SoC != "" {
+		if schema == nil {
+			return nil, fmt.Errorf("cluster: module %s: SoC %q serves INT8 firmware only; deploy with a calibration schema",
+				m.Name, m.SoC)
+		}
+		switch m.SoC {
+		case "vexriscv-cfu":
+			return rvbackend.Backend{Schema: schema}, nil
+		case "vexriscv":
+			return rvbackend.Backend{Schema: schema, NoCFU: true}, nil
+		default:
+			return nil, fmt.Errorf("cluster: module %s: unknown SoC %q", m.Name, m.SoC)
+		}
+	}
 	if m.Accelerator == "" {
 		return inference.CPUBackend{}, nil
 	}
@@ -249,7 +274,10 @@ func (s *Scheduler) deploy(g *nn.Graph, schema *nn.QuantSchema, plans *inference
 			// attestation path (Deployment.Attest) quotes it.
 			r.enclave = tee.NewEnclave(ReplicaImage(digest, backend.Name(), mod.Name), tee.SGXCosts())
 		}
-		if p, ok := srv.Executable().(*accel.Program); ok {
+		// Any executable with a latency model feeds the router's cost
+		// signal: roofline predictions from accel programs, measured
+		// cycles-per-inference from SoC firmware.
+		if p, ok := srv.Executable().(latencyModel); ok {
 			if lat, err := p.PredictLatency(1); err == nil {
 				r.modeled = lat
 			}

@@ -110,6 +110,12 @@ type Module struct {
 	MemoryGB   float64
 	// Accelerator optionally names a device model from internal/accel.
 	Accelerator string
+	// SoC optionally names an emulated system-on-chip the module serves
+	// with instead of a host engine or accel device model: "vexriscv-cfu"
+	// (RISC-V core with the vector-MAC custom function unit) or
+	// "vexriscv" (the same core, scalar only). SoC modules execute INT8
+	// firmware, so deployments must carry a calibration schema.
+	SoC string
 }
 
 // Validate checks module plausibility.
@@ -391,6 +397,10 @@ func StandardModules() []*Module {
 		{Name: "Xilinx Kria K26", FormFactor: XilinxKria, Arch: ArchFPGA, IdleW: 2, MaxW: 5, MemoryGB: 4, Accelerator: "ZU3 B2304"},
 		{Name: "RPi CM4", FormFactor: RPiCM4, Arch: ArchARM, IdleW: 1.5, MaxW: 7, MemoryGB: 8},
 		{Name: "Coral SoM", FormFactor: RPiCM4, Arch: ArchARM, IdleW: 0.5, MaxW: 2, MemoryGB: 1, Accelerator: "EdgeTPU SoM"},
+		// The far-edge RISC-V tier: a CM4-form-factor carrier for the
+		// emulated VexRiscv-class SoC with the vector-MAC CFU (§II-B),
+		// serving INT8 models through cycle-accurate firmware.
+		{Name: "RISC-V CFU SoM", FormFactor: RPiCM4, Arch: ArchRISCV, IdleW: 0.2, MaxW: 1, MemoryGB: 0.25, SoC: "vexriscv-cfu"},
 	}
 }
 

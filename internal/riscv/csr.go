@@ -2,22 +2,26 @@ package riscv
 
 // CSR addresses.
 const (
-	CsrMstatus  = 0x300
-	CsrMisa     = 0x301
-	CsrMie      = 0x304
-	CsrMtvec    = 0x305
-	CsrMscratch = 0x340
-	CsrMepc     = 0x341
-	CsrMcause   = 0x342
-	CsrMtval    = 0x343
-	CsrMip      = 0x344
-	CsrPmpcfg0  = 0x3a0 // ..0x3a3
-	CsrPmpaddr0 = 0x3b0 // ..0x3bf
-	CsrMcycle   = 0xb00
-	CsrMcycleh  = 0xb80
-	CsrMinstret = 0xb02
-	CsrCycle    = 0xc00 // unprivileged shadow
-	CsrMhartid  = 0xf14
+	CsrMstatus   = 0x300
+	CsrMisa      = 0x301
+	CsrMie       = 0x304
+	CsrMtvec     = 0x305
+	CsrMscratch  = 0x340
+	CsrMepc      = 0x341
+	CsrMcause    = 0x342
+	CsrMtval     = 0x343
+	CsrMip       = 0x344
+	CsrPmpcfg0   = 0x3a0 // ..0x3a3
+	CsrPmpaddr0  = 0x3b0 // ..0x3bf
+	CsrMcycle    = 0xb00
+	CsrMcycleh   = 0xb80
+	CsrMinstret  = 0xb02
+	CsrMinstreth = 0xb82
+	CsrCycle     = 0xc00 // unprivileged shadow
+	CsrCycleh    = 0xc80 // unprivileged shadow, high word
+	CsrInstret   = 0xc02 // unprivileged shadow
+	CsrInstreth  = 0xc82 // unprivileged shadow, high word
+	CsrMhartid   = 0xf14
 )
 
 // csrFile holds the machine-mode CSR state.
@@ -71,10 +75,15 @@ func (f *csrFile) read(addr uint32, c *Core) (uint32, bool) {
 		return c.pmp.readAddr(int(addr - CsrPmpaddr0)), true
 	case addr == CsrMcycle || addr == CsrCycle:
 		return uint32(c.Cycles), true
-	case addr == CsrMcycleh:
+	case addr == CsrMcycleh || addr == CsrCycleh:
+		// The high word must be readable (and from U-mode via the 0xc80
+		// shadow) or firmware cannot detect 32-bit cycle-counter
+		// overflow — long-running kernels wrap uint32 cycles quickly.
 		return uint32(c.Cycles >> 32), true
-	case addr == CsrMinstret:
+	case addr == CsrMinstret || addr == CsrInstret:
 		return uint32(c.Instret), true
+	case addr == CsrMinstreth || addr == CsrInstreth:
+		return uint32(c.Instret >> 32), true
 	case addr == CsrMhartid:
 		return 0, true
 	}
@@ -115,7 +124,7 @@ func (f *csrFile) write(addr, v uint32, c *Core) bool {
 		return c.pmp.writeCfg(int(addr-CsrPmpcfg0), v)
 	case addr >= CsrPmpaddr0 && addr < CsrPmpaddr0+16:
 		return c.pmp.writeAddr(int(addr-CsrPmpaddr0), v)
-	case addr == CsrMcycle || addr == CsrMcycleh || addr == CsrMinstret:
+	case addr == CsrMcycle || addr == CsrMcycleh || addr == CsrMinstret || addr == CsrMinstreth:
 		return true // writable counters not modeled; ignore
 	}
 	return false

@@ -1,0 +1,165 @@
+package riscv
+
+import "fmt"
+
+// Disassembler for the RV32IM(+custom-0) subset the emulator executes.
+// The firmware backend uses it to render golden .asm dumps of generated
+// images, so codegen changes show up as reviewable text diffs; it also
+// doubles as an independent decoder exercised against the encoders.
+
+// regNames are the RISC-V ABI register names, indexed by number.
+var regNames = [32]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+// csrNames maps the CSR addresses this core implements to their spec
+// names, for readable disassembly.
+var csrNames = map[uint32]string{
+	CsrMstatus:   "mstatus",
+	CsrMisa:      "misa",
+	CsrMie:       "mie",
+	CsrMtvec:     "mtvec",
+	CsrMscratch:  "mscratch",
+	CsrMepc:      "mepc",
+	CsrMcause:    "mcause",
+	CsrMtval:     "mtval",
+	CsrMip:       "mip",
+	CsrMcycle:    "mcycle",
+	CsrMcycleh:   "mcycleh",
+	CsrMinstret:  "minstret",
+	CsrMinstreth: "minstreth",
+	CsrCycle:     "cycle",
+	CsrCycleh:    "cycleh",
+	CsrInstret:   "instret",
+	CsrInstreth:  "instreth",
+	CsrMhartid:   "mhartid",
+}
+
+func csrName(addr uint32) string {
+	if n, ok := csrNames[addr]; ok {
+		return n
+	}
+	if addr >= CsrPmpcfg0 && addr < CsrPmpcfg0+4 {
+		return fmt.Sprintf("pmpcfg%d", addr-CsrPmpcfg0)
+	}
+	if addr >= CsrPmpaddr0 && addr < CsrPmpaddr0+16 {
+		return fmt.Sprintf("pmpaddr%d", addr-CsrPmpaddr0)
+	}
+	return fmt.Sprintf("%#x", addr)
+}
+
+// Disassemble renders one instruction word. pc is the instruction's
+// address, used to resolve branch and jump targets to absolute
+// addresses.
+func Disassemble(raw, pc uint32) string {
+	opcode := raw & 0x7f
+	rd := regNames[raw>>7&0x1f]
+	funct3 := raw >> 12 & 0x7
+	rs1 := regNames[raw>>15&0x1f]
+	rs2 := regNames[raw>>20&0x1f]
+	funct7 := raw >> 25
+
+	switch opcode {
+	case 0x37:
+		return fmt.Sprintf("lui %s, %#x", rd, raw>>12)
+	case 0x17:
+		return fmt.Sprintf("auipc %s, %#x", rd, raw>>12)
+	case 0x6f:
+		return fmt.Sprintf("jal %s, %#x", rd, pc+immJ(raw))
+	case 0x67:
+		return fmt.Sprintf("jalr %s, %d(%s)", rd, int32(immI(raw)), rs1)
+	case 0x63:
+		names := map[uint32]string{0: "beq", 1: "bne", 4: "blt", 5: "bge", 6: "bltu", 7: "bgeu"}
+		if n, ok := names[funct3]; ok {
+			return fmt.Sprintf("%s %s, %s, %#x", n, rs1, rs2, pc+immB(raw))
+		}
+	case 0x03:
+		names := map[uint32]string{0: "lb", 1: "lh", 2: "lw", 4: "lbu", 5: "lhu"}
+		if n, ok := names[funct3]; ok {
+			return fmt.Sprintf("%s %s, %d(%s)", n, rd, int32(immI(raw)), rs1)
+		}
+	case 0x23:
+		names := map[uint32]string{0: "sb", 1: "sh", 2: "sw"}
+		if n, ok := names[funct3]; ok {
+			return fmt.Sprintf("%s %s, %d(%s)", n, rs2, int32(immS(raw)), rs1)
+		}
+	case 0x13:
+		imm := int32(immI(raw))
+		switch funct3 {
+		case 0:
+			if raw == NOP() {
+				return "nop"
+			}
+			return fmt.Sprintf("addi %s, %s, %d", rd, rs1, imm)
+		case 2:
+			return fmt.Sprintf("slti %s, %s, %d", rd, rs1, imm)
+		case 3:
+			return fmt.Sprintf("sltiu %s, %s, %d", rd, rs1, imm)
+		case 4:
+			return fmt.Sprintf("xori %s, %s, %d", rd, rs1, imm)
+		case 6:
+			return fmt.Sprintf("ori %s, %s, %d", rd, rs1, imm)
+		case 7:
+			return fmt.Sprintf("andi %s, %s, %d", rd, rs1, imm)
+		case 1:
+			if funct7 == 0 {
+				return fmt.Sprintf("slli %s, %s, %d", rd, rs1, imm&0x1f)
+			}
+		case 5:
+			switch funct7 {
+			case 0:
+				return fmt.Sprintf("srli %s, %s, %d", rd, rs1, imm&0x1f)
+			case 0x20:
+				return fmt.Sprintf("srai %s, %s, %d", rd, rs1, imm&0x1f)
+			}
+		}
+	case 0x33:
+		var n string
+		switch {
+		case funct7 == 0x01:
+			n = []string{"mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu"}[funct3]
+		case funct7 == 0x00:
+			n = []string{"add", "sll", "slt", "sltu", "xor", "srl", "or", "and"}[funct3]
+		case funct7 == 0x20 && funct3 == 0:
+			n = "sub"
+		case funct7 == 0x20 && funct3 == 5:
+			n = "sra"
+		}
+		if n != "" {
+			return fmt.Sprintf("%s %s, %s, %s", n, rd, rs1, rs2)
+		}
+	case 0x0f:
+		return "fence"
+	case 0x0b:
+		return fmt.Sprintf("cfu.%d.%d %s, %s, %s", funct3, funct7, rd, rs1, rs2)
+	case 0x73:
+		imm12 := raw >> 20
+		if funct3 == 0 {
+			switch imm12 {
+			case 0:
+				return "ecall"
+			case 1:
+				return "ebreak"
+			case 0x302:
+				return "mret"
+			case 0x105:
+				return "wfi"
+			}
+			break
+		}
+		names := map[uint32]string{1: "csrrw", 2: "csrrs", 3: "csrrc", 5: "csrrwi", 6: "csrrsi", 7: "csrrci"}
+		n, ok := names[funct3]
+		if !ok {
+			break
+		}
+		src := rs1
+		if funct3 >= 5 {
+			src = fmt.Sprintf("%d", raw>>15&0x1f) // zimm
+		}
+		return fmt.Sprintf("%s %s, %s, %s", n, rd, csrName(imm12), src)
+	}
+	return fmt.Sprintf(".word %#08x", raw)
+}

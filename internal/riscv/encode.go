@@ -27,6 +27,14 @@ const (
 	A7   = 17
 	S2   = 18
 	S3   = 19
+	S4   = 20
+	S5   = 21
+	S6   = 22
+	S7   = 23
+	S8   = 24
+	S9   = 25
+	S10  = 26
+	S11  = 27
 	T3   = 28
 	T4   = 29
 	T5   = 30
@@ -92,6 +100,24 @@ func SLL(rd, rs1, rs2 int) uint32 { return rType(0, uint32(rs2), uint32(rs1), 1,
 // SRL rd = rs1 >> rs2 (logical).
 func SRL(rd, rs1, rs2 int) uint32 { return rType(0, uint32(rs2), uint32(rs1), 5, uint32(rd), 0x33) }
 
+// SRA rd = rs1 >> rs2 (arithmetic).
+func SRA(rd, rs1, rs2 int) uint32 { return rType(0x20, uint32(rs2), uint32(rs1), 5, uint32(rd), 0x33) }
+
+// SLLI rd = rs1 << shamt.
+func SLLI(rd, rs1 int, shamt uint32) uint32 {
+	return iType(shamt&0x1f, uint32(rs1), 1, uint32(rd), 0x13)
+}
+
+// SRLI rd = rs1 >> shamt (logical).
+func SRLI(rd, rs1 int, shamt uint32) uint32 {
+	return iType(shamt&0x1f, uint32(rs1), 5, uint32(rd), 0x13)
+}
+
+// SRAI rd = rs1 >> shamt (arithmetic).
+func SRAI(rd, rs1 int, shamt uint32) uint32 {
+	return iType(0x400|shamt&0x1f, uint32(rs1), 5, uint32(rd), 0x13)
+}
+
 // AND rd = rs1 & rs2.
 func AND(rd, rs1, rs2 int) uint32 { return rType(0, uint32(rs2), uint32(rs1), 7, uint32(rd), 0x33) }
 
@@ -133,11 +159,20 @@ func LB(rd, rs1 int, imm int32) uint32 { return iType(uint32(imm), uint32(rs1), 
 // LBU rd = zero-extended mem8[rs1+imm].
 func LBU(rd, rs1 int, imm int32) uint32 { return iType(uint32(imm), uint32(rs1), 4, uint32(rd), 0x03) }
 
+// LH rd = sign-extended mem16[rs1+imm].
+func LH(rd, rs1 int, imm int32) uint32 { return iType(uint32(imm), uint32(rs1), 1, uint32(rd), 0x03) }
+
+// LHU rd = zero-extended mem16[rs1+imm].
+func LHU(rd, rs1 int, imm int32) uint32 { return iType(uint32(imm), uint32(rs1), 5, uint32(rd), 0x03) }
+
 // SW mem32[rs1+imm] = rs2.
 func SW(rs2, rs1 int, imm int32) uint32 { return sType(uint32(imm), uint32(rs2), uint32(rs1), 2, 0x23) }
 
 // SB mem8[rs1+imm] = rs2.
 func SB(rs2, rs1 int, imm int32) uint32 { return sType(uint32(imm), uint32(rs2), uint32(rs1), 0, 0x23) }
+
+// SH mem16[rs1+imm] = rs2.
+func SH(rs2, rs1 int, imm int32) uint32 { return sType(uint32(imm), uint32(rs2), uint32(rs1), 1, 0x23) }
 
 // Control flow.
 
@@ -170,6 +205,11 @@ func BGE(rs1, rs2 int, offset int32) uint32 {
 // BLTU branches when rs1 < rs2 (unsigned).
 func BLTU(rs1, rs2 int, offset int32) uint32 {
 	return bType(uint32(offset), uint32(rs2), uint32(rs1), 6, 0x63)
+}
+
+// BGEU branches when rs1 >= rs2 (unsigned).
+func BGEU(rs1, rs2 int, offset int32) uint32 {
+	return bType(uint32(offset), uint32(rs2), uint32(rs1), 7, 0x63)
 }
 
 // System.

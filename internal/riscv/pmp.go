@@ -102,13 +102,40 @@ func (p *PMP) Check(addr, size uint32, kind AccessKind, priv Priv) bool {
 	if !p.configured {
 		return true
 	}
-	// Every byte of the access must be covered with the same entry
-	// decision; checking first and last byte suffices for the aligned
-	// accesses the core issues.
-	return p.checkByte(addr, kind, priv) && p.checkByte(addr+size-1, kind, priv)
+	// Per the privileged spec, the priority (lowest-numbered) entry
+	// matching any byte of the access must match every byte, or the
+	// access fails irrespective of privilege and permissions — a
+	// misaligned store straddling a region boundary must fault even when
+	// both halves land in permissive regions. Regions are word-granular
+	// and contiguous and an RV32 access spans at most two words, so any
+	// region touching the access contains its first or last byte:
+	// comparing the two match results covers every byte.
+	first := p.matchEntry(addr)
+	last := p.matchEntry(addr + size - 1)
+	if first != last {
+		return false // partial match of the priority entry
+	}
+	if first < 0 {
+		// No entry matched: M-mode succeeds, U-mode fails.
+		return priv == PrivM
+	}
+	cfg := p.cfg[first]
+	if priv == PrivM && cfg&PmpL == 0 {
+		return true // unlocked entries do not constrain M-mode
+	}
+	switch kind {
+	case AccessRead:
+		return cfg&PmpR != 0
+	case AccessWrite:
+		return cfg&PmpW != 0
+	default:
+		return cfg&PmpX != 0
+	}
 }
 
-func (p *PMP) checkByte(addr uint32, kind AccessKind, priv Priv) bool {
+// matchEntry returns the lowest-numbered entry matching the byte at
+// addr, or -1 when none matches.
+func (p *PMP) matchEntry(addr uint32) int {
 	word := addr >> 2
 	for i := 0; i < NumPMPEntries; i++ {
 		cfg := p.cfg[i]
@@ -133,24 +160,11 @@ func (p *PMP) checkByte(addr uint32, kind AccessKind, priv Priv) bool {
 			mask := ^((uint32(1) << (ones + 1)) - 1)
 			match = word&mask == p.addr[i]&mask
 		}
-		if !match {
-			continue
-		}
-		// First matching entry decides (priority order).
-		if priv == PrivM && cfg&PmpL == 0 {
-			return true // unlocked entries do not constrain M-mode
-		}
-		switch kind {
-		case AccessRead:
-			return cfg&PmpR != 0
-		case AccessWrite:
-			return cfg&PmpW != 0
-		default:
-			return cfg&PmpX != 0
+		if match {
+			return i
 		}
 	}
-	// No entry matched: M-mode succeeds, U-mode fails.
-	return priv == PrivM
+	return -1
 }
 
 // NAPOTAddr encodes a base/size pair into a pmpaddr register value.

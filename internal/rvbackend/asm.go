@@ -1,0 +1,166 @@
+// Package rvbackend lowers INT8 execution plans onto the emulated
+// RISC-V SoC: a code generator turns inference.QuantPlan steps into
+// RV32IM firmware whose conv/dense inner loops issue cfu.VectorMAC dot4
+// instructions (or scalar MUL/ADD when the CFU is absent), a loader
+// stages weights and activations in SoC RAM, and a host runner drives
+// the cycle-accurate soc.Machine per inference sample. The result is an
+// inference.Backend/Executable pair, so the layers above (cluster
+// placement, the batch server, the bench harness) can route real
+// requests onto a CFU-equipped chassis module and see measured
+// cycles-per-inference instead of roofline guesses — the deployment
+// path the paper's VexRiscv+CFU stack targets (§II-B, §IV-C).
+//
+// Bit-exactness with the native engine is by construction: the firmware
+// reproduces the plan's integer semantics (raw-code dot products with
+// zero points folded into per-channel effective biases, the identical
+// fixed-point requantization, the identical lookup tables), and int32
+// addition is associative and commutative modulo 2^32, so any summation
+// order yields the same accumulator.
+package rvbackend
+
+import (
+	"fmt"
+
+	"vedliot/internal/riscv"
+)
+
+// asm is a tiny two-operand assembler over the riscv encoders with
+// labels and branch/jump fixups, so codegen can emit loops without
+// hand-counting instruction offsets.
+type asm struct {
+	words  []uint32
+	base   uint32 // absolute address of words[0]
+	labels map[string]int
+	fixups []fixup
+	scope  int // current label namespace (one per emitted block)
+	err    error
+}
+
+// fixup is a branch or jump whose target label resolves later; enc
+// re-encodes the instruction once the byte offset is known.
+type fixup struct {
+	idx   int
+	label string
+	enc   func(offset int32) uint32
+}
+
+func newAsm(base uint32) *asm {
+	return &asm{base: base, labels: make(map[string]int)}
+}
+
+// pc returns the absolute address of the next instruction.
+func (a *asm) pc() uint32 { return a.base + uint32(len(a.words))*4 }
+
+func (a *asm) emit(ws ...uint32) { a.words = append(a.words, ws...) }
+
+// enterScope starts a fresh label namespace for one codegen block.
+func (a *asm) enterScope() { a.scope++ }
+
+func (a *asm) scoped(name string) string {
+	return fmt.Sprintf("%d.%s", a.scope, name)
+}
+
+// label defines name at the current position within the active scope.
+func (a *asm) label(name string) {
+	name = a.scoped(name)
+	if _, dup := a.labels[name]; dup && a.err == nil {
+		a.err = fmt.Errorf("rvbackend: duplicate label %q", name)
+	}
+	a.labels[name] = len(a.words)
+}
+
+// globalLabel defines name outside any scope (subroutines).
+func (a *asm) globalLabel(name string) { a.labels[name] = len(a.words) }
+
+func (a *asm) fixup(label string, enc func(int32) uint32) {
+	a.fixups = append(a.fixups, fixup{idx: len(a.words), label: label, enc: enc})
+	a.emit(0) // placeholder, patched in resolve
+}
+
+// Branches to a scoped label.
+func (a *asm) beq(rs1, rs2 int, l string) {
+	l = a.scoped(l)
+	a.fixup(l, func(off int32) uint32 { return riscv.BEQ(rs1, rs2, off) })
+}
+func (a *asm) bne(rs1, rs2 int, l string) {
+	l = a.scoped(l)
+	a.fixup(l, func(off int32) uint32 { return riscv.BNE(rs1, rs2, off) })
+}
+func (a *asm) blt(rs1, rs2 int, l string) {
+	l = a.scoped(l)
+	a.fixup(l, func(off int32) uint32 { return riscv.BLT(rs1, rs2, off) })
+}
+func (a *asm) bge(rs1, rs2 int, l string) {
+	l = a.scoped(l)
+	a.fixup(l, func(off int32) uint32 { return riscv.BGE(rs1, rs2, off) })
+}
+
+// j is an unconditional jump to a scoped label.
+func (a *asm) j(l string) {
+	l = a.scoped(l)
+	a.fixup(l, func(off int32) uint32 { return riscv.JAL(riscv.Zero, off) })
+}
+
+// call jumps-and-links to a global label (subroutine).
+func (a *asm) call(global string) {
+	a.fixup(global, func(off int32) uint32 { return riscv.JAL(riscv.RA, off) })
+}
+
+// li loads a 32-bit constant; riscv.LI is always two instructions, so
+// code size is independent of the value (addresses can be patched
+// without shifting labels).
+func (a *asm) li(rd int, v uint32) { a.emit(riscv.LI(rd, v)...) }
+
+// imm materializes a small signed constant with the shortest form.
+func (a *asm) imm(rd int, v int32) {
+	if v >= -2048 && v < 2048 {
+		a.emit(riscv.ADDI(rd, riscv.Zero, v))
+		return
+	}
+	a.li(rd, uint32(v))
+}
+
+// addImm adds a constant to a register, via ADDI when it fits and a
+// scratch register otherwise.
+func (a *asm) addImm(rd, rs int, v int32, tmp int) {
+	if v >= -2048 && v < 2048 {
+		a.emit(riscv.ADDI(rd, rs, v))
+		return
+	}
+	a.li(tmp, uint32(v))
+	a.emit(riscv.ADD(rd, rs, tmp))
+}
+
+// mulImm computes rd = rs * v, using a shift for powers of two and a
+// scratch-register MUL otherwise. v must be positive.
+func (a *asm) mulImm(rd, rs int, v int32, tmp int) {
+	switch {
+	case v == 1:
+		a.emit(riscv.ADDI(rd, rs, 0))
+	case v > 0 && v&(v-1) == 0:
+		sh := uint32(0)
+		for 1<<sh != v {
+			sh++
+		}
+		a.emit(riscv.SLLI(rd, rs, sh))
+	default:
+		a.li(tmp, uint32(v))
+		a.emit(riscv.MUL(rd, rs, tmp))
+	}
+}
+
+// resolve patches all fixups; it must run once, after the last emit.
+func (a *asm) resolve() error {
+	if a.err != nil {
+		return a.err
+	}
+	for _, f := range a.fixups {
+		at, ok := a.labels[f.label]
+		if !ok {
+			return fmt.Errorf("rvbackend: undefined label %q", f.label)
+		}
+		off := int32(at-f.idx) * 4
+		a.words[f.idx] = f.enc(off)
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package rvbackend
+
+import (
+	"fmt"
+	"strings"
+
+	"vedliot/internal/riscv"
+	"vedliot/internal/soc"
+)
+
+// Disassembly renders the firmware image as reviewable text: a memory
+// map header, then every text word with address and mnemonic. Golden
+// tests commit these dumps so codegen changes surface as diffs.
+func (p *Program) Disassembly() string {
+	return p.img.disassembly(p.plan.Name)
+}
+
+func (img *image) disassembly(model string) string {
+	var b strings.Builder
+	variant := "scalar"
+	if img.useCFU {
+		variant = "cfu"
+	}
+	fmt.Fprintf(&b, "; model %s, %s variant\n", model, variant)
+	fmt.Fprintf(&b, "; mailbox   %#08x\n", img.mailbox)
+	fmt.Fprintf(&b, "; data      %#08x..%#08x\n", soc.RAMBase, img.textOff)
+	fmt.Fprintf(&b, "; patch     %#08x\n", img.patch)
+	fmt.Fprintf(&b, "; text      %#08x (%d words)\n", img.textOff, len(img.text))
+	for i, s := range img.segStarts {
+		fmt.Fprintf(&b, "; segment %d %#08x\n", i, s)
+	}
+	segAt := make(map[uint32]int, len(img.segStarts))
+	for i, s := range img.segStarts {
+		segAt[s] = i
+	}
+	for i, w := range img.text {
+		pc := img.textOff + uint32(i)*4
+		if si, ok := segAt[pc]; ok {
+			fmt.Fprintf(&b, "\nsegment%d:\n", si)
+		}
+		fmt.Fprintf(&b, "%08x: %08x  %s\n", pc, w, riscv.Disassemble(w, pc))
+	}
+	return b.String()
+}

@@ -1,0 +1,556 @@
+package rvbackend
+
+import (
+	"fmt"
+
+	"vedliot/internal/cfu"
+	"vedliot/internal/inference"
+	"vedliot/internal/riscv"
+	"vedliot/internal/soc"
+)
+
+// Per-model specialized code generation: every layer becomes its own
+// loop nest with the plan's geometry baked in as immediates, so the
+// firmware carries no interpreter and the cycle counts reflect the
+// kernels alone. Register convention inside a step block:
+//
+//	s0..s11  loop state (buffer bases, counters, running pointers)
+//	a3..a7   per-group/per-step bases
+//	t0..t6   scratch; clobbered by the requant subroutine
+//	a0/a1/a2 requant arguments (accumulator, record pointer, zp_out)
+//
+// No stack is used: the only call is the leaf requant subroutine.
+
+// buildImage lays out and assembles the complete firmware for a plan.
+func buildImage(plan *inference.QuantPlan, useCFU bool) (*image, error) {
+	img, err := buildLayout(plan, useCFU)
+	if err != nil {
+		return nil, err
+	}
+	a := newAsm(img.textOff)
+	emitRequant(a)
+	for seg, steps := range img.segSteps {
+		img.segStarts = append(img.segStarts, a.pc())
+		emitSnapshotBegin(a, img)
+		for _, si := range steps {
+			a.enterScope()
+			if err := emitStep(a, img, plan, si); err != nil {
+				return nil, err
+			}
+		}
+		emitSnapshotEnd(a, img, seg == len(img.segSteps)-1)
+	}
+	if err := a.resolve(); err != nil {
+		return nil, err
+	}
+	img.text = a.words
+	img.ramSize = img.textOff - soc.RAMBase + uint32(len(img.text))*4 + 4096
+	return img, nil
+}
+
+// emitRequant assembles the shared requantization subroutine:
+//
+//	a0 = clamp(a2 + int32((int64(a0)*mult + round) >> shift))   [+ post LUT]
+//
+// The 64-bit product comes from MULH/MUL (exact: the multiplier is
+// below 2^31), the rounding add propagates its carry with SLTU, and the
+// 64-bit arithmetic right shift splits into the three RV32 cases.
+func emitRequant(a *asm) {
+	a.globalLabel("requant")
+	a.enterScope()
+	a.emit(riscv.LW(riscv.T0, riscv.A1, 4)) // multiplier
+	a.emit(riscv.MULH(riscv.T1, riscv.A0, riscv.T0))
+	a.emit(riscv.MUL(riscv.T2, riscv.A0, riscv.T0))
+	a.emit(riscv.LW(riscv.T3, riscv.A1, 12)) // round.lo
+	a.emit(riscv.LW(riscv.T4, riscv.A1, 16)) // round.hi
+	a.emit(riscv.ADD(riscv.T2, riscv.T2, riscv.T3))
+	a.emit(riscv.SLTU(riscv.T5, riscv.T2, riscv.T3)) // carry
+	a.emit(riscv.ADD(riscv.T1, riscv.T1, riscv.T4))
+	a.emit(riscv.ADD(riscv.T1, riscv.T1, riscv.T5))
+	a.emit(riscv.LW(riscv.T3, riscv.A1, 8)) // shift
+	a.beq(riscv.T3, riscv.Zero, "shifted")  // shift 0: result is lo
+	a.emit(riscv.ADDI(riscv.T4, riscv.Zero, 32))
+	a.bge(riscv.T3, riscv.T4, "bigshift")
+	a.emit(riscv.SRL(riscv.T2, riscv.T2, riscv.T3)) // (lo >>u s) |
+	a.emit(riscv.SUB(riscv.T4, riscv.T4, riscv.T3))
+	a.emit(riscv.SLL(riscv.T5, riscv.T1, riscv.T4)) // (hi << 32-s)
+	a.emit(riscv.OR(riscv.T2, riscv.T2, riscv.T5))
+	a.j("shifted")
+	a.label("bigshift")
+	a.emit(riscv.SUB(riscv.T3, riscv.T3, riscv.T4))
+	a.emit(riscv.SRA(riscv.T2, riscv.T1, riscv.T3)) // hi >>a s-32
+	a.label("shifted")
+	a.emit(riscv.ADD(riscv.A0, riscv.T2, riscv.A2)) // + zp_out
+	a.emit(riscv.ADDI(riscv.T0, riscv.Zero, 127))
+	a.bge(riscv.T0, riscv.A0, "cklo")
+	a.emit(riscv.ADDI(riscv.A0, riscv.Zero, 127))
+	a.label("cklo")
+	a.emit(riscv.ADDI(riscv.T0, riscv.Zero, -128))
+	a.bge(riscv.A0, riscv.T0, "ckdone")
+	a.emit(riscv.ADDI(riscv.A0, riscv.Zero, -128))
+	a.label("ckdone")
+	a.emit(riscv.LW(riscv.T0, riscv.A1, 20)) // fused post table
+	a.beq(riscv.T0, riscv.Zero, "nopost")
+	a.emit(riscv.ADDI(riscv.A0, riscv.A0, 128))
+	a.emit(riscv.ADD(riscv.T0, riscv.T0, riscv.A0))
+	a.emit(riscv.LB(riscv.A0, riscv.T0, 0))
+	a.label("nopost")
+	a.emit(riscv.JALR(riscv.Zero, riscv.RA, 0))
+}
+
+// emitSnapshotBegin stores a coherent 64-bit cycle-counter read (the
+// classic hi/lo/hi loop over the unprivileged shadows) in the mailbox.
+func emitSnapshotBegin(a *asm, img *image) {
+	a.enterScope()
+	a.label("snap")
+	a.emit(riscv.CSRRS(riscv.T0, riscv.Zero, riscv.CsrCycleh))
+	a.emit(riscv.CSRRS(riscv.T1, riscv.Zero, riscv.CsrCycle))
+	a.emit(riscv.CSRRS(riscv.T2, riscv.Zero, riscv.CsrCycleh))
+	a.bne(riscv.T0, riscv.T2, "snap")
+	a.li(riscv.T3, img.mailbox)
+	a.emit(riscv.SW(riscv.T1, riscv.T3, mbSnapLo))
+	a.emit(riscv.SW(riscv.T0, riscv.T3, mbSnapHi))
+}
+
+// emitSnapshotEnd re-reads the counter, adds the 64-bit delta into the
+// mailbox accumulator and parks the core (WFI, or the test finisher on
+// the final segment so the host can assert a clean verdict).
+func emitSnapshotEnd(a *asm, img *image, last bool) {
+	a.enterScope()
+	a.label("snap")
+	a.emit(riscv.CSRRS(riscv.T0, riscv.Zero, riscv.CsrCycleh))
+	a.emit(riscv.CSRRS(riscv.T1, riscv.Zero, riscv.CsrCycle))
+	a.emit(riscv.CSRRS(riscv.T2, riscv.Zero, riscv.CsrCycleh))
+	a.bne(riscv.T0, riscv.T2, "snap")
+	a.li(riscv.T3, img.mailbox)
+	a.emit(riscv.LW(riscv.T4, riscv.T3, mbSnapLo))
+	a.emit(riscv.LW(riscv.T5, riscv.T3, mbSnapHi))
+	a.emit(riscv.SUB(riscv.T6, riscv.T1, riscv.T4))  // delta.lo
+	a.emit(riscv.SLTU(riscv.A0, riscv.T1, riscv.T4)) // borrow
+	a.emit(riscv.SUB(riscv.T2, riscv.T0, riscv.T5))
+	a.emit(riscv.SUB(riscv.T2, riscv.T2, riscv.A0)) // delta.hi
+	a.emit(riscv.LW(riscv.T4, riscv.T3, mbCyclesLo))
+	a.emit(riscv.LW(riscv.T5, riscv.T3, mbCyclesHi))
+	a.emit(riscv.ADD(riscv.T4, riscv.T4, riscv.T6))
+	a.emit(riscv.SLTU(riscv.A0, riscv.T4, riscv.T6)) // carry
+	a.emit(riscv.ADD(riscv.T5, riscv.T5, riscv.T2))
+	a.emit(riscv.ADD(riscv.T5, riscv.T5, riscv.A0))
+	a.emit(riscv.SW(riscv.T4, riscv.T3, mbCyclesLo))
+	a.emit(riscv.SW(riscv.T5, riscv.T3, mbCyclesHi))
+	if last {
+		a.li(riscv.T0, soc.FinisherBase)
+		a.li(riscv.T1, soc.FinisherPass)
+		a.emit(riscv.SW(riscv.T1, riscv.T0, 0))
+	}
+	a.emit(riscv.WFI())
+}
+
+// emitStep dispatches one plan step to its loop-nest emitter.
+func emitStep(a *asm, img *image, plan *inference.QuantPlan, si int) error {
+	st := &plan.Steps[si]
+	sl := &img.steps[si]
+	in := func(i int) uint32 { return img.bufAddr[st.Ins[i]] }
+	out := img.bufAddr[st.Out]
+	switch {
+	case st.Conv != nil:
+		emitConv(a, img, sl, st.Conv, in(0), out)
+	case st.Dense != nil:
+		emitDense(a, img, sl, st.Dense, in(0), out)
+	case st.LUT != nil:
+		emitLUT(a, sl, plan.Values[st.Out].Elems, in(0), out)
+	case st.LUTPerChannel != nil:
+		emitLUTPerChannel(a, sl, st.LUTPerChannel, in(0), out)
+	case st.MaxPool != nil:
+		emitMaxPool(a, sl, st.MaxPool, in(0), out)
+	case st.GlobalAvgPool != nil:
+		emitGlobalAvgPool(a, sl, st.GlobalAvgPool, in(0), out)
+	case st.Add != nil:
+		srcs := make([]uint32, len(st.Ins))
+		for i := range st.Ins {
+			srcs[i] = in(i)
+		}
+		emitAdd(a, sl, st.Add, plan.Values[st.Out].Elems, srcs, out)
+	default:
+		return fmt.Errorf("rvbackend: step %q: no firmware lowering", st.Name)
+	}
+	return nil
+}
+
+// emitDot emits the reduction inner loop: with the CFU, dot4 steps over
+// word-packed codes (count words); without it, a scalar LB/LB/MUL/ADD
+// loop (count bytes). The accumulator lands in a0; t0/t1 hold the
+// advancing weight and activation pointers on entry.
+func emitDot(a *asm, useCFU bool, count int) {
+	if useCFU {
+		a.emit(riscv.CUSTOM0(riscv.Zero, riscv.Zero, riscv.Zero, cfu.OpMacClear, 0))
+		a.imm(riscv.T2, int32(count/4))
+		a.label("dot")
+		a.emit(riscv.LW(riscv.T3, riscv.T0, 0))
+		a.emit(riscv.LW(riscv.T4, riscv.T1, 0))
+		a.emit(riscv.CUSTOM0(riscv.A0, riscv.T3, riscv.T4, cfu.OpMacStep, 0))
+		a.emit(riscv.ADDI(riscv.T0, riscv.T0, 4))
+		a.emit(riscv.ADDI(riscv.T1, riscv.T1, 4))
+		a.emit(riscv.ADDI(riscv.T2, riscv.T2, -1))
+		a.bne(riscv.T2, riscv.Zero, "dot")
+		return
+	}
+	a.emit(riscv.ADDI(riscv.A0, riscv.Zero, 0))
+	a.imm(riscv.T2, int32(count))
+	a.label("dot")
+	a.emit(riscv.LB(riscv.T3, riscv.T0, 0))
+	a.emit(riscv.LB(riscv.T4, riscv.T1, 0))
+	a.emit(riscv.MUL(riscv.T3, riscv.T3, riscv.T4))
+	a.emit(riscv.ADD(riscv.A0, riscv.A0, riscv.T3))
+	a.emit(riscv.ADDI(riscv.T0, riscv.T0, 1))
+	a.emit(riscv.ADDI(riscv.T1, riscv.T1, 1))
+	a.emit(riscv.ADDI(riscv.T2, riscv.T2, -1))
+	a.bne(riscv.T2, riscv.Zero, "dot")
+}
+
+// emitConv lowers one (possibly grouped/depthwise) convolution. Loop
+// order is (group, oy, ox): the input window is gathered once per
+// position into the patch scratch (zero-padded taps read as the zp_in
+// code, which the folded bias cancels exactly), then every output
+// channel of the group reduces the same patch.
+func emitConv(a *asm, img *image, sl *stepLayout, c *inference.PlanConv, inAddr, outAddr uint32) {
+	g := c.Geom
+	taps := g.ICPerG * g.KH * g.KW
+	inHW := g.InH * g.InW
+	outHW := g.OutH * g.OutW
+	groups := g.InC / g.ICPerG
+
+	a.li(riscv.S0, inAddr)
+	a.li(riscv.S1, outAddr)
+	a.li(riscv.S4, img.patch)
+	a.imm(riscv.A2, c.ZPOut)
+	a.li(riscv.A3, sl.weights)
+	a.li(riscv.A4, sl.records)
+	a.emit(riscv.ADDI(riscv.S9, riscv.S0, 0)) // group input base
+	a.emit(riscv.ADDI(riscv.A6, riscv.S1, 0)) // group output base
+	a.emit(riscv.ADDI(riscv.S8, riscv.Zero, 0))
+	a.label("grp")
+	a.emit(riscv.ADDI(riscv.S11, riscv.Zero, 0)) // position offset oy*outW+ox
+	a.emit(riscv.ADDI(riscv.S5, riscv.Zero, 0))
+	a.label("oy")
+	a.emit(riscv.ADDI(riscv.S6, riscv.Zero, 0))
+	a.label("ox")
+
+	// Gather the input window for this position into the patch scratch.
+	a.emit(riscv.ADDI(riscv.S10, riscv.S4, 0)) // patch write ptr
+	a.emit(riscv.ADDI(riscv.T0, riscv.Zero, 0))
+	a.emit(riscv.ADDI(riscv.T1, riscv.S9, 0)) // current channel base
+	a.label("ic")
+	a.emit(riscv.ADDI(riscv.T2, riscv.Zero, 0))
+	a.label("ky")
+	a.mulImm(riscv.T3, riscv.S5, int32(g.SH), riscv.A0)
+	a.emit(riscv.ADD(riscv.T3, riscv.T3, riscv.T2))
+	if g.PH != 0 {
+		a.emit(riscv.ADDI(riscv.T3, riscv.T3, int32(-g.PH)))
+	}
+	a.blt(riscv.T3, riscv.Zero, "padrow")
+	a.imm(riscv.A0, int32(g.InH))
+	a.bge(riscv.T3, riscv.A0, "padrow")
+	a.mulImm(riscv.T4, riscv.T3, int32(g.InW), riscv.A0)
+	a.emit(riscv.ADD(riscv.T4, riscv.T4, riscv.T1))
+	a.emit(riscv.ADDI(riscv.T5, riscv.Zero, 0))
+	a.label("kx")
+	a.mulImm(riscv.T6, riscv.S6, int32(g.SW), riscv.A0)
+	a.emit(riscv.ADD(riscv.T6, riscv.T6, riscv.T5))
+	if g.PW != 0 {
+		a.emit(riscv.ADDI(riscv.T6, riscv.T6, int32(-g.PW)))
+	}
+	a.blt(riscv.T6, riscv.Zero, "padpix")
+	a.imm(riscv.A0, int32(g.InW))
+	a.bge(riscv.T6, riscv.A0, "padpix")
+	a.emit(riscv.ADD(riscv.T6, riscv.T6, riscv.T4))
+	a.emit(riscv.LB(riscv.A0, riscv.T6, 0))
+	a.j("stash")
+	a.label("padpix")
+	a.imm(riscv.A0, c.ZPIn)
+	a.label("stash")
+	a.emit(riscv.SB(riscv.A0, riscv.S10, 0))
+	a.emit(riscv.ADDI(riscv.S10, riscv.S10, 1))
+	a.emit(riscv.ADDI(riscv.T5, riscv.T5, 1))
+	a.imm(riscv.A1, int32(g.KW))
+	a.blt(riscv.T5, riscv.A1, "kx")
+	a.j("rowdone")
+	a.label("padrow") // entire row out of bounds: KW zp_in codes
+	a.imm(riscv.T5, int32(g.KW))
+	a.imm(riscv.A0, c.ZPIn)
+	a.label("padfill")
+	a.emit(riscv.SB(riscv.A0, riscv.S10, 0))
+	a.emit(riscv.ADDI(riscv.S10, riscv.S10, 1))
+	a.emit(riscv.ADDI(riscv.T5, riscv.T5, -1))
+	a.bne(riscv.T5, riscv.Zero, "padfill")
+	a.label("rowdone")
+	a.emit(riscv.ADDI(riscv.T2, riscv.T2, 1))
+	a.imm(riscv.A1, int32(g.KH))
+	a.blt(riscv.T2, riscv.A1, "ky")
+	a.addImm(riscv.T1, riscv.T1, int32(inHW), riscv.A1)
+	a.emit(riscv.ADDI(riscv.T0, riscv.T0, 1))
+	a.imm(riscv.A1, int32(g.ICPerG))
+	a.blt(riscv.T0, riscv.A1, "ic")
+
+	// Reduce the patch for every output channel of the group.
+	a.emit(riscv.ADDI(riscv.S2, riscv.A3, 0))
+	a.emit(riscv.ADDI(riscv.S3, riscv.A4, 0))
+	a.emit(riscv.ADD(riscv.A5, riscv.A6, riscv.S11))
+	a.emit(riscv.ADDI(riscv.S7, riscv.Zero, 0))
+	a.label("oc")
+	a.emit(riscv.ADDI(riscv.T0, riscv.S2, 0))
+	a.emit(riscv.ADDI(riscv.T1, riscv.S4, 0))
+	if img.useCFU {
+		emitDot(a, true, sl.k4)
+	} else {
+		emitDot(a, false, taps)
+	}
+	a.emit(riscv.LW(riscv.T3, riscv.S3, 0)) // effective bias
+	a.emit(riscv.ADD(riscv.A0, riscv.A0, riscv.T3))
+	a.emit(riscv.ADDI(riscv.A1, riscv.S3, 0))
+	a.call("requant")
+	a.emit(riscv.SB(riscv.A0, riscv.A5, 0))
+	a.addImm(riscv.A5, riscv.A5, int32(outHW), riscv.T0)
+	a.addImm(riscv.S2, riscv.S2, int32(sl.k4), riscv.T0)
+	a.emit(riscv.ADDI(riscv.S3, riscv.S3, recordSize))
+	a.emit(riscv.ADDI(riscv.S7, riscv.S7, 1))
+	a.imm(riscv.T0, int32(g.OCPerG))
+	a.blt(riscv.S7, riscv.T0, "oc")
+
+	a.emit(riscv.ADDI(riscv.S11, riscv.S11, 1))
+	a.emit(riscv.ADDI(riscv.S6, riscv.S6, 1))
+	a.imm(riscv.T0, int32(g.OutW))
+	a.blt(riscv.S6, riscv.T0, "ox")
+	a.emit(riscv.ADDI(riscv.S5, riscv.S5, 1))
+	a.imm(riscv.T0, int32(g.OutH))
+	a.blt(riscv.S5, riscv.T0, "oy")
+	a.addImm(riscv.S9, riscv.S9, int32(g.ICPerG*inHW), riscv.T0)
+	a.addImm(riscv.A3, riscv.A3, int32(g.OCPerG*sl.k4), riscv.T0)
+	a.addImm(riscv.A4, riscv.A4, int32(g.OCPerG*recordSize), riscv.T0)
+	a.addImm(riscv.A6, riscv.A6, int32(g.OCPerG*outHW), riscv.T0)
+	a.emit(riscv.ADDI(riscv.S8, riscv.S8, 1))
+	a.imm(riscv.T0, int32(groups))
+	a.blt(riscv.S8, riscv.T0, "grp")
+}
+
+// emitDense lowers a fully-connected layer. The CFU path reads the
+// input buffer directly as packed words — buffers are word-aligned and
+// padded to a word, and the zero weight codes in the row tail cancel
+// whatever the padding bytes hold.
+func emitDense(a *asm, img *image, sl *stepLayout, d *inference.PlanDense, inAddr, outAddr uint32) {
+	a.li(riscv.S0, inAddr)
+	a.li(riscv.S1, outAddr)
+	a.li(riscv.S2, sl.weights)
+	a.li(riscv.S3, sl.records)
+	a.imm(riscv.A2, d.ZPOut)
+	a.emit(riscv.ADDI(riscv.A5, riscv.S1, 0))
+	a.emit(riscv.ADDI(riscv.S7, riscv.Zero, 0))
+	a.label("o")
+	a.emit(riscv.ADDI(riscv.T0, riscv.S2, 0))
+	a.emit(riscv.ADDI(riscv.T1, riscv.S0, 0))
+	if img.useCFU {
+		emitDot(a, true, sl.k4)
+	} else {
+		emitDot(a, false, d.InF)
+	}
+	a.emit(riscv.LW(riscv.T3, riscv.S3, 0))
+	a.emit(riscv.ADD(riscv.A0, riscv.A0, riscv.T3))
+	a.emit(riscv.ADDI(riscv.A1, riscv.S3, 0))
+	a.call("requant")
+	a.emit(riscv.SB(riscv.A0, riscv.A5, 0))
+	a.emit(riscv.ADDI(riscv.A5, riscv.A5, 1))
+	a.addImm(riscv.S2, riscv.S2, int32(sl.k4), riscv.T0)
+	a.emit(riscv.ADDI(riscv.S3, riscv.S3, recordSize))
+	a.emit(riscv.ADDI(riscv.S7, riscv.S7, 1))
+	a.imm(riscv.T0, int32(d.OutF))
+	a.blt(riscv.S7, riscv.T0, "o")
+}
+
+// emitLUT lowers an element-wise code table (or a plain word copy when
+// the mappings agree and the table is nil).
+func emitLUT(a *asm, sl *stepLayout, elems int, inAddr, outAddr uint32) {
+	a.li(riscv.S0, inAddr)
+	a.li(riscv.S1, outAddr)
+	if sl.table == 0 {
+		a.imm(riscv.T2, int32((elems+3)/4))
+		a.label("cp")
+		a.emit(riscv.LW(riscv.T0, riscv.S0, 0))
+		a.emit(riscv.SW(riscv.T0, riscv.S1, 0))
+		a.emit(riscv.ADDI(riscv.S0, riscv.S0, 4))
+		a.emit(riscv.ADDI(riscv.S1, riscv.S1, 4))
+		a.emit(riscv.ADDI(riscv.T2, riscv.T2, -1))
+		a.bne(riscv.T2, riscv.Zero, "cp")
+		return
+	}
+	a.li(riscv.S2, sl.table)
+	a.imm(riscv.T2, int32(elems))
+	a.label("lut")
+	a.emit(riscv.LB(riscv.T0, riscv.S0, 0))
+	a.emit(riscv.ADDI(riscv.T0, riscv.T0, 128))
+	a.emit(riscv.ADD(riscv.T0, riscv.T0, riscv.S2))
+	a.emit(riscv.LB(riscv.T1, riscv.T0, 0))
+	a.emit(riscv.SB(riscv.T1, riscv.S1, 0))
+	a.emit(riscv.ADDI(riscv.S0, riscv.S0, 1))
+	a.emit(riscv.ADDI(riscv.S1, riscv.S1, 1))
+	a.emit(riscv.ADDI(riscv.T2, riscv.T2, -1))
+	a.bne(riscv.T2, riscv.Zero, "lut")
+}
+
+// emitLUTPerChannel lowers the batch-norm family: one 256-entry table
+// per channel plane, tables laid out contiguously in channel order.
+func emitLUTPerChannel(a *asm, sl *stepLayout, pc *inference.PlanLUTPerChannel, inAddr, outAddr uint32) {
+	a.li(riscv.S0, inAddr)
+	a.li(riscv.S1, outAddr)
+	a.li(riscv.S2, sl.table)
+	a.imm(riscv.S7, int32(pc.C))
+	a.label("ch")
+	a.imm(riscv.T2, int32(pc.HW))
+	a.label("lut")
+	a.emit(riscv.LB(riscv.T0, riscv.S0, 0))
+	a.emit(riscv.ADDI(riscv.T0, riscv.T0, 128))
+	a.emit(riscv.ADD(riscv.T0, riscv.T0, riscv.S2))
+	a.emit(riscv.LB(riscv.T1, riscv.T0, 0))
+	a.emit(riscv.SB(riscv.T1, riscv.S1, 0))
+	a.emit(riscv.ADDI(riscv.S0, riscv.S0, 1))
+	a.emit(riscv.ADDI(riscv.S1, riscv.S1, 1))
+	a.emit(riscv.ADDI(riscv.T2, riscv.T2, -1))
+	a.bne(riscv.T2, riscv.Zero, "lut")
+	a.addImm(riscv.S2, riscv.S2, 256, riscv.T0)
+	a.emit(riscv.ADDI(riscv.S7, riscv.S7, -1))
+	a.bne(riscv.S7, riscv.Zero, "ch")
+}
+
+// emitMaxPool lowers the code-domain window max. A -129 sentinel (below
+// any int8 code) stands in for the native kernel's first-tap flag;
+// windows with no in-bounds tap fall back to the empty code.
+func emitMaxPool(a *asm, sl *stepLayout, mp *inference.PlanMaxPool, inAddr, outAddr uint32) {
+	inHW := mp.InH * mp.InW
+	a.li(riscv.A3, inAddr) // channel plane base
+	a.li(riscv.A5, outAddr)
+	if mp.Recode != nil {
+		a.li(riscv.S2, sl.table)
+	}
+	a.imm(riscv.S7, int32(mp.C))
+	a.label("ch")
+	a.emit(riscv.ADDI(riscv.S5, riscv.Zero, 0))
+	a.label("oy")
+	a.emit(riscv.ADDI(riscv.S6, riscv.Zero, 0))
+	a.label("ox")
+	a.imm(riscv.A0, -129)
+	a.emit(riscv.ADDI(riscv.T2, riscv.Zero, 0))
+	a.label("ky")
+	a.mulImm(riscv.T3, riscv.S5, int32(mp.SH), riscv.T6)
+	a.emit(riscv.ADD(riscv.T3, riscv.T3, riscv.T2))
+	if mp.PH != 0 {
+		a.emit(riscv.ADDI(riscv.T3, riscv.T3, int32(-mp.PH)))
+	}
+	a.blt(riscv.T3, riscv.Zero, "skiprow")
+	a.imm(riscv.T6, int32(mp.InH))
+	a.bge(riscv.T3, riscv.T6, "skiprow")
+	a.mulImm(riscv.T4, riscv.T3, int32(mp.InW), riscv.T6)
+	a.emit(riscv.ADD(riscv.T4, riscv.T4, riscv.A3))
+	a.emit(riscv.ADDI(riscv.T5, riscv.Zero, 0))
+	a.label("kx")
+	a.mulImm(riscv.T6, riscv.S6, int32(mp.SW), riscv.A1)
+	a.emit(riscv.ADD(riscv.T6, riscv.T6, riscv.T5))
+	if mp.PW != 0 {
+		a.emit(riscv.ADDI(riscv.T6, riscv.T6, int32(-mp.PW)))
+	}
+	a.blt(riscv.T6, riscv.Zero, "skippix")
+	a.imm(riscv.A1, int32(mp.InW))
+	a.bge(riscv.T6, riscv.A1, "skippix")
+	a.emit(riscv.ADD(riscv.T6, riscv.T6, riscv.T4))
+	a.emit(riscv.LB(riscv.T6, riscv.T6, 0))
+	a.bge(riscv.A0, riscv.T6, "skippix")
+	a.emit(riscv.ADDI(riscv.A0, riscv.T6, 0))
+	a.label("skippix")
+	a.emit(riscv.ADDI(riscv.T5, riscv.T5, 1))
+	a.imm(riscv.A1, int32(mp.KW))
+	a.blt(riscv.T5, riscv.A1, "kx")
+	a.label("skiprow")
+	a.emit(riscv.ADDI(riscv.T2, riscv.T2, 1))
+	a.imm(riscv.A1, int32(mp.KH))
+	a.blt(riscv.T2, riscv.A1, "ky")
+	a.imm(riscv.T0, -129)
+	a.bne(riscv.A0, riscv.T0, "taken")
+	a.imm(riscv.A0, int32(mp.Empty))
+	a.label("taken")
+	if mp.Recode != nil {
+		a.emit(riscv.ADDI(riscv.A0, riscv.A0, 128))
+		a.emit(riscv.ADD(riscv.A0, riscv.A0, riscv.S2))
+		a.emit(riscv.LB(riscv.A0, riscv.A0, 0))
+	}
+	a.emit(riscv.SB(riscv.A0, riscv.A5, 0))
+	a.emit(riscv.ADDI(riscv.A5, riscv.A5, 1))
+	a.emit(riscv.ADDI(riscv.S6, riscv.S6, 1))
+	a.imm(riscv.T0, int32(mp.OutW))
+	a.blt(riscv.S6, riscv.T0, "ox")
+	a.emit(riscv.ADDI(riscv.S5, riscv.S5, 1))
+	a.imm(riscv.T0, int32(mp.OutH))
+	a.blt(riscv.S5, riscv.T0, "oy")
+	a.addImm(riscv.A3, riscv.A3, int32(inHW), riscv.T0)
+	a.emit(riscv.ADDI(riscv.S7, riscv.S7, -1))
+	a.bne(riscv.S7, riscv.Zero, "ch")
+}
+
+// emitGlobalAvgPool sums each plane and requantizes through the step's
+// single channel record (whose effective bias folds -HW*zp_in).
+func emitGlobalAvgPool(a *asm, sl *stepLayout, g *inference.PlanGlobalAvgPool, inAddr, outAddr uint32) {
+	a.li(riscv.A3, inAddr)
+	a.li(riscv.A5, outAddr)
+	a.li(riscv.A4, sl.records)
+	a.imm(riscv.A2, g.ZPOut)
+	a.imm(riscv.S7, int32(g.C))
+	a.label("ch")
+	a.emit(riscv.ADDI(riscv.A0, riscv.Zero, 0))
+	a.imm(riscv.T2, int32(g.HW))
+	a.label("sum")
+	a.emit(riscv.LB(riscv.T3, riscv.A3, 0))
+	a.emit(riscv.ADD(riscv.A0, riscv.A0, riscv.T3))
+	a.emit(riscv.ADDI(riscv.A3, riscv.A3, 1))
+	a.emit(riscv.ADDI(riscv.T2, riscv.T2, -1))
+	a.bne(riscv.T2, riscv.Zero, "sum")
+	a.emit(riscv.LW(riscv.T3, riscv.A4, 0))
+	a.emit(riscv.ADD(riscv.A0, riscv.A0, riscv.T3))
+	a.emit(riscv.ADDI(riscv.A1, riscv.A4, 0))
+	a.call("requant")
+	a.emit(riscv.SB(riscv.A0, riscv.A5, 0))
+	a.emit(riscv.ADDI(riscv.A5, riscv.A5, 1))
+	a.emit(riscv.ADDI(riscv.S7, riscv.S7, -1))
+	a.bne(riscv.S7, riscv.Zero, "ch")
+}
+
+// emitAdd lowers element-wise addition through the per-operand int32
+// tables, clamping the zp_out-seeded sum back to int8.
+func emitAdd(a *asm, sl *stepLayout, add *inference.PlanAdd, elems int, srcs []uint32, outAddr uint32) {
+	srcRegs := []int{riscv.S0, riscv.S1, riscv.S8, riscv.S9}
+	tblRegs := []int{riscv.A3, riscv.A4, riscv.A6, riscv.A7}
+	for i, src := range srcs {
+		a.li(srcRegs[i], src)
+		a.li(tblRegs[i], sl.addTables[i])
+	}
+	a.li(riscv.A5, outAddr)
+	a.imm(riscv.S7, int32(elems))
+	a.label("el")
+	a.imm(riscv.A0, add.ZPOut)
+	for i := range srcs {
+		a.emit(riscv.LB(riscv.T0, srcRegs[i], 0))
+		a.emit(riscv.ADDI(srcRegs[i], srcRegs[i], 1))
+		a.emit(riscv.ADDI(riscv.T0, riscv.T0, 128))
+		a.emit(riscv.SLLI(riscv.T0, riscv.T0, 2))
+		a.emit(riscv.ADD(riscv.T0, riscv.T0, tblRegs[i]))
+		a.emit(riscv.LW(riscv.T1, riscv.T0, 0))
+		a.emit(riscv.ADD(riscv.A0, riscv.A0, riscv.T1))
+	}
+	a.emit(riscv.ADDI(riscv.T0, riscv.Zero, 127))
+	a.bge(riscv.T0, riscv.A0, "cklo")
+	a.emit(riscv.ADDI(riscv.A0, riscv.Zero, 127))
+	a.label("cklo")
+	a.emit(riscv.ADDI(riscv.T0, riscv.Zero, -128))
+	a.bge(riscv.A0, riscv.T0, "ckdone")
+	a.emit(riscv.ADDI(riscv.A0, riscv.Zero, -128))
+	a.label("ckdone")
+	a.emit(riscv.SB(riscv.A0, riscv.A5, 0))
+	a.emit(riscv.ADDI(riscv.A5, riscv.A5, 1))
+	a.emit(riscv.ADDI(riscv.S7, riscv.S7, -1))
+	a.bne(riscv.S7, riscv.Zero, "el")
+}

@@ -1,0 +1,68 @@
+package rvbackend_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vedliot/internal/nn"
+	"vedliot/internal/rvbackend"
+)
+
+// Golden firmware-image tests pin the generated code's textual
+// disassembly for representative models, mirroring the IR pipeline's
+// golden-pass pattern: any codegen change — instruction selection, loop
+// structure, layout addresses — shows up as a reviewable text diff.
+//
+// Regenerate with:
+//
+//	go test ./internal/rvbackend -run TestGolden -update
+
+var update = flag.Bool("update", false, "rewrite the golden firmware dumps in testdata/")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with -update): %v", path, err)
+	}
+	if string(want) != got {
+		t.Errorf("firmware for %s diverged from golden file %s\n--- got ---\n%s", name, path, got)
+	}
+}
+
+// TestGoldenFirmwareImages disassembles the generated firmware for a
+// dense model (both CFU and scalar variants) and a convolutional model
+// and compares against the committed dumps.
+func TestGoldenFirmwareImages(t *testing.T) {
+	cases := []struct {
+		file  string
+		g     *nn.Graph
+		noCFU bool
+	}{
+		{"tiny_mlp_cfu.asm", nn.MLP("tiny", []int{16, 8, 4}, nn.BuildOptions{Weights: true, Seed: 7}), false},
+		{"tiny_mlp_scalar.asm", nn.MLP("tiny", []int{16, 8, 4}, nn.BuildOptions{Weights: true, Seed: 7}), true},
+		{"lenet12_cfu.asm", nn.LeNet(12, 6, nn.BuildOptions{Weights: true, Seed: 5}), false},
+	}
+	for _, c := range cases {
+		t.Run(c.file, func(t *testing.T) {
+			schema := calibrate(t, c.g)
+			exe, err := rvbackend.Backend{Schema: schema, NoCFU: c.noCFU}.Compile(c.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, c.file, exe.(*rvbackend.Program).Disassembly())
+		})
+	}
+}

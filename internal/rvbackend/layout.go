@@ -1,0 +1,263 @@
+package rvbackend
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vedliot/internal/inference"
+	"vedliot/internal/soc"
+	"vedliot/internal/tensor"
+)
+
+// Memory image layout, data first so every address is known before
+// codegen (text size depends only on plan structure, never on data
+// placement, because LI is always two instructions):
+//
+//	RAMBase: mailbox      16 B  +0 cycles.lo +4 cycles.hi +8/+12 snapshot
+//	         const pool         packed weights, per-channel records,
+//	                            code tables (256 B), add tables (1 KiB)
+//	         value buffers      one per plan value, padded to a word
+//	         patch scratch      the largest conv gather window
+//	         text               requant subroutine, then segments
+//
+// Firmware ABI: the host enters a segment by setting PC to its start;
+// each segment snapshots the cycle CSRs on entry, runs its steps,
+// accumulates the 64-bit cycle delta into the mailbox and executes WFI
+// (the last segment writes the test finisher instead). The requant
+// subroutine takes the accumulator in a0, a 24-byte channel record
+// pointer in a1 and the output zero point in a2, and returns the final
+// int8 code in a0, clobbering only t0-t6.
+//
+// A channel record is six little-endian words: effective bias (the
+// plan bias with zp_in*Σw folded in), the fixed-point multiplier, the
+// shift, the 64-bit rounding constant (lo, hi) and the address of the
+// fused post-activation table (0 when unfused).
+const (
+	recordSize = 24
+
+	// mailbox offsets (bytes from the mailbox base)
+	mbCyclesLo = 0
+	mbCyclesHi = 4
+	mbSnapLo   = 8
+	mbSnapHi   = 12
+)
+
+// stepLayout records where one step's constants landed in the pool.
+type stepLayout struct {
+	weights   uint32   // conv/dense packed weight codes, [outC][k4]
+	records   uint32   // conv/dense/gap channel records
+	k4        int      // reduction length padded to a multiple of 4
+	table     uint32   // lut / maxpool recode / per-channel table base
+	addTables []uint32 // per-operand int32 tables (add steps)
+}
+
+// action is one entry of the per-sample execution list: run a firmware
+// segment, or run an FP32-island step host-side.
+type action struct {
+	segment int // index into segStarts, or -1 for an island
+	step    int // plan step index (islands)
+}
+
+// image is a fully laid-out firmware build for one plan.
+type image struct {
+	useCFU    bool
+	mailbox   uint32
+	bufAddr   []uint32 // per plan value: code buffer base
+	patch     uint32   // conv gather scratch
+	steps     []stepLayout
+	data      []byte // const image, starting at soc.RAMBase
+	textOff   uint32 // absolute address of the first text word
+	text      []uint32
+	segStarts []uint32 // absolute entry PC per segment
+	segSteps  [][]int  // plan step indices per segment
+	actions   []action
+	ramSize   uint32
+}
+
+// putRecord encodes one channel record, validating that the requantizer
+// fits the firmware's fixed-point sequence (multiplier below 2^31 so
+// MULH/MUL give the exact 64-bit product, shift at most 62).
+func putRecord(dst []byte, biasEff int32, rq tensor.Requant, postAddr uint32) error {
+	mult, shift, round := rq.Fixed()
+	if mult < 0 || mult >= 1<<31 {
+		return fmt.Errorf("rvbackend: requant multiplier %d outside firmware range [0, 2^31)", mult)
+	}
+	if shift > 62 {
+		return fmt.Errorf("rvbackend: requant shift %d exceeds firmware range 62", shift)
+	}
+	le := binary.LittleEndian
+	le.PutUint32(dst[0:], uint32(biasEff))
+	le.PutUint32(dst[4:], uint32(mult))
+	le.PutUint32(dst[8:], uint32(shift))
+	le.PutUint32(dst[12:], uint32(uint64(round)))
+	le.PutUint32(dst[16:], uint32(uint64(round)>>32))
+	le.PutUint32(dst[20:], postAddr)
+	return nil
+}
+
+// buildLayout walks the plan and assigns every constant and buffer an
+// address, staging the const pool bytes. Codegen runs after it.
+func buildLayout(plan *inference.QuantPlan, useCFU bool) (*image, error) {
+	img := &image{useCFU: useCFU}
+	alloc := func(n int) uint32 {
+		n = (n + 3) &^ 3
+		off := len(img.data)
+		img.data = append(img.data, make([]byte, n)...)
+		return soc.RAMBase + uint32(off)
+	}
+	img.mailbox = alloc(16)
+
+	tableAddrs := make(map[*[256]int8]uint32)
+	codeTable := func(t *[256]int8) uint32 {
+		if t == nil {
+			return 0
+		}
+		if a, ok := tableAddrs[t]; ok {
+			return a
+		}
+		a := alloc(256)
+		dst := img.data[a-soc.RAMBase:]
+		for i, c := range t {
+			dst[i] = byte(c)
+		}
+		tableAddrs[t] = a
+		return a
+	}
+
+	img.steps = make([]stepLayout, len(plan.Steps))
+	maxPatch := 0
+	for si := range plan.Steps {
+		st := &plan.Steps[si]
+		sl := &img.steps[si]
+		switch {
+		case st.Conv != nil:
+			c := st.Conv
+			taps := c.Geom.ICPerG * c.Geom.KH * c.Geom.KW
+			sl.k4 = (taps + 3) &^ 3
+			if sl.k4 > maxPatch {
+				maxPatch = sl.k4
+			}
+			sl.weights = alloc(c.Geom.OutC * sl.k4)
+			w := img.data[sl.weights-soc.RAMBase:]
+			for oc := 0; oc < c.Geom.OutC; oc++ {
+				for t := 0; t < taps; t++ {
+					w[oc*sl.k4+t] = byte(c.W[oc*taps+t])
+				}
+			}
+			// Intern post tables before taking the record slice: alloc
+			// appends to img.data and may reallocate its backing array.
+			posts := make([]uint32, c.Geom.OutC)
+			if c.Post != nil {
+				for oc := range posts {
+					posts[oc] = codeTable(c.Post[oc])
+				}
+			}
+			sl.records = alloc(c.Geom.OutC * recordSize)
+			rec := img.data[sl.records-soc.RAMBase:]
+			for oc := 0; oc < c.Geom.OutC; oc++ {
+				sumW := int32(0)
+				for t := 0; t < taps; t++ {
+					sumW += int32(c.W[oc*taps+t])
+				}
+				biasEff := c.Bias[oc] - c.ZPIn*sumW
+				if err := putRecord(rec[oc*recordSize:], biasEff, c.Req[oc], posts[oc]); err != nil {
+					return nil, fmt.Errorf("step %q: %w", st.Name, err)
+				}
+			}
+		case st.Dense != nil:
+			d := st.Dense
+			sl.k4 = (d.InF + 3) &^ 3
+			sl.weights = alloc(d.OutF * sl.k4)
+			w := img.data[sl.weights-soc.RAMBase:]
+			for o := 0; o < d.OutF; o++ {
+				for i := 0; i < d.InF; i++ {
+					w[o*sl.k4+i] = byte(d.W[o*d.InF+i])
+				}
+			}
+			posts := make([]uint32, d.OutF)
+			if d.Post != nil {
+				for o := range posts {
+					posts[o] = codeTable(d.Post[o])
+				}
+			}
+			sl.records = alloc(d.OutF * recordSize)
+			rec := img.data[sl.records-soc.RAMBase:]
+			for o := 0; o < d.OutF; o++ {
+				sumW := int32(0)
+				for i := 0; i < d.InF; i++ {
+					sumW += int32(d.W[o*d.InF+i])
+				}
+				biasEff := d.Bias[o] - d.ZPIn*sumW
+				if err := putRecord(rec[o*recordSize:], biasEff, d.Req[o], posts[o]); err != nil {
+					return nil, fmt.Errorf("step %q: %w", st.Name, err)
+				}
+			}
+		case st.LUT != nil:
+			sl.table = codeTable(st.LUT.Table)
+		case st.LUTPerChannel != nil:
+			pc := st.LUTPerChannel
+			sl.table = alloc(256 * pc.C)
+			dst := img.data[sl.table-soc.RAMBase:]
+			for ch, t := range pc.Tables {
+				for i, c := range t {
+					dst[ch*256+i] = byte(c)
+				}
+			}
+		case st.MaxPool != nil:
+			sl.table = codeTable(st.MaxPool.Recode)
+		case st.GlobalAvgPool != nil:
+			g := st.GlobalAvgPool
+			sl.records = alloc(recordSize)
+			biasEff := -int32(g.HW) * g.ZPIn
+			if err := putRecord(img.data[sl.records-soc.RAMBase:], biasEff, g.Req, 0); err != nil {
+				return nil, fmt.Errorf("step %q: %w", st.Name, err)
+			}
+		case st.Add != nil:
+			if len(st.Add.Tables) > 4 {
+				return nil, fmt.Errorf("rvbackend: step %q: add arity %d exceeds firmware limit 4",
+					st.Name, len(st.Add.Tables))
+			}
+			for _, t := range st.Add.Tables {
+				a := alloc(1024)
+				dst := img.data[a-soc.RAMBase:]
+				for i, v := range t {
+					binary.LittleEndian.PutUint32(dst[i*4:], uint32(v))
+				}
+				sl.addTables = append(sl.addTables, a)
+			}
+		case st.Island != nil:
+			// host-side; no constants
+		default:
+			return nil, fmt.Errorf("rvbackend: step %q has no kind", st.Name)
+		}
+	}
+
+	img.bufAddr = make([]uint32, len(plan.Values))
+	for i, v := range plan.Values {
+		img.bufAddr[i] = alloc(v.Elems)
+	}
+	if maxPatch < 4 {
+		maxPatch = 4
+	}
+	img.patch = alloc(maxPatch)
+
+	// Execution order: maximal runs of firmware steps become segments,
+	// islands run host-side between them.
+	seg := -1
+	for i := range plan.Steps {
+		if plan.Steps[i].Island != nil {
+			img.actions = append(img.actions, action{segment: -1, step: i})
+			seg = -1
+			continue
+		}
+		if seg < 0 {
+			seg = len(img.segSteps)
+			img.segSteps = append(img.segSteps, nil)
+			img.actions = append(img.actions, action{segment: seg})
+		}
+		img.segSteps[seg] = append(img.segSteps[seg], i)
+	}
+
+	img.textOff = soc.RAMBase + uint32(len(img.data))
+	return img, nil
+}

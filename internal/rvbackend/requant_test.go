@@ -1,0 +1,69 @@
+package rvbackend
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"vedliot/internal/riscv"
+	"vedliot/internal/soc"
+	"vedliot/internal/tensor"
+)
+
+// TestRequantSubroutineMatchesApply drives the firmware requant
+// subroutine with randomized accumulators and scales and compares
+// against tensor.Requant.Apply plus clamp — the keystone of the
+// bit-exactness argument, verified in isolation.
+func TestRequantSubroutineMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		scale := rng.Float64() * 0.01
+		rq := tensor.NewRequant(scale)
+		acc := int32(rng.Intn(1<<20) - 1<<19)
+		zpOut := int32(rng.Intn(32) - 16)
+
+		const recAddr = soc.RAMBase + 16
+		a := newAsm(soc.RAMBase + 64)
+		a.li(riscv.A0, uint32(acc))
+		a.li(riscv.A1, recAddr)
+		a.imm(riscv.A2, zpOut)
+		a.call("requant")
+		// Park the result where the host can read it.
+		a.li(riscv.T3, soc.RAMBase+48)
+		a.emit(riscv.SW(riscv.A0, riscv.T3, 0))
+		a.li(riscv.T0, soc.FinisherBase)
+		a.li(riscv.T1, soc.FinisherPass)
+		a.emit(riscv.SW(riscv.T1, riscv.T0, 0))
+		a.emit(riscv.WFI())
+		emitRequant(a)
+		if err := a.resolve(); err != nil {
+			t.Fatal(err)
+		}
+
+		m, err := soc.NewMachine(soc.Config{RAMSize: 1 << 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ram := m.RAM.Bytes()
+		if err := putRecord(ram[16:], 0, rq, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.RAM.LoadWords(64, a.words); err != nil {
+			t.Fatal(err)
+		}
+		m.Core.PC = soc.RAMBase + 64
+		if _, err := m.Run(1000); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.RequireFinished(); err != nil {
+			t.Fatal(err)
+		}
+		got := int32(binary.LittleEndian.Uint32(ram[48:]))
+		want := int32(tensor.ClampInt8(zpOut + rq.Apply(acc)))
+		if got != want {
+			mult, shift, round := rq.Fixed()
+			t.Fatalf("trial %d: acc=%d mult=%d shift=%d round=%d zp=%d: firmware %d, want %d",
+				trial, acc, mult, shift, round, zpOut, got, want)
+		}
+	}
+}

@@ -43,6 +43,11 @@ func (r *RAM) Write32(off uint32, v uint32) error {
 	return nil
 }
 
+// Bytes exposes the backing store directly. Host-side loaders (the
+// RISC-V backend staging weights and activations) use it for bulk I/O
+// instead of word-at-a-time bus writes.
+func (r *RAM) Bytes() []byte { return r.data }
+
 // LoadWords copies a firmware image (little-endian words) at offset.
 func (r *RAM) LoadWords(off uint32, words []uint32) error {
 	for i, w := range words {

@@ -90,6 +90,14 @@ func (r Requant) Apply(acc int32) int32 {
 	return int32((int64(acc)*r.mult + r.round) >> r.shift)
 }
 
+// Fixed exposes the fixed-point decomposition (mult, shift, round) with
+// Apply(acc) = (acc*mult + round) >> shift. Alternative execution
+// backends (e.g. the RISC-V firmware lowering) use it to reproduce the
+// requantization step bit-exactly outside this package.
+func (r Requant) Fixed() (mult int64, shift uint, round int64) {
+	return r.mult, r.shift, r.round
+}
+
 // ClampInt8 saturates v to the INT8 code range.
 func ClampInt8(v int32) int8 {
 	if v > 127 {
